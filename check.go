@@ -1,0 +1,97 @@
+package dstore
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Check verifies the store's cross-structure invariants — an fsck for the
+// control plane. It validates that:
+//
+//   - the B-tree is structurally sound and every index entry points at a
+//     used metadata slot whose recorded name matches the key;
+//   - no metadata slot is referenced by two keys, and no used slot is
+//     orphaned (unreachable from the index);
+//   - every object's block list has exactly the blocks its size requires,
+//     all within the data plane, and no block belongs to two objects;
+//   - conservation: used slots + free slots in the slot pool equal the
+//     zone capacity, and allocated blocks + free blocks in the block pool
+//     equal the device capacity.
+//
+// Check takes the store's structure locks briefly; it is safe to run
+// concurrently with normal operation (results reflect a quiescent moment
+// only if the caller arranges one). The crash-recovery tests run it after
+// every recovery.
+func (s *Store) Check() error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	s.treeMu.RLock()
+	defer s.treeMu.RUnlock()
+	for i := range s.zoneMu {
+		s.zoneMu[i].Lock()
+		defer s.zoneMu[i].Unlock()
+	}
+	return checkPlane(s.front, s.cfg.Blocks, s.cfg.BlockSize)
+}
+
+// checkPlane validates the invariants for any plane (the recovery tests also
+// point it at shadow arenas).
+func checkPlane(p *plane, blocks, blockSize uint64) error {
+	if err := p.tree.Check(); err != nil {
+		return fmt.Errorf("dstore: index: %w", err)
+	}
+
+	slotOwner := make(map[uint64][]byte)
+	blockOwner := make(map[uint64][]byte)
+	err := p.tree.Iterate(func(key []byte, slot uint64) error {
+		if prev, dup := slotOwner[slot]; dup {
+			return fmt.Errorf("slot %d referenced by both %q and %q", slot, prev, key)
+		}
+		slotOwner[slot] = append([]byte(nil), key...)
+
+		e, used := p.zone.Read(slot)
+		if !used {
+			return fmt.Errorf("key %q points at free slot %d", key, slot)
+		}
+		if !bytes.Equal(e.Name, key) {
+			return fmt.Errorf("slot %d holds name %q but is indexed by %q", slot, e.Name, key)
+		}
+		if need := blocksFor(e.Size, blockSize); uint64(len(e.Blocks)) != need {
+			return fmt.Errorf("object %q: size %d needs %d blocks, has %d", key, e.Size, need, len(e.Blocks))
+		}
+		for _, b := range e.Blocks {
+			if b >= blocks {
+				return fmt.Errorf("object %q references block %d beyond capacity %d", key, b, blocks)
+			}
+			if prev, dup := blockOwner[b]; dup {
+				return fmt.Errorf("block %d owned by both %q and %q", b, prev, key)
+			}
+			blockOwner[b] = slotOwner[slot]
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("dstore: %w", err)
+	}
+
+	// Orphan scan: every used slot must be indexed.
+	for slot := uint64(0); slot < p.zone.Slots(); slot++ {
+		_, used := p.zone.Read(slot)
+		_, indexed := slotOwner[slot]
+		if used && !indexed {
+			return fmt.Errorf("dstore: slot %d used but unreachable from the index", slot)
+		}
+	}
+
+	// Conservation laws.
+	if got, want := p.slotPool.Free()+uint64(len(slotOwner)), p.zone.Slots(); got != want {
+		return fmt.Errorf("dstore: slot conservation violated: %d free + %d used != %d", p.slotPool.Free(), len(slotOwner), want)
+	}
+	if got, want := p.blockPool.Free()+uint64(len(blockOwner)), blocks; got != want {
+		return fmt.Errorf("dstore: block conservation violated: %d free + %d allocated != %d", p.blockPool.Free(), len(blockOwner), want)
+	}
+	return nil
+}

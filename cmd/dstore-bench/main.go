@@ -1,0 +1,66 @@
+// Command dstore-bench regenerates the paper's evaluation tables and
+// figures (§5) on the simulated devices.
+//
+// Usage:
+//
+//	dstore-bench -exp fig7 -threads 8 -duration 10s
+//	dstore-bench -exp all -objects 100000
+//
+// Experiment ids: fig1 fig5 fig6 table3 fig7 fig8 fig9 table4 fig10 table5.
+// Defaults are laptop-scaled; raise -records/-objects/-duration/-threads to
+// approach the paper's 2M-object, 28-thread, 60-second runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dstore/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id ("+strings.Join(bench.ExperimentIDs, ", ")+") or 'all'")
+		threads  = flag.Int("threads", 0, "client threads (default GOMAXPROCS)")
+		duration = flag.Duration("duration", 5*time.Second, "measured run length per data point")
+		sample   = flag.Duration("sample", time.Second, "throughput/bandwidth sample interval (fig7)")
+		records  = flag.Int("records", 10000, "YCSB key-space size")
+		value    = flag.Int("value", 4096, "object size in bytes")
+		objects  = flag.Int("objects", 20000, "objects loaded for table4/fig10/table5 (paper: 2000000)")
+		nolat    = flag.Bool("nolatency", false, "disable calibrated device latency injection")
+		seed     = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	o := bench.Options{
+		Threads:        *threads,
+		Duration:       *duration,
+		SampleInterval: *sample,
+		Records:        *records,
+		ValueBytes:     *value,
+		Objects:        *objects,
+		NoLatency:      *nolat,
+		Seed:           *seed,
+	}
+
+	ids := bench.ExperimentIDs
+	if *exp != "all" {
+		if bench.Experiments[*exp] == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: %s\n", *exp, strings.Join(bench.ExperimentIDs, ", "))
+			os.Exit(2)
+		}
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		fmt.Printf("# running %s ...\n", id)
+		start := time.Now()
+		if err := bench.Experiments[id](o, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("# %s done in %.1fs\n", id, time.Since(start).Seconds())
+	}
+}

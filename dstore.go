@@ -1,0 +1,514 @@
+// Package dstore implements DStore, a fast, tailless, and quiescent-free
+// object store (Gugnani & Lu, HPDC 2021), on simulated PMEM and NVMe
+// devices.
+//
+// DStore is an embedded storage sub-system with both key-value and
+// filesystem style APIs over modifiable objects (paper Table 2). Its control
+// plane — a B-tree index, a metadata zone, and circular block/slot pools —
+// lives in DRAM and is made persistent by DIPPER (paper §3): logical
+// operations are logged to PMEM, and background checkpoints replay the log
+// onto shadow copies in PMEM without ever quiescing the frontend. The data
+// plane lives on SSD — each put writes fresh blocks (freed only after
+// commit), protected by the drive's power-loss-protected write cache
+// (§4.2).
+//
+// Basic usage:
+//
+//	st, err := dstore.Format(dstore.Config{})   // fresh store
+//	ctx := st.Init()                            // per-goroutine context
+//	err = ctx.Put("key", value)
+//	buf, err := ctx.Get("key", nil)
+//	ctx.Finalize()
+//	st.Close()                                  // clean shutdown
+//
+// Reopen (or crash-recover) an existing store with Open. For the paper's
+// comparison experiments, Config selects the persistence Mode (DIPPER, CoW
+// checkpoints, or physical logging) and the observational-equivalence (OE)
+// concurrency ablation.
+package dstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dstore/internal/alloc"
+	"dstore/internal/dipper"
+	"dstore/internal/meta"
+	"dstore/internal/pmem"
+	"dstore/internal/space"
+	"dstore/internal/ssd"
+)
+
+// Mode selects the persistence technique (paper Table 1 rows).
+type Mode int
+
+const (
+	// ModeDIPPER is the paper's design: compact logical logging with
+	// decoupled, parallel checkpoints.
+	ModeDIPPER Mode = iota
+	// ModeCoW keeps DIPPER's logging but adds NOVA/Pronto-style
+	// copy-on-write page protection during checkpoints (§4.5): writers
+	// fault and wait for page copies to PMEM.
+	ModeCoW
+	// ModePhysical models the naïve baseline of Fig. 9 (DudeTM/NV-HTM):
+	// ARIES-style physical log records (payloads padded with page images)
+	// plus CoW checkpoints.
+	ModePhysical
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeDIPPER:
+		return "dipper"
+	case ModeCoW:
+		return "cow"
+	case ModePhysical:
+		return "physical"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config configures a Store. The zero value is a usable small store.
+type Config struct {
+	// Mode selects the persistence technique. Default ModeDIPPER.
+	Mode Mode
+	// DisableOE serializes each operation's entire metadata section under
+	// one global lock instead of the fine-grained pool/tree locks enabled
+	// by observational equivalence (§3.7, Fig. 9 "+OE" ablation).
+	DisableOE bool
+	// DisableCheckpoints turns off all checkpointing (Fig. 1's
+	// "no checkpoint" series). The log must be sized for the full run.
+	DisableCheckpoints bool
+	// PhysicalImageBytes pads each log record's payload in ModePhysical.
+	// Default 512 (a before/after image of the touched metadata).
+	PhysicalImageBytes int
+
+	// BlockSize is the SSD allocation unit. Default 4096.
+	BlockSize uint64
+	// Blocks is the data-plane capacity in blocks. Default 16384.
+	Blocks uint64
+	// MaxObjects bounds live objects (metadata slots). Default 8192.
+	MaxObjects uint64
+	// MaxNameLen bounds object names. Default 64.
+	MaxNameLen uint64
+	// MaxBlocksPerObject bounds object size. Default 16.
+	MaxBlocksPerObject uint64
+
+	// LogBytes sizes each of the two DIPPER logs. Default 4 MiB.
+	LogBytes uint64
+	// ArenaBytes sizes the DRAM arena and each PMEM shadow generation.
+	// Computed from the geometry when zero.
+	ArenaBytes uint64
+	// CheckpointThreshold triggers a checkpoint when the active log's free
+	// fraction falls below it. Default 0.3.
+	CheckpointThreshold float64
+
+	// TrackPersistence enables the PMEM crash model (required by Crash).
+	TrackPersistence bool
+	// DeviceLatency enables calibrated device latency injection on the
+	// devices this Store creates (ignored for injected devices). The
+	// process-wide latency switch must also be on (latency.Enable).
+	DeviceLatency bool
+	// Breakdown enables per-stage write timing (paper Table 3).
+	Breakdown bool
+
+	// PMEM optionally injects the PMEM device (e.g. to reopen after a
+	// crash). Created per the config when nil.
+	PMEM *pmem.Device
+	// SSD optionally injects the data-plane device.
+	SSD *ssd.Device
+}
+
+func (c *Config) setDefaults() {
+	if c.BlockSize == 0 {
+		c.BlockSize = 4096
+	}
+	if c.Blocks == 0 {
+		c.Blocks = 16384
+	}
+	if c.MaxObjects == 0 {
+		c.MaxObjects = 8192
+	}
+	if c.MaxNameLen == 0 {
+		c.MaxNameLen = 64
+	}
+	if c.MaxBlocksPerObject == 0 {
+		c.MaxBlocksPerObject = 16
+	}
+	if c.LogBytes == 0 {
+		c.LogBytes = 4 << 20
+	}
+	// Device windows must stay cache-line aligned.
+	c.LogBytes = (c.LogBytes + 4095) &^ 4095
+	if c.PhysicalImageBytes == 0 {
+		c.PhysicalImageBytes = 512
+	}
+	if c.CheckpointThreshold == 0 {
+		c.CheckpointThreshold = 0.3
+	}
+	if c.ArenaBytes == 0 {
+		slot := (16 + c.MaxNameLen + 8*c.MaxBlocksPerObject + 7) &^ 7
+		need := alloc.HeaderSize +
+			c.MaxObjects*slot + // metadata zone
+			8*(c.Blocks+c.MaxObjects) + // pools
+			c.MaxObjects*384 + // btree nodes + keys, with slack
+			(4 << 20) // headroom
+		// Round up to a power of two for tidy windows.
+		c.ArenaBytes = 1 << 20
+		for c.ArenaBytes < need {
+			c.ArenaBytes <<= 1
+		}
+	}
+	c.ArenaBytes = (c.ArenaBytes + 4095) &^ 4095
+}
+
+func (c Config) dipperConfig() dipper.Config {
+	return dipper.Config{
+		LogBytes:            c.LogBytes,
+		ArenaBytes:          c.ArenaBytes,
+		CheckpointThreshold: c.CheckpointThreshold,
+		AutoCheckpoint:      !c.DisableCheckpoints,
+	}
+}
+
+// cowEnabled reports whether this mode uses CoW page protection.
+func (c Config) cowEnabled() bool { return c.Mode == ModeCoW || c.Mode == ModePhysical }
+
+// pmemBytes returns the PMEM capacity the config requires (engine layout
+// plus, in CoW modes, a scratch window for page copies).
+func (c Config) pmemBytes() uint64 {
+	n := c.dipperConfig().DeviceBytes()
+	if c.cowEnabled() {
+		n += c.ArenaBytes
+	}
+	return n
+}
+
+// Store is a DStore instance. All methods are safe for concurrent use.
+type Store struct {
+	cfg Config
+
+	eng  *dipper.Engine
+	pm   *pmem.Device
+	data *ssd.Device
+
+	front *plane
+
+	// Fig. 4 locks. With OE enabled, poolMu covers only log append + pool
+	// mutation (steps ①–⑤) and treeMu only the B-tree touch (step ⑦); the
+	// metadata zone needs no lock (slots are object-private and objects are
+	// serialized by CC). With OE disabled, globalMu serializes the whole
+	// metadata section of every operation.
+	poolMu   sync.Mutex
+	treeMu   sync.RWMutex
+	globalMu sync.Mutex
+
+	// zoneMu stripes metadata-zone access by slot: slot contents are only
+	// ever written by the (CC-serialized) owner of a name, but a not-yet-
+	// serialized requester may probe a slot concurrently; the stripe makes
+	// those probes race-free (they retry through CC if the value matters).
+	zoneMu [64]sync.Mutex
+
+	readers readTable
+	cow     *cowSpace // nil unless cowEnabled
+
+	closed atomic.Bool
+
+	ops opStats
+	bd  breakdown
+}
+
+// opStats counts API operations.
+type opStats struct {
+	puts, gets, deletes, reads, writes, opens atomic.Uint64
+}
+
+// breakdown accumulates per-stage write-path nanoseconds (paper Table 3).
+type breakdown struct {
+	count, logNs, poolNs, metaNs, treeNs, ssdNs, totalNs atomic.Uint64
+}
+
+// Breakdown is a snapshot of the write-path time breakdown.
+type Breakdown struct {
+	Count                                         uint64
+	LogNs, PoolNs, MetaNs, TreeNs, SSDNs, TotalNs uint64
+}
+
+// ErrNotFound is returned for operations on absent objects.
+var ErrNotFound = errors.New("dstore: object not found")
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("dstore: store closed")
+
+// Format creates a fresh store per cfg, formatting its devices.
+func Format(cfg Config) (*Store, error) {
+	cfg.setDefaults()
+	s, err := newStore(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	dc := cfg.dipperConfig()
+	dc.NewFrontendSpace = s.frontendSpace
+	dc.OnSwap = s.onSwap
+	dc.OnCheckpointDone = s.onCheckpointDone
+	s.eng, err = dipper.Format(s.pm, dc, replayer{blocks: cfg.Blocks}, func(al *alloc.Allocator) error {
+		return bootstrapPlane(al, cfg.Blocks, cfg.MaxObjects, cfg.MaxNameLen, cfg.MaxBlocksPerObject)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.front = openPlane(s.eng.Frontend())
+	s.writeSuperblock()
+	return s, nil
+}
+
+// Open recovers an existing store from its devices (cfg.PMEM and cfg.SSD
+// must be set, or point at the same backing state as the original). It
+// implements recovery for both shutdown kinds of §5.5.
+func Open(cfg Config) (*Store, error) {
+	cfg.setDefaults()
+	if cfg.PMEM == nil {
+		return nil, fmt.Errorf("dstore: Open requires cfg.PMEM")
+	}
+	if cfg.SSD == nil {
+		return nil, fmt.Errorf("dstore: Open requires cfg.SSD")
+	}
+	s, err := newStore(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	dc := cfg.dipperConfig()
+	dc.NewFrontendSpace = s.frontendSpace
+	dc.OnSwap = s.onSwap
+	dc.OnCheckpointDone = s.onCheckpointDone
+	s.eng, err = dipper.Open(s.pm, dc, replayer{blocks: cfg.Blocks})
+	if err != nil {
+		return nil, err
+	}
+	s.front = openPlane(s.eng.Frontend())
+	return s, nil
+}
+
+func newStore(cfg *Config) (*Store, error) {
+	s := &Store{cfg: *cfg}
+	s.pm = cfg.PMEM
+	if s.pm == nil {
+		var lat pmem.Latencies
+		if cfg.DeviceLatency {
+			lat = pmem.DefaultLatencies()
+		}
+		s.pm = pmem.New(pmem.Config{
+			Size:             int(cfg.pmemBytes()),
+			TrackPersistence: cfg.TrackPersistence,
+			Latency:          lat,
+		})
+	} else if uint64(s.pm.Size()) < cfg.pmemBytes() {
+		return nil, fmt.Errorf("dstore: PMEM device %d B < required %d B", s.pm.Size(), cfg.pmemBytes())
+	}
+	s.data = cfg.SSD
+	if s.data == nil {
+		var lat ssd.Latencies
+		if cfg.DeviceLatency {
+			lat = ssd.DefaultLatencies()
+		}
+		pages := int((cfg.Blocks + 1) * cfg.BlockSize / uint64(ssd.DefaultPageSize))
+		s.data = ssd.New(ssd.Config{
+			Pages:          pages,
+			PowerProtected: true,
+			Latency:        lat,
+		})
+	}
+	return s, nil
+}
+
+// frontendSpace builds the DRAM arena, wrapped for CoW modes.
+func (s *Store) frontendSpace(size uint64) space.Space {
+	inner := space.NewDRAM(size)
+	if !s.cfg.cowEnabled() {
+		return inner
+	}
+	scratchOff := s.cfg.dipperConfig().DeviceBytes()
+	scratch := space.NewPMEM(s.pm, scratchOff, s.cfg.ArenaBytes)
+	s.cow = newCowSpace(inner, scratch, s.cfg.BlockSize)
+	return s.cow
+}
+
+// onSwap arms CoW page protection at checkpoint start.
+func (s *Store) onSwap() {
+	if s.cow != nil {
+		s.cow.freeze(s.eng.Frontend().Used())
+	}
+}
+
+// onCheckpointDone sweeps the remaining protected pages.
+func (s *Store) onCheckpointDone() {
+	if s.cow != nil {
+		s.cow.sweep()
+	}
+}
+
+// writeSuperblock reserves SSD block 0 and stamps recovery info (paper
+// §4.2: "The first block is reserved for the superblock").
+func (s *Store) writeSuperblock() {
+	sb := make([]byte, 64)
+	copy(sb, "DSTOREv1")
+	putU64 := func(off int, v uint64) {
+		for i := 0; i < 8; i++ {
+			sb[off+i] = byte(v >> (8 * i))
+		}
+	}
+	putU64(8, s.cfg.BlockSize)
+	putU64(16, s.cfg.Blocks)
+	putU64(24, 0) // PMEM root object lives at device offset 0
+	s.data.WriteAt(0, sb)
+	s.data.Sync()
+}
+
+// dataOff maps a pool block id to its SSD byte offset (block 0 is the
+// superblock).
+func (s *Store) dataOff(block uint64) uint64 {
+	return (block + 1) * s.cfg.BlockSize
+}
+
+// CheckpointNow runs one checkpoint synchronously.
+func (s *Store) CheckpointNow() error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	return s.eng.Checkpoint()
+}
+
+// Close performs a clean shutdown: a final checkpoint (so the persistent
+// state is current) and engine teardown.
+func (s *Store) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	var err error
+	if !s.cfg.DisableCheckpoints {
+		err = s.eng.Checkpoint()
+	}
+	s.eng.Close()
+	return err
+}
+
+// CloseNoCheckpoint stops the store without the final checkpoint: all
+// committed state remains recoverable (it is in the logs), but reopening
+// will replay the active log — the paper's clean-shutdown semantics, where
+// recovery still "reconstructs the volatile space" and replays records.
+func (s *Store) CloseNoCheckpoint() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	s.eng.Close()
+	return nil
+}
+
+// Crash simulates a power failure (SIGKILL + power loss): all volatile state
+// is dropped and the devices resolve per their crash models. The store is
+// unusable afterwards; Reopen with the returned devices. Requires
+// Config.TrackPersistence.
+func (s *Store) Crash(seed int64) (pm *pmem.Device, data *ssd.Device) {
+	s.closed.Store(true)
+	s.eng.Close()
+	s.pm.Crash(pmem.CrashRandom, seed)
+	s.data.Crash(seed)
+	return s.pm, s.data
+}
+
+// PrepareWorstCaseCrash durably enters the checkpoint-in-progress state
+// without completing the checkpoint, so a following Crash models the paper's
+// "unexpected crash just before the checkpoint process is complete" (§5.5).
+// Recovery will redo the interrupted checkpoint.
+func (s *Store) PrepareWorstCaseCrash() { s.eng.SwapOnlyForCrash() }
+
+// Devices returns the store's devices (for stats sampling and reopening).
+func (s *Store) Devices() (*pmem.Device, *ssd.Device) { return s.pm, s.data }
+
+// Engine exposes the DIPPER engine (for stats and inspection).
+func (s *Store) Engine() *dipper.Engine { return s.eng }
+
+// Stats reports operation counts and engine statistics.
+type Stats struct {
+	Puts, Gets, Deletes, Reads, Writes, Opens uint64
+	Engine                                    dipper.Stats
+	CowPagesCopied, CowFaultCopies            uint64
+}
+
+// Stats returns a snapshot of store counters.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Puts:    s.ops.puts.Load(),
+		Gets:    s.ops.gets.Load(),
+		Deletes: s.ops.deletes.Load(),
+		Reads:   s.ops.reads.Load(),
+		Writes:  s.ops.writes.Load(),
+		Opens:   s.ops.opens.Load(),
+		Engine:  s.eng.Stats(),
+	}
+	if s.cow != nil {
+		st.CowPagesCopied = s.cow.pagesCopied.Load()
+		st.CowFaultCopies = s.cow.faultCopies.Load()
+	}
+	return st
+}
+
+// Breakdown returns the accumulated write-path timing (Table 3); zero unless
+// Config.Breakdown.
+func (s *Store) Breakdown() Breakdown {
+	return Breakdown{
+		Count:   s.bd.count.Load(),
+		LogNs:   s.bd.logNs.Load(),
+		PoolNs:  s.bd.poolNs.Load(),
+		MetaNs:  s.bd.metaNs.Load(),
+		TreeNs:  s.bd.treeNs.Load(),
+		SSDNs:   s.bd.ssdNs.Load(),
+		TotalNs: s.bd.totalNs.Load(),
+	}
+}
+
+// Footprint reports space consumed per tier (paper Fig. 10).
+type Footprint struct {
+	DRAMBytes uint64 // system-space arena used prefix
+	PMEMBytes uint64 // root + both logs + both shadow generations (+ CoW scratch)
+	SSDBytes  uint64 // superblock + allocated data blocks
+}
+
+// Footprint measures current storage consumption.
+func (s *Store) Footprint() Footprint {
+	used := s.eng.Frontend().Used()
+	pmemBytes := uint64(dipper.RootBytes) + 2*s.cfg.LogBytes + 2*used
+	if s.cfg.cowEnabled() {
+		pmemBytes += used
+	}
+	s.poolMu.Lock()
+	freeBlocks := s.front.blockPool.Free()
+	s.poolMu.Unlock()
+	usedBlocks := s.cfg.Blocks - freeBlocks
+	return Footprint{
+		DRAMBytes: used,
+		PMEMBytes: pmemBytes,
+		SSDBytes:  (1 + usedBlocks) * s.cfg.BlockSize,
+	}
+}
+
+// zoneLock returns slot's stripe lock.
+func (s *Store) zoneLock(slot uint64) *sync.Mutex { return &s.zoneMu[slot%64] }
+
+// zoneRead reads a metadata slot under its stripe lock. The returned entry's
+// Blocks are a copy; Name aliases the arena and must be consumed before the
+// slot can be rewritten.
+func (s *Store) zoneRead(slot uint64) (meta.Entry, bool) {
+	lk := s.zoneLock(slot)
+	lk.Lock()
+	e, ok := s.front.zone.Read(slot)
+	lk.Unlock()
+	return e, ok
+}
+
+// nowNs wraps time.Now for the breakdown timers.
+func nowNs() int64 { return time.Now().UnixNano() }

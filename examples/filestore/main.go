@@ -1,0 +1,92 @@
+// Filestore: the filesystem-style half of the DStore API (paper Table 2) —
+// open/create objects, partial reads and writes at offsets, growth past the
+// end, and inter-object dependencies via olock/ounlock (a directory locked
+// while its files change, the paper's §4.5 example).
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"sync"
+
+	"dstore"
+)
+
+func main() {
+	st, err := dstore.Format(dstore.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+	ctx := st.Init()
+
+	// Create a 16 KiB object and write into it at offsets.
+	f, err := ctx.Open("logs/app.log", 16<<10, dstore.OpenCreate|dstore.OpenRead|dstore.OpenWrite)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("first entry\n"), 0); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("entry at 8k\n"), 8<<10); err != nil {
+		log.Fatal(err)
+	}
+
+	// Writes within the current size go straight to the data plane with no
+	// log record; writes past the end extend the object through a logged
+	// metadata operation.
+	if _, err := f.WriteAt(bytes.Repeat([]byte{'x'}, 4096), 15<<10); err != nil {
+		log.Fatal(err)
+	}
+	size, _ := f.Size()
+	fmt.Printf("size after extending write: %d bytes\n", size)
+
+	buf := make([]byte, 12)
+	if _, err := f.ReadAt(buf, 8<<10); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read back: %q\n", buf)
+	f.Close()
+
+	// Inter-object dependency: lock the "directory" object while two
+	// goroutines rename files under it. The lock is a NOOP record in the
+	// DIPPER log; conflicting operations spin on its commit flag.
+	if err := ctx.Put("dir/manifest", []byte("v1")); err != nil {
+		log.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for worker := 0; worker < 2; worker++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			wctx := st.Init()
+			defer wctx.Finalize()
+			for i := 0; i < 5; i++ {
+				if err := wctx.Lock("dir/manifest"); err != nil {
+					log.Fatal(err)
+				}
+				// Critical section: update a file and the manifest together.
+				name := fmt.Sprintf("dir/file-%d-%d", worker, i)
+				if err := wctx.Put(name, []byte("contents")); err != nil {
+					log.Fatal(err)
+				}
+				if err := wctx.Put("dir/manifest", []byte(name)); err != nil {
+					log.Fatal(err)
+				}
+				if err := wctx.Unlock("dir/manifest"); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(worker)
+	}
+	wg.Wait()
+
+	m, err := ctx.Get("dir/manifest", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("manifest now points at: %s\n", m)
+	fmt.Printf("ops: %+v\n", struct{ Puts, Opens, Writes uint64 }{
+		st.Stats().Puts, st.Stats().Opens, st.Stats().Writes})
+}

@@ -1,0 +1,197 @@
+// Objectserver: a small S3-style HTTP gateway over DStore, the cloud-service
+// deployment the paper motivates ("the growing popularity of simpler cloud
+// services which offer access to objects instead of files", §4.1).
+//
+//	PUT    /objects/<name>        store the request body as an object
+//	GET    /objects/<name>        fetch an object
+//	DELETE /objects/<name>        delete an object
+//	GET    /objects/?prefix=p     list objects (name + size), ordered
+//	GET    /stats                 store statistics (ops, checkpoints, footprint)
+//
+// Run with -selftest to start the server on a random port, exercise every
+// route through real HTTP requests, and exit — which doubles as the
+// example's automated check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	"dstore"
+)
+
+// server wires DStore into HTTP handlers. Each request runs on its own
+// goroutine, so handlers create per-request contexts (the paper's
+// thread-per-request ds_init usage).
+type server struct {
+	st *dstore.Store
+}
+
+func (sv *server) objects(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/objects/")
+	ctx := sv.st.Init()
+	defer ctx.Finalize()
+
+	if name == "" {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		sv.list(w, r, ctx)
+		return
+	}
+
+	switch r.Method {
+	case http.MethodPut:
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := ctx.Put(name, body); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	case http.MethodGet:
+		val, err := ctx.Get(name, nil)
+		if err == dstore.ErrNotFound {
+			http.NotFound(w, r)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(val)
+	case http.MethodDelete:
+		err := ctx.Delete(name)
+		if err == dstore.ErrNotFound {
+			http.NotFound(w, r)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (sv *server) list(w http.ResponseWriter, r *http.Request, ctx *dstore.Ctx) {
+	prefix := r.URL.Query().Get("prefix")
+	w.Header().Set("Content-Type", "text/plain")
+	err := ctx.Scan(prefix, func(info dstore.ObjectInfo) bool {
+		fmt.Fprintf(w, "%s\t%d\n", info.Name, info.Size)
+		return true
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (sv *server) stats(w http.ResponseWriter, r *http.Request) {
+	st := sv.st.Stats()
+	fp := sv.st.Footprint()
+	fmt.Fprintf(w, "objects\t%d\nputs\t%d\ngets\t%d\ndeletes\t%d\ncheckpoints\t%d\nrecords_replayed\t%d\ndram_bytes\t%d\npmem_bytes\t%d\nssd_bytes\t%d\n",
+		sv.st.Count(), st.Puts, st.Gets, st.Deletes,
+		st.Engine.Checkpoints, st.Engine.RecordsReplayed,
+		fp.DRAMBytes, fp.PMEMBytes, fp.SSDBytes)
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8333", "listen address")
+		selftest = flag.Bool("selftest", false, "start, exercise every route, and exit")
+	)
+	flag.Parse()
+
+	st, err := dstore.Format(dstore.Config{
+		Blocks:     1 << 15,
+		MaxObjects: 1 << 14,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+	sv := &server{st: st}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/objects/", sv.objects)
+	mux.HandleFunc("/stats", sv.stats)
+
+	if *selftest {
+		runSelftest(mux)
+		return
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("dstore object server on http://%s (PUT/GET/DELETE /objects/<name>, GET /objects/?prefix=, GET /stats)", *addr)
+	log.Fatal(http.Serve(ln, mux))
+}
+
+// runSelftest drives every route over real HTTP and panics on any mismatch.
+func runSelftest(mux *http.ServeMux) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, mux) //nolint:errcheck
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{}
+
+	expect := func(resp *http.Response, err error, code int, what string) []byte {
+		if err != nil {
+			log.Fatalf("%s: %v", what, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != code {
+			log.Fatalf("%s: status %d, want %d (%s)", what, resp.StatusCode, code, body)
+		}
+		return body
+	}
+
+	// PUT a few objects.
+	for i, name := range []string{"bucket/a", "bucket/b", "misc/c"} {
+		req, _ := http.NewRequest(http.MethodPut, base+"/objects/"+name,
+			strings.NewReader(strings.Repeat("x", 100*(i+1))))
+		resp, err := client.Do(req)
+		expect(resp, err, http.StatusCreated, "put "+name)
+	}
+	// GET one back.
+	resp, err := client.Get(base + "/objects/bucket/b")
+	body := expect(resp, err, http.StatusOK, "get bucket/b")
+	if len(body) != 200 {
+		log.Fatalf("get bucket/b: %d bytes", len(body))
+	}
+	// List by prefix, ordered.
+	resp, err = client.Get(base + "/objects/?prefix=bucket/")
+	body = expect(resp, err, http.StatusOK, "list")
+	if got := string(body); got != "bucket/a\t100\nbucket/b\t200\n" {
+		log.Fatalf("list = %q", got)
+	}
+	// DELETE and verify 404.
+	req, _ := http.NewRequest(http.MethodDelete, base+"/objects/bucket/a", nil)
+	resp, err = client.Do(req)
+	expect(resp, err, http.StatusNoContent, "delete")
+	resp, err = client.Get(base + "/objects/bucket/a")
+	expect(resp, err, http.StatusNotFound, "get deleted")
+	// Stats.
+	resp, err = client.Get(base + "/stats")
+	body = expect(resp, err, http.StatusOK, "stats")
+	if !strings.Contains(string(body), "objects\t2") {
+		log.Fatalf("stats = %q", body)
+	}
+	fmt.Println("objectserver selftest: all routes OK")
+}

@@ -1,0 +1,229 @@
+// Package alloc implements the slab memory allocator used for both the DRAM
+// system space and the PMEM checkpoint space (paper §3.3, §4.2).
+//
+// The paper delegates three jobs to the allocator:
+//
+//  1. the same allocator design manages DRAM and PMEM, so the volatile space
+//     can be reconstructed from the persistent space by copying;
+//  2. it can iterate over all allocated memory and flush it to PMEM
+//     (durability at the end of a checkpoint);
+//  3. it can create a copy of its own state (shadow updates / atomicity and
+//     avoiding persistent leaks).
+//
+// This implementation achieves all three by storing the allocator state
+// *inside* the Space it manages, at fixed offsets, with every internal
+// pointer relative: cloning an arena is a single range copy of its used
+// prefix ([0, bump)), and flushing everything allocated is a single range
+// flush of the same prefix. It is a slab allocator with power-of-two size
+// classes, exactly as described in §4.2 ("a simple slab-based memory
+// allocator ... slabs in different size classes that are a power of two").
+//
+// A small array of user "roots" in the header plays the role of PMDK's root
+// object: the store records the offsets of its top-level structures (B-tree
+// root, metadata zone, pools) there, so they survive cloning and recovery.
+package alloc
+
+import (
+	"fmt"
+	"sync"
+
+	"dstore/internal/space"
+)
+
+const (
+	// Magic seals a formatted arena header.
+	Magic = 0xD1BBE5_0000_0001
+
+	// MinClass is the smallest block size (one cache line).
+	MinClass = 64
+	// NumClasses covers block sizes 64 B .. 64 MB.
+	NumClasses = 21
+	// NumRoots is the number of user root slots.
+	NumRoots = 8
+
+	blockMagic = 0xA110C000 // upper bits of a block header word
+
+	offMagic      = 0
+	offSize       = 8
+	offBump       = 16
+	offAllocBytes = 24
+	offAllocCount = 32
+	offRoots      = 40
+	offFreeHeads  = offRoots + 8*NumRoots
+	// HeaderSize is the formatted header length, cache-line rounded.
+	HeaderSize = (offFreeHeads + 8*NumClasses + 63) / 64 * 64
+)
+
+// Allocator manages allocations inside a Space. The zero value is not usable;
+// obtain one with Format or Open. Allocator is safe for concurrent use.
+type Allocator struct {
+	mu sync.Mutex
+	sp space.Space
+}
+
+// classSize returns the block size of class c.
+func classSize(c int) uint64 { return MinClass << uint(c) }
+
+// classFor returns the smallest class whose block fits a payload of n bytes
+// (plus the 8-byte block header), or -1 if none does.
+func classFor(n uint64) int {
+	need := n + 8
+	for c := 0; c < NumClasses; c++ {
+		if classSize(c) >= need {
+			return c
+		}
+	}
+	return -1
+}
+
+// Format initializes a fresh arena in sp and returns its allocator.
+func Format(sp space.Space) *Allocator {
+	if sp.Size() < HeaderSize+MinClass {
+		panic("alloc: space too small to format")
+	}
+	sp.Zero(0, HeaderSize)
+	sp.PutU64(offSize, sp.Size())
+	sp.PutU64(offBump, HeaderSize)
+	sp.PutU64(offMagic, Magic)
+	return &Allocator{sp: sp}
+}
+
+// Open attaches to an already-formatted arena (e.g. after recovery copied a
+// PMEM shadow into a DRAM space). It fails if the header is not sealed.
+func Open(sp space.Space) (*Allocator, error) {
+	if sp.GetU64(offMagic) != Magic {
+		return nil, fmt.Errorf("alloc: bad arena magic %#x", sp.GetU64(offMagic))
+	}
+	if got := sp.GetU64(offSize); got != sp.Size() {
+		return nil, fmt.Errorf("alloc: arena formatted for size %d, space has %d", got, sp.Size())
+	}
+	return &Allocator{sp: sp}, nil
+}
+
+// Space returns the managed Space.
+func (a *Allocator) Space() space.Space { return a.sp }
+
+// Alloc returns the offset of a zeroed block able to hold size bytes, or an
+// error if the arena is exhausted. Offset 0 is never returned (it is the nil
+// relative pointer).
+func (a *Allocator) Alloc(size uint64) (uint64, error) {
+	c := classFor(size)
+	if c < 0 {
+		return 0, fmt.Errorf("alloc: size %d exceeds max class", size)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	bs := classSize(c)
+	headOff := uint64(offFreeHeads + 8*c)
+	block := a.sp.GetU64(headOff)
+	if block != 0 {
+		next := a.sp.GetU64(block + 8)
+		a.sp.PutU64(headOff, next)
+	} else {
+		bump := a.sp.GetU64(offBump)
+		if bump+bs > a.sp.Size() {
+			return 0, fmt.Errorf("alloc: arena exhausted (bump %d + %d > %d)", bump, bs, a.sp.Size())
+		}
+		block = bump
+		a.sp.PutU64(offBump, bump+bs)
+	}
+	a.sp.PutU64(block, uint64(blockMagic)<<32|uint64(c))
+	a.sp.Zero(block+8, bs-8)
+	a.sp.PutU64(offAllocBytes, a.sp.GetU64(offAllocBytes)+bs)
+	a.sp.PutU64(offAllocCount, a.sp.GetU64(offAllocCount)+1)
+	return block + 8, nil
+}
+
+// Free returns the block holding payload offset off to its size-class free
+// list. Freeing a bad or already-freed offset panics: arena corruption is a
+// programming error in the store, not a runtime condition.
+func (a *Allocator) Free(off uint64) {
+	if off < HeaderSize+8 {
+		panic(fmt.Sprintf("alloc: Free(%d) below heap", off))
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	block := off - 8
+	hdr := a.sp.GetU64(block)
+	if hdr>>32 != blockMagic {
+		panic(fmt.Sprintf("alloc: Free(%d): bad block header %#x", off, hdr))
+	}
+	c := int(hdr & 0xff)
+	if c < 0 || c >= NumClasses {
+		panic(fmt.Sprintf("alloc: Free(%d): bad class %d", off, c))
+	}
+	headOff := uint64(offFreeHeads + 8*c)
+	a.sp.PutU64(block, 0) // clear header so double frees are caught
+	a.sp.PutU64(block+8, a.sp.GetU64(headOff))
+	a.sp.PutU64(headOff, block)
+	a.sp.PutU64(offAllocBytes, a.sp.GetU64(offAllocBytes)-classSize(c))
+	a.sp.PutU64(offAllocCount, a.sp.GetU64(offAllocCount)-1)
+}
+
+// UsableSize returns the payload capacity of the block at payload offset off.
+func (a *Allocator) UsableSize(off uint64) uint64 {
+	hdr := a.sp.GetU64(off - 8)
+	if hdr>>32 != blockMagic {
+		panic(fmt.Sprintf("alloc: UsableSize(%d): bad block header %#x", off, hdr))
+	}
+	return classSize(int(hdr&0xff)) - 8
+}
+
+// SetRoot stores a user root pointer (i in [0, NumRoots)).
+func (a *Allocator) SetRoot(i int, v uint64) {
+	if i < 0 || i >= NumRoots {
+		panic("alloc: root index out of range")
+	}
+	a.sp.PutU64(uint64(offRoots+8*i), v)
+}
+
+// Root loads a user root pointer.
+func (a *Allocator) Root(i int) uint64 {
+	if i < 0 || i >= NumRoots {
+		panic("alloc: root index out of range")
+	}
+	return a.sp.GetU64(uint64(offRoots + 8*i))
+}
+
+// Used returns the arena's used prefix length (header + all slabs ever
+// allocated). Cloning or flushing [0, Used()) captures the entire arena
+// state, allocator included.
+func (a *Allocator) Used() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sp.GetU64(offBump)
+}
+
+// LiveBytes returns the total size of currently allocated blocks, used by
+// the storage-footprint experiment (paper Fig. 10).
+func (a *Allocator) LiveBytes() uint64 { return a.sp.GetU64(offAllocBytes) }
+
+// LiveCount returns the number of currently allocated blocks.
+func (a *Allocator) LiveCount() uint64 { return a.sp.GetU64(offAllocCount) }
+
+// FlushAll persists the entire used prefix of the arena — the paper's
+// "iterate over all allocated memory regions and flush them to PMEM",
+// executed at the end of a checkpoint. A no-op on DRAM spaces.
+func (a *Allocator) FlushAll() {
+	used := a.Used()
+	a.sp.Persist(0, used)
+}
+
+// CloneTo copies the arena (allocator state and all blocks) into dst, which
+// must be at least Used() bytes. This implements the paper's "create a copy
+// of the allocator state" — shadow-copy creation at checkpoint time and the
+// PMEM→DRAM rebuild at recovery are both CloneTo calls.
+func (a *Allocator) CloneTo(dst space.Space) (*Allocator, error) {
+	a.mu.Lock()
+	used := a.sp.GetU64(offBump)
+	if dst.Size() < used {
+		a.mu.Unlock()
+		return nil, fmt.Errorf("alloc: clone destination too small (%d < %d)", dst.Size(), used)
+	}
+	space.Copy(dst, 0, a.sp, 0, used)
+	a.mu.Unlock()
+	// The destination header records the source's formatted size; fix it up
+	// to the destination's actual capacity so Open and bump checks agree.
+	dst.PutU64(offSize, dst.Size())
+	return &Allocator{sp: dst}, nil
+}

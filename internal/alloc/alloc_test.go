@@ -1,0 +1,331 @@
+package alloc
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"dstore/internal/pmem"
+	"dstore/internal/space"
+)
+
+func newArena(t *testing.T, size uint64) *Allocator {
+	t.Helper()
+	return Format(space.NewDRAM(size))
+}
+
+func TestClassFor(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		want int
+	}{
+		{1, 0},
+		{56, 0},
+		{57, 1}, // 57+8 > 64
+		{120, 1},
+		{121, 2},
+		{1<<20 - 8, 14},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.want {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	if classFor(1<<26) != -1 {
+		t.Error("oversize alloc should have no class")
+	}
+}
+
+func TestAllocZeroesAndSeparates(t *testing.T) {
+	a := newArena(t, 1<<20)
+	o1, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1 == o2 {
+		t.Fatal("two allocations share an offset")
+	}
+	for _, b := range a.Space().Slice(o1, 100) {
+		if b != 0 {
+			t.Fatal("allocation not zeroed")
+		}
+	}
+	a.Space().Write(o1, []byte("xxxx"))
+	if string(a.Space().Slice(o2, 4)) == "xxxx" {
+		t.Fatal("allocations overlap")
+	}
+}
+
+func TestFreeReuses(t *testing.T) {
+	a := newArena(t, 1<<20)
+	o1, _ := a.Alloc(100)
+	a.Free(o1)
+	o2, _ := a.Alloc(100)
+	if o1 != o2 {
+		t.Fatalf("free block not reused: %d then %d", o1, o2)
+	}
+}
+
+func TestFreeDifferentClassesDoNotMix(t *testing.T) {
+	a := newArena(t, 1<<20)
+	small, _ := a.Alloc(10)
+	a.Free(small)
+	big, _ := a.Alloc(1000)
+	if big == small {
+		t.Fatal("1000-byte alloc reused a 64-byte block")
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	a := newArena(t, 1<<20)
+	if a.LiveBytes() != 0 || a.LiveCount() != 0 {
+		t.Fatal("fresh arena not empty")
+	}
+	o1, _ := a.Alloc(100) // class 1 => 128 bytes
+	o2, _ := a.Alloc(10)  // class 0 => 64 bytes
+	if a.LiveBytes() != 192 || a.LiveCount() != 2 {
+		t.Fatalf("live = %d bytes / %d blocks", a.LiveBytes(), a.LiveCount())
+	}
+	a.Free(o1)
+	a.Free(o2)
+	if a.LiveBytes() != 0 || a.LiveCount() != 0 {
+		t.Fatalf("after frees live = %d bytes / %d blocks", a.LiveBytes(), a.LiveCount())
+	}
+}
+
+func TestUsableSize(t *testing.T) {
+	a := newArena(t, 1<<20)
+	o, _ := a.Alloc(100)
+	if got := a.UsableSize(o); got != 120 {
+		t.Fatalf("UsableSize = %d, want 120", got)
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	a := newArena(t, HeaderSize+128)
+	if _, err := a.Alloc(56); err != nil {
+		t.Fatalf("first alloc failed: %v", err)
+	}
+	if _, err := a.Alloc(56); err != nil {
+		t.Fatalf("second alloc failed: %v", err)
+	}
+	if _, err := a.Alloc(56); err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a := newArena(t, 1<<20)
+	o, _ := a.Alloc(100)
+	a.Free(o)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	a.Free(o)
+}
+
+func TestRoots(t *testing.T) {
+	a := newArena(t, 1<<20)
+	a.SetRoot(0, 12345)
+	a.SetRoot(NumRoots-1, 999)
+	if a.Root(0) != 12345 || a.Root(NumRoots-1) != 999 {
+		t.Fatal("root round trip failed")
+	}
+}
+
+func TestOpenRejectsUnformatted(t *testing.T) {
+	if _, err := Open(space.NewDRAM(1 << 16)); err == nil {
+		t.Fatal("Open accepted an unformatted space")
+	}
+}
+
+func TestOpenAfterFormat(t *testing.T) {
+	sp := space.NewDRAM(1 << 16)
+	a := Format(sp)
+	o, _ := a.Alloc(100)
+	a.Space().Write(o, []byte("persist me"))
+	a.SetRoot(0, o)
+
+	b, err := Open(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(b.Space().Slice(b.Root(0), 10)); got != "persist me" {
+		t.Fatalf("reopened arena lost data: %q", got)
+	}
+}
+
+func TestCloneToPreservesEverything(t *testing.T) {
+	src := Format(space.NewDRAM(1 << 18))
+	offs := make([]uint64, 0, 50)
+	for i := 0; i < 50; i++ {
+		o, err := src.Alloc(uint64(10 + i*7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src.Space().Write(o, []byte{byte(i), byte(i + 1)})
+		offs = append(offs, o)
+	}
+	src.Free(offs[10])
+	src.SetRoot(0, offs[0])
+
+	dst := space.NewDRAM(1 << 18)
+	clone, err := src.CloneTo(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clone.Root(0) != offs[0] {
+		t.Fatal("clone lost root")
+	}
+	for i, o := range offs {
+		if i == 10 {
+			continue
+		}
+		got := clone.Space().Slice(o, 2)
+		if got[0] != byte(i) || got[1] != byte(i+1) {
+			t.Fatalf("clone block %d corrupted", i)
+		}
+	}
+	// Allocations in the clone must not disturb the source.
+	if _, err := clone.Alloc(100); err != nil {
+		t.Fatal(err)
+	}
+	if src.LiveCount() != 49 {
+		t.Fatalf("source live count changed: %d", src.LiveCount())
+	}
+	// The freed block must be reusable in the clone too.
+	o, _ := clone.Alloc(10 + 10*7)
+	if o != offs[10] {
+		t.Logf("clone reused %d for freed block %d (ok if different class)", o, offs[10])
+	}
+}
+
+func TestCloneToPMEMAndBack(t *testing.T) {
+	// DRAM -> PMEM -> DRAM round trip: the recovery path.
+	src := Format(space.NewDRAM(1 << 16))
+	o, _ := src.Alloc(200)
+	src.Space().Write(o, []byte("round trip"))
+	src.SetRoot(1, o)
+
+	dev := pmem.New(pmem.Config{Size: 1 << 16, TrackPersistence: true})
+	pm := space.NewPMEM(dev, 0, 1<<16)
+	shadow, err := src.CloneTo(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow.FlushAll()
+	dev.Crash(pmem.CrashDropDirty, 1)
+
+	reopened, err := Open(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := space.NewDRAM(1 << 16)
+	vol, err := reopened.CloneTo(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(vol.Space().Slice(vol.Root(1), 10)); got != "round trip" {
+		t.Fatalf("PMEM round trip lost data: %q", got)
+	}
+}
+
+func TestFlushAllMakesArenaDurable(t *testing.T) {
+	dev := pmem.New(pmem.Config{Size: 1 << 16, TrackPersistence: true})
+	pm := space.NewPMEM(dev, 0, 1<<16)
+	a := Format(pm)
+	o, _ := a.Alloc(100)
+	a.Space().Write(o, []byte("durable"))
+	a.SetRoot(0, o)
+	a.FlushAll()
+	dev.Crash(pmem.CrashDropDirty, 7)
+	b, err := Open(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(b.Space().Slice(b.Root(0), 7)); got != "durable" {
+		t.Fatalf("arena lost data after crash: %q", got)
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	a := newArena(t, 1<<22)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			mine := make([]uint64, 0, 64)
+			for i := 0; i < 500; i++ {
+				if len(mine) > 0 && rng.Intn(2) == 0 {
+					k := rng.Intn(len(mine))
+					a.Free(mine[k])
+					mine = append(mine[:k], mine[k+1:]...)
+				} else {
+					o, err := a.Alloc(uint64(1 + rng.Intn(500)))
+					if err != nil {
+						continue
+					}
+					a.Space().PutU64(o, uint64(g)<<32|uint64(i))
+					mine = append(mine, o)
+				}
+			}
+			for _, o := range mine {
+				if a.Space().GetU64(o)>>32 != uint64(g) {
+					t.Errorf("goroutine %d: block overwritten by another goroutine", g)
+					return
+				}
+				a.Free(o)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if a.LiveCount() != 0 {
+		t.Fatalf("leaked %d blocks", a.LiveCount())
+	}
+}
+
+// Property: any interleaving of allocs and frees never hands out overlapping
+// live blocks.
+func TestQuickNoOverlap(t *testing.T) {
+	type interval struct{ lo, hi uint64 }
+	f := func(sizes []uint16, frees []uint8) bool {
+		a := Format(space.NewDRAM(1 << 22))
+		live := map[uint64]interval{}
+		fi := 0
+		for _, s := range sizes {
+			sz := uint64(s%2000) + 1
+			o, err := a.Alloc(sz)
+			if err != nil {
+				continue
+			}
+			iv := interval{o, o + sz}
+			for _, other := range live {
+				if iv.lo < other.hi && other.lo < iv.hi {
+					return false
+				}
+			}
+			live[o] = iv
+			if fi < len(frees) && len(live) > 0 && frees[fi]%3 == 0 {
+				for k := range live {
+					a.Free(k)
+					delete(live, k)
+					break
+				}
+			}
+			fi++
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,357 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§5). Each experiment has a runner returning a typed result and
+// a printer emitting rows/series in the paper's units; cmd/dstore-bench is
+// the CLI and bench_test.go exposes testing.B entry points.
+//
+// Absolute numbers come from the simulated devices (calibrated to the
+// paper's testbed: Table 3 latencies, Optane flush costs) and are not
+// expected to match the paper's hardware; the comparisons' *shapes* are the
+// reproduction target. See EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+
+	"dstore"
+	"dstore/internal/baselines/btreestore"
+	"dstore/internal/baselines/inplacestore"
+	"dstore/internal/baselines/lsmstore"
+	"dstore/internal/hist"
+	"dstore/internal/kvapi"
+	"dstore/internal/latency"
+	"dstore/internal/ycsb"
+)
+
+// Options scales and tunes an experiment run. Zero values choose defaults
+// sized for a laptop-scale reproduction (the paper's 2 M-object, 28-core,
+// 60-second runs shrink accordingly; pass bigger values to approach them).
+type Options struct {
+	// Threads is the client count ("full subscription" in the paper is one
+	// per core). Default GOMAXPROCS.
+	Threads int
+	// Duration of each measured run. Default 3s.
+	Duration time.Duration
+	// SampleInterval for throughput/bandwidth series (Fig. 7). Default 1s.
+	SampleInterval time.Duration
+	// Records is the live key-space size for YCSB runs. Default 10000.
+	Records int
+	// ValueBytes is the object size. Default 4096 (the paper's standard).
+	ValueBytes int
+	// Objects is the load size for the recovery/footprint experiments
+	// (paper: 2M). Default 20000.
+	Objects int
+	// Latency enables calibrated device latency injection. Default true
+	// (set NoLatency to disable).
+	NoLatency bool
+	// Seed drives workload generation.
+	Seed int64
+}
+
+func (o *Options) setDefaults() {
+	if o.Threads == 0 {
+		o.Threads = runtime.GOMAXPROCS(0)
+	}
+	if o.Duration == 0 {
+		o.Duration = 3 * time.Second
+	}
+	if o.SampleInterval == 0 {
+		o.SampleInterval = time.Second
+	}
+	if o.Records == 0 {
+		o.Records = 10000
+	}
+	if o.ValueBytes == 0 {
+		o.ValueBytes = 4096
+	}
+	if o.Objects == 0 {
+		o.Objects = 20000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// withLatency runs f with device latency injection set per opts, restoring
+// the previous state after.
+func withLatency(o Options, f func()) {
+	was := latency.Enabled()
+	if o.NoLatency {
+		latency.Disable()
+	} else {
+		latency.Enable()
+	}
+	defer func() {
+		if was {
+			latency.Enable()
+		} else {
+			latency.Disable()
+		}
+	}()
+	f()
+}
+
+// ------------------------------------------------------- system factories
+
+// dstoreConfig sizes a DStore for the experiment scale.
+func dstoreConfig(o Options, mode dstore.Mode, disableOE, disableCkpt, track bool) dstore.Config {
+	blocksPerObj := uint64((o.ValueBytes + 4095) / 4096)
+	if blocksPerObj == 0 {
+		blocksPerObj = 1
+	}
+	maxObjects := uint64(o.Records + o.Objects + 1024)
+	logBytes := uint64(4 << 20)
+	if disableCkpt {
+		// Fig. 1's no-checkpoint series needs the whole run in one log;
+		// size it to the run length.
+		logBytes = uint64(16<<20) + uint64(o.Duration.Seconds()*float64(8<<20))
+	}
+	return dstore.Config{
+		Mode:               mode,
+		DisableOE:          disableOE,
+		DisableCheckpoints: disableCkpt,
+		Blocks:             maxObjects*blocksPerObj + 1024,
+		MaxObjects:         maxObjects,
+		MaxBlocksPerObject: blocksPerObj * 4,
+		LogBytes:           logBytes,
+		TrackPersistence:   track,
+		DeviceLatency:      true,
+		Breakdown:          true,
+	}
+}
+
+func newDStore(o Options, mode dstore.Mode, disableOE, disableCkpt, track bool) (*dstore.KV, error) {
+	cfg := dstoreConfig(o, mode, disableOE, disableCkpt, track)
+	s, err := dstore.Format(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return dstore.NewKV(s, cfg), nil
+}
+
+func newLSM(o Options, disableCompaction, track bool) (*lsmstore.Store, error) {
+	return lsmstore.New(lsmstore.Config{
+		Blocks:            uint64(2*(o.Records+o.Objects) + 1024),
+		WALBytes:          32 << 20,
+		DisableCompaction: disableCompaction,
+		DeviceLatency:     true,
+		TrackPersistence:  track,
+	})
+}
+
+func newBT(o Options, disableCkpt, track bool) (*btreestore.Store, error) {
+	return btreestore.New(btreestore.Config{
+		Blocks:             uint64(2*(o.Records+o.Objects) + 1024),
+		JournalBytes:       32 << 20,
+		CacheBytes:         uint64(o.Records) * uint64(o.ValueBytes) / 2,
+		DisableCheckpoints: disableCkpt,
+		DeviceLatency:      true,
+		TrackPersistence:   track,
+	})
+}
+
+func newIP(o Options, track bool) (*inplacestore.Store, error) {
+	return inplacestore.New(inplacestore.Config{
+		Cells:            uint64(2*(o.Records+o.Objects) + 1024),
+		DeviceLatency:    true,
+		TrackPersistence: track,
+	})
+}
+
+// ------------------------------------------------------------ run engine
+
+// RunResult aggregates one measured workload run on one system.
+type RunResult struct {
+	System        string
+	Workload      string
+	Read, Update  hist.Summary
+	ReadH, UpdH   *hist.H
+	Throughput    hist.Series // ops per second, one sample per interval
+	SSDBandwidth  hist.Series // MB/s
+	PMEMBandwidth hist.Series // MB/s
+	TotalOps      uint64
+}
+
+// preload fills the key space so reads always hit.
+func preload(s kvapi.Store, o Options) error {
+	var wg sync.WaitGroup
+	errCh := make(chan error, o.Threads)
+	per := (o.Records + o.Threads - 1) / o.Threads
+	for t := 0; t < o.Threads; t++ {
+		lo, hi := t*per, (t+1)*per
+		if hi > o.Records {
+			hi = o.Records
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi, t int) {
+			defer wg.Done()
+			val := make([]byte, o.ValueBytes)
+			for i := range val {
+				val[i] = byte(i + t)
+			}
+			for i := lo; i < hi; i++ {
+				if err := s.Put(ycsb.Key(i), val); err != nil {
+					errCh <- fmt.Errorf("preload %s: %w", s.Label(), err)
+					return
+				}
+			}
+		}(lo, hi, t)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// runWorkload preloads the key space and drives w against s with
+// o.Threads clients for o.Duration, sampling throughput and device
+// bandwidth each interval.
+func runWorkload(s kvapi.Store, w ycsb.Workload, o Options) (RunResult, error) {
+	if err := preload(s, o); err != nil {
+		return RunResult{}, err
+	}
+
+	res := RunResult{
+		System:   s.Label(),
+		Workload: w.Name,
+		ReadH:    &hist.H{},
+		UpdH:     &hist.H{},
+	}
+	var ops atomic.Uint64
+	stop := make(chan struct{})
+	var samplerWg sync.WaitGroup
+
+	ios, hasIO := s.(kvapi.IOStatsReporter)
+	samplerWg.Add(1)
+	go func() {
+		defer samplerWg.Done()
+		res.Throughput.Interval = o.SampleInterval
+		res.SSDBandwidth.Interval = o.SampleInterval
+		res.PMEMBandwidth.Interval = o.SampleInterval
+		lastOps := uint64(0)
+		var lastPM, lastSSD uint64
+		if hasIO {
+			lastPM, lastSSD = ios.IOBytes()
+		}
+		tick := time.NewTicker(o.SampleInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				cur := ops.Load()
+				res.Throughput.Values = append(res.Throughput.Values,
+					float64(cur-lastOps)/o.SampleInterval.Seconds())
+				lastOps = cur
+				if hasIO {
+					pm, ssdB := ios.IOBytes()
+					res.PMEMBandwidth.Values = append(res.PMEMBandwidth.Values,
+						float64(pm-lastPM)/o.SampleInterval.Seconds()/1e6)
+					res.SSDBandwidth.Values = append(res.SSDBandwidth.Values,
+						float64(ssdB-lastSSD)/o.SampleInterval.Seconds()/1e6)
+					lastPM, lastSSD = pm, ssdB
+				}
+			}
+		}
+	}()
+
+	deadline := time.Now().Add(o.Duration)
+	var wg sync.WaitGroup
+	errCh := make(chan error, o.Threads)
+	for t := 0; t < o.Threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			g := ycsb.NewGenerator(w, o.Seed+int64(t)*7919)
+			var buf []byte
+			for time.Now().Before(deadline) {
+				op, key := g.Next()
+				start := time.Now()
+				switch op {
+				case ycsb.OpRead:
+					var err error
+					buf, err = s.Get(key, buf[:0])
+					if err != nil && err != kvapi.ErrNotFound {
+						errCh <- err
+						return
+					}
+					res.ReadH.RecordSince(start)
+				case ycsb.OpUpdate:
+					if err := s.Put(key, g.Value()); err != nil {
+						errCh <- err
+						return
+					}
+					res.UpdH.RecordSince(start)
+				}
+				ops.Add(1)
+			}
+		}(t)
+	}
+	wg.Wait()
+	close(stop)
+	samplerWg.Wait()
+	select {
+	case err := <-errCh:
+		return res, err
+	default:
+	}
+	res.Read = res.ReadH.Summarize()
+	res.Update = res.UpdH.Summarize()
+	res.TotalOps = ops.Load()
+	return res, nil
+}
+
+// ------------------------------------------------------------- rendering
+
+// Table is a printable experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Print renders the table.
+func (t Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for i, h := range t.Header {
+		if i > 0 {
+			fmt.Fprint(tw, "\t")
+		}
+		fmt.Fprint(tw, h)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i > 0 {
+				fmt.Fprint(tw, "\t")
+			}
+			fmt.Fprint(tw, c)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+func us(ns uint64) string   { return fmt.Sprintf("%.1f", float64(ns)/1000) }
+func usF(ns float64) string { return fmt.Sprintf("%.1f", ns/1000) }
+func kops(v float64) string { return fmt.Sprintf("%.1f", v/1000) }
+func mb(v float64) string   { return fmt.Sprintf("%.1f", v) }
+func ms(ns int64) string    { return fmt.Sprintf("%.1f", float64(ns)/1e6) }
+func mib(b uint64) string   { return fmt.Sprintf("%.1f", float64(b)/(1<<20)) }

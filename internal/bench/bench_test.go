@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"dstore"
+	"dstore/internal/ycsb"
+)
+
+// tiny returns options scaled for fast CI runs (no injected latency).
+func tiny() Options {
+	return Options{
+		Threads:        2,
+		Duration:       150 * time.Millisecond,
+		SampleInterval: 50 * time.Millisecond,
+		Records:        200,
+		ValueBytes:     1024,
+		Objects:        300,
+		NoLatency:      true,
+		Seed:           3,
+	}
+}
+
+func TestRunWorkloadProducesData(t *testing.T) {
+	o := tiny()
+	o.setDefaults()
+	kv, err := newDStore(o, dstore.ModeDIPPER, false, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	var res RunResult
+	withLatency(o, func() {
+		res, err = runWorkload(kv, ycsb.A(o.Records, o.ValueBytes), o)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOps == 0 || res.Read.Count == 0 || res.Update.Count == 0 {
+		t.Fatalf("no ops recorded: %+v", res)
+	}
+	if len(res.Throughput.Values) == 0 {
+		t.Fatal("no throughput samples")
+	}
+	if res.System != "DStore" || res.Workload != "A" {
+		t.Fatalf("labels: %q %q", res.System, res.Workload)
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, id := range ExperimentIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Experiments[id](tiny(), &buf); err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			out := buf.String()
+			if len(out) < 50 {
+				t.Fatalf("%s produced almost no output: %q", id, out)
+			}
+			if !strings.Contains(out, "==") {
+				t.Fatalf("%s missing table header: %q", id, out[:50])
+			}
+		})
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	if len(ExperimentIDs) != 11 {
+		t.Fatalf("expected 11 experiments (every table and figure + the YCSB extension), got %d", len(ExperimentIDs))
+	}
+	for _, id := range ExperimentIDs {
+		if Experiments[id] == nil {
+			t.Fatalf("experiment %s not registered", id)
+		}
+	}
+}
+
+func TestTablePrint(t *testing.T) {
+	var buf bytes.Buffer
+	tab := Table{
+		Title:  "demo",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"n"},
+	}
+	tab.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "a", "1", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestPreloadAllKeysReadable(t *testing.T) {
+	o := tiny()
+	o.setDefaults()
+	kv, err := newDStore(o, dstore.ModeDIPPER, false, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	if err := preload(kv, o); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < o.Records; i++ {
+		if _, err := kv.Get(ycsb.Key(i), nil); err != nil {
+			t.Fatalf("key %d unreadable after preload: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,450 @@
+// Package btree implements the object index of DStore (paper §4.2: "For
+// maintaining an index of objects in the system, we utilize a btree").
+//
+// The tree is a B+ tree that lives entirely inside an allocator-managed
+// Space: nodes and key bytes are arena allocations and every link is a
+// relative pointer. Exactly the same code therefore operates on the DRAM
+// frontend copy and the PMEM shadow copy (DIPPER's same-code property, paper
+// §3.5), and cloning the arena clones the tree.
+//
+// The tree maps variable-length object names to a u64 value (DStore stores
+// the metadata-zone slot index). It is not internally synchronized: DStore
+// serializes structural access with a short-critical-section lock (cf. paper
+// Table 3, where the B-tree step costs ~300 ns), and its checkpoint replay
+// runs on a private shadow copy.
+//
+// Deletion removes leaf entries in place without rebalancing; underfull (or
+// empty) leaves are absorbed by later inserts. This keeps replay code
+// identical and simple; the paper does not depend on delete rebalancing.
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"dstore/internal/alloc"
+	"dstore/internal/space"
+)
+
+const (
+	// Order is the internal-node fanout (children per node).
+	Order = 16
+	// LeafCap is the number of entries per leaf.
+	LeafCap = 16
+
+	flagLeaf = 1
+
+	nodeFlags = 0 // u8
+	nodeNKeys = 2 // u16
+	nodeBody  = 8
+
+	// Internal node: keys[Order-1] u64 keyPtrs, then children[Order] u64.
+	intKeys     = nodeBody
+	intChildren = nodeBody + 8*(Order-1)
+	intSize     = intChildren + 8*Order
+
+	// Leaf node: entries (keyPtr u64, val u64) x LeafCap, then next u64.
+	leafEntries = nodeBody
+	leafNext    = nodeBody + 16*LeafCap
+	leafSize    = leafNext + 8
+
+	// Tree header block.
+	hdrRoot  = 0
+	hdrCount = 8
+	hdrSize  = 16
+)
+
+// Tree is a B+ tree handle. The zero value is invalid; use New or Open.
+type Tree struct {
+	al  *alloc.Allocator
+	sp  space.Space
+	hdr uint64
+}
+
+// New allocates an empty tree in al's arena and returns it along with the
+// header offset to persist (e.g. in an allocator root slot).
+func New(al *alloc.Allocator) (*Tree, uint64, error) {
+	hdr, err := al.Alloc(hdrSize)
+	if err != nil {
+		return nil, 0, err
+	}
+	leaf, err := newNode(al, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	sp := al.Space()
+	sp.PutU64(hdr+hdrRoot, leaf)
+	sp.PutU64(hdr+hdrCount, 0)
+	return &Tree{al: al, sp: sp, hdr: hdr}, hdr, nil
+}
+
+// Open attaches to an existing tree given its header offset.
+func Open(al *alloc.Allocator, hdr uint64) *Tree {
+	return &Tree{al: al, sp: al.Space(), hdr: hdr}
+}
+
+func newNode(al *alloc.Allocator, leaf bool) (uint64, error) {
+	size := uint64(intSize)
+	if leaf {
+		size = leafSize
+	}
+	off, err := al.Alloc(size)
+	if err != nil {
+		return 0, err
+	}
+	if leaf {
+		al.Space().PutU8(off+nodeFlags, flagLeaf)
+	}
+	return off, nil
+}
+
+func (t *Tree) isLeaf(n uint64) bool { return t.sp.GetU8(n+nodeFlags)&flagLeaf != 0 }
+func (t *Tree) nkeys(n uint64) int   { return int(t.sp.GetU16(n + nodeNKeys)) }
+func (t *Tree) setNKeys(n uint64, k int) {
+	t.sp.PutU16(n+nodeNKeys, uint16(k))
+}
+
+// Key storage: length-prefixed byte blocks.
+func (t *Tree) allocKey(k []byte) (uint64, error) {
+	off, err := t.al.Alloc(2 + uint64(len(k)))
+	if err != nil {
+		return 0, err
+	}
+	t.sp.PutU16(off, uint16(len(k)))
+	t.sp.Write(off+2, k)
+	return off, nil
+}
+
+func (t *Tree) keyBytes(keyPtr uint64) []byte {
+	n := uint64(t.sp.GetU16(keyPtr))
+	return t.sp.Slice(keyPtr+2, n)
+}
+
+func (t *Tree) cmp(keyPtr uint64, k []byte) int {
+	return bytes.Compare(t.keyBytes(keyPtr), k)
+}
+
+// Leaf entry accessors.
+func (t *Tree) leafKeyPtr(n uint64, i int) uint64 {
+	return t.sp.GetU64(n + leafEntries + uint64(16*i))
+}
+func (t *Tree) leafVal(n uint64, i int) uint64 {
+	return t.sp.GetU64(n + leafEntries + uint64(16*i) + 8)
+}
+func (t *Tree) setLeafEntry(n uint64, i int, keyPtr, val uint64) {
+	t.sp.PutU64(n+leafEntries+uint64(16*i), keyPtr)
+	t.sp.PutU64(n+leafEntries+uint64(16*i)+8, val)
+}
+func (t *Tree) leafNextPtr(n uint64) uint64 { return t.sp.GetU64(n + leafNext) }
+func (t *Tree) setLeafNext(n, next uint64)  { t.sp.PutU64(n+leafNext, next) }
+
+// Internal node accessors.
+func (t *Tree) intKeyPtr(n uint64, i int) uint64 {
+	return t.sp.GetU64(n + intKeys + uint64(8*i))
+}
+func (t *Tree) setIntKeyPtr(n uint64, i int, p uint64) {
+	t.sp.PutU64(n+intKeys+uint64(8*i), p)
+}
+func (t *Tree) child(n uint64, i int) uint64 {
+	return t.sp.GetU64(n + intChildren + uint64(8*i))
+}
+func (t *Tree) setChild(n uint64, i int, c uint64) {
+	t.sp.PutU64(n+intChildren+uint64(8*i), c)
+}
+
+// Len returns the number of live keys.
+func (t *Tree) Len() uint64 { return t.sp.GetU64(t.hdr + hdrCount) }
+
+func (t *Tree) root() uint64     { return t.sp.GetU64(t.hdr + hdrRoot) }
+func (t *Tree) setRoot(r uint64) { t.sp.PutU64(t.hdr+hdrRoot, r) }
+func (t *Tree) bumpCount(d int64) {
+	t.sp.PutU64(t.hdr+hdrCount, uint64(int64(t.sp.GetU64(t.hdr+hdrCount))+d))
+}
+
+// Get returns the value for key, if present.
+func (t *Tree) Get(key []byte) (uint64, bool) {
+	n := t.root()
+	for !t.isLeaf(n) {
+		n = t.child(n, t.childIndex(n, key))
+	}
+	k := t.nkeys(n)
+	for i := 0; i < k; i++ {
+		if t.cmp(t.leafKeyPtr(n, i), key) == 0 {
+			return t.leafVal(n, i), true
+		}
+	}
+	return 0, false
+}
+
+// childIndex returns the index of the child to descend into for key.
+func (t *Tree) childIndex(n uint64, key []byte) int {
+	k := t.nkeys(n)
+	lo, hi := 0, k
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.cmp(t.intKeyPtr(n, mid), key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Insert sets key to val, returning the previous value if the key existed.
+func (t *Tree) Insert(key []byte, val uint64) (old uint64, replaced bool, err error) {
+	promotedKey, newChild, old, replaced, err := t.insert(t.root(), key, val)
+	if err != nil {
+		return 0, false, err
+	}
+	if newChild != 0 {
+		// Root split: grow the tree by one level.
+		nr, err := newNode(t.al, false)
+		if err != nil {
+			return 0, false, err
+		}
+		t.setNKeys(nr, 1)
+		t.setIntKeyPtr(nr, 0, promotedKey)
+		t.setChild(nr, 0, t.root())
+		t.setChild(nr, 1, newChild)
+		t.setRoot(nr)
+	}
+	if !replaced {
+		t.bumpCount(1)
+	}
+	return old, replaced, nil
+}
+
+func (t *Tree) insert(n uint64, key []byte, val uint64) (promoted, newNodeOff, old uint64, replaced bool, err error) {
+	if t.isLeaf(n) {
+		return t.insertLeaf(n, key, val)
+	}
+	ci := t.childIndex(n, key)
+	promoted, newChild, old, replaced, err := t.insert(t.child(n, ci), key, val)
+	if err != nil || newChild == 0 {
+		return 0, 0, old, replaced, err
+	}
+	// Insert (promoted, newChild) into this internal node at position ci.
+	k := t.nkeys(n)
+	if k < Order-1 {
+		for i := k; i > ci; i-- {
+			t.setIntKeyPtr(n, i, t.intKeyPtr(n, i-1))
+			t.setChild(n, i+1, t.child(n, i))
+		}
+		t.setIntKeyPtr(n, ci, promoted)
+		t.setChild(n, ci+1, newChild)
+		t.setNKeys(n, k+1)
+		return 0, 0, old, replaced, nil
+	}
+	// Split the internal node.
+	keys := make([]uint64, 0, Order)
+	children := make([]uint64, 0, Order+1)
+	for i := 0; i < k; i++ {
+		keys = append(keys, t.intKeyPtr(n, i))
+	}
+	for i := 0; i <= k; i++ {
+		children = append(children, t.child(n, i))
+	}
+	keys = append(keys[:ci], append([]uint64{promoted}, keys[ci:]...)...)
+	children = append(children[:ci+1], append([]uint64{newChild}, children[ci+1:]...)...)
+
+	mid := len(keys) / 2
+	upKey := keys[mid]
+	right, err := newNode(t.al, false)
+	if err != nil {
+		return 0, 0, old, replaced, err
+	}
+	// Left keeps keys[:mid], children[:mid+1].
+	t.setNKeys(n, mid)
+	for i := 0; i < mid; i++ {
+		t.setIntKeyPtr(n, i, keys[i])
+	}
+	for i := 0; i <= mid; i++ {
+		t.setChild(n, i, children[i])
+	}
+	// Right gets keys[mid+1:], children[mid+1:].
+	rk := len(keys) - mid - 1
+	t.setNKeys(right, rk)
+	for i := 0; i < rk; i++ {
+		t.setIntKeyPtr(right, i, keys[mid+1+i])
+	}
+	for i := 0; i <= rk; i++ {
+		t.setChild(right, i, children[mid+1+i])
+	}
+	return upKey, right, old, replaced, nil
+}
+
+func (t *Tree) insertLeaf(n uint64, key []byte, val uint64) (promoted, newNodeOff, old uint64, replaced bool, err error) {
+	k := t.nkeys(n)
+	pos := 0
+	for pos < k {
+		c := t.cmp(t.leafKeyPtr(n, pos), key)
+		if c == 0 {
+			old := t.leafVal(n, pos)
+			t.setLeafEntry(n, pos, t.leafKeyPtr(n, pos), val)
+			return 0, 0, old, true, nil
+		}
+		if c > 0 {
+			break
+		}
+		pos++
+	}
+	keyPtr, err := t.allocKey(key)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	if k < LeafCap {
+		for i := k; i > pos; i-- {
+			t.setLeafEntry(n, i, t.leafKeyPtr(n, i-1), t.leafVal(n, i-1))
+		}
+		t.setLeafEntry(n, pos, keyPtr, val)
+		t.setNKeys(n, k+1)
+		return 0, 0, 0, false, nil
+	}
+	// Split the leaf.
+	type ent struct{ kp, v uint64 }
+	all := make([]ent, 0, LeafCap+1)
+	for i := 0; i < k; i++ {
+		all = append(all, ent{t.leafKeyPtr(n, i), t.leafVal(n, i)})
+	}
+	all = append(all[:pos], append([]ent{{keyPtr, val}}, all[pos:]...)...)
+	mid := len(all) / 2
+	right, err := newNode(t.al, true)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	t.setNKeys(n, mid)
+	for i := 0; i < mid; i++ {
+		t.setLeafEntry(n, i, all[i].kp, all[i].v)
+	}
+	rk := len(all) - mid
+	t.setNKeys(right, rk)
+	for i := 0; i < rk; i++ {
+		t.setLeafEntry(right, i, all[mid+i].kp, all[mid+i].v)
+	}
+	t.setLeafNext(right, t.leafNextPtr(n))
+	t.setLeafNext(n, right)
+	// Promote a copy of the right node's first key (B+ tree separator keys
+	// are owned by internal nodes so leaf deletes never dangle them).
+	sep, err := t.allocKey(t.keyBytes(all[mid].kp))
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	return sep, right, 0, false, nil
+}
+
+// Delete removes key, returning its value. Leaf entries are removed without
+// rebalancing.
+func (t *Tree) Delete(key []byte) (uint64, bool) {
+	n := t.root()
+	for !t.isLeaf(n) {
+		n = t.child(n, t.childIndex(n, key))
+	}
+	k := t.nkeys(n)
+	for i := 0; i < k; i++ {
+		if t.cmp(t.leafKeyPtr(n, i), key) == 0 {
+			val := t.leafVal(n, i)
+			t.al.Free(t.leafKeyPtr(n, i))
+			for j := i; j < k-1; j++ {
+				t.setLeafEntry(n, j, t.leafKeyPtr(n, j+1), t.leafVal(n, j+1))
+			}
+			t.setNKeys(n, k-1)
+			t.bumpCount(-1)
+			return val, true
+		}
+	}
+	return 0, false
+}
+
+// Iterate calls fn for every (key, value) in ascending key order. fn's key
+// slice aliases arena memory; copy it to retain it. Iteration stops early if
+// fn returns a non-nil error, which Iterate returns.
+func (t *Tree) Iterate(fn func(key []byte, val uint64) error) error {
+	n := t.root()
+	for !t.isLeaf(n) {
+		n = t.child(n, 0)
+	}
+	return t.iterateLeaves(n, 0, nil, fn)
+}
+
+// IterateFrom calls fn for every (key, value) with key >= start, in
+// ascending order. Same aliasing and early-stop rules as Iterate.
+func (t *Tree) IterateFrom(start []byte, fn func(key []byte, val uint64) error) error {
+	n := t.root()
+	for !t.isLeaf(n) {
+		n = t.child(n, t.childIndex(n, start))
+	}
+	// Position within the leaf.
+	k := t.nkeys(n)
+	pos := 0
+	for pos < k && t.cmp(t.leafKeyPtr(n, pos), start) < 0 {
+		pos++
+	}
+	return t.iterateLeaves(n, pos, start, fn)
+}
+
+// iterateLeaves walks the leaf chain from (n, pos). start guards against
+// lazily-deleted leaves that may still hold smaller keys further down the
+// chain (deletion does not rebalance).
+func (t *Tree) iterateLeaves(n uint64, pos int, start []byte, fn func(key []byte, val uint64) error) error {
+	for n != 0 {
+		k := t.nkeys(n)
+		for i := pos; i < k; i++ {
+			key := t.keyBytes(t.leafKeyPtr(n, i))
+			if start != nil && bytes.Compare(key, start) < 0 {
+				continue
+			}
+			if err := fn(key, t.leafVal(n, i)); err != nil {
+				return err
+			}
+		}
+		n = t.leafNextPtr(n)
+		pos = 0
+	}
+	return nil
+}
+
+// Check validates structural invariants (ordering, fanout bounds, leaf links)
+// and returns an error describing the first violation. Used by tests and the
+// recovery verifier.
+func (t *Tree) Check() error {
+	var prev []byte
+	seen := uint64(0)
+	err := t.Iterate(func(key []byte, _ uint64) error {
+		if prev != nil && bytes.Compare(prev, key) >= 0 {
+			return fmt.Errorf("btree: keys out of order: %q !< %q", prev, key)
+		}
+		prev = append(prev[:0], key...)
+		seen++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if seen != t.Len() {
+		return fmt.Errorf("btree: count %d != iterated %d", t.Len(), seen)
+	}
+	return t.checkNode(t.root(), 0)
+}
+
+func (t *Tree) checkNode(n uint64, depth int) error {
+	if depth > 64 {
+		return fmt.Errorf("btree: depth exceeds 64 (cycle?)")
+	}
+	k := t.nkeys(n)
+	if t.isLeaf(n) {
+		if k > LeafCap {
+			return fmt.Errorf("btree: leaf overflow: %d", k)
+		}
+		return nil
+	}
+	if k < 1 || k > Order-1 {
+		return fmt.Errorf("btree: internal node fanout %d out of range", k)
+	}
+	for i := 0; i <= k; i++ {
+		if err := t.checkNode(t.child(n, i), depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

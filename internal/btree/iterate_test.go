@@ -1,0 +1,97 @@
+package btree
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestIterateFrom(t *testing.T) {
+	tr := newTree(t, 1<<22)
+	for i := 0; i < 300; i++ {
+		tr.Insert([]byte(fmt.Sprintf("key-%03d", i)), uint64(i))
+	}
+	var got []string
+	tr.IterateFrom([]byte("key-150"), func(k []byte, v uint64) error {
+		got = append(got, string(k))
+		return nil
+	})
+	if len(got) != 150 {
+		t.Fatalf("iterated %d keys from key-150", len(got))
+	}
+	if got[0] != "key-150" || got[len(got)-1] != "key-299" {
+		t.Fatalf("range ends: %s .. %s", got[0], got[len(got)-1])
+	}
+}
+
+func TestIterateFromBetweenKeys(t *testing.T) {
+	tr := newTree(t, 1<<20)
+	for _, k := range []string{"apple", "cherry", "mango"} {
+		tr.Insert([]byte(k), 1)
+	}
+	var got []string
+	tr.IterateFrom([]byte("banana"), func(k []byte, _ uint64) error {
+		got = append(got, string(k))
+		return nil
+	})
+	if len(got) != 2 || got[0] != "cherry" || got[1] != "mango" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestIterateFromPastEnd(t *testing.T) {
+	tr := newTree(t, 1<<20)
+	tr.Insert([]byte("a"), 1)
+	n := 0
+	tr.IterateFrom([]byte("zzz"), func([]byte, uint64) error {
+		n++
+		return nil
+	})
+	if n != 0 {
+		t.Fatalf("iterated %d past-end keys", n)
+	}
+}
+
+func TestIterateFromWithLazyDeletes(t *testing.T) {
+	// Deletion does not rebalance, so leaves can be sparse; the range scan
+	// must still start exactly at the bound.
+	tr := newTree(t, 1<<22)
+	for i := 0; i < 200; i++ {
+		tr.Insert([]byte(fmt.Sprintf("k%03d", i)), uint64(i))
+	}
+	for i := 0; i < 200; i++ {
+		if i%3 != 1 {
+			tr.Delete([]byte(fmt.Sprintf("k%03d", i)))
+		}
+	}
+	var got []string
+	tr.IterateFrom([]byte("k100"), func(k []byte, _ uint64) error {
+		got = append(got, string(k))
+		return nil
+	})
+	for _, k := range got {
+		if k < "k100" {
+			t.Fatalf("key %s below the range bound", k)
+		}
+	}
+	want := 0
+	for i := 100; i < 200; i++ {
+		if i%3 == 1 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("got %d keys, want %d", len(got), want)
+	}
+}
+
+func TestIterateFromEmptyTree(t *testing.T) {
+	tr := newTree(t, 1<<20)
+	n := 0
+	tr.IterateFrom([]byte("x"), func([]byte, uint64) error {
+		n++
+		return nil
+	})
+	if n != 0 {
+		t.Fatal("iterated an empty tree")
+	}
+}

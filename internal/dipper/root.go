@@ -1,0 +1,128 @@
+package dipper
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"dstore/internal/pmem"
+)
+
+// The root object (paper §3.5: "A root object, placed in a well known offset
+// in PMEM contains pointers to current and old copies of the shadow copies
+// as well as the current state of the checkpoint process").
+//
+// Atomic update technique: two 64-byte slots, each sealed by a CRC and a
+// monotonically increasing sequence number. A writer fills the slot not
+// holding the latest state and persists it; a reader takes the valid slot
+// with the highest sequence. A torn slot write fails its CRC and the
+// previous state remains in force, which gives the paper's "update ... in
+// the root object atomically and only upon successful completion".
+
+const (
+	rootMagic = 0xD1BBE5_0000_00D5
+
+	devMagicOff = 0
+	slot0Off    = pmem.LineSize
+	slot1Off    = 2 * pmem.LineSize
+	// RootBytes is the device space reserved for the root area.
+	RootBytes = 4 * pmem.LineSize
+
+	slotSize = 48 // payload + crc
+)
+
+// RootState is the durable control state of a DIPPER instance.
+type RootState struct {
+	// Seq increases on every root update.
+	Seq uint64
+	// ActiveLog is the index (0/1) of the log receiving appends.
+	ActiveLog uint8
+	// ShadowGen is the index (0/1) of the current consistent shadow arena.
+	ShadowGen uint8
+	// CkptInProgress is non-zero while a checkpoint replay is running; a
+	// crash with this set means recovery must redo the checkpoint.
+	CkptInProgress uint8
+	// ArchivedLog is the log being replayed when CkptInProgress is set.
+	ArchivedLog uint8
+	// ReplayEnd bounds the archived log's committed prefix for the redo.
+	ReplayEnd uint64
+	// LastCkptLSN records the highest LSN captured by the last completed
+	// checkpoint (informational; surfaced by the inspect tool).
+	LastCkptLSN uint64
+}
+
+func encodeRoot(st RootState) []byte {
+	b := make([]byte, slotSize)
+	binary.LittleEndian.PutUint64(b[0:], st.Seq)
+	b[8] = st.ActiveLog
+	b[9] = st.ShadowGen
+	b[10] = st.CkptInProgress
+	b[11] = st.ArchivedLog
+	binary.LittleEndian.PutUint64(b[16:], st.ReplayEnd)
+	binary.LittleEndian.PutUint64(b[24:], st.LastCkptLSN)
+	crc := crc32.ChecksumIEEE(b[:slotSize-8])
+	binary.LittleEndian.PutUint32(b[slotSize-8:], crc)
+	return b
+}
+
+func decodeRoot(b []byte) (RootState, bool) {
+	crc := binary.LittleEndian.Uint32(b[slotSize-8:])
+	if crc32.ChecksumIEEE(b[:slotSize-8]) != crc {
+		return RootState{}, false
+	}
+	return RootState{
+		Seq:            binary.LittleEndian.Uint64(b[0:]),
+		ActiveLog:      b[8],
+		ShadowGen:      b[9],
+		CkptInProgress: b[10],
+		ArchivedLog:    b[11],
+		ReplayEnd:      binary.LittleEndian.Uint64(b[16:]),
+		LastCkptLSN:    binary.LittleEndian.Uint64(b[24:]),
+	}, true
+}
+
+// writeRoot durably publishes st into the slot opposite the one holding the
+// current latest state.
+func writeRoot(dev *pmem.Device, st RootState) {
+	slot := uint64(slot0Off)
+	if st.Seq%2 == 1 {
+		slot = slot1Off
+	}
+	dev.WriteAt(slot, encodeRoot(st))
+	dev.Persist(slot, slotSize)
+}
+
+// readRoot returns the latest valid root state.
+func readRoot(dev *pmem.Device) (RootState, error) {
+	var buf [slotSize]byte
+	var best RootState
+	found := false
+	for _, off := range []uint64{slot0Off, slot1Off} {
+		dev.ReadAt(off, buf[:])
+		if st, ok := decodeRoot(buf[:]); ok {
+			if !found || st.Seq > best.Seq {
+				best = st
+				found = true
+			}
+		}
+	}
+	if !found {
+		return RootState{}, fmt.Errorf("dipper: no valid root slot")
+	}
+	return best, nil
+}
+
+// formatRootArea stamps the device magic and writes the initial root state.
+func formatRootArea(dev *pmem.Device, st RootState) {
+	dev.PutU64(devMagicOff, rootMagic)
+	dev.Persist(devMagicOff, 8)
+	writeRoot(dev, st)
+}
+
+// checkMagic verifies the device was formatted by this package.
+func checkMagic(dev *pmem.Device) error {
+	if dev.GetU64(devMagicOff) != rootMagic {
+		return fmt.Errorf("dipper: device not formatted (magic %#x)", dev.GetU64(devMagicOff))
+	}
+	return nil
+}

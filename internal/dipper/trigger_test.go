@@ -1,0 +1,108 @@
+package dipper
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+
+	"dstore/internal/pmem"
+)
+
+func TestAutoCheckpointTriggersOnLogPressure(t *testing.T) {
+	cfg := Config{
+		LogBytes:            1 << 14,
+		ArenaBytes:          1 << 20,
+		AutoCheckpoint:      true,
+		CheckpointThreshold: 0.5,
+	}
+	dev := pmem.New(pmem.Config{Size: int(cfg.DeviceBytes()), TrackPersistence: true})
+	e, err := Format(dev, cfg, testReplayer(), bootstrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var payload [8]byte
+	for i := 0; i < 400; i++ {
+		binary.LittleEndian.PutUint64(payload[:], uint64(i))
+		name := []byte(fmt.Sprintf("key%03d", i))
+		h, err := e.Append(opSet, name, payload[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := frontendTree(e).Insert(name, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		e.Commit(h)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats().Checkpoints == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if e.Stats().Checkpoints == 0 {
+		t.Fatal("background checkpoint never triggered despite log pressure")
+	}
+}
+
+func TestCheckpointHooks(t *testing.T) {
+	cfg := testConfig()
+	swaps, dones := 0, 0
+	cfg.OnSwap = func() { swaps++ }
+	cfg.OnCheckpointDone = func() { dones++ }
+	dev := pmem.New(pmem.Config{Size: int(cfg.DeviceBytes()), TrackPersistence: true})
+	e, err := Format(dev, cfg, testReplayer(), bootstrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	doSet(t, e, "a", 1)
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if swaps != 1 || dones != 1 {
+		t.Fatalf("hooks: swaps=%d dones=%d", swaps, dones)
+	}
+}
+
+func TestRecoveryBreakdownPopulated(t *testing.T) {
+	e, dev := newEngine(t)
+	doSet(t, e, "x", 1)
+	e.Close()
+	dev.Crash(pmem.CrashDropDirty, 1)
+	e2, err := Open(dev, testConfig(), testReplayer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	meta, replay := e2.RecoveryBreakdown()
+	if meta <= 0 {
+		t.Fatalf("metadata phase unmeasured: %d", meta)
+	}
+	if replay < 0 {
+		t.Fatalf("replay phase negative: %d", replay)
+	}
+}
+
+func TestSwapOnlyForCrashLeavesCkptInProgress(t *testing.T) {
+	e, dev := newEngine(t)
+	doSet(t, e, "x", 1)
+	e.SwapOnlyForCrash()
+	st, err := readRoot(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CkptInProgress != 1 {
+		t.Fatalf("root = %+v", st)
+	}
+	dev.Crash(pmem.CrashDropDirty, 3)
+	e2, err := Open(dev, testConfig(), testReplayer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	checkModel(t, e2, map[string]uint64{"x": 1})
+	st2, _ := e2.RootState()
+	if st2.CkptInProgress != 0 {
+		t.Fatal("recovery left checkpoint in progress")
+	}
+}

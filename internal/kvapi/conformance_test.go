@@ -1,0 +1,181 @@
+package kvapi_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dstore"
+	"dstore/internal/baselines/btreestore"
+	"dstore/internal/baselines/inplacestore"
+	"dstore/internal/baselines/lsmstore"
+	"dstore/internal/kvapi"
+)
+
+// makeStores builds one instance of every evaluated system.
+func makeStores(t *testing.T) []kvapi.Store {
+	t.Helper()
+	var out []kvapi.Store
+
+	ds, err := dstore.Format(dstore.Config{Blocks: 2048, MaxObjects: 1024, LogBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, dstore.NewKV(ds, dstore.Config{Blocks: 2048, MaxObjects: 1024, LogBytes: 1 << 16}))
+
+	cow, err := dstore.Format(dstore.Config{Mode: dstore.ModeCoW, Blocks: 2048, MaxObjects: 1024, LogBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, dstore.NewKV(cow, dstore.Config{Mode: dstore.ModeCoW, Blocks: 2048, MaxObjects: 1024, LogBytes: 1 << 16}))
+
+	lsm, err := lsmstore.New(lsmstore.Config{Blocks: 8192, WALBytes: 1 << 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, lsm)
+
+	bt, err := btreestore.New(btreestore.Config{Blocks: 8192, JournalBytes: 1 << 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, bt)
+
+	ip, err := inplacestore.New(inplacestore.Config{Cells: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, ip)
+	return out
+}
+
+// TestConformanceModel runs the same randomized op stream against every
+// system and a map model; all must agree.
+func TestConformanceModel(t *testing.T) {
+	for _, s := range makeStores(t) {
+		s := s
+		t.Run(s.Label(), func(t *testing.T) {
+			defer s.Close()
+			model := map[string][]byte{}
+			rng := rand.New(rand.NewSource(7))
+			for op := 0; op < 800; op++ {
+				k := fmt.Sprintf("key-%02d", rng.Intn(40))
+				switch rng.Intn(4) {
+				case 0, 1:
+					v := bytes.Repeat([]byte{byte(op)}, 1+rng.Intn(4000))
+					if err := s.Put(k, v); err != nil {
+						t.Fatalf("put: %v", err)
+					}
+					model[k] = v
+				case 2:
+					if err := s.Delete(k); err != nil && err != kvapi.ErrNotFound {
+						t.Fatalf("delete: %v", err)
+					}
+					delete(model, k)
+				case 3:
+					got, err := s.Get(k, nil)
+					want, had := model[k]
+					if had {
+						if err != nil {
+							t.Fatalf("get(%q): %v", k, err)
+						}
+						// Page-granular systems may pad to the block size;
+						// the value prefix must match exactly.
+						if len(got) < len(want) || !bytes.Equal(got[:len(want)], want) {
+							t.Fatalf("get(%q) prefix mismatch (%d vs %d bytes)", k, len(got), len(want))
+						}
+					} else if err != kvapi.ErrNotFound && err != dstore.ErrNotFound {
+						t.Fatalf("get missing %q: %v", k, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFootprintReported ensures every system reports a sane footprint after
+// a load (the Fig. 10 plumbing).
+func TestFootprintReported(t *testing.T) {
+	for _, s := range makeStores(t) {
+		s := s
+		t.Run(s.Label(), func(t *testing.T) {
+			defer s.Close()
+			for i := 0; i < 100; i++ {
+				if err := s.Put(fmt.Sprintf("obj%03d", i), bytes.Repeat([]byte{1}, 4096)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			fr, ok := s.(kvapi.FootprintReporter)
+			if !ok {
+				t.Fatalf("%s does not report footprint", s.Label())
+			}
+			dram, pm, ssdB := fr.FootprintBytes()
+			if dram+pm+ssdB < 100*4096 {
+				t.Fatalf("footprint %d/%d/%d smaller than the data", dram, pm, ssdB)
+			}
+		})
+	}
+}
+
+// TestCrashRecoveryConformance: every Crasher recovers all committed data.
+func TestCrashRecoveryConformance(t *testing.T) {
+	mk := func() []kvapi.Store {
+		var out []kvapi.Store
+		cfg := dstore.Config{Blocks: 2048, MaxObjects: 1024, LogBytes: 1 << 16, TrackPersistence: true}
+		ds, err := dstore.Format(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, dstore.NewKV(ds, cfg))
+		lsm, err := lsmstore.New(lsmstore.Config{Blocks: 8192, WALBytes: 1 << 22, TrackPersistence: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, lsm)
+		bt, err := btreestore.New(btreestore.Config{Blocks: 8192, JournalBytes: 1 << 22, TrackPersistence: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, bt)
+		ip, err := inplacestore.New(inplacestore.Config{Cells: 8192, TrackPersistence: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, ip)
+		return out
+	}
+	for _, s := range mk() {
+		s := s
+		t.Run(s.Label(), func(t *testing.T) {
+			want := map[string][]byte{}
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%03d", i%80)
+				v := bytes.Repeat([]byte{byte(i)}, 2048)
+				if err := s.Put(k, v); err != nil {
+					t.Fatal(err)
+				}
+				want[k] = v
+			}
+			cr := s.(kvapi.Crasher)
+			cr.Crash(11)
+			metaNs, replayNs, err := cr.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if metaNs < 0 || replayNs < 0 {
+				t.Fatalf("negative phase times %d/%d", metaNs, replayNs)
+			}
+			for k, v := range want {
+				got, err := s.Get(k, nil)
+				if err != nil {
+					t.Fatalf("get(%q) after recovery: %v", k, err)
+				}
+				if len(got) < len(v) || !bytes.Equal(got[:len(v)], v) {
+					t.Fatalf("get(%q) after recovery: wrong data", k)
+				}
+			}
+			s.Close()
+		})
+	}
+}

@@ -1,0 +1,51 @@
+// Package kvapi defines the benchmark-facing interface implemented by DStore
+// and every comparison system (paper Table 1 / §5.1), so the experiment
+// harness drives them identically.
+package kvapi
+
+import "errors"
+
+// ErrNotFound is the uniform absent-key error every evaluated system
+// returns from Get/Delete.
+var ErrNotFound = errors.New("kvapi: key not found")
+
+// Store is the common surface of all evaluated systems.
+type Store interface {
+	// Label identifies the system in experiment output (e.g. "DStore",
+	// "PMEM-RocksDB").
+	Label() string
+	// Put stores value under key.
+	Put(key string, value []byte) error
+	// Get retrieves key's value, appending to buf.
+	Get(key string, buf []byte) ([]byte, error)
+	// Delete removes key.
+	Delete(key string) error
+	// Close shuts the system down cleanly.
+	Close() error
+}
+
+// FootprintReporter is implemented by systems that can report storage
+// consumption for the Fig. 10 experiment.
+type FootprintReporter interface {
+	// FootprintBytes returns consumption per tier.
+	FootprintBytes() (dram, pmem, ssd uint64)
+}
+
+// IOStatsReporter is implemented by systems whose device traffic the Fig. 7
+// bandwidth series samples.
+type IOStatsReporter interface {
+	// IOBytes returns cumulative (read+write) bytes moved on the PMEM and
+	// SSD devices.
+	IOBytes() (pmemBytes, ssdBytes uint64)
+}
+
+// Crasher is implemented by systems that support the recovery experiments
+// (Table 4): Crash simulates power loss, Recover reopens from the surviving
+// devices and reports the phases' durations in nanoseconds.
+type Crasher interface {
+	// Crash simulates SIGKILL + power loss. The store becomes unusable.
+	Crash(seed int64)
+	// Recover reopens the store from the crashed (or cleanly closed)
+	// devices, returning the metadata-recovery and log-replay times.
+	Recover() (metadataNs, replayNs int64, err error)
+}

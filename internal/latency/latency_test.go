@@ -1,0 +1,53 @@
+package latency
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDisabledSpinReturnsImmediately(t *testing.T) {
+	Disable()
+	start := time.Now()
+	Spin(50 * time.Millisecond)
+	if time.Since(start) > 5*time.Millisecond {
+		t.Fatal("disabled Spin waited")
+	}
+}
+
+func TestEnabledSpinWaits(t *testing.T) {
+	Enable()
+	defer Disable()
+	start := time.Now()
+	Spin(2 * time.Millisecond)
+	if d := time.Since(start); d < 2*time.Millisecond {
+		t.Fatalf("Spin returned after %v, want >= 2ms", d)
+	}
+}
+
+func TestSpinAlwaysIgnoresSwitch(t *testing.T) {
+	Disable()
+	start := time.Now()
+	SpinAlways(2 * time.Millisecond)
+	if d := time.Since(start); d < 2*time.Millisecond {
+		t.Fatalf("SpinAlways returned after %v", d)
+	}
+}
+
+func TestNonPositiveDurations(t *testing.T) {
+	Enable()
+	defer Disable()
+	Spin(0)
+	Spin(-time.Second)
+	SpinAlways(0)
+}
+
+func TestEnabledReflectsState(t *testing.T) {
+	Enable()
+	if !Enabled() {
+		t.Fatal("Enabled() false after Enable")
+	}
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled() true after Disable")
+	}
+}

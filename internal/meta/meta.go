@@ -1,0 +1,159 @@
+// Package meta implements DStore's metadata zone (paper §4.2, Fig. 4): a
+// fixed-slot array of object metadata pages. Each slot records an object's
+// name, logical size and the list of SSD blocks holding its data. Slots are
+// allocated from the metadata pool; the B-tree maps object names to slot
+// indices.
+//
+// The zone lives in an allocator-managed Space, so it is part of the arena
+// cloned at checkpoints and recovered by the PMEM→DRAM copy; the same code
+// runs on both spaces.
+package meta
+
+import (
+	"fmt"
+
+	"dstore/internal/alloc"
+	"dstore/internal/space"
+)
+
+const (
+	hdrSlots     = 0
+	hdrSlotSize  = 8
+	hdrMaxName   = 16
+	hdrMaxBlocks = 24
+	hdrSize      = 32
+
+	slotUsed    = 0 // u8
+	slotNameLen = 2 // u16
+	slotNBlocks = 4 // u32
+	slotSizeOff = 8 // u64 logical object size
+	slotName    = 16
+)
+
+// Zone is a metadata zone handle.
+type Zone struct {
+	sp        space.Space
+	base      uint64
+	slots     uint64
+	slotSize  uint64
+	maxName   uint64
+	maxBlocks uint64
+}
+
+// Entry is a decoded metadata slot. Name aliases arena memory.
+type Entry struct {
+	Name   []byte
+	Size   uint64
+	Blocks []uint64
+}
+
+// New allocates a zone with the given geometry and returns it with its arena
+// offset.
+func New(al *alloc.Allocator, slots, maxName, maxBlocks uint64) (*Zone, uint64, error) {
+	slotSize := (slotName + maxName + 8*maxBlocks + 7) &^ 7
+	base, err := al.Alloc(hdrSize + slots*slotSize)
+	if err != nil {
+		return nil, 0, err
+	}
+	sp := al.Space()
+	sp.PutU64(base+hdrSlots, slots)
+	sp.PutU64(base+hdrSlotSize, slotSize)
+	sp.PutU64(base+hdrMaxName, maxName)
+	sp.PutU64(base+hdrMaxBlocks, maxBlocks)
+	return Open(al, base), base, nil
+}
+
+// Open attaches to an existing zone at base.
+func Open(al *alloc.Allocator, base uint64) *Zone {
+	sp := al.Space()
+	return &Zone{
+		sp:        sp,
+		base:      base,
+		slots:     sp.GetU64(base + hdrSlots),
+		slotSize:  sp.GetU64(base + hdrSlotSize),
+		maxName:   sp.GetU64(base + hdrMaxName),
+		maxBlocks: sp.GetU64(base + hdrMaxBlocks),
+	}
+}
+
+// Slots returns the zone capacity in slots.
+func (z *Zone) Slots() uint64 { return z.slots }
+
+// MaxName returns the maximum object name length.
+func (z *Zone) MaxName() uint64 { return z.maxName }
+
+// MaxBlocks returns the maximum number of blocks per object.
+func (z *Zone) MaxBlocks() uint64 { return z.maxBlocks }
+
+func (z *Zone) slotOff(slot uint64) uint64 {
+	if slot >= z.slots {
+		panic(fmt.Sprintf("meta: slot %d out of range (%d)", slot, z.slots))
+	}
+	return z.base + hdrSize + slot*z.slotSize
+}
+
+// Write fills slot with an object's metadata — Fig. 4 step ⑥.
+func (z *Zone) Write(slot uint64, name []byte, size uint64, blocks []uint64) error {
+	if uint64(len(name)) > z.maxName {
+		return fmt.Errorf("meta: name length %d exceeds max %d", len(name), z.maxName)
+	}
+	if uint64(len(blocks)) > z.maxBlocks {
+		return fmt.Errorf("meta: %d blocks exceed max %d", len(blocks), z.maxBlocks)
+	}
+	off := z.slotOff(slot)
+	z.sp.PutU8(off+slotUsed, 1)
+	z.sp.PutU16(off+slotNameLen, uint16(len(name)))
+	z.sp.PutU32(off+slotNBlocks, uint32(len(blocks)))
+	z.sp.PutU64(off+slotSizeOff, size)
+	z.sp.Write(off+slotName, name)
+	bb := off + slotName + z.maxName
+	for i, b := range blocks {
+		z.sp.PutU64(bb+8*uint64(i), b)
+	}
+	return nil
+}
+
+// SetSize updates only the logical size of a used slot (owrite extensions).
+func (z *Zone) SetSize(slot, size uint64) {
+	off := z.slotOff(slot)
+	z.sp.PutU64(off+slotSizeOff, size)
+}
+
+// SetBlocks replaces the block list of a used slot.
+func (z *Zone) SetBlocks(slot uint64, blocks []uint64) error {
+	if uint64(len(blocks)) > z.maxBlocks {
+		return fmt.Errorf("meta: %d blocks exceed max %d", len(blocks), z.maxBlocks)
+	}
+	off := z.slotOff(slot)
+	z.sp.PutU32(off+slotNBlocks, uint32(len(blocks)))
+	bb := off + slotName + z.maxName
+	for i, b := range blocks {
+		z.sp.PutU64(bb+8*uint64(i), b)
+	}
+	return nil
+}
+
+// Read decodes slot; ok is false if the slot is unused.
+func (z *Zone) Read(slot uint64) (Entry, bool) {
+	off := z.slotOff(slot)
+	if z.sp.GetU8(off+slotUsed) == 0 {
+		return Entry{}, false
+	}
+	nl := uint64(z.sp.GetU16(off + slotNameLen))
+	nb := uint64(z.sp.GetU32(off + slotNBlocks))
+	e := Entry{
+		Name: z.sp.Slice(off+slotName, nl),
+		Size: z.sp.GetU64(off + slotSizeOff),
+	}
+	bb := off + slotName + z.maxName
+	e.Blocks = make([]uint64, nb)
+	for i := range e.Blocks {
+		e.Blocks[i] = z.sp.GetU64(bb + 8*uint64(i))
+	}
+	return e, true
+}
+
+// Clear marks slot unused.
+func (z *Zone) Clear(slot uint64) {
+	z.sp.PutU8(z.slotOff(slot)+slotUsed, 0)
+}

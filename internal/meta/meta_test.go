@@ -1,0 +1,136 @@
+package meta
+
+import (
+	"testing"
+
+	"dstore/internal/alloc"
+	"dstore/internal/space"
+)
+
+func newZone(t *testing.T) (*Zone, *alloc.Allocator, uint64) {
+	t.Helper()
+	al := alloc.Format(space.NewDRAM(1 << 20))
+	z, off, err := New(al, 64, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return z, al, off
+}
+
+func TestWriteRead(t *testing.T) {
+	z, _, _ := newZone(t)
+	blocks := []uint64{10, 20, 30}
+	if err := z.Write(5, []byte("object-a"), 12288, blocks); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := z.Read(5)
+	if !ok {
+		t.Fatal("slot not used")
+	}
+	if string(e.Name) != "object-a" || e.Size != 12288 || len(e.Blocks) != 3 {
+		t.Fatalf("entry = %+v", e)
+	}
+	for i, b := range blocks {
+		if e.Blocks[i] != b {
+			t.Fatalf("blocks = %v", e.Blocks)
+		}
+	}
+}
+
+func TestUnusedSlot(t *testing.T) {
+	z, _, _ := newZone(t)
+	if _, ok := z.Read(0); ok {
+		t.Fatal("fresh slot reads as used")
+	}
+}
+
+func TestClear(t *testing.T) {
+	z, _, _ := newZone(t)
+	z.Write(1, []byte("x"), 1, []uint64{1})
+	z.Clear(1)
+	if _, ok := z.Read(1); ok {
+		t.Fatal("cleared slot still used")
+	}
+}
+
+func TestSetSizeAndBlocks(t *testing.T) {
+	z, _, _ := newZone(t)
+	z.Write(2, []byte("grow"), 4096, []uint64{7})
+	z.SetSize(2, 8192)
+	if err := z.SetBlocks(2, []uint64{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := z.Read(2)
+	if e.Size != 8192 || len(e.Blocks) != 2 || e.Blocks[1] != 8 {
+		t.Fatalf("entry = %+v", e)
+	}
+}
+
+func TestLimitsEnforced(t *testing.T) {
+	z, _, _ := newZone(t)
+	longName := make([]byte, 33)
+	if err := z.Write(0, longName, 1, nil); err == nil {
+		t.Fatal("oversize name accepted")
+	}
+	manyBlocks := make([]uint64, 9)
+	if err := z.Write(0, []byte("k"), 1, manyBlocks); err == nil {
+		t.Fatal("too many blocks accepted")
+	}
+	if err := z.SetBlocks(0, manyBlocks); err == nil {
+		t.Fatal("SetBlocks accepted too many blocks")
+	}
+}
+
+func TestSlotOutOfRangePanics(t *testing.T) {
+	z, _, _ := newZone(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	z.Read(64)
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	z, al, off := newZone(t)
+	z.Write(3, []byte("persist"), 999, []uint64{1, 2})
+	z2 := Open(al, off)
+	if z2.Slots() != 64 || z2.MaxName() != 32 || z2.MaxBlocks() != 8 {
+		t.Fatalf("geometry lost: %d/%d/%d", z2.Slots(), z2.MaxName(), z2.MaxBlocks())
+	}
+	e, ok := z2.Read(3)
+	if !ok || string(e.Name) != "persist" || e.Size != 999 {
+		t.Fatalf("entry = %+v ok=%v", e, ok)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	z, al, off := newZone(t)
+	z.Write(1, []byte("orig"), 1, []uint64{1})
+	clone, err := al.CloneTo(space.NewDRAM(1 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cz := Open(clone, off)
+	cz.Write(1, []byte("newv"), 2, []uint64{2})
+	e, _ := z.Read(1)
+	if string(e.Name) != "orig" {
+		t.Fatal("clone write leaked into source zone")
+	}
+}
+
+func TestSlotsIndependent(t *testing.T) {
+	z, _, _ := newZone(t)
+	for i := uint64(0); i < 64; i++ {
+		name := []byte{byte('a' + i%26), byte('0' + i/26)}
+		if err := z.Write(i, name, i, []uint64{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 64; i++ {
+		e, ok := z.Read(i)
+		if !ok || e.Size != i || e.Blocks[0] != i {
+			t.Fatalf("slot %d corrupted: %+v", i, e)
+		}
+	}
+}

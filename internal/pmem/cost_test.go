@@ -1,0 +1,69 @@
+package pmem
+
+import (
+	"testing"
+	"time"
+
+	"dstore/internal/latency"
+)
+
+func TestRangeCostBatching(t *testing.T) {
+	per := 100 * time.Nanosecond
+	batch := 10 * time.Nanosecond
+	if got := rangeCost(1, per, batch); got != per {
+		t.Fatalf("single line cost = %v", got)
+	}
+	// Multi-line ranges pipeline: first-line latency plus bandwidth term.
+	if got := rangeCost(2, per, batch); got != per+2*batch {
+		t.Fatalf("2-line cost = %v", got)
+	}
+	// Large ranges are bandwidth dominated.
+	want := per + 64*batch
+	if got := rangeCost(64, per, batch); got != want {
+		t.Fatalf("64-line cost = %v, want %v", got, want)
+	}
+	// Zero batch term disables batching.
+	if got := rangeCost(64, per, 0); got != 64*per {
+		t.Fatalf("unbatched 64-line cost = %v", got)
+	}
+}
+
+func TestLatencyChargedOnFlush(t *testing.T) {
+	latency.Enable()
+	defer latency.Disable()
+	d := New(Config{Size: 1 << 16, Latency: Latencies{
+		FlushPerLine: 200 * time.Microsecond, // exaggerated for measurement
+		Fence:        0,
+	}})
+	d.WriteAt(0, make([]byte, 64))
+	start := time.Now()
+	d.Flush(0, 64)
+	if e := time.Since(start); e < 200*time.Microsecond {
+		t.Fatalf("flush took %v, expected >= 200us of injected latency", e)
+	}
+}
+
+func TestNoLatencyWhenDisabled(t *testing.T) {
+	latency.Disable()
+	d := New(Config{Size: 1 << 16, Latency: DefaultLatencies()})
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		d.Persist(0, 4096)
+	}
+	if e := time.Since(start); e > 200*time.Millisecond {
+		t.Fatalf("1000 persists took %v with injection disabled", e)
+	}
+}
+
+func TestDefaultLatenciesCalibration(t *testing.T) {
+	// The log-record flush target (paper Table 3: ~615 ns) implies a
+	// 2-line record body + fence + LSN line + fence stays under ~1 us.
+	l := DefaultLatencies()
+	recordCost := 2*l.FlushPerLine + l.Fence + l.FlushPerLine + l.Fence
+	if recordCost > time.Microsecond {
+		t.Fatalf("calibration drifted: log record persist cost %v > 1us", recordCost)
+	}
+	if l.FlushPerLine == 0 || l.ReadPerLine == 0 {
+		t.Fatal("default latencies must be non-zero")
+	}
+}

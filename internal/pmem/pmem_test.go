@@ -1,0 +1,300 @@
+package pmem
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTracked(size int) *Device {
+	return New(Config{Size: size, TrackPersistence: true})
+}
+
+func TestRoundUpSize(t *testing.T) {
+	d := New(Config{Size: 100, TrackPersistence: true})
+	if d.Size() != 128 {
+		t.Fatalf("size = %d, want 128", d.Size())
+	}
+	if New(Config{}).Size() != LineSize {
+		t.Fatalf("zero-size device should round to one line")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := newTracked(4096)
+	src := []byte("hello persistent world")
+	d.WriteAt(100, src)
+	got := make([]byte, len(src))
+	d.ReadAt(100, got)
+	if !bytes.Equal(src, got) {
+		t.Fatalf("read back %q, want %q", got, src)
+	}
+}
+
+func TestPutGetU64(t *testing.T) {
+	d := newTracked(4096)
+	d.PutU64(64, 0xdeadbeefcafef00d)
+	if v := d.GetU64(64); v != 0xdeadbeefcafef00d {
+		t.Fatalf("GetU64 = %#x", v)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	d := newTracked(128)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range write")
+		}
+	}()
+	d.WriteAt(120, make([]byte, 16))
+}
+
+func TestCrashDropDirtyRevertsUnflushed(t *testing.T) {
+	d := newTracked(4096)
+	d.WriteAt(0, []byte("AAAA"))
+	d.Persist(0, 4)
+	d.WriteAt(0, []byte("BBBB"))
+	// No flush: the write must not survive an adversarial crash.
+	d.Crash(CrashDropDirty, 0)
+	got := make([]byte, 4)
+	d.ReadAt(0, got)
+	if string(got) != "AAAA" {
+		t.Fatalf("after crash got %q, want AAAA", got)
+	}
+}
+
+func TestCrashDropDirtyKeepsPersisted(t *testing.T) {
+	d := newTracked(4096)
+	d.WriteAt(0, []byte("AAAA"))
+	d.Persist(0, 4)
+	d.Crash(CrashDropDirty, 0)
+	got := make([]byte, 4)
+	d.ReadAt(0, got)
+	if string(got) != "AAAA" {
+		t.Fatalf("after crash got %q, want AAAA", got)
+	}
+}
+
+func TestFlushWithoutFenceIsNotDurable(t *testing.T) {
+	d := newTracked(4096)
+	d.WriteAt(0, []byte("AAAA"))
+	d.Persist(0, 4)
+	d.WriteAt(0, []byte("BBBB"))
+	d.Flush(0, 4) // staged but never fenced
+	d.Crash(CrashDropDirty, 0)
+	got := make([]byte, 4)
+	d.ReadAt(0, got)
+	if string(got) != "AAAA" {
+		t.Fatalf("unfenced flush survived crash: %q", got)
+	}
+}
+
+func TestFlushCapturesContentAtFlushTime(t *testing.T) {
+	// clwb semantics: a store after the flush is not covered by the fence.
+	d := newTracked(4096)
+	d.WriteAt(0, []byte("AAAA"))
+	d.Persist(0, 4)
+	d.WriteAt(0, []byte("BBBB"))
+	d.Flush(0, 4)
+	d.WriteAt(0, []byte("CCCC")) // re-dirty after flush
+	d.Fence()                    // persists the staged "BBBB" image
+	d.Crash(CrashDropDirty, 0)
+	got := make([]byte, 4)
+	d.ReadAt(0, got)
+	if string(got) != "BBBB" {
+		t.Fatalf("after crash got %q, want BBBB (the flushed image)", got)
+	}
+}
+
+func TestCrashKeepAll(t *testing.T) {
+	d := newTracked(4096)
+	d.WriteAt(0, []byte("XXXX"))
+	d.Crash(CrashKeepAll, 0)
+	got := make([]byte, 4)
+	d.ReadAt(0, got)
+	if string(got) != "XXXX" {
+		t.Fatalf("CrashKeepAll lost data: %q", got)
+	}
+}
+
+func TestCrashRandomOutcomesAreFromValidSet(t *testing.T) {
+	// Each line must resolve to exactly one of: persistent, staged, current.
+	for seed := int64(0); seed < 32; seed++ {
+		d := newTracked(256)
+		d.WriteAt(0, bytes.Repeat([]byte{'P'}, 64))
+		d.Persist(0, 64)
+		d.WriteAt(0, bytes.Repeat([]byte{'S'}, 64))
+		d.Flush(0, 64) // staged, no fence
+		d.WriteAt(0, bytes.Repeat([]byte{'C'}, 64))
+		d.Crash(CrashRandom, seed)
+		got := make([]byte, 64)
+		d.ReadAt(0, got)
+		c := got[0]
+		if c != 'P' && c != 'S' && c != 'C' {
+			t.Fatalf("seed %d: unexpected byte %q", seed, c)
+		}
+		for _, b := range got {
+			if b != c {
+				t.Fatalf("seed %d: line torn within a single store: %q", seed, got)
+			}
+		}
+	}
+}
+
+func TestDirtyLinesAccounting(t *testing.T) {
+	d := newTracked(4096)
+	if n := d.DirtyLines(); n != 0 {
+		t.Fatalf("fresh device has %d dirty lines", n)
+	}
+	d.WriteAt(0, make([]byte, 130)) // spans 3 lines
+	if n := d.DirtyLines(); n != 3 {
+		t.Fatalf("dirty lines = %d, want 3", n)
+	}
+	d.Persist(0, 130)
+	if n := d.DirtyLines(); n != 0 {
+		t.Fatalf("after persist, dirty lines = %d, want 0", n)
+	}
+}
+
+func TestFenceOnlyCommitsStagedLines(t *testing.T) {
+	d := newTracked(4096)
+	d.WriteAt(0, []byte("AAAA"))
+	d.WriteAt(128, []byte("QQQQ"))
+	d.Flush(0, 4)
+	d.Fence()
+	if n := d.DirtyLines(); n != 1 {
+		t.Fatalf("dirty lines = %d, want 1 (line 2 never flushed)", n)
+	}
+	d.Crash(CrashDropDirty, 0)
+	a, q := make([]byte, 4), make([]byte, 4)
+	d.ReadAt(0, a)
+	d.ReadAt(128, q)
+	if string(a) != "AAAA" {
+		t.Fatalf("fenced line lost: %q", a)
+	}
+	if string(q) == "QQQQ" {
+		t.Fatalf("unflushed line survived adversarial crash")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	d := newTracked(4096)
+	d.WriteAt(0, make([]byte, 100))
+	d.ReadAt(0, make([]byte, 50))
+	d.Flush(0, 100) // lines 0..1
+	d.Fence()
+	st := d.Stats()
+	if st.BytesWritten != 100 || st.BytesRead != 50 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.LinesFlushed != 2 || st.Fences != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestConcurrentDisjointWrites(t *testing.T) {
+	d := newTracked(64 * 1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := uint64(g * 8 * 1024)
+			for i := 0; i < 100; i++ {
+				off := base + uint64(i)*64
+				d.PutU64(off, uint64(g)<<32|uint64(i))
+				d.Persist(off, 8)
+			}
+		}(g)
+	}
+	wg.Wait()
+	d.Crash(CrashDropDirty, 0)
+	for g := 0; g < 8; g++ {
+		base := uint64(g * 8 * 1024)
+		for i := 0; i < 100; i++ {
+			if v := d.GetU64(base + uint64(i)*64); v != uint64(g)<<32|uint64(i) {
+				t.Fatalf("g=%d i=%d v=%#x", g, i, v)
+			}
+		}
+	}
+}
+
+// TestQuickPersistedDataSurvives property: any sequence of (write, persist)
+// pairs survives an adversarial crash.
+func TestQuickPersistedDataSurvives(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		d := newTracked(1 << 16)
+		want := make([]byte, 1<<16)
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			off := uint64(op) % (1<<16 - 64)
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], rng.Uint64())
+			d.WriteAt(off, buf[:])
+			copy(want[off:], buf[:])
+			d.Persist(off, 8)
+		}
+		d.Crash(CrashDropDirty, seed)
+		return bytes.Equal(d.Bytes(), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCrashRandomNeverInventsData property: after CrashRandom, every
+// line's content equals one of the three legitimate images.
+func TestQuickCrashRandomNeverInventsData(t *testing.T) {
+	f := func(seed int64) bool {
+		d := newTracked(1024)
+		images := map[string]bool{}
+		line := make([]byte, 64)
+		record := func() { images[string(d.Bytes()[:64])] = true }
+		record() // zero image
+		for i := 0; i < 4; i++ {
+			for j := range line {
+				line[j] = byte(seed>>uint(i)) + byte(i*31+j)
+			}
+			d.WriteAt(0, line)
+			record()
+			if i%2 == 0 {
+				d.Flush(0, 64)
+			}
+			if i == 2 {
+				d.Fence()
+			}
+		}
+		d.Crash(CrashRandom, seed)
+		return images[string(d.Bytes()[:64])]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashWithoutTrackingPanics(t *testing.T) {
+	d := New(Config{Size: 128})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Crash(CrashDropDirty, 0)
+}
+
+func TestUntrackedDeviceSkipsBookkeeping(t *testing.T) {
+	d := New(Config{Size: 4096})
+	d.WriteAt(0, []byte("zzzz"))
+	d.Persist(0, 4)
+	if n := d.DirtyLines(); n != 0 {
+		t.Fatalf("untracked device reported %d dirty lines", n)
+	}
+	got := make([]byte, 4)
+	d.ReadAt(0, got)
+	if string(got) != "zzzz" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,0 +1,186 @@
+package space
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"dstore/internal/pmem"
+)
+
+// both returns one Space of each kind, over tracked PMEM for the persistent
+// one.
+func both(size uint64) (map[string]Space, *pmem.Device) {
+	dev := pmem.New(pmem.Config{Size: int(size), TrackPersistence: true})
+	return map[string]Space{
+		"dram": NewDRAM(size),
+		"pmem": NewPMEM(dev, 0, size),
+	}, dev
+}
+
+func TestAccessorsBothKinds(t *testing.T) {
+	spaces, _ := both(4096)
+	for name, sp := range spaces {
+		t.Run(name, func(t *testing.T) {
+			sp.PutU64(0, 0x1122334455667788)
+			if sp.GetU64(0) != 0x1122334455667788 {
+				t.Fatal("u64 round trip")
+			}
+			sp.PutU32(8, 0xAABBCCDD)
+			if sp.GetU32(8) != 0xAABBCCDD {
+				t.Fatal("u32 round trip")
+			}
+			sp.PutU16(12, 0xEEFF)
+			if sp.GetU16(12) != 0xEEFF {
+				t.Fatal("u16 round trip")
+			}
+			sp.PutU8(14, 0x42)
+			if sp.GetU8(14) != 0x42 {
+				t.Fatal("u8 round trip")
+			}
+			sp.Write(100, []byte("payload"))
+			if string(sp.Slice(100, 7)) != "payload" {
+				t.Fatal("write/slice round trip")
+			}
+			sp.Zero(100, 7)
+			for _, b := range sp.Slice(100, 7) {
+				if b != 0 {
+					t.Fatal("zero failed")
+				}
+			}
+			// Persistence ops must be harmless on both kinds.
+			sp.Flush(0, 16)
+			sp.Fence()
+			sp.Persist(0, 16)
+		})
+	}
+}
+
+func TestKinds(t *testing.T) {
+	spaces, _ := both(256)
+	if spaces["dram"].Kind() != DRAMKind || spaces["pmem"].Kind() != PMEMKind {
+		t.Fatal("kind mismatch")
+	}
+	if DRAMKind.String() != "dram" || PMEMKind.String() != "pmem" {
+		t.Fatal("kind strings")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	spaces, _ := both(256)
+	for name, sp := range spaces {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			sp.PutU64(252, 1)
+		})
+	}
+}
+
+func TestPMEMWindowIsolation(t *testing.T) {
+	dev := pmem.New(pmem.Config{Size: 4096, TrackPersistence: true})
+	a := NewPMEM(dev, 0, 1024)
+	b := NewPMEM(dev, 1024, 1024)
+	a.Write(0, []byte("AAAA"))
+	b.Write(0, []byte("BBBB"))
+	if string(a.Slice(0, 4)) != "AAAA" || string(b.Slice(0, 4)) != "BBBB" {
+		t.Fatal("windows overlap")
+	}
+	if a.Base() != 0 || b.Base() != 1024 || b.Device() != dev {
+		t.Fatal("window metadata")
+	}
+	// A window must not reach past its end even though the device is larger.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Slice(1020, 8)
+}
+
+func TestPMEMWindowValidation(t *testing.T) {
+	dev := pmem.New(pmem.Config{Size: 4096})
+	for _, c := range []struct{ base, size uint64 }{
+		{0, 8192},  // exceeds device
+		{100, 100}, // unaligned base
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPMEM(%d,%d) did not panic", c.base, c.size)
+				}
+			}()
+			NewPMEM(dev, c.base, c.size)
+		}()
+	}
+}
+
+func TestPMEMPersistenceThroughSpace(t *testing.T) {
+	dev := pmem.New(pmem.Config{Size: 4096, TrackPersistence: true})
+	sp := NewPMEM(dev, 1024, 1024)
+	sp.Write(0, []byte("durable"))
+	sp.Persist(0, 7)
+	sp.Write(64, []byte("volatile"))
+	dev.Crash(pmem.CrashDropDirty, 1)
+	if string(sp.Slice(0, 7)) != "durable" {
+		t.Fatal("persisted window data lost")
+	}
+	if string(sp.Slice(64, 8)) == "volatile" {
+		t.Fatal("unflushed window data survived adversarial crash")
+	}
+}
+
+func TestCopyAcrossKinds(t *testing.T) {
+	spaces, _ := both(128 * 1024)
+	src := spaces["dram"]
+	dst := spaces["pmem"]
+	data := bytes.Repeat([]byte{1, 2, 3, 4, 5}, 20000) // > one 64 KiB chunk
+	src.Write(0, data)
+	Copy(dst, 0, src, 0, uint64(len(data)))
+	if !bytes.Equal(dst.Slice(0, uint64(len(data))), data) {
+		t.Fatal("cross-kind copy mismatch")
+	}
+	// And back, with offsets.
+	Copy(src, 64, dst, 0, 1000)
+	if !bytes.Equal(src.Slice(64, 1000), data[:1000]) {
+		t.Fatal("offset copy mismatch")
+	}
+}
+
+// Property: the two Space kinds are observationally identical under any
+// sequence of writes.
+func TestQuickKindsEquivalent(t *testing.T) {
+	f := func(ops []uint16, vals []uint64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		spaces, _ := both(1 << 12)
+		d, p := spaces["dram"], spaces["pmem"]
+		for i, op := range ops {
+			off := uint64(op) % (1<<12 - 8)
+			v := vals[i%len(vals)]
+			switch op % 3 {
+			case 0:
+				d.PutU64(off, v)
+				p.PutU64(off, v)
+			case 1:
+				d.PutU8(off, uint8(v))
+				p.PutU8(off, uint8(v))
+			case 2:
+				var b [6]byte
+				for j := range b {
+					b[j] = byte(v >> (8 * j))
+				}
+				d.Write(off, b[:])
+				p.Write(off, b[:])
+			}
+		}
+		return bytes.Equal(d.Slice(0, 1<<12), p.Slice(0, 1<<12))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

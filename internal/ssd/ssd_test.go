@@ -1,0 +1,161 @@
+package ssd
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := New(Config{Pages: 16, PowerProtected: true})
+	src := bytes.Repeat([]byte{0xab}, 4096)
+	d.WriteAt(4096, src)
+	got := make([]byte, 4096)
+	d.ReadAt(4096, got)
+	if !bytes.Equal(src, got) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	d := New(Config{})
+	if d.PageSize() != DefaultPageSize {
+		t.Fatalf("page size = %d", d.PageSize())
+	}
+	if d.Pages() != 1 {
+		t.Fatalf("pages = %d", d.Pages())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	d := New(Config{Pages: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.WriteAt(4090, make([]byte, 100))
+}
+
+func TestPowerProtectedWritesSurviveCrash(t *testing.T) {
+	d := New(Config{Pages: 8, PowerProtected: true})
+	d.WriteAt(0, []byte("durable"))
+	d.Crash(42)
+	got := make([]byte, 7)
+	d.ReadAt(0, got)
+	if string(got) != "durable" {
+		t.Fatalf("protected write lost: %q", got)
+	}
+}
+
+func TestUnprotectedUnsyncedWritesMayBeLost(t *testing.T) {
+	lost := false
+	for seed := int64(0); seed < 32 && !lost; seed++ {
+		d := New(Config{Pages: 8, PowerProtected: false})
+		d.WriteAt(0, []byte("gone?"))
+		d.Crash(seed)
+		got := make([]byte, 5)
+		d.ReadAt(0, got)
+		if string(got) != "gone?" {
+			lost = true
+		}
+	}
+	if !lost {
+		t.Fatal("unprotected device never lost an unsynced write across 32 seeds")
+	}
+}
+
+func TestUnprotectedSyncedWritesSurvive(t *testing.T) {
+	for seed := int64(0); seed < 16; seed++ {
+		d := New(Config{Pages: 8, PowerProtected: false})
+		d.WriteAt(0, []byte("safe"))
+		d.Sync()
+		d.Crash(seed)
+		got := make([]byte, 4)
+		d.ReadAt(0, got)
+		if string(got) != "safe" {
+			t.Fatalf("seed %d: synced write lost: %q", seed, got)
+		}
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	d := New(Config{Pages: 4, PowerProtected: true})
+	d.WriteAt(0, make([]byte, 4096))
+	d.ReadAt(0, make([]byte, 1024))
+	d.Sync()
+	st := d.Stats()
+	if st.BytesWritten != 4096 || st.BytesRead != 1024 || st.Syncs != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPagesTouched(t *testing.T) {
+	d := New(Config{Pages: 8, PowerProtected: true})
+	cases := []struct {
+		off, n uint64
+		want   int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 4096, 1},
+		{0, 4097, 2},
+		{4095, 2, 2},
+		{4096, 8192, 2},
+	}
+	for _, c := range cases {
+		if got := d.pagesTouched(c.off, c.n); got != c.want {
+			t.Errorf("pagesTouched(%d,%d) = %d, want %d", c.off, c.n, got, c.want)
+		}
+	}
+}
+
+func TestConcurrentDisjointPages(t *testing.T) {
+	d := New(Config{Pages: 64, PowerProtected: true})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			page := make([]byte, 4096)
+			for i := range page {
+				page[i] = byte(g)
+			}
+			for rep := 0; rep < 20; rep++ {
+				d.WriteAt(uint64(g*8*4096), page)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < 8; g++ {
+		got := make([]byte, 4096)
+		d.ReadAt(uint64(g*8*4096), got)
+		for _, b := range got {
+			if b != byte(g) {
+				t.Fatalf("page for goroutine %d corrupted", g)
+			}
+		}
+	}
+}
+
+// Property: on an unprotected device, a page's post-crash content is always
+// either its pre-write content or the written content — never torn between
+// sub-page writes of the same page write.
+func TestQuickCrashPageAtomicity(t *testing.T) {
+	f := func(seed int64, val byte) bool {
+		d := New(Config{Pages: 2, PowerProtected: false})
+		first := bytes.Repeat([]byte{^val}, 4096)
+		d.WriteAt(0, first)
+		d.Sync()
+		second := bytes.Repeat([]byte{val}, 4096)
+		d.WriteAt(0, second)
+		d.Crash(seed)
+		got := make([]byte, 4096)
+		d.ReadAt(0, got)
+		return bytes.Equal(got, first) || bytes.Equal(got, second)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,597 @@
+// Package wal implements the DIPPER operation log on PMEM (paper §3.4, §3.5,
+// §4.4).
+//
+// The log records logical operations: each record is
+//
+//	LSN | length | op | commit | name | params        (paper Fig. 3)
+//
+// and is written with the paper's atomicity protocol: all cache lines of the
+// record are flushed in *reverse* order and fenced, and only then is the LSN
+// — the first 8 bytes of the record — written and flushed. A record is valid
+// iff its LSN is non-zero and monotonically extends the log, so a torn append
+// is indistinguishable from "no record". An 8-byte zero guard is maintained
+// after the last record so a scan can never misparse stale bytes from a
+// previous log epoch.
+//
+// Two fixed-size logs form a Pair: the active log receives appends while the
+// other is either empty or being replayed by a checkpoint (the archive). A
+// checkpoint swaps them: the suffix of the active log starting at the first
+// uncommitted record migrates to the new active log (preserving LSNs and
+// commit flags), so the archived log holds a fully-committed, LSN-ordered
+// prefix — this keeps replay deterministic, including the pool allocations
+// that must happen in log order (paper §4.3). Migrating the whole suffix
+// (rather than only uncommitted records) is the one deviation from the
+// paper's description and is what preserves strict LSN-order replay; see
+// DESIGN.md.
+//
+// The log doubles as DStore's write-write concurrency control (§4.4): the
+// window from the first uncommitted record to the tail is scanned for an
+// uncommitted record naming the same object; the requester then spins on
+// that record's commit flag. NOOP records give olock/ounlock the same
+// treatment (§4.5).
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dstore/internal/pmem"
+	"dstore/internal/space"
+)
+
+// Record layout constants.
+const (
+	recLSN     = 0  // u64, 0 = invalid
+	recLen     = 8  // u32, total record bytes, multiple of 8
+	recOp      = 12 // u16
+	recState   = 14 // u8: StateUncommitted/StateCommitted/StateDead
+	recNameLen = 16 // u16
+	recPayLen  = 18 // u16
+	// 20..24 reserved
+	recHeader = 24
+
+	logHeader = 64 // records start after one header line
+
+	// MaxName and MaxPayload bound record fields.
+	MaxName    = 1 << 12
+	MaxPayload = 1 << 12
+)
+
+// Record commit states.
+const (
+	// StateUncommitted marks an in-flight operation (a CC conflict source).
+	StateUncommitted = 0
+	// StateCommitted marks a durable operation (replayed by checkpoints).
+	StateCommitted = 1
+	// StateDead marks a record orphaned by a crash: it is never replayed
+	// and never conflicts.
+	StateDead = 2
+)
+
+// ErrLogFull is returned by Append when the active log cannot hold the
+// record; the caller should trigger (or wait for) a checkpoint and retry.
+var ErrLogFull = errors.New("wal: active log full")
+
+// Handle identifies an in-flight (uncommitted) record. Its location may move
+// across a log swap; Committed and Wait are safe at any time.
+type Handle struct {
+	lsn       uint64
+	committed atomic.Bool
+	// log and off are guarded by the Pair's swap lock.
+	log *Log
+	off uint64
+}
+
+// LSN returns the record's log sequence number.
+func (h *Handle) LSN() uint64 { return h.lsn }
+
+// Committed reports whether the record has committed.
+func (h *Handle) Committed() bool { return h.committed.Load() }
+
+// Wait spins until the record commits — the paper's "spin on the committed
+// flag of the conflicting record" (§4.4).
+func (h *Handle) Wait() {
+	for !h.committed.Load() {
+		runtime.Gosched()
+	}
+}
+
+// RecordView is a decoded view of a log record. Name and Payload alias log
+// memory and are valid only while the log region is stable (archived logs
+// during a checkpoint, or any log under the swap lock).
+type RecordView struct {
+	LSN     uint64
+	Op      uint16
+	State   uint8
+	Off     uint64
+	Name    []byte
+	Payload []byte
+}
+
+// Log is a single log region. All mutation goes through its Pair.
+type Log struct {
+	sp   *space.PMEM
+	mu   sync.Mutex // serializes appends and window scans
+	tail uint64     // next append offset
+	cur  uint64     // firstUncommitted cursor (lazily advanced)
+}
+
+func newLog(sp *space.PMEM) *Log {
+	return &Log{sp: sp, tail: logHeader, cur: logHeader}
+}
+
+// Space returns the log's backing space (for inspection tools).
+func (l *Log) Space() *space.PMEM { return l.sp }
+
+// Tail returns the current append offset.
+func (l *Log) Tail() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tail
+}
+
+func (l *Log) reset() {
+	l.tail = logHeader
+	l.cur = logHeader
+	l.sp.PutU64(logHeader, 0) // zero guard
+	l.sp.Persist(logHeader, 8)
+}
+
+func pad8(n uint64) uint64 { return (n + 7) &^ 7 }
+
+func recordSize(nameLen, payLen int) uint64 {
+	return pad8(recHeader + uint64(nameLen) + uint64(payLen))
+}
+
+// readRecord decodes the record at off without validation beyond bounds.
+func (l *Log) readRecord(off uint64) (RecordView, uint64, bool) {
+	if off+recHeader > l.sp.Size() {
+		return RecordView{}, 0, false
+	}
+	lsn := l.sp.GetU64(off + recLSN)
+	if lsn == 0 {
+		return RecordView{}, 0, false
+	}
+	total := uint64(l.sp.GetU32(off + recLen))
+	nl := uint64(l.sp.GetU16(off + recNameLen))
+	pl := uint64(l.sp.GetU16(off + recPayLen))
+	if total < recHeader || total%8 != 0 || off+total > l.sp.Size() ||
+		recHeader+nl+pl > total {
+		return RecordView{}, 0, false
+	}
+	rv := RecordView{
+		LSN:     lsn,
+		Op:      l.sp.GetU16(off + recOp),
+		State:   l.sp.GetU8(off + recState),
+		Off:     off,
+		Name:    l.sp.Slice(off+recHeader, nl),
+		Payload: l.sp.Slice(off+recHeader+nl, pl),
+	}
+	return rv, off + total, true
+}
+
+// advanceCursor moves the firstUncommitted cursor past settled records.
+// Caller holds l.mu.
+func (l *Log) advanceCursor() {
+	for l.cur < l.tail {
+		rv, next, ok := l.readRecord(l.cur)
+		if !ok || rv.State == StateUncommitted {
+			return
+		}
+		l.cur = next
+	}
+}
+
+// findConflictLocked scans the uncommitted window for a record naming name,
+// skipping the record with LSN ignore (a lock record held by the requester:
+// olock holders may operate on their own locked objects). Caller holds l.mu.
+// Returns the LSN of the first conflicting record.
+func (l *Log) findConflictLocked(name []byte, ignore uint64) (uint64, bool) {
+	l.advanceCursor()
+	off := l.cur
+	for off < l.tail {
+		rv, next, ok := l.readRecord(off)
+		if !ok {
+			return 0, false
+		}
+		if rv.State == StateUncommitted && rv.LSN != ignore && string(rv.Name) == string(name) {
+			return rv.LSN, true
+		}
+		off = next
+	}
+	return 0, false
+}
+
+// IterateCommitted calls fn for every committed record in [logHeader, end)
+// in LSN order. It is used for checkpoint replay (on a stable archived log)
+// and for recovery replay.
+func (l *Log) IterateCommitted(end uint64, fn func(RecordView) error) error {
+	off := uint64(logHeader)
+	var prev uint64
+	for off < end {
+		rv, next, ok := l.readRecord(off)
+		if !ok || rv.LSN <= prev {
+			return nil
+		}
+		prev = rv.LSN
+		if rv.State == StateCommitted {
+			if err := fn(rv); err != nil {
+				return err
+			}
+		}
+		off = next
+	}
+	return nil
+}
+
+// IterateAll calls fn for every valid record regardless of state, in log
+// order. For inspection tools; the caller must arrange stability (no
+// concurrent swap).
+func (l *Log) IterateAll(fn func(RecordView) error) error {
+	off := uint64(logHeader)
+	var prev uint64
+	for {
+		rv, next, ok := l.readRecord(off)
+		if !ok || rv.LSN <= prev {
+			return nil
+		}
+		prev = rv.LSN
+		if err := fn(rv); err != nil {
+			return err
+		}
+		off = next
+	}
+}
+
+// Pair is the active/archive log pair plus the global LSN counter and the
+// registry of in-flight handles.
+type Pair struct {
+	swapMu sync.RWMutex // W: swap; R: append/commit/conflict checks
+	logs   [2]*Log
+	active int
+
+	lsn atomic.Uint64
+
+	regMu    sync.Mutex
+	registry map[uint64]*Handle // LSN -> in-flight handle
+}
+
+// NewPair formats a fresh pair over two equally-sized PMEM windows; log a is
+// initially active and the next LSN is startLSN.
+func NewPair(a, b *space.PMEM, startLSN uint64) *Pair {
+	p := &Pair{
+		logs:     [2]*Log{newLog(a), newLog(b)},
+		registry: make(map[uint64]*Handle),
+	}
+	p.lsn.Store(startLSN - 1)
+	p.logs[0].reset()
+	p.logs[1].reset()
+	return p
+}
+
+// RecoverPair attaches to existing log regions after a crash. activeIdx comes
+// from the root object. Every valid record is rescanned: committed records
+// stay, uncommitted records are marked dead (their operations died with the
+// process and must never be replayed or conflict). The LSN counter resumes
+// above the highest LSN seen in either log.
+func RecoverPair(a, b *space.PMEM, activeIdx int) (*Pair, error) {
+	if activeIdx != 0 && activeIdx != 1 {
+		return nil, fmt.Errorf("wal: bad active index %d", activeIdx)
+	}
+	p := &Pair{
+		logs:     [2]*Log{newLog(a), newLog(b)},
+		active:   activeIdx,
+		registry: make(map[uint64]*Handle),
+	}
+	var maxLSN uint64
+	for _, l := range p.logs {
+		off := uint64(logHeader)
+		var prev uint64
+		for {
+			rv, next, ok := l.readRecord(off)
+			if !ok || rv.LSN <= prev {
+				break
+			}
+			prev = rv.LSN
+			if rv.LSN > maxLSN {
+				maxLSN = rv.LSN
+			}
+			if rv.State == StateUncommitted {
+				l.sp.PutU8(rv.Off+recState, StateDead)
+				l.sp.Persist(rv.Off+recState, 1)
+			}
+			off = next
+		}
+		l.tail = off
+		l.cur = off
+	}
+	p.lsn.Store(maxLSN)
+	return p, nil
+}
+
+// Active returns the currently active log. Intended for stats/inspection;
+// the result may be stale the moment it returns.
+func (p *Pair) Active() *Log {
+	p.swapMu.RLock()
+	defer p.swapMu.RUnlock()
+	return p.logs[p.active]
+}
+
+// ActiveIndex returns the index (0 or 1) of the active log.
+func (p *Pair) ActiveIndex() int {
+	p.swapMu.RLock()
+	defer p.swapMu.RUnlock()
+	return p.active
+}
+
+// Log returns log i (0 or 1).
+func (p *Pair) Log(i int) *Log { return p.logs[i] }
+
+// LastLSN returns the most recently assigned LSN.
+func (p *Pair) LastLSN() uint64 { return p.lsn.Load() }
+
+// FreeFraction reports the active log's remaining capacity fraction;
+// checkpoints trigger when it falls below a threshold (paper §3.5).
+func (p *Pair) FreeFraction() float64 {
+	p.swapMu.RLock()
+	l := p.logs[p.active]
+	p.swapMu.RUnlock()
+	l.mu.Lock()
+	tail := l.tail
+	l.mu.Unlock()
+	size := l.sp.Size()
+	return float64(size-tail) / float64(size)
+}
+
+// InFlight returns the number of uncommitted records.
+func (p *Pair) InFlight() int {
+	p.regMu.Lock()
+	defer p.regMu.Unlock()
+	return len(p.registry)
+}
+
+// Append atomically checks the conflict window and, if no uncommitted record
+// names the same object, appends an uncommitted record and returns its
+// handle. If a conflict exists, Append returns (nil, conflict, nil) and the
+// caller must conflict.Wait() and retry — this is the paper's CC for
+// write-write conflicts. ErrLogFull signals that a checkpoint must free log
+// space first.
+func (p *Pair) Append(op uint16, name, payload []byte) (*Handle, *Handle, error) {
+	return p.AppendIgnore(op, name, payload, 0)
+}
+
+// AppendIgnore is Append with one uncommitted record (by LSN) excluded from
+// the conflict check — the caller's own olock NOOP record (§4.5 reentrancy:
+// a lock holder may modify the object it locked).
+func (p *Pair) AppendIgnore(op uint16, name, payload []byte, ignore uint64) (*Handle, *Handle, error) {
+	if len(name) > MaxName || len(payload) > MaxPayload {
+		return nil, nil, fmt.Errorf("wal: record fields too large (%d, %d)", len(name), len(payload))
+	}
+	p.swapMu.RLock()
+	defer p.swapMu.RUnlock()
+	l := p.logs[p.active]
+
+	l.mu.Lock()
+	if lsn, ok := l.findConflictLocked(name, ignore); ok {
+		h := p.lookup(lsn)
+		l.mu.Unlock()
+		if h != nil {
+			return nil, h, nil
+		}
+		// The conflicting record committed between the scan and the lookup;
+		// treat as no conflict on retry.
+		return nil, nil, errRetry
+	}
+	total := recordSize(len(name), len(payload))
+	off := l.tail
+	if off+total+8 > l.sp.Size() {
+		l.mu.Unlock()
+		return nil, nil, ErrLogFull
+	}
+	lsn := p.lsn.Add(1)
+	l.writeRecordLocked(off, lsn, op, StateUncommitted, name, payload, total)
+	l.tail = off + total
+	l.mu.Unlock()
+
+	h := &Handle{lsn: lsn, log: l, off: off}
+	p.regMu.Lock()
+	p.registry[lsn] = h
+	p.regMu.Unlock()
+	return h, nil, nil
+}
+
+// errRetry is an internal signal: the conflict vanished mid-check.
+var errRetry = errors.New("wal: retry append")
+
+// IsRetry reports whether err asks the caller to simply retry Append.
+func IsRetry(err error) bool { return errors.Is(err, errRetry) }
+
+// writeRecordLocked performs the paper's §3.4 append protocol at off.
+// Caller holds l.mu and the record fits.
+func (l *Log) writeRecordLocked(off, lsn uint64, op uint16, state uint8, name, payload []byte, total uint64) {
+	sp := l.sp
+	// Body: everything except the LSN word. The LSN word at off is still
+	// zero — it is the previous append's guard.
+	sp.PutU32(off+recLen, uint32(total))
+	sp.PutU16(off+recOp, op)
+	sp.PutU8(off+recState, state)
+	sp.PutU8(off+recState+1, 0)
+	sp.PutU16(off+recNameLen, uint16(len(name)))
+	sp.PutU16(off+recPayLen, uint16(len(payload)))
+	sp.PutU32(off+20, 0)
+	sp.Write(off+recHeader, name)
+	sp.Write(off+recHeader+uint64(len(name)), payload)
+	padStart := off + recHeader + uint64(len(name)) + uint64(len(payload))
+	if padStart < off+total {
+		sp.Zero(padStart, off+total-padStart)
+	}
+	// Extend the guard: zero the next record's LSN slot.
+	sp.PutU64(off+total, 0)
+
+	// Flush the record body and guard, cache line by cache line in reverse
+	// order, then fence (§3.4).
+	first := off / pmem.LineSize
+	last := (off + total + 8 - 1) / pmem.LineSize
+	for line := last + 1; line > first; line-- {
+		sp.Flush((line-1)*pmem.LineSize, pmem.LineSize)
+	}
+	sp.Fence()
+
+	// The record becomes valid only now: write and persist the LSN.
+	sp.PutU64(off+recLSN, lsn)
+	sp.Persist(off+recLSN, 8)
+}
+
+func (p *Pair) lookup(lsn uint64) *Handle {
+	p.regMu.Lock()
+	defer p.regMu.Unlock()
+	return p.registry[lsn]
+}
+
+// FindConflict returns a handle for an uncommitted record naming name, if
+// any. Readers use it for read-write CC (§4.4).
+func (p *Pair) FindConflict(name []byte) *Handle {
+	return p.FindConflictIgnore(name, 0)
+}
+
+// FindConflictIgnore is FindConflict excluding one LSN (the requester's own
+// lock record).
+func (p *Pair) FindConflictIgnore(name []byte, ignore uint64) *Handle {
+	p.swapMu.RLock()
+	defer p.swapMu.RUnlock()
+	l := p.logs[p.active]
+	l.mu.Lock()
+	lsn, ok := l.findConflictLocked(name, ignore)
+	l.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return p.lookup(lsn)
+}
+
+// Commit marks h's record committed and durable — step ⑨ of the write
+// pipeline (Fig. 4), called only after the operation's data is durable.
+func (p *Pair) Commit(h *Handle) {
+	p.swapMu.RLock()
+	// The state byte is spun on by CC scans and shares cache lines with
+	// neighbouring records; serialize the store and its flush with other
+	// log mutations (on real hardware this is a relaxed atomic byte store
+	// plus clwb — cache coherence does the serialization).
+	h.log.mu.Lock()
+	h.log.sp.PutU8(h.off+recState, StateCommitted)
+	h.log.sp.Persist(h.off+recState, 1)
+	h.log.mu.Unlock()
+	h.committed.Store(true)
+	p.swapMu.RUnlock()
+	p.regMu.Lock()
+	delete(p.registry, h.lsn)
+	p.regMu.Unlock()
+}
+
+// Abort marks h's record dead (used when an operation fails after logging,
+// e.g. pool exhaustion). Dead records are never replayed.
+func (p *Pair) Abort(h *Handle) {
+	p.swapMu.RLock()
+	h.log.mu.Lock()
+	h.log.sp.PutU8(h.off+recState, StateDead)
+	h.log.sp.Persist(h.off+recState, 1)
+	h.log.mu.Unlock()
+	h.committed.Store(true) // release waiters; record is settled
+	p.swapMu.RUnlock()
+	p.regMu.Lock()
+	delete(p.registry, h.lsn)
+	p.regMu.Unlock()
+}
+
+// SwapResult describes the archived log produced by a Swap.
+type SwapResult struct {
+	// Archived is the log to replay.
+	Archived *Log
+	// ArchivedIndex is its index within the pair.
+	ArchivedIndex int
+	// ReplayEnd bounds the committed prefix: replay records in
+	// [start, ReplayEnd) — every record there is committed or dead.
+	ReplayEnd uint64
+	// NewActiveIndex is the index of the log now receiving appends.
+	NewActiveIndex int
+	// Migrated is the number of records moved to the new active log.
+	Migrated int
+}
+
+// Swap archives the active log and redirects appends to the other log
+// (paper §3.5: "swapping the active and archived logs ... and moving any
+// uncommitted log records to the new active log"). The suffix starting at
+// the first uncommitted record — including later committed records, to
+// preserve LSN-ordered replay — migrates to the new active log with states
+// and LSNs intact. persistRoot runs inside the critical section, after the
+// migration is durable and before appends resume: it must durably record the
+// new active index and checkpoint state in the root object, so a crash at
+// any instant sees a consistent (active, archive) assignment.
+func (p *Pair) Swap(persistRoot func(newActive, archived int, replayEnd uint64)) SwapResult {
+	p.swapMu.Lock()
+	defer p.swapMu.Unlock()
+
+	old := p.logs[p.active]
+	newIdx := 1 - p.active
+	nl := p.logs[newIdx]
+	nl.reset()
+
+	old.mu.Lock()
+	old.advanceCursor()
+	cut := old.cur
+	tail := old.tail
+	old.mu.Unlock()
+
+	// Migrate the suffix [cut, tail) record by record.
+	migrated := 0
+	off := cut
+	var migLo, migHi uint64
+	for off < tail {
+		rv, next, ok := old.readRecord(off)
+		if !ok {
+			break
+		}
+		total := next - off
+		dst := nl.tail
+		space.Copy(nl.sp, dst, old.sp, off, total)
+		nl.sp.PutU64(dst+total, 0) // guard
+		if migrated == 0 {
+			migLo = dst
+		}
+		migHi = dst + total + 8
+		nl.tail = dst + total
+		if rv.State == StateUncommitted {
+			if h := p.lookup(rv.LSN); h != nil {
+				h.log = nl
+				h.off = dst
+			}
+		}
+		migrated++
+		off = next
+	}
+	if migrated > 0 {
+		nl.sp.Persist(migLo, migHi-migLo)
+	}
+
+	persistRoot(newIdx, p.active, cut)
+
+	res := SwapResult{
+		Archived:       old,
+		ArchivedIndex:  p.active,
+		ReplayEnd:      cut,
+		NewActiveIndex: newIdx,
+		Migrated:       migrated,
+	}
+	p.active = newIdx
+	return res
+}
+
+// AppendNoop appends the paper's NOOP record used by olock (§4.5): it
+// conflicts like a write but replays as nothing. Equivalent to Append with
+// the given op code; provided for readability at call sites.
+func (p *Pair) AppendNoop(op uint16, name []byte) (*Handle, *Handle, error) {
+	return p.Append(op, name, nil)
+}

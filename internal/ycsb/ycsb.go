@@ -1,0 +1,218 @@
+// Package ycsb implements the YCSB workload generator (Cooper et al.,
+// SoCC'10) used throughout the paper's evaluation: zipfian-skewed key
+// selection over a fixed key space with configurable read/update mixes.
+// Workloads A (50% read / 50% update) and B (95% read / 5% update) are the
+// two the paper measures (§5.2, §5.4).
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Op is a generated operation kind.
+type Op int
+
+const (
+	// OpRead is a point read.
+	OpRead Op = iota
+	// OpUpdate overwrites an existing record.
+	OpUpdate
+	// OpInsert adds a new record (workload D's "read latest" pattern).
+	OpInsert
+	// OpScan is a short ordered range scan (workload E).
+	OpScan
+	// OpRMW is a read-modify-write (workload F).
+	OpRMW
+)
+
+// Workload is an op-mix + key-distribution specification. Proportions must
+// sum to at most 1; the remainder are updates.
+type Workload struct {
+	// Name labels the workload in output ("A", "B", ...).
+	Name string
+	// ReadProportion in [0,1].
+	ReadProportion float64
+	// InsertProportion generates new keys beyond the loaded set (D).
+	InsertProportion float64
+	// ScanProportion generates short range scans (E).
+	ScanProportion float64
+	// RMWProportion generates read-modify-writes (F).
+	RMWProportion float64
+	// Records is the initially-loaded key-space size.
+	Records int
+	// ValueBytes is the object size (the paper uses 4096).
+	ValueBytes int
+	// Zipfian selects the skewed distribution (YCSB default); false gives
+	// uniform.
+	Zipfian bool
+	// MaxScanLen bounds OpScan lengths (default 100, YCSB's default).
+	MaxScanLen int
+}
+
+// A returns YCSB workload A (50% read, 50% update).
+func A(records, valueBytes int) Workload {
+	return Workload{Name: "A", ReadProportion: 0.5, Records: records, ValueBytes: valueBytes, Zipfian: true}
+}
+
+// B returns YCSB workload B (95% read, 5% update).
+func B(records, valueBytes int) Workload {
+	return Workload{Name: "B", ReadProportion: 0.95, Records: records, ValueBytes: valueBytes, Zipfian: true}
+}
+
+// WriteHeavy returns the paper's 50R/50W full-subscription mix used for the
+// Fig. 1 and Fig. 7 experiments (identical to A).
+func WriteHeavy(records, valueBytes int) Workload {
+	w := A(records, valueBytes)
+	w.Name = "50R/50W"
+	return w
+}
+
+// C returns YCSB workload C (100% read).
+func C(records, valueBytes int) Workload {
+	return Workload{Name: "C", ReadProportion: 1, Records: records, ValueBytes: valueBytes, Zipfian: true}
+}
+
+// D returns YCSB workload D (95% read, 5% insert, read-latest skew
+// approximated by reading over the grown key space).
+func D(records, valueBytes int) Workload {
+	return Workload{Name: "D", ReadProportion: 0.95, InsertProportion: 0.05,
+		Records: records, ValueBytes: valueBytes, Zipfian: true}
+}
+
+// E returns YCSB workload E (95% short scans, 5% insert).
+func E(records, valueBytes int) Workload {
+	return Workload{Name: "E", ScanProportion: 0.95, InsertProportion: 0.05,
+		Records: records, ValueBytes: valueBytes, Zipfian: true, MaxScanLen: 100}
+}
+
+// F returns YCSB workload F (50% read, 50% read-modify-write).
+func F(records, valueBytes int) Workload {
+	return Workload{Name: "F", ReadProportion: 0.5, RMWProportion: 0.5,
+		Records: records, ValueBytes: valueBytes, Zipfian: true}
+}
+
+// Key renders record index i as its YCSB-style key.
+func Key(i int) string { return fmt.Sprintf("user%010d", i) }
+
+// Generator produces a deterministic per-thread op stream. Not safe for
+// concurrent use; create one per goroutine.
+type Generator struct {
+	w        Workload
+	rng      *rand.Rand
+	zip      *zipfian
+	val      []byte
+	inserted int // keys this generator added beyond the loaded set
+	seed     int64
+}
+
+// NewGenerator creates a generator for w seeded by seed.
+func NewGenerator(w Workload, seed int64) *Generator {
+	g := &Generator{w: w, rng: rand.New(rand.NewSource(seed)), seed: seed}
+	if w.Zipfian {
+		g.zip = newZipfian(uint64(w.Records), 0.99)
+	}
+	if g.w.MaxScanLen == 0 {
+		g.w.MaxScanLen = 100
+	}
+	g.val = make([]byte, w.ValueBytes)
+	for i := range g.val {
+		g.val[i] = byte(seed) + byte(i)
+	}
+	return g
+}
+
+// Next returns the next operation and key.
+func (g *Generator) Next() (Op, string) {
+	r := g.rng.Float64()
+	op := OpUpdate
+	switch {
+	case r < g.w.ReadProportion:
+		op = OpRead
+	case r < g.w.ReadProportion+g.w.InsertProportion:
+		op = OpInsert
+	case r < g.w.ReadProportion+g.w.InsertProportion+g.w.ScanProportion:
+		op = OpScan
+	case r < g.w.ReadProportion+g.w.InsertProportion+g.w.ScanProportion+g.w.RMWProportion:
+		op = OpRMW
+	}
+	if op == OpInsert {
+		g.inserted++
+		// Per-generator disjoint insert space, wrapped so the live set
+		// stays bounded by the loaded size (the store's capacity is sized
+		// for the load; real YCSB-D grows without bound).
+		return op, fmt.Sprintf("user-ins-%d-%08d", g.seed, g.inserted%g.w.Records)
+	}
+	var idx uint64
+	if g.zip != nil {
+		idx = g.zip.next(g.rng)
+	} else {
+		idx = uint64(g.rng.Intn(g.w.Records))
+	}
+	// YCSB scrambles the zipfian rank so hot keys spread over the key
+	// space; FNV-1a provides the hash.
+	idx = fnv64(idx) % uint64(g.w.Records)
+	return op, Key(int(idx))
+}
+
+// ScanLen returns a length for an OpScan (uniform in [1, MaxScanLen], the
+// YCSB default).
+func (g *Generator) ScanLen() int { return 1 + g.rng.Intn(g.w.MaxScanLen) }
+
+// Value returns a reusable value buffer for update operations (contents vary
+// slightly per call so stores cannot dedupe).
+func (g *Generator) Value() []byte {
+	if len(g.val) > 0 {
+		g.val[0]++
+	}
+	return g.val
+}
+
+func fnv64(v uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= 1099511628211
+		v >>= 8
+	}
+	return h
+}
+
+// zipfian is the YCSB ZipfianGenerator (Gray et al.'s algorithm): ranks are
+// drawn with P(i) ∝ 1/i^theta.
+type zipfian struct {
+	items             uint64
+	theta             float64
+	zetan, zeta2theta float64
+	alpha, eta        float64
+}
+
+func newZipfian(items uint64, theta float64) *zipfian {
+	z := &zipfian{items: items, theta: theta}
+	z.zetan = zetaStatic(items, theta)
+	z.zeta2theta = zetaStatic(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(items), 1-theta)) / (1 - z.zeta2theta/z.zetan)
+	return z
+}
+
+func zetaStatic(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func (z *zipfian) next(rng *rand.Rand) uint64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.items) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}

@@ -1,0 +1,182 @@
+package ycsb
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWorkloadMixes(t *testing.T) {
+	a := A(1000, 4096)
+	b := B(1000, 4096)
+	if a.ReadProportion != 0.5 || b.ReadProportion != 0.95 {
+		t.Fatalf("mixes: %f %f", a.ReadProportion, b.ReadProportion)
+	}
+	g := NewGenerator(a, 1)
+	reads := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		op, key := g.Next()
+		if op == OpRead {
+			reads++
+		}
+		if len(key) != len("user0000000000") {
+			t.Fatalf("key format: %q", key)
+		}
+	}
+	frac := float64(reads) / n
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("workload A read fraction = %f", frac)
+	}
+
+	g = NewGenerator(b, 2)
+	reads = 0
+	for i := 0; i < n; i++ {
+		if op, _ := g.Next(); op == OpRead {
+			reads++
+		}
+	}
+	frac = float64(reads) / n
+	if math.Abs(frac-0.95) > 0.01 {
+		t.Fatalf("workload B read fraction = %f", frac)
+	}
+}
+
+func TestKeysWithinRange(t *testing.T) {
+	w := A(100, 64)
+	g := NewGenerator(w, 3)
+	seen := map[string]bool{}
+	for i := 0; i < 10000; i++ {
+		_, key := g.Next()
+		seen[key] = true
+	}
+	if len(seen) > 100 {
+		t.Fatalf("generated %d distinct keys for a 100-record space", len(seen))
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	w := A(10000, 64)
+	g := NewGenerator(w, 4)
+	counts := map[string]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		_, key := g.Next()
+		counts[key]++
+	}
+	// Zipfian(0.99): the hottest key takes a few percent of traffic; the
+	// top-10 keys take a large share relative to uniform (which would give
+	// each key 0.01%).
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if float64(maxCount)/n < 0.01 {
+		t.Fatalf("hottest key fraction %.4f too small for zipfian", float64(maxCount)/n)
+	}
+	if len(counts) < 1000 {
+		t.Fatalf("only %d distinct keys touched", len(counts))
+	}
+}
+
+func TestUniform(t *testing.T) {
+	w := Workload{Name: "U", ReadProportion: 1, Records: 1000, ValueBytes: 64}
+	g := NewGenerator(w, 5)
+	counts := map[string]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		_, key := g.Next()
+		counts[key]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if float64(maxCount)/n > 0.01 {
+		t.Fatalf("uniform distribution too skewed: max fraction %.4f", float64(maxCount)/n)
+	}
+}
+
+func TestDeterministicStreams(t *testing.T) {
+	g1 := NewGenerator(A(1000, 64), 42)
+	g2 := NewGenerator(A(1000, 64), 42)
+	for i := 0; i < 100; i++ {
+		op1, k1 := g1.Next()
+		op2, k2 := g2.Next()
+		if op1 != op2 || k1 != k2 {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+}
+
+func TestValueVaries(t *testing.T) {
+	g := NewGenerator(A(10, 128), 1)
+	v1 := append([]byte(nil), g.Value()...)
+	v2 := g.Value()
+	if len(v2) != 128 {
+		t.Fatalf("value size = %d", len(v2))
+	}
+	if v1[0] == v2[0] {
+		t.Fatal("value does not vary between calls")
+	}
+}
+
+func TestWorkloadCDEF(t *testing.T) {
+	const n = 20000
+	counts := func(w Workload, seed int64) map[Op]int {
+		g := NewGenerator(w, seed)
+		c := map[Op]int{}
+		for i := 0; i < n; i++ {
+			op, _ := g.Next()
+			c[op]++
+		}
+		return c
+	}
+
+	c := counts(C(1000, 64), 1)
+	if c[OpRead] != n {
+		t.Fatalf("workload C not read-only: %v", c)
+	}
+
+	d := counts(D(1000, 64), 2)
+	if frac := float64(d[OpInsert]) / n; math.Abs(frac-0.05) > 0.01 {
+		t.Fatalf("workload D insert fraction %f", frac)
+	}
+
+	e := counts(E(1000, 64), 3)
+	if frac := float64(e[OpScan]) / n; math.Abs(frac-0.95) > 0.01 {
+		t.Fatalf("workload E scan fraction %f", frac)
+	}
+
+	f := counts(F(1000, 64), 4)
+	if frac := float64(f[OpRMW]) / n; math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("workload F rmw fraction %f", frac)
+	}
+}
+
+func TestInsertKeysBounded(t *testing.T) {
+	g := NewGenerator(D(100, 64), 5)
+	seen := map[string]bool{}
+	for i := 0; i < 50000; i++ {
+		op, key := g.Next()
+		if op == OpInsert {
+			seen[key] = true
+		}
+	}
+	if len(seen) > 100 {
+		t.Fatalf("insert key space unbounded: %d distinct keys", len(seen))
+	}
+}
+
+func TestScanLenBounded(t *testing.T) {
+	g := NewGenerator(E(1000, 64), 6)
+	for i := 0; i < 1000; i++ {
+		l := g.ScanLen()
+		if l < 1 || l > 100 {
+			t.Fatalf("scan length %d out of [1,100]", l)
+		}
+	}
+}

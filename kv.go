@@ -1,0 +1,122 @@
+package dstore
+
+import (
+	"errors"
+
+	"dstore/internal/kvapi"
+)
+
+// KV adapts a Store to the benchmark-facing kvapi.Store interface so the
+// experiment harness drives DStore and the comparison systems identically.
+type KV struct {
+	s   *Store
+	ctx *Ctx
+	cfg Config
+}
+
+// NewKV wraps s. cfg must be the config s was created with; it is reused by
+// Recover.
+func NewKV(s *Store, cfg Config) *KV {
+	return &KV{s: s, ctx: s.Init(), cfg: cfg}
+}
+
+// Store returns the wrapped store (it changes after Recover).
+func (k *KV) Store() *Store { return k.s }
+
+// Label implements kvapi.Store.
+func (k *KV) Label() string {
+	switch k.cfg.Mode {
+	case ModeCoW:
+		return "DStore (CoW)"
+	case ModePhysical:
+		return "DStore (physical log)"
+	default:
+		if k.cfg.DisableOE {
+			return "DStore (no OE)"
+		}
+		return "DStore"
+	}
+}
+
+// Put implements kvapi.Store.
+func (k *KV) Put(key string, value []byte) error { return k.ctx.Put(key, value) }
+
+// Get implements kvapi.Store; absent keys return kvapi.ErrNotFound.
+func (k *KV) Get(key string, buf []byte) ([]byte, error) {
+	out, err := k.ctx.Get(key, buf)
+	if errors.Is(err, ErrNotFound) {
+		return nil, kvapi.ErrNotFound
+	}
+	return out, err
+}
+
+// Delete implements kvapi.Store; absent keys return kvapi.ErrNotFound.
+func (k *KV) Delete(key string) error {
+	if err := k.s.Init().Delete(key); err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return kvapi.ErrNotFound
+		}
+		return err
+	}
+	return nil
+}
+
+// Close implements kvapi.Store.
+func (k *KV) Close() error { return k.s.Close() }
+
+// FootprintBytes implements kvapi.FootprintReporter.
+func (k *KV) FootprintBytes() (dram, pmem, ssd uint64) {
+	fp := k.s.Footprint()
+	return fp.DRAMBytes, fp.PMEMBytes, fp.SSDBytes
+}
+
+// Crash implements kvapi.Crasher.
+func (k *KV) Crash(seed int64) {
+	k.cfg.PMEM, k.cfg.SSD = k.s.Crash(seed)
+}
+
+// CleanClose shuts down cleanly (final checkpoint included) but keeps the
+// devices for Recover.
+func (k *KV) CleanClose() error {
+	err := k.s.Close()
+	k.cfg.PMEM, k.cfg.SSD = k.s.Devices()
+	return err
+}
+
+// CleanCloseNoCheckpoint stops the store in an orderly way but without the
+// final checkpoint, leaving the active log populated — the paper's clean
+// shutdown semantics, whose Table 4 recovery includes log replay.
+func (k *KV) CleanCloseNoCheckpoint() error {
+	err := k.s.CloseNoCheckpoint()
+	k.cfg.PMEM, k.cfg.SSD = k.s.Devices()
+	return err
+}
+
+// Recover implements kvapi.Crasher: reopen from the surviving devices and
+// report the engine's recovery phase breakdown.
+func (k *KV) Recover() (metadataNs, replayNs int64, err error) {
+	if k.cfg.PMEM == nil {
+		return 0, 0, errors.New("dstore: Recover before Crash/CleanClose")
+	}
+	s2, err := Open(k.cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	k.s = s2
+	k.ctx = s2.Init()
+	metadataNs, replayNs = s2.Engine().RecoveryBreakdown()
+	return metadataNs, replayNs, nil
+}
+
+// IOBytes implements kvapi.IOStatsReporter.
+func (k *KV) IOBytes() (pmemBytes, ssdBytes uint64) {
+	pm, data := k.s.Devices()
+	ps := pm.Stats()
+	ds := data.Stats()
+	return ps.BytesRead + ps.BytesWritten, ds.BytesRead + ds.BytesWritten
+}
+
+var _ kvapi.IOStatsReporter = (*KV)(nil)
+var _ kvapi.Store = (*KV)(nil)
+var _ kvapi.FootprintReporter = (*KV)(nil)
+var _ kvapi.Crasher = (*KV)(nil)

@@ -1,0 +1,748 @@
+package dstore
+
+import (
+	"errors"
+	"fmt"
+
+	"dstore/internal/wal"
+)
+
+// Ctx is a per-goroutine request context (paper Table 2: ds_init /
+// ds_finalize). "Each thread submitting IO needs to initialize a context for
+// submitting requests."
+type Ctx struct {
+	s       *Store
+	scratch []byte
+	locks   map[string]*wal.Handle // olock records held by this context
+}
+
+// Init creates a request context. A Ctx is owned by a single goroutine.
+func (s *Store) Init() *Ctx { return &Ctx{s: s} }
+
+// Finalize releases the context, committing (releasing) any locks it still
+// holds.
+func (c *Ctx) Finalize() {
+	for name := range c.locks {
+		c.Unlock(name) //nolint:errcheck
+	}
+	c.s = nil
+}
+
+// heldLSN returns the LSN of this context's lock record on name, or 0. The
+// CC checks skip it so a lock holder can operate on its locked object.
+func (c *Ctx) heldLSN(name string) uint64 {
+	if h, ok := c.locks[name]; ok {
+		return h.LSN()
+	}
+	return 0
+}
+
+// OpenFlag selects oopen semantics.
+type OpenFlag int
+
+const (
+	// OpenRead opens an existing object for reading.
+	OpenRead OpenFlag = 1 << iota
+	// OpenWrite opens an existing object for writing.
+	OpenWrite
+	// OpenCreate creates the object (with the given size) if absent.
+	OpenCreate
+)
+
+// Object is an open handle from the filesystem-style API (paper Table 2).
+type Object struct {
+	c      *Ctx
+	name   string
+	flags  OpenFlag
+	closed bool
+}
+
+// appendPooled performs Fig. 4 steps ① and ② — lock the pools, then append
+// (and implicitly conflict-check) the log record — retrying on CC conflicts
+// and log-full backpressure. On success the pool lock is HELD; the caller
+// runs the pool phase and then calls s.poolUnlock.
+func (s *Store) appendPooled(op uint16, name, payload []byte, ignore uint64) (*wal.Handle, error) {
+	for {
+		s.poolMu.Lock()
+		h, conflict, err := s.eng.Pair().AppendIgnore(op, name, payload, ignore)
+		switch {
+		case err == nil && conflict == nil:
+			s.eng.MaybeTrigger()
+			return h, nil
+		case conflict != nil:
+			s.poolMu.Unlock()
+			conflict.Wait()
+		case wal.IsRetry(err):
+			s.poolMu.Unlock()
+		case errors.Is(err, wal.ErrLogFull):
+			s.poolMu.Unlock()
+			if s.cfg.DisableCheckpoints {
+				return nil, fmt.Errorf("dstore: log full with checkpoints disabled")
+			}
+			if cerr := s.eng.Checkpoint(); cerr != nil {
+				return nil, cerr
+			}
+		default:
+			s.poolMu.Unlock()
+			return nil, err
+		}
+	}
+}
+
+// allocAndAppend runs Fig. 4 steps ①–⑤ for put/create/extend: under the
+// pool lock it takes the allocations and appends the log record carrying
+// their ids, retrying (with the allocations rolled back) on CC conflicts
+// and log-full backpressure.
+func (s *Store) allocAndAppend(op uint16, name []byte, size uint64, ignore uint64) (*wal.Handle, putAlloc, error) {
+	measure := s.cfg.Breakdown
+	for {
+		var t0 int64
+		if measure {
+			t0 = nowNs()
+		}
+		s.poolMu.Lock()
+		var a putAlloc
+		var perr error
+		s.treeMu.RLock()
+		if op == opExtend {
+			a, perr = s.extendPoolPhase(name, size)
+		} else {
+			a, perr = s.front.putPoolPhase(name, size, s.cfg.BlockSize)
+		}
+		s.treeMu.RUnlock()
+		if perr != nil {
+			s.poolMu.Unlock()
+			return nil, putAlloc{}, perr
+		}
+		var t1 int64
+		if measure {
+			t1 = nowNs()
+		}
+		payload := encodeAllocPayload(size, a.slot, a.blocks, s.physPad())
+		h, conflict, err := s.eng.Pair().AppendIgnore(op, name, payload, ignore)
+		if err == nil && conflict == nil {
+			s.eng.MaybeTrigger()
+			s.poolMu.Unlock()
+			if measure {
+				end := nowNs()
+				s.bd.poolNs.Add(uint64(t1 - t0))
+				s.bd.logNs.Add(uint64(end - t1))
+			}
+			return h, a, nil
+		}
+		// Roll back the allocations before retrying.
+		s.rollbackAlloc(op, a)
+		s.poolMu.Unlock()
+		switch {
+		case conflict != nil:
+			conflict.Wait()
+		case wal.IsRetry(err):
+		case errors.Is(err, wal.ErrLogFull):
+			if s.cfg.DisableCheckpoints {
+				return nil, putAlloc{}, fmt.Errorf("dstore: log full with checkpoints disabled")
+			}
+			if cerr := s.eng.Checkpoint(); cerr != nil {
+				return nil, putAlloc{}, cerr
+			}
+		default:
+			return nil, putAlloc{}, err
+		}
+	}
+}
+
+// extendPoolPhase builds the grow-allocation for opExtend: the existing
+// block list (read under the slot's stripe lock; a concurrent same-name
+// writer makes the subsequent append conflict and the phase retry) plus
+// fresh blocks to reach newSize. Caller holds poolMu and treeMu.RLock.
+func (s *Store) extendPoolPhase(name []byte, newSize uint64) (putAlloc, error) {
+	slot, ok := s.front.tree.Get(name)
+	if !ok {
+		return putAlloc{}, fmt.Errorf("dstore: extend of unknown object %q", name)
+	}
+	e, used := s.zoneRead(slot)
+	if !used {
+		return putAlloc{}, fmt.Errorf("dstore: index entry %q points at free slot %d", name, slot)
+	}
+	need := blocksFor(newSize, s.cfg.BlockSize)
+	if need > s.front.zone.MaxBlocks() {
+		return putAlloc{}, fmt.Errorf("dstore: object %q needs %d blocks, max %d", name, need, s.front.zone.MaxBlocks())
+	}
+	blocks := e.Blocks
+	oldLen := len(blocks)
+	for uint64(len(blocks)) < need {
+		b, err := s.front.blockPool.Get()
+		if err != nil {
+			for _, got := range blocks[oldLen:] {
+				s.front.blockPool.Put(got) //nolint:errcheck
+			}
+			return putAlloc{}, fmt.Errorf("dstore: out of blocks: %w", err)
+		}
+		blocks = append(blocks, b)
+	}
+	return putAlloc{slot: slot, blocks: blocks, existed: true, freshFrom: oldLen}, nil
+}
+
+// rollbackAlloc undoes allocAndAppend's pool phase. Caller holds poolMu.
+func (s *Store) rollbackAlloc(op uint16, a putAlloc) {
+	if op == opExtend {
+		for _, b := range a.blocks[a.freshFrom:] {
+			s.front.blockPool.Put(b) //nolint:errcheck
+		}
+		return
+	}
+	s.front.undoPutAlloc(a)
+}
+
+// grow extends buf by n bytes, reusing capacity without a temporary
+// allocation (the read path is allocation-free when callers recycle
+// buffers).
+func grow(buf []byte, n int) []byte {
+	need := len(buf) + n
+	if cap(buf) >= need {
+		return buf[:need]
+	}
+	nb := make([]byte, need, need*2)
+	copy(nb, buf)
+	return nb
+}
+
+func (s *Store) validateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("dstore: empty object name")
+	}
+	if uint64(len(name)) > s.cfg.MaxNameLen {
+		return fmt.Errorf("dstore: name %q exceeds %d bytes", name, s.cfg.MaxNameLen)
+	}
+	return nil
+}
+
+func (s *Store) maxObjectBytes() uint64 {
+	return s.cfg.MaxBlocksPerObject * s.cfg.BlockSize
+}
+
+// physPad returns the payload padding for physical-logging mode.
+func (s *Store) physPad() int {
+	if s.cfg.Mode == ModePhysical {
+		return s.cfg.PhysicalImageBytes
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------- key-value
+
+// Put stores value under key, creating or overwriting the object (paper
+// Table 2: oput). The write pipeline is Fig. 4:
+//
+//	① lock pools ② append+flush log record ③ allocate blocks ④ allocate
+//	metadata page ⑤ unlock ⑥ write metadata ⑦ write btree record ⑧ write
+//	data to SSD ⑨ commit and flush log record.
+func (c *Ctx) Put(key string, value []byte) error {
+	s := c.s
+	if s == nil || s.closed.Load() {
+		return ErrClosed
+	}
+	if err := s.validateName(key); err != nil {
+		return err
+	}
+	if uint64(len(value)) > s.maxObjectBytes() {
+		return fmt.Errorf("dstore: value of %d bytes exceeds max object size %d", len(value), s.maxObjectBytes())
+	}
+	s.ops.puts.Add(1)
+	name := []byte(key)
+	size := uint64(len(value))
+
+	var t0, t2, t3, t4, t5 int64
+	measure := s.cfg.Breakdown
+	if measure {
+		t0 = nowNs()
+	}
+
+	if s.cfg.DisableOE {
+		s.globalMu.Lock()
+	}
+	// Steps ①–⑤: under the pool lock, allocate (③–④) and append the log
+	// record carrying the allocation ids (②). Data always goes to fresh
+	// blocks, so a record that dies before commit leaves the previous
+	// version untouched on SSD.
+	h, a, err := s.allocAndAppend(opPut, name, size, c.heldLSN(key))
+	if err != nil {
+		if s.cfg.DisableOE {
+			s.globalMu.Unlock()
+		}
+		return err
+	}
+	if measure {
+		t2 = nowNs() // pool and log components recorded inside allocAndAppend
+	}
+
+	// With the record appended, this context owns the name (CC): read the
+	// previous version's blocks for the deferred free.
+	if a.existed {
+		if e, used := s.zoneRead(a.slot); used {
+			a.oldBlocks = e.Blocks
+		}
+	}
+
+	// Read-write CC: drain readers that entered before our record became
+	// visible (§4.4).
+	s.readers.awaitZero(key)
+
+	// Step ⑥: metadata zone (slot-striped lock; slot-private under OE).
+	zlk := s.zoneLock(a.slot)
+	zlk.Lock()
+	merr := s.front.putMetaPhase(a, name, size)
+	zlk.Unlock()
+	if err := merr; err != nil {
+		s.eng.Abort(h)
+		if s.cfg.DisableOE {
+			s.globalMu.Unlock()
+		}
+		return err
+	}
+	if measure {
+		t3 = nowNs()
+	}
+	// Step ⑦: B-tree.
+	s.treeMu.Lock()
+	terr := s.front.putTreePhase(a, name)
+	s.treeMu.Unlock()
+	if s.cfg.DisableOE {
+		s.globalMu.Unlock()
+	}
+	if terr != nil {
+		s.eng.Abort(h)
+		return terr
+	}
+	if measure {
+		t4 = nowNs()
+	}
+
+	// Step ⑧: data to SSD, block by block.
+	for i, b := range a.blocks {
+		lo := uint64(i) * s.cfg.BlockSize
+		hi := lo + s.cfg.BlockSize
+		if hi > size {
+			hi = size
+		}
+		s.data.WriteAt(s.dataOff(b), value[lo:hi])
+	}
+	if measure {
+		t5 = nowNs()
+	}
+
+	// Step ⑨: commit — only now is the operation durable.
+	s.eng.Commit(h)
+
+	// Deferred frees: the previous version's blocks return to the pool only
+	// after the new version committed.
+	if len(a.oldBlocks) > 0 {
+		s.poolMu.Lock()
+		for _, b := range a.oldBlocks {
+			s.front.blockPool.Put(b) //nolint:errcheck
+		}
+		s.poolMu.Unlock()
+	}
+
+	if measure {
+		end := nowNs()
+		s.bd.count.Add(1)
+		s.bd.metaNs.Add(uint64(t3 - t2))
+		s.bd.treeNs.Add(uint64(t4 - t3))
+		s.bd.ssdNs.Add(uint64(t5 - t4))
+		s.bd.totalNs.Add(uint64(end - t0))
+	}
+	return nil
+}
+
+// Get retrieves key's value, appending it to buf (which may be nil) and
+// returning the extended slice (paper Table 2: oget).
+func (c *Ctx) Get(key string, buf []byte) ([]byte, error) {
+	s := c.s
+	if s == nil || s.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := s.validateName(key); err != nil {
+		return nil, err
+	}
+	s.ops.gets.Add(1)
+
+	// Read-write CC (§4.4). Pre-check the uncommitted window *before*
+	// touching the read count (so waiting readers never make the count
+	// flicker and starve the writer's poll), then enter and re-check to
+	// close the race with a writer appending in between.
+	ctr := s.readers.enterChecked(key, func() *wal.Handle {
+		return s.eng.FindConflictIgnore([]byte(key), c.heldLSN(key))
+	})
+	defer s.readers.exit(ctr)
+
+	s.treeMu.RLock()
+	slot, ok := s.front.tree.Get([]byte(key))
+	s.treeMu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	e, used := s.zoneRead(slot)
+	if !used {
+		return nil, fmt.Errorf("dstore: index entry %q points at free slot %d", key, slot)
+	}
+
+	start := len(buf)
+	buf = grow(buf, int(e.Size))
+	out := buf[start:]
+	for i, b := range e.Blocks {
+		lo := uint64(i) * s.cfg.BlockSize
+		hi := lo + s.cfg.BlockSize
+		if hi > e.Size {
+			hi = e.Size
+		}
+		if lo >= e.Size {
+			break
+		}
+		s.data.ReadAt(s.dataOff(b), out[lo:hi])
+	}
+	return buf, nil
+}
+
+// Delete removes key's object (paper Table 2: odelete).
+func (c *Ctx) Delete(key string) error {
+	s := c.s
+	if s == nil || s.closed.Load() {
+		return ErrClosed
+	}
+	if err := s.validateName(key); err != nil {
+		return err
+	}
+	s.ops.deletes.Add(1)
+	name := []byte(key)
+
+	if s.cfg.DisableOE {
+		s.globalMu.Lock()
+		defer s.globalMu.Unlock()
+	}
+	h, err := s.appendPooled(opDelete, name, nil, c.heldLSN(key))
+	if err != nil {
+		return err
+	}
+	s.treeMu.RLock()
+	slot, ok := s.front.tree.Get(name)
+	s.treeMu.RUnlock()
+	var blocks []uint64
+	found := false
+	var perr error
+	if ok {
+		if e, used := s.zoneRead(slot); used {
+			blocks, found = e.Blocks, true
+		} else {
+			perr = fmt.Errorf("dstore: index entry %q points at free slot %d", key, slot)
+		}
+	}
+	s.poolMu.Unlock()
+	if perr != nil {
+		s.eng.Abort(h)
+		return perr
+	}
+	if !found {
+		// The record is dead: it never replays and changed nothing.
+		s.eng.Abort(h)
+		return ErrNotFound
+	}
+	s.readers.awaitZero(key)
+	s.treeMu.Lock()
+	zlk := s.zoneLock(slot)
+	zlk.Lock()
+	s.front.deleteStructPhase(name, slot)
+	zlk.Unlock()
+	s.treeMu.Unlock()
+	s.eng.Commit(h)
+
+	// Deferred frees after commit: a crash in between leaks nothing — pool
+	// reconstitution at recovery returns unreferenced ids to the free sets.
+	s.poolMu.Lock()
+	for _, b := range blocks {
+		s.front.blockPool.Put(b) //nolint:errcheck
+	}
+	s.front.slotPool.Put(slot) //nolint:errcheck
+	s.poolMu.Unlock()
+	return nil
+}
+
+// --------------------------------------------------------------- filesystem
+
+// Open opens (or with OpenCreate, creates at the given size) an object and
+// returns a stateful handle (paper Table 2: oopen). A log record is written
+// only when the open modifies metadata — i.e. when it creates (§4.3).
+func (c *Ctx) Open(name string, size uint64, flags OpenFlag) (*Object, error) {
+	s := c.s
+	if s == nil || s.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := s.validateName(name); err != nil {
+		return nil, err
+	}
+	if flags&(OpenRead|OpenWrite|OpenCreate) == 0 {
+		return nil, fmt.Errorf("dstore: Open needs at least one of OpenRead/OpenWrite/OpenCreate")
+	}
+	if size > s.maxObjectBytes() {
+		return nil, fmt.Errorf("dstore: size %d exceeds max object size %d", size, s.maxObjectBytes())
+	}
+	s.ops.opens.Add(1)
+
+	s.treeMu.RLock()
+	_, exists := s.front.tree.Get([]byte(name))
+	s.treeMu.RUnlock()
+	if !exists {
+		if flags&OpenCreate == 0 {
+			return nil, ErrNotFound
+		}
+		if err := s.create(name, size, c.heldLSN(name)); err != nil {
+			return nil, err
+		}
+	}
+	return &Object{c: c, name: name, flags: flags}, nil
+}
+
+// create runs the put pipeline without a data write (blocks are allocated
+// and the object's content is whatever the SSD holds until written).
+func (s *Store) create(name string, size uint64, ignore uint64) error {
+	nb := []byte(name)
+	if s.cfg.DisableOE {
+		s.globalMu.Lock()
+		defer s.globalMu.Unlock()
+	}
+	h, a, err := s.allocAndAppend(opCreate, nb, size, ignore)
+	if err != nil {
+		return err
+	}
+	s.readers.awaitZero(name)
+	zlk := s.zoneLock(a.slot)
+	zlk.Lock()
+	merr := s.front.putMetaPhase(a, nb, size)
+	zlk.Unlock()
+	if merr != nil {
+		s.eng.Abort(h)
+		return merr
+	}
+	s.treeMu.Lock()
+	terr := s.front.putTreePhase(a, nb)
+	s.treeMu.Unlock()
+	if terr != nil {
+		s.eng.Abort(h)
+		return terr
+	}
+	s.eng.Commit(h)
+	if len(a.oldBlocks) > 0 {
+		s.poolMu.Lock()
+		for _, b := range a.oldBlocks {
+			s.front.blockPool.Put(b) //nolint:errcheck
+		}
+		s.poolMu.Unlock()
+	}
+	return nil
+}
+
+// Close releases the handle (paper Table 2: oclose).
+func (o *Object) Close() { o.closed = true }
+
+// Name returns the object's name.
+func (o *Object) Name() string { return o.name }
+
+// Size returns the object's current logical size.
+func (o *Object) Size() (uint64, error) {
+	e, err := o.lookup()
+	if err != nil {
+		return 0, err
+	}
+	return e.size, nil
+}
+
+func (o *Object) lookup() (entrySnapshot, error) {
+	s := o.c.s
+	if o.closed || s == nil || s.closed.Load() {
+		return entrySnapshot{}, ErrClosed
+	}
+	s.treeMu.RLock()
+	slot, ok := s.front.tree.Get([]byte(o.name))
+	s.treeMu.RUnlock()
+	if !ok {
+		return entrySnapshot{}, ErrNotFound
+	}
+	e, used := s.zoneRead(slot)
+	if !used {
+		return entrySnapshot{}, fmt.Errorf("dstore: index entry %q points at free slot %d", o.name, slot)
+	}
+	return entrySnapshot{size: e.Size, blocks: e.Blocks}, nil
+}
+
+type entrySnapshot struct {
+	size   uint64
+	blocks []uint64
+}
+
+// ReadAt implements oread: a partial read at an offset.
+func (o *Object) ReadAt(p []byte, off int64) (int, error) {
+	s := o.c.s
+	if o.closed || s == nil || s.closed.Load() {
+		return 0, ErrClosed
+	}
+	if o.flags&OpenRead == 0 && o.flags&OpenCreate == 0 {
+		return 0, fmt.Errorf("dstore: object %q not open for reading", o.name)
+	}
+	s.ops.reads.Add(1)
+
+	ctr := s.readers.enterChecked(o.name, func() *wal.Handle {
+		return s.eng.FindConflictIgnore([]byte(o.name), o.c.heldLSN(o.name))
+	})
+	defer s.readers.exit(ctr)
+
+	e, err := o.lookup()
+	if err != nil {
+		return 0, err
+	}
+	if off < 0 || uint64(off) >= e.size {
+		return 0, fmt.Errorf("dstore: read offset %d out of range (size %d)", off, e.size)
+	}
+	n := uint64(len(p))
+	if uint64(off)+n > e.size {
+		n = e.size - uint64(off)
+	}
+	read := uint64(0)
+	for read < n {
+		pos := uint64(off) + read
+		bi := pos / s.cfg.BlockSize
+		bo := pos % s.cfg.BlockSize
+		chunk := s.cfg.BlockSize - bo
+		if chunk > n-read {
+			chunk = n - read
+		}
+		s.data.ReadAt(s.dataOff(e.blocks[bi])+bo, p[read:read+chunk])
+		read += chunk
+	}
+	return int(n), nil
+}
+
+// WriteAt implements owrite: a partial write at an offset. Writes within the
+// current size go straight to SSD with no log record (§4.3: records for
+// owrite are only written if metadata changes); writes past the end extend
+// the object through a logged opExtend.
+func (o *Object) WriteAt(p []byte, off int64) (int, error) {
+	s := o.c.s
+	if o.closed || s == nil || s.closed.Load() {
+		return 0, ErrClosed
+	}
+	if o.flags&OpenWrite == 0 && o.flags&OpenCreate == 0 {
+		return 0, fmt.Errorf("dstore: object %q not open for writing", o.name)
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("dstore: negative offset")
+	}
+	s.ops.writes.Add(1)
+	end := uint64(off) + uint64(len(p))
+	if end > s.maxObjectBytes() {
+		return 0, fmt.Errorf("dstore: write to %d exceeds max object size %d", end, s.maxObjectBytes())
+	}
+
+	e, err := o.lookup()
+	if err != nil {
+		return 0, err
+	}
+	if end > e.size {
+		if err := s.extend(o.name, end, o.c.heldLSN(o.name)); err != nil {
+			return 0, err
+		}
+		e, err = o.lookup()
+		if err != nil {
+			return 0, err
+		}
+	} else {
+		// Pure data write: wait out any conflicting metadata operation,
+		// then write in place. Durability comes from the SSD's power-loss
+		// protected cache; block writes are page-atomic.
+		if conflict := s.eng.FindConflictIgnore([]byte(o.name), o.c.heldLSN(o.name)); conflict != nil {
+			conflict.Wait()
+		}
+	}
+
+	written := uint64(0)
+	n := uint64(len(p))
+	for written < n {
+		pos := uint64(off) + written
+		bi := pos / s.cfg.BlockSize
+		bo := pos % s.cfg.BlockSize
+		chunk := s.cfg.BlockSize - bo
+		if chunk > n-written {
+			chunk = n - written
+		}
+		s.data.WriteAt(s.dataOff(e.blocks[bi])+bo, p[written:written+chunk])
+		written += chunk
+	}
+	return int(n), nil
+}
+
+// extend grows an object's logical size (and block list) via a logged
+// opExtend record.
+func (s *Store) extend(name string, newSize uint64, ignore uint64) error {
+	nb := []byte(name)
+	if s.cfg.DisableOE {
+		s.globalMu.Lock()
+		defer s.globalMu.Unlock()
+	}
+	h, a, err := s.allocAndAppend(opExtend, nb, newSize, ignore)
+	if err != nil {
+		return err
+	}
+	s.readers.awaitZero(name)
+	zlk := s.zoneLock(a.slot)
+	zlk.Lock()
+	serr := s.front.extendStructPhase(a.slot, a.blocks, newSize)
+	zlk.Unlock()
+	if serr != nil {
+		s.eng.Abort(h)
+		return serr
+	}
+	s.eng.Commit(h)
+	return nil
+}
+
+// ----------------------------------------------------- concurrency control
+
+// Lock acquires an exclusive application-level lock on name (paper Table 2:
+// olock). Implementation per §4.5: a NOOP record is placed in the log; the
+// log's conflict scan then treats the object as locked, and a concurrent
+// Lock or write on the same name spins until Unlock commits the record.
+func (c *Ctx) Lock(name string) error {
+	s := c.s
+	if s == nil || s.closed.Load() {
+		return ErrClosed
+	}
+	if err := s.validateName(name); err != nil {
+		return err
+	}
+	if _, held := c.locks[name]; held {
+		return fmt.Errorf("dstore: %q already locked by this context", name)
+	}
+	h, err := s.eng.Append(opNoop, []byte(name), nil)
+	if err != nil {
+		return err
+	}
+	if c.locks == nil {
+		c.locks = make(map[string]*wal.Handle)
+	}
+	c.locks[name] = h
+	return nil
+}
+
+// Unlock releases a lock taken with Lock (paper Table 2: ounlock): the NOOP
+// record is marked committed, which unblocks conflicting requests.
+func (c *Ctx) Unlock(name string) error {
+	s := c.s
+	if s == nil || s.closed.Load() {
+		return ErrClosed
+	}
+	h, ok := c.locks[name]
+	delete(c.locks, name)
+	if !ok {
+		return fmt.Errorf("dstore: %q is not locked by this context", name)
+	}
+	s.eng.Commit(h)
+	return nil
+}

@@ -1,0 +1,73 @@
+package dstore
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dstore/internal/wal"
+)
+
+// waiter is the in-flight-write handle readers spin on.
+type waiter = wal.Handle
+
+// readTable implements the read-write half of DStore's concurrency control
+// (paper §4.4): "an in-memory hash table that maps object names to their
+// current read count. The read count is updated using the atomic
+// fetch-and-add instruction."
+//
+// Readers enter before re-checking the log's uncommitted window (closing the
+// check-then-increment race the paper leaves unspecified); writers poll an
+// object's count until it reaches zero before mutating.
+type readTable struct {
+	m sync.Map // string -> *atomic.Int64
+}
+
+func (t *readTable) counter(name string) *atomic.Int64 {
+	if c, ok := t.m.Load(name); ok {
+		return c.(*atomic.Int64)
+	}
+	c, _ := t.m.LoadOrStore(name, new(atomic.Int64))
+	return c.(*atomic.Int64)
+}
+
+// enter registers a reader of name and returns its counter (for exit).
+func (t *readTable) enter(name string) *atomic.Int64 {
+	c := t.counter(name)
+	c.Add(1)
+	return c
+}
+
+// exit deregisters a reader.
+func (t *readTable) exit(c *atomic.Int64) { c.Add(-1) }
+
+// awaitZero polls name's read count until no readers remain — the paper's
+// "In case the read count is non-zero, we simply poll on it until it is
+// zero."
+func (t *readTable) awaitZero(name string) {
+	c := t.counter(name)
+	for c.Load() != 0 {
+		runtime.Gosched()
+	}
+}
+
+// enterChecked registers a reader while coordinating with writers: the
+// conflict window is checked *before* the first increment (so readers
+// blocked behind a writer never perturb the count the writer polls), then
+// re-checked after incrementing to close the race with a concurrent append.
+// findConflict must return the in-flight conflicting write, or nil.
+func (t *readTable) enterChecked(name string, findConflict func() *waiter) *atomic.Int64 {
+	for {
+		if w := findConflict(); w != nil {
+			w.Wait()
+			continue
+		}
+		c := t.enter(name)
+		w := findConflict()
+		if w == nil {
+			return c
+		}
+		t.exit(c)
+		w.Wait()
+	}
+}

@@ -1,0 +1,69 @@
+package dstore
+
+import (
+	"strings"
+)
+
+// ObjectInfo describes one object during a Scan.
+type ObjectInfo struct {
+	// Name is the object's full name.
+	Name string
+	// Size is its current logical size in bytes.
+	Size uint64
+	// Blocks is the number of SSD blocks it occupies.
+	Blocks int
+}
+
+// Scan calls fn for every object whose name starts with prefix, in ascending
+// name order, until fn returns false or the namespace is exhausted. An empty
+// prefix scans every object.
+//
+// Scan reads the index under a shared lock, so it serializes briefly with
+// metadata updates; object data is not touched. Objects created or deleted
+// concurrently with the scan may or may not be observed (standard snapshot-
+// free iterator semantics). The filesystem-style namespace of the paper
+// ("dependencies between a file and its directory", §4.5) makes ordered
+// prefix scans the natural directory-listing primitive.
+func (c *Ctx) Scan(prefix string, fn func(info ObjectInfo) bool) error {
+	s := c.s
+	if s == nil || s.closed.Load() {
+		return ErrClosed
+	}
+	s.treeMu.RLock()
+	defer s.treeMu.RUnlock()
+
+	stop := errStopScan
+	err := s.front.tree.IterateFrom([]byte(prefix), func(key []byte, slot uint64) error {
+		if !strings.HasPrefix(string(key), prefix) {
+			return stop // keys are ordered: past the prefix range
+		}
+		e, used := s.zoneRead(slot)
+		if !used {
+			return errCorruptIndex
+		}
+		if !fn(ObjectInfo{Name: string(key), Size: e.Size, Blocks: len(e.Blocks)}) {
+			return stop
+		}
+		return nil
+	})
+	if err == stop { //nolint:errorlint // sentinel identity
+		return nil
+	}
+	return err
+}
+
+// Count returns the number of live objects.
+func (s *Store) Count() uint64 {
+	s.treeMu.RLock()
+	defer s.treeMu.RUnlock()
+	return s.front.tree.Len()
+}
+
+var (
+	errStopScan     = &scanSentinel{"stop"}
+	errCorruptIndex = &scanSentinel{"dstore: index entry points at free slot"}
+)
+
+type scanSentinel struct{ msg string }
+
+func (e *scanSentinel) Error() string { return e.msg }

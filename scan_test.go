@@ -1,0 +1,146 @@
+package dstore
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+func TestScanPrefix(t *testing.T) {
+	s := newStoreT(t, testConfig())
+	defer s.Close()
+	ctx := s.Init()
+	names := []string{
+		"dir/a", "dir/b", "dir/sub/c", "other/x", "zzz",
+	}
+	for i, n := range names {
+		if err := ctx.Put(n, val(byte(i), 100*(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var got []string
+	err := ctx.Scan("dir/", func(info ObjectInfo) bool {
+		got = append(got, info.Name)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"dir/a", "dir/b", "dir/sub/c"}
+	if len(got) != len(want) {
+		t.Fatalf("scan = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan order: %v", got)
+		}
+	}
+}
+
+func TestScanEmptyPrefixOrdersEverything(t *testing.T) {
+	s := newStoreT(t, testConfig())
+	defer s.Close()
+	ctx := s.Init()
+	var names []string
+	for i := 0; i < 120; i++ {
+		n := fmt.Sprintf("obj-%03d", (i*53)%120)
+		ctx.Put(n, val('x', 64))
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var got []string
+	ctx.Scan("", func(info ObjectInfo) bool {
+		got = append(got, info.Name)
+		return true
+	})
+	if len(got) != 120 {
+		t.Fatalf("scanned %d objects", len(got))
+	}
+	for i := range names {
+		if got[i] != names[i] {
+			t.Fatalf("order mismatch at %d: %s vs %s", i, got[i], names[i])
+		}
+	}
+	if s.Count() != 120 {
+		t.Fatalf("count = %d", s.Count())
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	s := newStoreT(t, testConfig())
+	defer s.Close()
+	ctx := s.Init()
+	for i := 0; i < 20; i++ {
+		ctx.Put(fmt.Sprintf("k%02d", i), val('x', 10))
+	}
+	n := 0
+	if err := ctx.Scan("", func(ObjectInfo) bool {
+		n++
+		return n < 5
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("visited %d, want 5", n)
+	}
+}
+
+func TestScanReportsSizes(t *testing.T) {
+	s := newStoreT(t, testConfig())
+	defer s.Close()
+	ctx := s.Init()
+	ctx.Put("a", val('x', 5000))
+	var infos []ObjectInfo
+	ctx.Scan("a", func(i ObjectInfo) bool {
+		infos = append(infos, i)
+		return true
+	})
+	if len(infos) != 1 || infos[0].Size != 5000 || infos[0].Blocks != 2 {
+		t.Fatalf("infos = %+v", infos)
+	}
+}
+
+func TestScanAfterDeletes(t *testing.T) {
+	s := newStoreT(t, testConfig())
+	defer s.Close()
+	ctx := s.Init()
+	for i := 0; i < 50; i++ {
+		ctx.Put(fmt.Sprintf("k%02d", i), val('x', 10))
+	}
+	for i := 0; i < 50; i += 2 {
+		ctx.Delete(fmt.Sprintf("k%02d", i))
+	}
+	var got []string
+	ctx.Scan("", func(i ObjectInfo) bool {
+		got = append(got, i.Name)
+		return true
+	})
+	if len(got) != 25 {
+		t.Fatalf("scan after deletes = %d entries", len(got))
+	}
+	for i, n := range got {
+		if n != fmt.Sprintf("k%02d", 2*i+1) {
+			t.Fatalf("unexpected survivor %s at %d", n, i)
+		}
+	}
+}
+
+func TestScanSurvivesRecovery(t *testing.T) {
+	cfg := testConfig()
+	s := newStoreT(t, cfg)
+	ctx := s.Init()
+	for i := 0; i < 40; i++ {
+		ctx.Put(fmt.Sprintf("ns/%02d", i), val(byte(i), 128))
+	}
+	s2 := reopen(t, s, cfg, 3, true)
+	defer s2.Close()
+	n := 0
+	s2.Init().Scan("ns/", func(ObjectInfo) bool {
+		n++
+		return true
+	})
+	if n != 40 {
+		t.Fatalf("recovered scan = %d", n)
+	}
+}
