@@ -186,7 +186,11 @@ func BenchmarkRecovery(b *testing.B) {
 			}
 		}
 		s.PrepareWorstCaseCrash()
-		cfg.PMEM, cfg.SSD = s.Crash(int64(i))
+		var cerr error
+		cfg.PMEM, cfg.SSD, cerr = s.Crash(int64(i))
+		if cerr != nil {
+			b.Fatal(cerr)
+		}
 		b.StartTimer()
 		s2, err := dstore.Open(cfg)
 		if err != nil {

@@ -2,7 +2,11 @@ package dstore
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+
+	"dstore/internal/fault"
+	"dstore/internal/meta"
 )
 
 // Check verifies the store's cross-structure invariants — an fsck for the
@@ -15,8 +19,8 @@ import (
 //   - every object's block list has exactly the blocks its size requires,
 //     all within the data plane, and no block belongs to two objects;
 //   - conservation: used slots + free slots in the slot pool equal the
-//     zone capacity, and allocated blocks + free blocks in the block pool
-//     equal the device capacity.
+//     zone capacity, and allocated blocks + free blocks in the block pool +
+//     quarantined unowned blocks equal the device capacity.
 //
 // Check takes the store's structure locks briefly; it is safe to run
 // concurrently with normal operation (results reflect a quiescent moment
@@ -26,6 +30,12 @@ func (s *Store) Check() error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
+	s.quarMu.Lock()
+	quarantined := make(map[uint64]bool, len(s.quarantine))
+	for b := range s.quarantine {
+		quarantined[b] = true
+	}
+	s.quarMu.Unlock()
 	s.poolMu.Lock()
 	defer s.poolMu.Unlock()
 	s.treeMu.RLock()
@@ -34,12 +44,13 @@ func (s *Store) Check() error {
 		s.zoneMu[i].Lock()
 		defer s.zoneMu[i].Unlock()
 	}
-	return checkPlane(s.front, s.cfg.Blocks, s.cfg.BlockSize)
+	return checkPlane(s.front, s.cfg.Blocks, s.cfg.BlockSize, quarantined)
 }
 
 // checkPlane validates the invariants for any plane (the recovery tests also
-// point it at shadow arenas).
-func checkPlane(p *plane, blocks, blockSize uint64) error {
+// point it at shadow arenas; they pass a nil quarantine set since
+// quarantine is frontend-store state).
+func checkPlane(p *plane, blocks, blockSize uint64, quarantined map[uint64]bool) error {
 	if err := p.tree.Check(); err != nil {
 		return fmt.Errorf("dstore: index: %w", err)
 	}
@@ -86,12 +97,167 @@ func checkPlane(p *plane, blocks, blockSize uint64) error {
 		}
 	}
 
-	// Conservation laws.
+	// Conservation laws. Quarantined blocks that no object owns are neither
+	// free nor allocated: they sit out of circulation until a reopen (on a
+	// presumably repaired device) returns them through pool reconstitution.
+	quarUnowned := uint64(0)
+	for b := range quarantined {
+		if _, owned := blockOwner[b]; !owned {
+			quarUnowned++
+		}
+	}
 	if got, want := p.slotPool.Free()+uint64(len(slotOwner)), p.zone.Slots(); got != want {
 		return fmt.Errorf("dstore: slot conservation violated: %d free + %d used != %d", p.slotPool.Free(), len(slotOwner), want)
 	}
-	if got, want := p.blockPool.Free()+uint64(len(blockOwner)), blocks; got != want {
-		return fmt.Errorf("dstore: block conservation violated: %d free + %d allocated != %d", p.blockPool.Free(), len(blockOwner), want)
+	if got, want := p.blockPool.Free()+uint64(len(blockOwner))+quarUnowned, blocks; got != want {
+		return fmt.Errorf("dstore: block conservation violated: %d free + %d allocated + %d quarantined != %d",
+			p.blockPool.Free(), len(blockOwner), quarUnowned, want)
 	}
 	return nil
+}
+
+// ------------------------------------------------------------------ scrub
+
+// ScrubFinding locates one block-level integrity event.
+type ScrubFinding struct {
+	Name  string // owning object
+	Block uint64 // SSD block id
+	Index int    // position in the object's block list
+}
+
+// ScrubReport summarizes a data-plane scrub pass.
+type ScrubReport struct {
+	BlocksChecked uint64 // live block spans examined
+	Unverified    uint64 // blocks with no recorded checksum (skipped)
+	// Corrupt lists blocks whose content failed checksum verification
+	// (content unrecoverable from this store alone). Repaired lists
+	// quarantined blocks whose intact content was migrated to fresh blocks.
+	Corrupt  []ScrubFinding
+	Repaired []ScrubFinding
+}
+
+// Scrub walks every live object and verifies each block carrying a recorded
+// checksum against the data plane. With repair set, blocks that verify but
+// sit on quarantined media are migrated to freshly allocated blocks through
+// a durably logged remap (opRemap), so the object heals before the bad
+// media is touched again. Corrupt blocks are reported, never "repaired" —
+// their content is gone and rewriting it would manufacture data.
+func (s *Store) Scrub(repair bool) (ScrubReport, error) {
+	var rep ScrubReport
+	if s.closed.Load() {
+		return rep, ErrClosed
+	}
+	buf := make([]byte, s.cfg.BlockSize)
+	for slot := uint64(0); slot < s.cfg.MaxObjects; slot++ {
+		e, used := s.zoneRead(slot)
+		if !used {
+			continue
+		}
+		name := string(e.Name) // copy: Name aliases the arena
+		for i, b := range e.Blocks {
+			lo := uint64(i) * s.cfg.BlockSize
+			if lo >= e.Size { // fully beyond the logical size
+				continue
+			}
+			span := e.Size - lo
+			if span > s.cfg.BlockSize {
+				span = s.cfg.BlockSize
+			}
+			rep.BlocksChecked++
+			if e.Sums[i] == meta.SumUnverified {
+				rep.Unverified++
+				continue
+			}
+			p := buf[:span]
+			if err := s.readBlockVerified(b, p, e.Sums[i], name); err != nil {
+				if errors.Is(err, ErrCorrupt) {
+					rep.Corrupt = append(rep.Corrupt, ScrubFinding{Name: name, Block: b, Index: i})
+					continue
+				}
+				if fault.IsPermanent(err) {
+					// Permanently unreadable media: the content is as gone as
+					// a checksum mismatch. Quarantine so the block never
+					// re-enters the pool, report, keep scrubbing.
+					s.quarantineBlock(b)
+					rep.Corrupt = append(rep.Corrupt, ScrubFinding{Name: name, Block: b, Index: i})
+					continue
+				}
+				return rep, err
+			}
+			if repair && s.isQuarantined(b) {
+				ok, err := s.remapBlock(name, slot, i, b, p, e.Sums[i])
+				if err != nil {
+					return rep, err
+				}
+				if ok {
+					rep.Repaired = append(rep.Repaired, ScrubFinding{Name: name, Block: b, Index: i})
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// remapBlock migrates one live block's verified content off quarantined
+// media: write it to a fresh block, durably log the repointing (opRemap),
+// and update the metadata slot. Returns false (no error) when the object
+// changed underneath and the repair is moot.
+func (s *Store) remapBlock(name string, slot uint64, idx int, old uint64, data []byte, sum uint32) (bool, error) {
+	if err := s.checkWritable(); err != nil {
+		return false, err
+	}
+	nb := []byte(name)
+	s.poolMu.Lock()
+	fresh, err := s.front.blockPool.Get()
+	s.poolMu.Unlock()
+	if err != nil {
+		return false, fmt.Errorf("dstore: scrub: out of blocks: %w", err)
+	}
+	putBack := func() {
+		s.poolMu.Lock()
+		s.freeBlocksLocked([]uint64{fresh})
+		s.poolMu.Unlock()
+	}
+	if werr := s.ssdWrite(s.dataOff(fresh), data); werr != nil {
+		if fault.IsPermanent(werr) {
+			s.quarantineBlock(fresh)
+		}
+		putBack()
+		return false, fmt.Errorf("dstore: scrub: migrate block %d: %w", old, werr)
+	}
+	if s.cfg.DisableOE {
+		s.globalMu.Lock()
+		defer s.globalMu.Unlock()
+	}
+	h, err := s.appendPooled(opRemap, nb, encodeRemapPayload(idx, fresh, sum), 0)
+	if err != nil {
+		putBack()
+		return false, err
+	}
+	s.poolMu.Unlock() // appendPooled returns with poolMu held
+	// With the record appended this goroutine owns the name (CC). Re-check
+	// that the slot still holds old at idx — an earlier writer may have
+	// replaced the whole version before our append serialized.
+	s.treeMu.RLock()
+	cur, ok := s.front.tree.Get(nb)
+	s.treeMu.RUnlock()
+	zlk := s.zoneLock(slot)
+	zlk.Lock()
+	e, used := s.front.zone.Read(slot)
+	stale := !ok || cur != slot || !used || idx >= len(e.Blocks) || e.Blocks[idx] != old
+	if !stale {
+		s.front.zone.SetBlockID(slot, idx, fresh)
+		s.front.zone.SetSum(slot, idx, sum)
+	}
+	zlk.Unlock()
+	if stale {
+		s.abort(h)
+		putBack()
+		return false, nil
+	}
+	if err := s.commit(h); err != nil {
+		return false, err
+	}
+	s.health.remaps.Add(1)
+	return true, nil
 }

@@ -101,7 +101,11 @@ func TestQuickFsckAfterCrashRecovery(t *testing.T) {
 				}
 			}
 		}
-		cfg.PMEM, cfg.SSD = s.Crash(seed)
+		var cerr error
+		cfg.PMEM, cfg.SSD, cerr = s.Crash(seed)
+		if cerr != nil {
+			return false
+		}
 		s2, err := Open(cfg)
 		if err != nil {
 			return false
@@ -133,7 +137,11 @@ func TestShadowPassesFsckAfterCheckpoint(t *testing.T) {
 	// Recover into a fresh store from a crash right now; its volatile plane
 	// is a copy of the shadow + active-log replay, so fsck on it validates
 	// the shadow lineage end to end.
-	cfg.PMEM, cfg.SSD = s.Crash(77)
+	var cerr error
+	cfg.PMEM, cfg.SSD, cerr = s.Crash(77)
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
 	s2, err := Open(cfg)
 	if err != nil {
 		t.Fatal(err)

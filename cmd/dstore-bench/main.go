@@ -32,6 +32,8 @@ func main() {
 		objects  = flag.Int("objects", 20000, "objects loaded for table4/fig10/table5 (paper: 2000000)")
 		nolat    = flag.Bool("nolatency", false, "disable calibrated device latency injection")
 		seed     = flag.Int64("seed", 1, "workload seed")
+		faults   = flag.Int64("faults", 0, "SSD fault-plan seed for DStore instances (used with -fault-rate)")
+		frate    = flag.Float64("fault-rate", 0, "per-op transient SSD read/write error probability (0 disables)")
 	)
 	flag.Parse()
 
@@ -44,6 +46,8 @@ func main() {
 		Objects:        *objects,
 		NoLatency:      *nolat,
 		Seed:           *seed,
+		FaultSeed:      *faults,
+		FaultRate:      *frate,
 	}
 
 	ids := bench.ExperimentIDs

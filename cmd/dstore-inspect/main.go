@@ -43,8 +43,15 @@ func main() {
 			100*st.Engine().Pair().FreeFraction())
 		fmt.Printf("ckpt: count=%d replayed=%d shadowCloned=%dB\n",
 			es.Checkpoints, es.RecordsReplayed, es.ShadowBytesCloned)
-		fmt.Printf("foot: dram=%dKiB pmem=%dKiB ssd=%dKiB\n\n",
+		fmt.Printf("foot: dram=%dKiB pmem=%dKiB ssd=%dKiB\n",
 			fp.DRAMBytes>>10, fp.PMEMBytes>>10, fp.SSDBytes>>10)
+		h := st.Health()
+		status := "healthy"
+		if h.Degraded {
+			status = fmt.Sprintf("DEGRADED (%s)", h.Reason)
+		}
+		fmt.Printf("health: %s retries=%d writeErrs=%d corrupt=%d remaps=%d quarantined=%v\n\n",
+			status, h.IORetries, h.WriteErrors, h.Corruptions, h.Remaps, h.QuarantinedBlocks)
 	}
 
 	dump("fresh store")
@@ -83,7 +90,10 @@ func main() {
 	}
 	fmt.Println("simulating worst-case crash (mid-checkpoint power loss)...")
 	st.PrepareWorstCaseCrash()
-	cfg.PMEM, cfg.SSD = st.Crash(42)
+	cfg.PMEM, cfg.SSD, err = st.Crash(42)
+	if err != nil {
+		log.Fatal(err)
+	}
 	st2, err := dstore.Open(cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -156,7 +156,10 @@ func TestPrepareWorstCaseCrashStoreLevel(t *testing.T) {
 	if root.CkptInProgress != 1 {
 		t.Fatalf("root = %+v", root)
 	}
-	cfg.PMEM, cfg.SSD = s.Crash(13)
+	cfg.PMEM, cfg.SSD, err = s.Crash(13)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s2, err := Open(cfg)
 	if err != nil {
 		t.Fatal(err)

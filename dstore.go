@@ -30,16 +30,19 @@ package dstore
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dstore/internal/alloc"
 	"dstore/internal/dipper"
+	"dstore/internal/fault"
 	"dstore/internal/meta"
 	"dstore/internal/pmem"
 	"dstore/internal/space"
 	"dstore/internal/ssd"
+	"dstore/internal/wal"
 )
 
 // Mode selects the persistence technique (paper Table 1 rows).
@@ -121,6 +124,14 @@ type Config struct {
 	PMEM *pmem.Device
 	// SSD optionally injects the data-plane device.
 	SSD *ssd.Device
+
+	// SSDFaults, when non-nil, installs a fault-injection plan on the
+	// data-plane device (created or injected).
+	SSDFaults *fault.Plan
+	// PMEMFaults, when non-nil, installs a fault-injection plan on the
+	// PMEM device (created or injected). Only the WAL's fallible append
+	// protocol consults it.
+	PMEMFaults *fault.Plan
 }
 
 func (c *Config) setDefaults() {
@@ -151,7 +162,7 @@ func (c *Config) setDefaults() {
 		c.CheckpointThreshold = 0.3
 	}
 	if c.ArenaBytes == 0 {
-		slot := (16 + c.MaxNameLen + 8*c.MaxBlocksPerObject + 7) &^ 7
+		slot := (16 + c.MaxNameLen + 8*c.MaxBlocksPerObject + 4*c.MaxBlocksPerObject + 7) &^ 7
 		need := alloc.HeaderSize +
 			c.MaxObjects*slot + // metadata zone
 			8*(c.Blocks+c.MaxObjects) + // pools
@@ -218,8 +229,33 @@ type Store struct {
 
 	closed atomic.Bool
 
+	// Degraded mode (read-only): set when the persistence layer fails in a
+	// way the store cannot transparently recover from (log append or commit
+	// persist failure after retries, checkpoint swap failure). Writes return
+	// ErrDegraded; reads keep being served from the intact volatile state
+	// and SSD. Cleared only by reopening the store on healthy devices.
+	degraded    atomic.Bool
+	degradedErr atomic.Value // error
+
+	// quarantine holds SSD block ids withheld from allocation after a
+	// permanent device error. Volatile by design: a reopen (presumably on a
+	// repaired or replaced device) starts with an empty set, and a block
+	// that is still bad is re-quarantined on first touch.
+	quarMu     sync.Mutex
+	quarantine map[uint64]bool
+
+	health healthStats
+
 	ops opStats
 	bd  breakdown
+}
+
+// healthStats counts fault-handling events.
+type healthStats struct {
+	ioRetries   atomic.Uint64 // SSD ops that succeeded only after transient retries
+	writeErrs   atomic.Uint64 // data-plane writes that failed after all retries
+	corruptions atomic.Uint64 // checksum mismatches surfaced as ErrCorrupt
+	remaps      atomic.Uint64 // blocks migrated off quarantined media by scrub
 }
 
 // opStats counts API operations.
@@ -244,6 +280,15 @@ var ErrNotFound = errors.New("dstore: object not found")
 // ErrClosed is returned after Close.
 var ErrClosed = errors.New("dstore: store closed")
 
+// ErrCorrupt is returned when a block's content fails its CRC32C
+// verification after re-reads — silent at-rest corruption. The object's
+// other blocks remain readable.
+var ErrCorrupt = errors.New("dstore: data corruption detected")
+
+// ErrDegraded is returned for mutating operations while the store is in
+// read-only degraded mode (see Health). Reads are still served.
+var ErrDegraded = errors.New("dstore: store degraded (read-only)")
+
 // Format creates a fresh store per cfg, formatting its devices.
 func Format(cfg Config) (*Store, error) {
 	cfg.setDefaults()
@@ -262,7 +307,10 @@ func Format(cfg Config) (*Store, error) {
 		return nil, err
 	}
 	s.front = openPlane(s.eng.Frontend())
-	s.writeSuperblock()
+	if err := s.writeSuperblock(); err != nil {
+		s.eng.Close()
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -322,6 +370,12 @@ func newStore(cfg *Config) (*Store, error) {
 			Latency:        lat,
 		})
 	}
+	if cfg.SSDFaults != nil {
+		s.data.SetFaultPlan(cfg.SSDFaults)
+	}
+	if cfg.PMEMFaults != nil {
+		s.pm.SetFaultPlan(cfg.PMEMFaults)
+	}
 	return s, nil
 }
 
@@ -353,7 +407,7 @@ func (s *Store) onCheckpointDone() {
 
 // writeSuperblock reserves SSD block 0 and stamps recovery info (paper
 // §4.2: "The first block is reserved for the superblock").
-func (s *Store) writeSuperblock() {
+func (s *Store) writeSuperblock() error {
 	sb := make([]byte, 64)
 	copy(sb, "DSTOREv1")
 	putU64 := func(off int, v uint64) {
@@ -364,8 +418,13 @@ func (s *Store) writeSuperblock() {
 	putU64(8, s.cfg.BlockSize)
 	putU64(16, s.cfg.Blocks)
 	putU64(24, 0) // PMEM root object lives at device offset 0
-	s.data.WriteAt(0, sb)
-	s.data.Sync()
+	if err := s.ssdWrite(0, sb); err != nil {
+		return fmt.Errorf("dstore: superblock write: %w", err)
+	}
+	if err := s.data.Sync(); err != nil {
+		return fmt.Errorf("dstore: superblock sync: %w", err)
+	}
+	return nil
 }
 
 // dataOff maps a pool block id to its SSD byte offset (block 0 is the
@@ -411,13 +470,15 @@ func (s *Store) CloseNoCheckpoint() error {
 // Crash simulates a power failure (SIGKILL + power loss): all volatile state
 // is dropped and the devices resolve per their crash models. The store is
 // unusable afterwards; Reopen with the returned devices. Requires
-// Config.TrackPersistence.
-func (s *Store) Crash(seed int64) (pm *pmem.Device, data *ssd.Device) {
+// Config.TrackPersistence (an error is returned when it is off).
+func (s *Store) Crash(seed int64) (pm *pmem.Device, data *ssd.Device, err error) {
 	s.closed.Store(true)
 	s.eng.Close()
-	s.pm.Crash(pmem.CrashRandom, seed)
+	if cerr := s.pm.Crash(pmem.CrashRandom, seed); cerr != nil {
+		return s.pm, s.data, cerr
+	}
 	s.data.Crash(seed)
-	return s.pm, s.data
+	return s.pm, s.data, nil
 }
 
 // PrepareWorstCaseCrash durably enters the checkpoint-in-progress state
@@ -494,6 +555,185 @@ func (s *Store) Footprint() Footprint {
 		PMEMBytes: pmemBytes,
 		SSDBytes:  (1 + usedBlocks) * s.cfg.BlockSize,
 	}
+}
+
+// ------------------------------------------------------------- robustness
+
+// ioAttempts bounds per-operation retries of transiently failing device IO.
+const ioAttempts = 4
+
+// degrade flips the store into read-only degraded mode. First error wins.
+func (s *Store) degrade(err error) {
+	if s.degraded.CompareAndSwap(false, true) {
+		s.degradedErr.Store(err)
+	}
+}
+
+// Degraded reports whether the store is in read-only degraded mode.
+func (s *Store) Degraded() bool { return s.degraded.Load() }
+
+// checkWritable gates every mutating entry point in degraded mode.
+func (s *Store) checkWritable() error {
+	if s.degraded.Load() {
+		if e, ok := s.degradedErr.Load().(error); ok && e != nil {
+			return fmt.Errorf("%w: %v", ErrDegraded, e)
+		}
+		return ErrDegraded
+	}
+	return nil
+}
+
+// quarantineBlock withholds an SSD block from allocation after a permanent
+// device error. Deferred frees and pool rollbacks consult the set, so a
+// quarantined id never re-enters circulation during this incarnation.
+func (s *Store) quarantineBlock(b uint64) {
+	s.quarMu.Lock()
+	if s.quarantine == nil {
+		s.quarantine = make(map[uint64]bool)
+	}
+	if !s.quarantine[b] {
+		s.quarantine[b] = true
+	}
+	s.quarMu.Unlock()
+}
+
+// isQuarantined reports whether block b is withheld from allocation.
+func (s *Store) isQuarantined(b uint64) bool {
+	s.quarMu.Lock()
+	q := s.quarantine[b]
+	s.quarMu.Unlock()
+	return q
+}
+
+// quarantinedBlocks snapshots the quarantine set, sorted ascending.
+func (s *Store) quarantinedBlocks() []uint64 {
+	s.quarMu.Lock()
+	ids := make([]uint64, 0, len(s.quarantine))
+	for b := range s.quarantine {
+		ids = append(ids, b)
+	}
+	s.quarMu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// freeBlocksLocked returns block ids to the pool, withholding quarantined
+// ones. Caller holds poolMu.
+func (s *Store) freeBlocksLocked(ids []uint64) {
+	for _, b := range ids {
+		if s.isQuarantined(b) {
+			continue
+		}
+		s.front.blockPool.Put(b) //nolint:errcheck
+	}
+}
+
+// ssdWrite writes to the data plane with bounded retry and backoff on
+// transient errors. Permanent errors (bad pages) surface immediately.
+func (s *Store) ssdWrite(off uint64, p []byte) error {
+	var err error
+	for i := 0; i < ioAttempts; i++ {
+		if err = s.data.WriteAt(off, p); err == nil {
+			if i > 0 {
+				s.health.ioRetries.Add(1)
+			}
+			return nil
+		}
+		if !fault.IsTransient(err) {
+			break
+		}
+		time.Sleep(time.Duration(i+1) * 10 * time.Microsecond)
+	}
+	s.health.writeErrs.Add(1)
+	return err
+}
+
+// ssdRead reads from the data plane with bounded retry on transient errors.
+func (s *Store) ssdRead(off uint64, p []byte) error {
+	var err error
+	for i := 0; i < ioAttempts; i++ {
+		if err = s.data.ReadAt(off, p); err == nil {
+			if i > 0 {
+				s.health.ioRetries.Add(1)
+			}
+			return nil
+		}
+		if !fault.IsTransient(err) {
+			break
+		}
+		time.Sleep(time.Duration(i+1) * 10 * time.Microsecond)
+	}
+	return err
+}
+
+// checkpointForSpace runs a synchronous checkpoint to reclaim log space on
+// behalf of a blocked writer. A failure here (typically an injected device
+// error during log-pair swap) means the store can no longer make persistence
+// progress, so it degrades.
+func (s *Store) checkpointForSpace() error {
+	if err := s.eng.Checkpoint(); err != nil {
+		s.degrade(err)
+		return fmt.Errorf("%w: checkpoint: %v", ErrDegraded, err)
+	}
+	return nil
+}
+
+// commit settles a record as committed. A persist failure means the
+// operation's durability cannot be guaranteed even though the volatile
+// structures already reflect it, so the store degrades to read-only and the
+// caller's operation fails with ErrDegraded (content indeterminate until
+// the store is reopened on healthy devices).
+func (s *Store) commit(h *wal.Handle) error {
+	if err := s.eng.Commit(h); err != nil {
+		s.degrade(err)
+		return fmt.Errorf("%w: %v", ErrDegraded, err)
+	}
+	return nil
+}
+
+// abort settles a record as dead. A persist failure is correctness-neutral
+// (the durable state byte stays "uncommitted", which recovery also treats
+// as dead) but signals failing persistence, so the store degrades.
+func (s *Store) abort(h *wal.Handle) {
+	if err := s.eng.Abort(h); err != nil {
+		s.degrade(err)
+	}
+}
+
+// Health is a snapshot of the store's fault and integrity status.
+type Health struct {
+	// Degraded reports read-only degraded mode; Reason carries the first
+	// persistence failure that caused it.
+	Degraded bool
+	Reason   string
+	// QuarantinedBlocks lists SSD blocks withheld after permanent errors.
+	QuarantinedBlocks []uint64
+	// IORetries counts SSD operations that succeeded only after transient
+	// retries; WriteErrors counts data-plane writes that failed after all
+	// retries; Corruptions counts checksum mismatches surfaced as
+	// ErrCorrupt; Remaps counts blocks migrated off quarantined media.
+	IORetries   uint64
+	WriteErrors uint64
+	Corruptions uint64
+	Remaps      uint64
+}
+
+// Health reports the store's fault and integrity status.
+func (s *Store) Health() Health {
+	h := Health{
+		Degraded:          s.degraded.Load(),
+		QuarantinedBlocks: s.quarantinedBlocks(),
+		IORetries:         s.health.ioRetries.Load(),
+		WriteErrors:       s.health.writeErrs.Load(),
+		Corruptions:       s.health.corruptions.Load(),
+		Remaps:            s.health.remaps.Load(),
+	}
+	if h.Degraded {
+		if e, ok := s.degradedErr.Load().(error); ok && e != nil {
+			h.Reason = e.Error()
+		}
+	}
+	return h
 }
 
 // zoneLock returns slot's stripe lock.

@@ -385,7 +385,9 @@ func reopen(t *testing.T, s *Store, cfg Config, seed int64, crash bool) *Store {
 	t.Helper()
 	var err error
 	if crash {
-		cfg.PMEM, cfg.SSD = s.Crash(seed)
+		if cfg.PMEM, cfg.SSD, err = s.Crash(seed); err != nil {
+			t.Fatal(err)
+		}
 	} else {
 		if err = s.Close(); err != nil {
 			t.Fatal(err)
@@ -630,7 +632,11 @@ func TestQuickCrashRecoveryModel(t *testing.T) {
 				}
 			}
 		}
-		cfg.PMEM, cfg.SSD = s.Crash(seed)
+		var cerr error
+		cfg.PMEM, cfg.SSD, cerr = s.Crash(seed)
+		if cerr != nil {
+			return false
+		}
 		s2, err := Open(cfg)
 		if err != nil {
 			return false
@@ -698,7 +704,11 @@ func TestQuickRecoveredStoreObservationallyEquivalent(t *testing.T) {
 				}
 			}
 		}
-		cfg.PMEM, cfg.SSD = a.Crash(seed)
+		var cerr error
+		cfg.PMEM, cfg.SSD, cerr = a.Crash(seed)
+		if cerr != nil {
+			return false
+		}
 		a2, err := Open(cfg)
 		if err != nil {
 			return false

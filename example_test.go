@@ -51,7 +51,11 @@ func ExampleOpen() {
 
 	// Power loss: volatile state is gone; the devices keep what the
 	// persistence protocols made durable.
-	cfg.PMEM, cfg.SSD = st.Crash(42)
+	var crashErr error
+	cfg.PMEM, cfg.SSD, crashErr = st.Crash(42)
+	if crashErr != nil {
+		panic(crashErr)
+	}
 
 	st2, err := dstore.Open(cfg)
 	if err != nil {

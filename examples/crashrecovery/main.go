@@ -59,7 +59,11 @@ func main() {
 	// Recovery must redo the whole checkpoint from the archived log before
 	// replaying the active log.
 	st.PrepareWorstCaseCrash()
-	cfg.PMEM, cfg.SSD = st.Crash(2026)
+	var crashErr error
+	cfg.PMEM, cfg.SSD, crashErr = st.Crash(2026)
+	if crashErr != nil {
+		log.Fatal(crashErr)
+	}
 	fmt.Println("power lost mid-checkpoint; reopening...")
 
 	st2, err := dstore.Open(cfg)

@@ -193,7 +193,9 @@ func (s *Store) Put(key string, value []byte) error {
 			// forced eviction. Drop locks, checkpoint, retry.
 			s.stateMu.Unlock()
 			s.cacheMu.RUnlock()
-			s.Checkpoint()
+			if err := s.Checkpoint(); err != nil {
+				return err
+			}
 			return s.Put(key, value)
 		}
 	}
@@ -250,8 +252,11 @@ func (s *Store) Put(key string, value []byte) error {
 			lk.Lock()
 			buf := make([]byte, blockSize)
 			copy(buf, evictPage.val)
-			s.dev.WriteAt(evictBlk*blockSize, buf)
+			werr := s.dev.WriteAt(evictBlk*blockSize, buf)
 			lk.Unlock()
+			if werr != nil {
+				return fmt.Errorf("btreestore: evict block %d: %w", evictBlk, werr)
+			}
 		}
 		s.stateMu.Lock()
 		if pg, ok := s.cache[evictKey]; ok && pg == evictPage {
@@ -300,9 +305,12 @@ func (s *Store) Get(key string, buf []byte) ([]byte, error) {
 	buf = growBuf(buf, blockSize)
 	lk := s.blockLock(blk)
 	lk.Lock()
-	s.dev.ReadAt(blk*blockSize, buf[start:])
+	rerr := s.dev.ReadAt(blk*blockSize, buf[start:])
 	lk.Unlock()
 	s.cacheMu.RUnlock()
+	if rerr != nil {
+		return nil, fmt.Errorf("btreestore: read block %d: %w", blk, rerr)
+	}
 	return buf, nil
 }
 
@@ -338,7 +346,7 @@ func (s *Store) Delete(key string) error {
 // Checkpoint write-locks the page cache, persists every dirty page to SSD,
 // persists the mapping, and truncates the journal — the paper's periodic
 // async checkpoint whose cache lock produces the Fig. 1 tails.
-func (s *Store) Checkpoint() {
+func (s *Store) Checkpoint() error {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
 
@@ -364,10 +372,14 @@ func (s *Store) Checkpoint() {
 		for i := len(d.pg.val); i < blockSize; i++ {
 			buf[i] = 0
 		}
-		s.dev.WriteAt(d.blk*blockSize, buf)
+		if err := s.dev.WriteAt(d.blk*blockSize, buf); err != nil {
+			return fmt.Errorf("btreestore: checkpoint block %d: %w", d.blk, err)
+		}
 		d.pg.dirty = false
 	}
-	s.dev.Sync()
+	if err := s.dev.Sync(); err != nil {
+		return fmt.Errorf("btreestore: checkpoint sync: %w", err)
+	}
 
 	s.stateMu.Lock()
 	s.persistMappingLocked()
@@ -376,6 +388,7 @@ func (s *Store) Checkpoint() {
 	s.pm.Persist(hdrJournalTail, 8)
 	s.checkpoints++
 	s.stateMu.Unlock()
+	return nil
 }
 
 func (s *Store) persistMappingLocked() {
@@ -408,7 +421,9 @@ func (s *Store) Checkpoints() uint64 {
 // Close checkpoints and shuts down cleanly.
 func (s *Store) Close() error {
 	if !s.cfg.DisableCheckpoints {
-		s.Checkpoint()
+		if err := s.Checkpoint(); err != nil {
+			return err
+		}
 	}
 	s.stateMu.Lock()
 	s.closed = true
@@ -427,14 +442,17 @@ func (s *Store) FootprintBytes() (dram, pmemB, ssdB uint64) {
 }
 
 // Crash implements kvapi.Crasher.
-func (s *Store) Crash(seed int64) {
+func (s *Store) Crash(seed int64) error {
 	s.stateMu.Lock()
 	s.closed = true
 	s.stateMu.Unlock()
 	if s.cfg.TrackPersistence {
-		s.pm.Crash(pmem.CrashDropDirty, seed)
+		if err := s.pm.Crash(pmem.CrashDropDirty, seed); err != nil {
+			return err
+		}
 	}
 	s.dev.Crash(seed)
+	return nil
 }
 
 // Recover implements kvapi.Crasher: rebuild the mapping from the persisted

@@ -263,13 +263,14 @@ func (s *Store) FootprintBytes() (dram, pmemB, ssdB uint64) {
 }
 
 // Crash implements kvapi.Crasher.
-func (s *Store) Crash(seed int64) {
+func (s *Store) Crash(seed int64) error {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
 	if s.cfg.TrackPersistence {
-		s.pm.Crash(pmem.CrashDropDirty, seed)
+		return s.pm.Crash(pmem.CrashDropDirty, seed)
 	}
+	return nil
 }
 
 // Recover implements kvapi.Crasher: roll back in-flight transactions from

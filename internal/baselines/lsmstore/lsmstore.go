@@ -348,10 +348,30 @@ func (s *Store) compact() {
 		outs[k] = out{blk: blk, val: v}
 	}
 	s.mu.Unlock()
+	var werr error
 	for _, o := range outs {
 		buf := make([]byte, blockSize)
 		copy(buf, o.val)
-		s.dev.WriteAt(o.blk*blockSize, buf)
+		if err := s.dev.WriteAt(o.blk*blockSize, buf); err != nil {
+			werr = err
+			break
+		}
+	}
+	if werr != nil {
+		// Abort the compaction: L0 and the WAL prefix stay intact, so no
+		// data is lost; every value remains readable from the memtable/L0
+		// path and replayable from the WAL. Freshly allocated blocks return
+		// to the free list and a later compaction retries.
+		s.mu.Lock()
+		for k, o := range outs {
+			if blk, ok := s.l1[k]; !ok || blk != o.blk {
+				s.freeBlks = append(s.freeBlks, o.blk)
+			}
+		}
+		s.compacting = false
+		s.stallCond.Broadcast()
+		s.mu.Unlock()
+		return
 	}
 
 	// Install, persist the manifest, truncate the compacted WAL prefix.
@@ -431,7 +451,9 @@ func (s *Store) Get(key string, buf []byte) ([]byte, error) {
 	}
 	start := len(buf)
 	buf = growBuf(buf, blockSize)
-	s.dev.ReadAt(blk*blockSize, buf[start:])
+	if err := s.dev.ReadAt(blk*blockSize, buf[start:]); err != nil {
+		return nil, fmt.Errorf("lsmstore: read block %d: %w", blk, err)
+	}
 	return buf, nil
 }
 
@@ -514,16 +536,19 @@ func (s *Store) FootprintBytes() (dram, pmemB, ssdB uint64) {
 
 // Crash implements kvapi.Crasher: volatile state (memtable, L0, the DRAM
 // copy of the index) is lost; devices resolve per their models.
-func (s *Store) Crash(seed int64) {
+func (s *Store) Crash(seed int64) error {
 	s.mu.Lock()
 	s.closed = true
 	s.stallCond.Broadcast()
 	s.mu.Unlock()
 	s.stopBackground()
 	if s.cfg.TrackPersistence {
-		s.pm.Crash(pmem.CrashDropDirty, seed)
+		if err := s.pm.Crash(pmem.CrashDropDirty, seed); err != nil {
+			return err
+		}
 	}
 	s.dev.Crash(seed)
+	return nil
 }
 
 // Recover implements kvapi.Crasher: reload the manifest (metadata phase) and

@@ -22,6 +22,7 @@ import (
 	"dstore/internal/baselines/btreestore"
 	"dstore/internal/baselines/inplacestore"
 	"dstore/internal/baselines/lsmstore"
+	"dstore/internal/fault"
 	"dstore/internal/hist"
 	"dstore/internal/kvapi"
 	"dstore/internal/latency"
@@ -51,6 +52,12 @@ type Options struct {
 	NoLatency bool
 	// Seed drives workload generation.
 	Seed int64
+	// FaultSeed seeds a reproducible SSD fault plan on DStore instances when
+	// FaultRate > 0 (robustness experiments; see internal/fault).
+	FaultSeed int64
+	// FaultRate is the per-op probability of a transient SSD read/write
+	// error. Zero disables fault injection.
+	FaultRate float64
 }
 
 func (o *Options) setDefaults() {
@@ -111,9 +118,18 @@ func dstoreConfig(o Options, mode dstore.Mode, disableOE, disableCkpt, track boo
 		// size it to the run length.
 		logBytes = uint64(16<<20) + uint64(o.Duration.Seconds()*float64(8<<20))
 	}
+	var faults *fault.Plan
+	if o.FaultRate > 0 {
+		faults = fault.NewPlan(fault.Config{
+			Seed:         o.FaultSeed,
+			ReadErrRate:  o.FaultRate,
+			WriteErrRate: o.FaultRate,
+		})
+	}
 	return dstore.Config{
 		Mode:               mode,
 		DisableOE:          disableOE,
+		SSDFaults:          faults,
 		DisableCheckpoints: disableCkpt,
 		Blocks:             maxObjects*blocksPerObj + 1024,
 		MaxObjects:         maxObjects,

@@ -472,7 +472,9 @@ func Table4(o Options, w io.Writer) error {
 					}
 				} else {
 					// The worst-case crash state was prepared mid-load.
-					cr.Crash(o.Seed)
+					if err = cr.Crash(o.Seed); err != nil {
+						return
+					}
 				}
 				var metaNs, replayNs int64
 				metaNs, replayNs, err = cr.Recover()
@@ -586,7 +588,9 @@ func Table5(o Options, w io.Writer) error {
 				kv.Store().PrepareWorstCaseCrash()
 			}
 			cr := s.(kvapi.Crasher)
-			cr.Crash(o.Seed)
+			if err = cr.Crash(o.Seed); err != nil {
+				return
+			}
 			var metaNs, replayNs int64
 			metaNs, replayNs, err = cr.Recover()
 			if err != nil {

@@ -351,8 +351,7 @@ func (e *Engine) Checkpoint() error {
 	defer e.ckptBusy.Store(false)
 	start := time.Now()
 
-	var res wal.SwapResult
-	res = e.pair.Swap(func(newActive, archived int, replayEnd uint64) {
+	res, err := e.pair.Swap(func(newActive, archived int, replayEnd uint64) {
 		// Inside the swap critical section: durably record that appends go
 		// to newActive and a checkpoint of `archived` is in flight. A crash
 		// from here on redoes this checkpoint at recovery.
@@ -371,6 +370,12 @@ func (e *Engine) Checkpoint() error {
 			e.cfg.OnSwap()
 		}
 	})
+	if err != nil {
+		// The swap failed before publishing anything: the old active log is
+		// intact and still receiving appends. No space was freed, though, so
+		// the caller must treat a full log as unrecoverable.
+		return fmt.Errorf("dipper: checkpoint swap: %w", err)
+	}
 
 	// Frontend operation proceeds in parallel from here (Fig. 2 step ③).
 	if err := e.replayOntoNewShadow(res.ArchivedIndex, res.ReplayEnd); err != nil {
@@ -440,6 +445,8 @@ func (e *Engine) replayOntoNewShadow(archivedIdx int, replayEnd uint64) error {
 func (e *Engine) SwapOnlyForCrash() {
 	e.ckptMu.Lock()
 	defer e.ckptMu.Unlock()
+	//nolint:errcheck // crash-experiment helper; an injected swap failure just
+	// means the crash point lands before the swap instead of after it.
 	e.pair.Swap(func(newActive, archived int, replayEnd uint64) {
 		e.mu.Lock()
 		e.rootSeq++
@@ -489,11 +496,13 @@ func (e *Engine) AppendIgnore(op uint16, name, payload []byte, ignore uint64) (*
 }
 
 // Commit marks h durable (step ⑨ of Fig. 4). Call only after the operation's
-// externally visible effects (e.g. SSD data) are durable.
-func (e *Engine) Commit(h *wal.Handle) { e.pair.Commit(h) }
+// externally visible effects (e.g. SSD data) are durable. On a device error
+// the record is settled for concurrency control but its durability is lost;
+// the caller must stop issuing writes (see wal.Pair.Commit).
+func (e *Engine) Commit(h *wal.Handle) error { return e.pair.Commit(h) }
 
-// Abort marks h dead.
-func (e *Engine) Abort(h *wal.Handle) { e.pair.Abort(h) }
+// Abort marks h dead. Device-error semantics mirror Commit.
+func (e *Engine) Abort(h *wal.Handle) error { return e.pair.Abort(h) }
 
 // FindConflict exposes the reader-side CC check.
 func (e *Engine) FindConflict(name []byte) *wal.Handle { return e.pair.FindConflict(name) }

@@ -1,0 +1,230 @@
+// Package fault provides deterministic, seeded device fault injection for
+// the simulated SSD and PMEM devices.
+//
+// Real drives exhibit three broad failure classes the store must survive
+// (Choi et al., "Observations on Porting In-memory KV stores to Persistent
+// Memory"; van Renen et al., "Persistent Memory I/O Primitives"):
+//
+//   - transient I/O errors: a request fails but a retry succeeds;
+//   - latent sector errors: a page goes permanently bad — every access fails
+//     until the block is remapped;
+//   - silent corruption (bit rot): a read "succeeds" but returns flipped
+//     bits, detectable only by end-to-end checksums.
+//
+// A Plan is a reproducible schedule of such faults: each fault type can fire
+// with a per-operation probability (driven by a seeded PRNG) and/or at exact
+// operation ordinals (fire-at-Nth triggers), so tests can replay a failure
+// scenario deterministically. Devices consult the plan on every operation and
+// count what was injected; the counters surface in the device Stats and in
+// Store.Health().
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// ErrTransient is the sentinel wrapped by injected transient I/O errors.
+// A retry of the same operation may succeed.
+var ErrTransient = errors.New("fault: transient I/O error")
+
+// ErrPermanent is the sentinel wrapped by injected permanent (bad-page)
+// errors. Retrying the same page never succeeds; the caller must relocate
+// the data.
+var ErrPermanent = errors.New("fault: permanent bad page")
+
+// IsTransient reports whether err is (or wraps) an injected transient error.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// IsPermanent reports whether err is (or wraps) an injected permanent error.
+func IsPermanent(err error) bool { return errors.Is(err, ErrPermanent) }
+
+// Op distinguishes the two operation streams a Plan tracks. Read and write
+// ordinals advance independently so fire-at-Nth triggers on one stream are
+// not perturbed by traffic on the other.
+type Op int
+
+const (
+	// Read is the device read stream.
+	Read Op = iota
+	// Write is the device write stream (Sync counts as a write op).
+	Write
+)
+
+// Config describes a reproducible fault schedule. The zero value injects
+// nothing. Probabilities are per operation in [0,1]; ordinal triggers are
+// 1-based operation counts within their stream.
+type Config struct {
+	// Seed drives the probabilistic triggers. Two plans with equal Config
+	// inject exactly the same faults against the same operation sequence.
+	Seed int64
+
+	// ReadErrRate / WriteErrRate are per-op probabilities of a transient
+	// error on the read / write stream.
+	ReadErrRate  float64
+	WriteErrRate float64
+
+	// FailReadAt / FailWriteAt inject one transient error at each listed
+	// 1-based operation ordinal of the corresponding stream.
+	FailReadAt  []uint64
+	FailWriteAt []uint64
+
+	// BadPages lists page indices that are permanently bad: every read or
+	// write touching one fails with ErrPermanent.
+	BadPages []uint64
+
+	// BitFlipRate is the per-read probability of silently flipping one bit
+	// in the returned buffer (the read reports success).
+	BitFlipRate float64
+	// BitFlipAt silently corrupts the read at each listed 1-based read
+	// ordinal.
+	BitFlipAt []uint64
+}
+
+// Stats counts the faults a Plan has injected so far.
+type Stats struct {
+	// TransientReads / TransientWrites count injected transient errors per
+	// stream.
+	TransientReads  uint64
+	TransientWrites uint64
+	// PermanentErrs counts accesses rejected because they touched a bad page.
+	PermanentErrs uint64
+	// BitFlips counts silently corrupted reads.
+	BitFlips uint64
+}
+
+// Plan is an active fault schedule shared by one device. All methods are safe
+// for concurrent use; the PRNG and ordinal counters are guarded by one mutex
+// (fault checks are off the measured fast path by construction — a nil Plan
+// costs a single pointer test).
+type Plan struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	cfg    Config
+	reads  uint64 // ordinal of the read stream
+	writes uint64 // ordinal of the write stream
+
+	bad         map[uint64]struct{}
+	failReadAt  map[uint64]struct{}
+	failWriteAt map[uint64]struct{}
+	bitFlipAt   map[uint64]struct{}
+
+	stats Stats
+}
+
+// NewPlan compiles cfg into an active Plan.
+func NewPlan(cfg Config) *Plan {
+	p := &Plan{
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		cfg:         cfg,
+		bad:         make(map[uint64]struct{}, len(cfg.BadPages)),
+		failReadAt:  make(map[uint64]struct{}, len(cfg.FailReadAt)),
+		failWriteAt: make(map[uint64]struct{}, len(cfg.FailWriteAt)),
+		bitFlipAt:   make(map[uint64]struct{}, len(cfg.BitFlipAt)),
+	}
+	for _, pg := range cfg.BadPages {
+		p.bad[pg] = struct{}{}
+	}
+	for _, n := range cfg.FailReadAt {
+		p.failReadAt[n] = struct{}{}
+	}
+	for _, n := range cfg.FailWriteAt {
+		p.failWriteAt[n] = struct{}{}
+	}
+	for _, n := range cfg.BitFlipAt {
+		p.bitFlipAt[n] = struct{}{}
+	}
+	return p
+}
+
+// Stats returns a snapshot of the injected-fault counters. Safe on a nil
+// Plan (returns zeros).
+func (p *Plan) Stats() Stats {
+	if p == nil {
+		return Stats{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// AddBadPage marks page permanently bad from now on. Used by tests that
+// degrade a device mid-run.
+func (p *Plan) AddBadPage(page uint64) {
+	p.mu.Lock()
+	p.bad[page] = struct{}{}
+	p.mu.Unlock()
+}
+
+// Check advances the op stream by one operation spanning pages
+// [firstPage, lastPage] and returns the fault to inject, if any: nil, an
+// error wrapping ErrPermanent (a bad page is in range), or an error wrapping
+// ErrTransient. Safe on a nil Plan (always nil).
+func (p *Plan) Check(op Op, firstPage, lastPage uint64) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	var ordinal uint64
+	var rate float64
+	var at map[uint64]struct{}
+	if op == Read {
+		p.reads++
+		ordinal, rate, at = p.reads, p.cfg.ReadErrRate, p.failReadAt
+	} else {
+		p.writes++
+		ordinal, rate, at = p.writes, p.cfg.WriteErrRate, p.failWriteAt
+	}
+
+	// Permanent faults take precedence: a bad page fails regardless of the
+	// transient schedule.
+	if len(p.bad) > 0 {
+		for pg := firstPage; pg <= lastPage; pg++ {
+			if _, ok := p.bad[pg]; ok {
+				p.stats.PermanentErrs++
+				return fmt.Errorf("page %d: %w", pg, ErrPermanent)
+			}
+		}
+	}
+
+	_, fire := at[ordinal]
+	if !fire && rate > 0 && p.rng.Float64() < rate {
+		fire = true
+	}
+	if fire {
+		if op == Read {
+			p.stats.TransientReads++
+			return fmt.Errorf("read op %d: %w", ordinal, ErrTransient)
+		}
+		p.stats.TransientWrites++
+		return fmt.Errorf("write op %d: %w", ordinal, ErrTransient)
+	}
+	return nil
+}
+
+// Corrupt decides whether the read that just filled buf should be silently
+// corrupted, and if so flips one deterministic-per-seed bit in place and
+// returns true. Called after a successful read; the read still reports
+// success — only an end-to-end checksum can catch it. Safe on a nil Plan.
+func (p *Plan) Corrupt(buf []byte) bool {
+	if p == nil || len(buf) == 0 {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, fire := p.bitFlipAt[p.reads] // reads was advanced by the Check call
+	if !fire && p.cfg.BitFlipRate > 0 && p.rng.Float64() < p.cfg.BitFlipRate {
+		fire = true
+	}
+	if !fire {
+		return false
+	}
+	bit := p.rng.Intn(len(buf) * 8)
+	buf[bit/8] ^= 1 << (bit % 8)
+	p.stats.BitFlips++
+	return true
+}

@@ -1,0 +1,106 @@
+package fault
+
+import "testing"
+
+func TestNilPlanIsInert(t *testing.T) {
+	var p *Plan
+	if err := p.Check(Read, 0, 10); err != nil {
+		t.Fatalf("nil plan injected %v", err)
+	}
+	buf := []byte{1, 2, 3}
+	if p.Corrupt(buf) {
+		t.Fatal("nil plan corrupted a read")
+	}
+	if s := p.Stats(); s != (Stats{}) {
+		t.Fatalf("nil plan has stats %+v", s)
+	}
+}
+
+func TestOrdinalTriggers(t *testing.T) {
+	p := NewPlan(Config{FailWriteAt: []uint64{3}, FailReadAt: []uint64{1}})
+	if err := p.Check(Read, 0, 0); !IsTransient(err) {
+		t.Fatalf("read 1: want transient, got %v", err)
+	}
+	for i := 1; i <= 2; i++ {
+		if err := p.Check(Write, 0, 0); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if err := p.Check(Write, 0, 0); !IsTransient(err) {
+		t.Fatal("write 3 did not fire")
+	}
+	if err := p.Check(Write, 0, 0); err != nil {
+		t.Fatalf("write 4: %v", err)
+	}
+	s := p.Stats()
+	if s.TransientReads != 1 || s.TransientWrites != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestBadPages(t *testing.T) {
+	p := NewPlan(Config{BadPages: []uint64{7}})
+	if err := p.Check(Write, 5, 6); err != nil {
+		t.Fatalf("clean range: %v", err)
+	}
+	if err := p.Check(Write, 6, 8); !IsPermanent(err) {
+		t.Fatal("range covering bad page did not fail")
+	}
+	if err := p.Check(Read, 7, 7); !IsPermanent(err) {
+		t.Fatal("read of bad page did not fail")
+	}
+	p.AddBadPage(2)
+	if err := p.Check(Read, 2, 2); !IsPermanent(err) {
+		t.Fatal("AddBadPage page readable")
+	}
+	if got := p.Stats().PermanentErrs; got != 3 {
+		t.Fatalf("PermanentErrs = %d, want 3", got)
+	}
+}
+
+func TestSeededRatesReproduce(t *testing.T) {
+	run := func() (errs int, flips int) {
+		p := NewPlan(Config{Seed: 42, WriteErrRate: 0.25, BitFlipRate: 0.25})
+		buf := make([]byte, 64)
+		for i := 0; i < 400; i++ {
+			if err := p.Check(Write, 0, 0); err != nil {
+				if !IsTransient(err) {
+					t.Fatalf("unexpected class: %v", err)
+				}
+				errs++
+			}
+			if err := p.Check(Read, 0, 0); err == nil && p.Corrupt(buf) {
+				flips++
+			}
+		}
+		return
+	}
+	e1, f1 := run()
+	e2, f2 := run()
+	if e1 != e2 || f1 != f2 {
+		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", e1, f1, e2, f2)
+	}
+	if e1 == 0 || f1 == 0 {
+		t.Fatalf("rates never fired: errs=%d flips=%d", e1, f1)
+	}
+}
+
+func TestCorruptFlipsExactlyOneBit(t *testing.T) {
+	p := NewPlan(Config{BitFlipAt: []uint64{1}})
+	if err := p.Check(Read, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	if !p.Corrupt(buf) {
+		t.Fatal("trigger did not fire")
+	}
+	ones := 0
+	for _, b := range buf {
+		for ; b != 0; b &= b - 1 {
+			ones++
+		}
+	}
+	if ones != 1 {
+		t.Fatalf("%d bits flipped, want 1", ones)
+	}
+}

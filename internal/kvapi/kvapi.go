@@ -44,7 +44,9 @@ type IOStatsReporter interface {
 // devices and reports the phases' durations in nanoseconds.
 type Crasher interface {
 	// Crash simulates SIGKILL + power loss. The store becomes unusable.
-	Crash(seed int64)
+	// An error means the crash could not be simulated (e.g. persistence
+	// tracking is off), not that the store survived.
+	Crash(seed int64) error
 	// Recover reopens the store from the crashed (or cleanly closed)
 	// devices, returning the metadata-recovery and log-replay times.
 	Recover() (metadataNs, replayNs int64, err error)

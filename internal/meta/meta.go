@@ -28,7 +28,15 @@ const (
 	slotNBlocks = 4 // u32
 	slotSizeOff = 8 // u64 logical object size
 	slotName    = 16
+	// After the name field (maxName bytes) come the block-id array
+	// (8*maxBlocks) and the per-block CRC32C array (4*maxBlocks). Sum 0 is
+	// the "unverified" sentinel: readers skip the check for that block (used
+	// for blocks whose content is not known at log-append time).
 )
+
+// SumUnverified is the per-block checksum sentinel meaning "no checksum
+// recorded": integrity verification is skipped for that block.
+const SumUnverified uint32 = 0
 
 // Zone is a metadata zone handle.
 type Zone struct {
@@ -45,12 +53,15 @@ type Entry struct {
 	Name   []byte
 	Size   uint64
 	Blocks []uint64
+	// Sums holds one CRC32C (Castagnoli) per block, parallel to Blocks;
+	// SumUnverified entries carry no integrity information.
+	Sums []uint32
 }
 
 // New allocates a zone with the given geometry and returns it with its arena
 // offset.
 func New(al *alloc.Allocator, slots, maxName, maxBlocks uint64) (*Zone, uint64, error) {
-	slotSize := (slotName + maxName + 8*maxBlocks + 7) &^ 7
+	slotSize := (slotName + maxName + 8*maxBlocks + 4*maxBlocks + 7) &^ 7
 	base, err := al.Alloc(hdrSize + slots*slotSize)
 	if err != nil {
 		return nil, 0, err
@@ -92,13 +103,21 @@ func (z *Zone) slotOff(slot uint64) uint64 {
 	return z.base + hdrSize + slot*z.slotSize
 }
 
-// Write fills slot with an object's metadata — Fig. 4 step ⑥.
-func (z *Zone) Write(slot uint64, name []byte, size uint64, blocks []uint64) error {
+func (z *Zone) blocksOff(off uint64) uint64 { return off + slotName + z.maxName }
+func (z *Zone) sumsOff(off uint64) uint64   { return off + slotName + z.maxName + 8*z.maxBlocks }
+
+// Write fills slot with an object's metadata — Fig. 4 step ⑥. sums holds the
+// per-block CRC32C values, parallel to blocks; a nil sums records
+// SumUnverified for every block.
+func (z *Zone) Write(slot uint64, name []byte, size uint64, blocks []uint64, sums []uint32) error {
 	if uint64(len(name)) > z.maxName {
 		return fmt.Errorf("meta: name length %d exceeds max %d", len(name), z.maxName)
 	}
 	if uint64(len(blocks)) > z.maxBlocks {
 		return fmt.Errorf("meta: %d blocks exceed max %d", len(blocks), z.maxBlocks)
+	}
+	if sums != nil && len(sums) != len(blocks) {
+		return fmt.Errorf("meta: %d sums for %d blocks", len(sums), len(blocks))
 	}
 	off := z.slotOff(slot)
 	z.sp.PutU8(off+slotUsed, 1)
@@ -106,9 +125,15 @@ func (z *Zone) Write(slot uint64, name []byte, size uint64, blocks []uint64) err
 	z.sp.PutU32(off+slotNBlocks, uint32(len(blocks)))
 	z.sp.PutU64(off+slotSizeOff, size)
 	z.sp.Write(off+slotName, name)
-	bb := off + slotName + z.maxName
+	bb := z.blocksOff(off)
+	sb := z.sumsOff(off)
 	for i, b := range blocks {
 		z.sp.PutU64(bb+8*uint64(i), b)
+		s := SumUnverified
+		if sums != nil {
+			s = sums[i]
+		}
+		z.sp.PutU32(sb+4*uint64(i), s)
 	}
 	return nil
 }
@@ -119,18 +144,35 @@ func (z *Zone) SetSize(slot, size uint64) {
 	z.sp.PutU64(off+slotSizeOff, size)
 }
 
-// SetBlocks replaces the block list of a used slot.
+// SetBlocks replaces the block list of a used slot; the sums of the listed
+// blocks are reset to SumUnverified (callers that know the content use
+// SetSum afterwards).
 func (z *Zone) SetBlocks(slot uint64, blocks []uint64) error {
 	if uint64(len(blocks)) > z.maxBlocks {
 		return fmt.Errorf("meta: %d blocks exceed max %d", len(blocks), z.maxBlocks)
 	}
 	off := z.slotOff(slot)
 	z.sp.PutU32(off+slotNBlocks, uint32(len(blocks)))
-	bb := off + slotName + z.maxName
+	bb := z.blocksOff(off)
+	sb := z.sumsOff(off)
 	for i, b := range blocks {
 		z.sp.PutU64(bb+8*uint64(i), b)
+		z.sp.PutU32(sb+4*uint64(i), SumUnverified)
 	}
 	return nil
+}
+
+// SetSum records the CRC32C of the i-th block of a used slot.
+func (z *Zone) SetSum(slot uint64, i int, sum uint32) {
+	off := z.slotOff(slot)
+	z.sp.PutU32(z.sumsOff(off)+4*uint64(i), sum)
+}
+
+// SetBlockID rewrites the i-th block id of a used slot (block remapping:
+// quarantine repair migrates data to a fresh block and repoints the slot).
+func (z *Zone) SetBlockID(slot uint64, i int, block uint64) {
+	off := z.slotOff(slot)
+	z.sp.PutU64(z.blocksOff(off)+8*uint64(i), block)
 }
 
 // Read decodes slot; ok is false if the slot is unused.
@@ -145,10 +187,13 @@ func (z *Zone) Read(slot uint64) (Entry, bool) {
 		Name: z.sp.Slice(off+slotName, nl),
 		Size: z.sp.GetU64(off + slotSizeOff),
 	}
-	bb := off + slotName + z.maxName
+	bb := z.blocksOff(off)
+	sb := z.sumsOff(off)
 	e.Blocks = make([]uint64, nb)
+	e.Sums = make([]uint32, nb)
 	for i := range e.Blocks {
 		e.Blocks[i] = z.sp.GetU64(bb + 8*uint64(i))
+		e.Sums[i] = z.sp.GetU32(sb + 4*uint64(i))
 	}
 	return e, true
 }

@@ -20,7 +20,7 @@ func newZone(t *testing.T) (*Zone, *alloc.Allocator, uint64) {
 func TestWriteRead(t *testing.T) {
 	z, _, _ := newZone(t)
 	blocks := []uint64{10, 20, 30}
-	if err := z.Write(5, []byte("object-a"), 12288, blocks); err != nil {
+	if err := z.Write(5, []byte("object-a"), 12288, blocks, nil); err != nil {
 		t.Fatal(err)
 	}
 	e, ok := z.Read(5)
@@ -46,7 +46,7 @@ func TestUnusedSlot(t *testing.T) {
 
 func TestClear(t *testing.T) {
 	z, _, _ := newZone(t)
-	z.Write(1, []byte("x"), 1, []uint64{1})
+	z.Write(1, []byte("x"), 1, []uint64{1}, nil)
 	z.Clear(1)
 	if _, ok := z.Read(1); ok {
 		t.Fatal("cleared slot still used")
@@ -55,7 +55,7 @@ func TestClear(t *testing.T) {
 
 func TestSetSizeAndBlocks(t *testing.T) {
 	z, _, _ := newZone(t)
-	z.Write(2, []byte("grow"), 4096, []uint64{7})
+	z.Write(2, []byte("grow"), 4096, []uint64{7}, nil)
 	z.SetSize(2, 8192)
 	if err := z.SetBlocks(2, []uint64{7, 8}); err != nil {
 		t.Fatal(err)
@@ -69,11 +69,11 @@ func TestSetSizeAndBlocks(t *testing.T) {
 func TestLimitsEnforced(t *testing.T) {
 	z, _, _ := newZone(t)
 	longName := make([]byte, 33)
-	if err := z.Write(0, longName, 1, nil); err == nil {
+	if err := z.Write(0, longName, 1, nil, nil); err == nil {
 		t.Fatal("oversize name accepted")
 	}
 	manyBlocks := make([]uint64, 9)
-	if err := z.Write(0, []byte("k"), 1, manyBlocks); err == nil {
+	if err := z.Write(0, []byte("k"), 1, manyBlocks, nil); err == nil {
 		t.Fatal("too many blocks accepted")
 	}
 	if err := z.SetBlocks(0, manyBlocks); err == nil {
@@ -93,7 +93,7 @@ func TestSlotOutOfRangePanics(t *testing.T) {
 
 func TestOpenRoundTrip(t *testing.T) {
 	z, al, off := newZone(t)
-	z.Write(3, []byte("persist"), 999, []uint64{1, 2})
+	z.Write(3, []byte("persist"), 999, []uint64{1, 2}, nil)
 	z2 := Open(al, off)
 	if z2.Slots() != 64 || z2.MaxName() != 32 || z2.MaxBlocks() != 8 {
 		t.Fatalf("geometry lost: %d/%d/%d", z2.Slots(), z2.MaxName(), z2.MaxBlocks())
@@ -106,13 +106,13 @@ func TestOpenRoundTrip(t *testing.T) {
 
 func TestCloneIndependence(t *testing.T) {
 	z, al, off := newZone(t)
-	z.Write(1, []byte("orig"), 1, []uint64{1})
+	z.Write(1, []byte("orig"), 1, []uint64{1}, nil)
 	clone, err := al.CloneTo(space.NewDRAM(1 << 20))
 	if err != nil {
 		t.Fatal(err)
 	}
 	cz := Open(clone, off)
-	cz.Write(1, []byte("newv"), 2, []uint64{2})
+	cz.Write(1, []byte("newv"), 2, []uint64{2}, nil)
 	e, _ := z.Read(1)
 	if string(e.Name) != "orig" {
 		t.Fatal("clone write leaked into source zone")
@@ -123,7 +123,7 @@ func TestSlotsIndependent(t *testing.T) {
 	z, _, _ := newZone(t)
 	for i := uint64(0); i < 64; i++ {
 		name := []byte{byte('a' + i%26), byte('0' + i/26)}
-		if err := z.Write(i, name, i, []uint64{i}); err != nil {
+		if err := z.Write(i, name, i, []uint64{i}, nil); err != nil {
 			t.Fatal(err)
 		}
 	}

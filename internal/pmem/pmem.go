@@ -25,12 +25,14 @@ package pmem
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dstore/internal/fault"
 	"dstore/internal/latency"
 )
 
@@ -64,6 +66,12 @@ type Config struct {
 	TrackPersistence bool
 	// Latency calibrates injected delays. Zero values mean no delay.
 	Latency Latencies
+	// Faults, when non-nil, is consulted by the fallible Try* operations
+	// (the log-append path). The plan's page unit is the 64-byte cache
+	// line. The infallible WriteAt/Flush/Fence methods — used by structures
+	// that recover from DRAM shadows rather than per-write error handling —
+	// never consult it.
+	Faults *fault.Plan
 }
 
 // Latencies models Optane DCPMM timing. The defaults used by the benchmark
@@ -120,6 +128,8 @@ type Stats struct {
 	BytesRead    uint64
 	LinesFlushed uint64
 	Fences       uint64
+	// InjectedErrs counts operations failed by the device fault plan.
+	InjectedErrs uint64
 }
 
 const lineShards = 64
@@ -140,10 +150,11 @@ type lineShard struct {
 // Distinct goroutines writing the same cache line concurrently must provide
 // their own synchronization, exactly as on real hardware.
 type Device struct {
-	buf   []byte
-	track bool
-	lat   Latencies
-	hook  func() // fault-injection hook; see SetMutationHook
+	buf    []byte
+	track  bool
+	lat    Latencies
+	hook   func() // fault-injection hook; see SetMutationHook
+	faults *fault.Plan
 
 	shards [lineShards]lineShard
 
@@ -151,6 +162,7 @@ type Device struct {
 	bytesRead    atomic.Uint64
 	linesFlushed atomic.Uint64
 	fences       atomic.Uint64
+	injectedErrs atomic.Uint64
 }
 
 // New creates a Device per cfg.
@@ -163,9 +175,10 @@ func New(cfg Config) *Device {
 		size += LineSize - size%LineSize
 	}
 	d := &Device{
-		buf:   make([]byte, size),
-		track: cfg.TrackPersistence,
-		lat:   cfg.Latency,
+		buf:    make([]byte, size),
+		track:  cfg.TrackPersistence,
+		lat:    cfg.Latency,
+		faults: cfg.Faults,
 	}
 	prefault(d.buf)
 	for i := range d.shards {
@@ -182,6 +195,13 @@ func New(cfg Config) *Device {
 // single-goroutine test harnesses.
 func (d *Device) SetMutationHook(fn func()) { d.hook = fn }
 
+// SetFaultPlan installs (or, with nil, removes) the fault plan consulted by
+// the Try* operations. Install before concurrent use.
+func (d *Device) SetFaultPlan(p *fault.Plan) { d.faults = p }
+
+// FaultPlan returns the installed fault plan, or nil.
+func (d *Device) FaultPlan() *fault.Plan { return d.faults }
+
 // Size returns the device capacity in bytes.
 func (d *Device) Size() int { return len(d.buf) }
 
@@ -197,6 +217,7 @@ func (d *Device) Stats() Stats {
 		BytesRead:    d.bytesRead.Load(),
 		LinesFlushed: d.linesFlushed.Load(),
 		Fences:       d.fences.Load(),
+		InjectedErrs: d.injectedErrs.Load(),
 	}
 }
 
@@ -365,6 +386,65 @@ func (d *Device) Persist(off, n uint64) {
 	d.Fence()
 }
 
+// CheckWriteFault consults the fault plan for one write-stream operation
+// covering [off, off+n) without performing any I/O. The plan's page unit on
+// PMEM is the cache line. Callers that batch several stores under one
+// durability point (the WAL append protocol) use it to model the whole batch
+// as a single fallible media operation.
+func (d *Device) CheckWriteFault(off, n uint64) error {
+	if d.faults == nil {
+		return nil
+	}
+	last := off
+	if n > 0 {
+		last = off + n - 1
+	}
+	if err := d.faults.Check(fault.Write, off/LineSize, last/LineSize); err != nil {
+		d.injectedErrs.Add(1)
+		return err
+	}
+	return nil
+}
+
+// TryWriteAt is WriteAt with fault injection: the fallible variant the
+// log-append path uses. On error nothing was written (the media rejected the
+// store — e.g. an uncorrectable/poisoned line — before any byte landed).
+func (d *Device) TryWriteAt(off uint64, p []byte) error {
+	if err := d.CheckWriteFault(off, uint64(len(p))); err != nil {
+		return err
+	}
+	d.WriteAt(off, p)
+	return nil
+}
+
+// TryPutU64 is PutU64 with fault injection.
+func (d *Device) TryPutU64(off uint64, v uint64) error {
+	if err := d.CheckWriteFault(off, 8); err != nil {
+		return err
+	}
+	d.PutU64(off, v)
+	return nil
+}
+
+// TryPutU8 is PutU8 with fault injection.
+func (d *Device) TryPutU8(off uint64, v uint8) error {
+	if err := d.CheckWriteFault(off, 1); err != nil {
+		return err
+	}
+	d.PutU8(off, v)
+	return nil
+}
+
+// TryPersist is Persist with fault injection. On error the flush/fence did
+// not complete: the lines in range may or may not have reached the media.
+func (d *Device) TryPersist(off, n uint64) error {
+	if err := d.CheckWriteFault(off, n); err != nil {
+		return err
+	}
+	d.Persist(off, n)
+	return nil
+}
+
 // DirtyLines reports how many lines are currently not persistent. Intended
 // for tests.
 func (d *Device) DirtyLines() int {
@@ -378,13 +458,20 @@ func (d *Device) DirtyLines() int {
 	return total
 }
 
+// ErrNotTracking is returned by Crash on a device built without
+// Config.TrackPersistence: without the dirty/staged line model there is no
+// record of what could be lost, so a simulated power loss is meaningless.
+var ErrNotTracking = errors.New(
+	"pmem: Crash requires Config.TrackPersistence (enable it on the device under test)")
+
 // Crash simulates power loss followed by a reopen of the device: the volatile
 // view is replaced by what survived, according to policy, and all tracking
 // state is reset. seed drives CrashRandom; it is ignored by the other
-// policies. Crash requires TrackPersistence.
-func (d *Device) Crash(policy CrashPolicy, seed int64) {
+// policies. Crash returns ErrNotTracking — and changes nothing — on a device
+// created without TrackPersistence.
+func (d *Device) Crash(policy CrashPolicy, seed int64) error {
 	if !d.track {
-		panic("pmem: Crash requires Config.TrackPersistence")
+		return ErrNotTracking
 	}
 	rng := rand.New(rand.NewSource(seed))
 	for i := range d.shards {
@@ -412,6 +499,7 @@ func (d *Device) Crash(policy CrashPolicy, seed int64) {
 		s.staged = s.staged[:0]
 		s.mu.Unlock()
 	}
+	return nil
 }
 
 // prefault touches every page of buf so first-touch page faults happen at

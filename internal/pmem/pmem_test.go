@@ -3,6 +3,7 @@ package pmem
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
@@ -275,14 +276,11 @@ func TestQuickCrashRandomNeverInventsData(t *testing.T) {
 	}
 }
 
-func TestCrashWithoutTrackingPanics(t *testing.T) {
+func TestCrashWithoutTrackingErrors(t *testing.T) {
 	d := New(Config{Size: 128})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	d.Crash(CrashDropDirty, 0)
+	if err := d.Crash(CrashDropDirty, 0); !errors.Is(err, ErrNotTracking) {
+		t.Fatalf("err = %v, want ErrNotTracking", err)
+	}
 }
 
 func TestUntrackedDeviceSkipsBookkeeping(t *testing.T) {

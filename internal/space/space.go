@@ -296,6 +296,15 @@ func (p *PMEM) Flush(off, n uint64) {
 // Fence completes initiated flushes.
 func (p *PMEM) Fence() { p.dev.Fence() }
 
+// CheckFault consults the device's fault plan for one write-stream operation
+// covering [off, off+n), without touching memory. The WAL uses it to treat a
+// whole append protocol (body stores, reverse-order flushes, LSN persist) as
+// a single fallible media operation. Returns nil when no plan is installed.
+func (p *PMEM) CheckFault(off, n uint64) error {
+	p.check(off, n)
+	return p.dev.CheckWriteFault(p.base+off, n)
+}
+
 // Persist is Flush followed by Fence.
 func (p *PMEM) Persist(off, n uint64) {
 	p.Flush(off, n)

@@ -14,16 +14,21 @@
 //     crash; with protection off, unsynced writes may be lost, which the
 //     tests use to show why DStore's commit-after-data-durable ordering
 //     matters;
-//   - read/write byte counters for the Fig. 7 bandwidth series.
+//   - read/write byte counters for the Fig. 7 bandwidth series;
+//   - injected device faults (transient errors, permanent bad pages, silent
+//     bit flips) per an optional fault.Plan, so the store's retry,
+//     quarantine, and checksum policies can be exercised deterministically.
 package ssd
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dstore/internal/fault"
 	"dstore/internal/latency"
 )
 
@@ -31,6 +36,10 @@ import (
 // to ("we primarily use 4KB sized operations ... to conform with the SSD
 // hardware block size", §5.1).
 const DefaultPageSize = 4096
+
+// ErrOutOfRange is returned (wrapped, with the offending range) by accesses
+// beyond the device capacity.
+var ErrOutOfRange = errors.New("ssd: access out of range")
 
 // Latencies models NVMe device timing, charged per page.
 type Latencies struct {
@@ -60,6 +69,9 @@ type Config struct {
 	PowerProtected bool
 	// Latency calibrates injected delays; zero values mean none.
 	Latency Latencies
+	// Faults, when non-nil, is consulted on every ReadAt/WriteAt/Sync and
+	// may fail the operation or silently corrupt read data.
+	Faults *fault.Plan
 }
 
 // Stats holds monotonically increasing device counters.
@@ -67,6 +79,10 @@ type Stats struct {
 	BytesWritten uint64
 	BytesRead    uint64
 	Syncs        uint64
+	// Injected-fault counters (zero without a fault plan).
+	TransientErrs uint64 // transient read/write/sync errors returned
+	PermanentErrs uint64 // accesses rejected by a permanently bad page
+	BitFlips      uint64 // reads silently corrupted
 }
 
 // Device is a simulated NVMe drive. Methods are safe for concurrent use;
@@ -76,6 +92,7 @@ type Device struct {
 	buf       []byte
 	protected bool
 	lat       Latencies
+	faults    *fault.Plan
 
 	mu     sync.Mutex // guards dirty
 	dirty  map[int][]byte
@@ -101,10 +118,11 @@ func New(cfg Config) *Device {
 		buf:       make([]byte, ps*pages),
 		protected: cfg.PowerProtected,
 		lat:       cfg.Latency,
+		faults:    cfg.Faults,
 		dirty:     make(map[int][]byte),
 	}
 	// Touch every page so first-touch faults happen now, not mid-benchmark.
-	for i := 0; i < len(d.buf); i += 4096 {
+	for i := 0; i < len(d.buf); i += ps {
 		d.buf[i] = 0
 	}
 	return d
@@ -116,38 +134,78 @@ func (d *Device) PageSize() int { return d.pageSize }
 // Pages returns the device capacity in pages.
 func (d *Device) Pages() int { return len(d.buf) / d.pageSize }
 
+// SetFaultPlan installs (or, with nil, removes) the fault plan consulted by
+// subsequent operations. Intended for tests and tools that degrade a device
+// mid-run; install before concurrent use.
+func (d *Device) SetFaultPlan(p *fault.Plan) { d.faults = p }
+
+// FaultPlan returns the installed fault plan, or nil.
+func (d *Device) FaultPlan() *fault.Plan { return d.faults }
+
 // Stats returns a snapshot of the device counters.
 func (d *Device) Stats() Stats {
+	fs := d.faults.Stats()
 	return Stats{
-		BytesWritten: d.bytesWritten.Load(),
-		BytesRead:    d.bytesRead.Load(),
-		Syncs:        d.syncs.Load(),
+		BytesWritten:  d.bytesWritten.Load(),
+		BytesRead:     d.bytesRead.Load(),
+		Syncs:         d.syncs.Load(),
+		TransientErrs: fs.TransientReads + fs.TransientWrites,
+		PermanentErrs: fs.PermanentErrs,
+		BitFlips:      fs.BitFlips,
 	}
 }
 
-func (d *Device) checkRange(off, n uint64) {
+func (d *Device) checkRange(off, n uint64) error {
 	if off+n > uint64(len(d.buf)) || off+n < off {
-		panic(fmt.Sprintf("ssd: access [%d,%d) out of range (size %d)", off, off+n, len(d.buf)))
+		return fmt.Errorf("%w: [%d,%d) on %d-byte device", ErrOutOfRange, off, off+n, len(d.buf))
 	}
+	return nil
+}
+
+func (d *Device) pageSpan(off, n uint64) (first, last uint64) {
+	ps := uint64(d.pageSize)
+	if n == 0 {
+		return off / ps, off / ps
+	}
+	return off / ps, (off + n - 1) / ps
 }
 
 func (d *Device) pagesTouched(off, n uint64) int {
 	if n == 0 {
 		return 0
 	}
-	ps := uint64(d.pageSize)
-	return int((off+n-1)/ps - off/ps + 1)
+	first, last := d.pageSpan(off, n)
+	return int(last - first + 1)
 }
 
 // WriteAt writes p at byte offset off, charging per-page write latency. The
 // write is durable immediately when the device is power protected, otherwise
-// only after Sync.
-func (d *Device) WriteAt(off uint64, p []byte) {
+// only after Sync. A non-nil error means the device rejected the request and
+// page content is unspecified (as on real hardware, a failed multi-page write
+// may have partially landed).
+func (d *Device) WriteAt(off uint64, p []byte) error {
 	if len(p) == 0 {
-		return
+		return nil
 	}
 	n := uint64(len(p))
-	d.checkRange(off, n)
+	if err := d.checkRange(off, n); err != nil {
+		return err
+	}
+	first, last := d.pageSpan(off, n)
+	if err := d.faults.Check(fault.Write, first, last); err != nil {
+		// A failed write may still have scribbled on the device before the
+		// error was reported; model the worst case by applying a partial
+		// front fragment on transient errors. Permanent bad pages reject
+		// the request outright.
+		if fault.IsTransient(err) && n > 1 {
+			frag := p[:1+int(off%2)]
+			if !d.protected {
+				d.trackDirty(off, uint64(len(frag)))
+			}
+			copy(d.buf[off:], frag)
+		}
+		return err
+	}
 	if !d.protected {
 		d.trackDirty(off, n)
 	}
@@ -156,6 +214,7 @@ func (d *Device) WriteAt(off uint64, p []byte) {
 	if d.lat.WritePerPage > 0 {
 		latency.Spin(time.Duration(d.pagesTouched(off, n)) * d.lat.WritePerPage)
 	}
+	return nil
 }
 
 func (d *Device) trackDirty(off, n uint64) {
@@ -174,22 +233,38 @@ func (d *Device) trackDirty(off, n uint64) {
 }
 
 // ReadAt reads into p from byte offset off, charging per-page read latency.
-func (d *Device) ReadAt(off uint64, p []byte) {
+// On error the contents of p are unspecified. A successful read may still
+// carry silently flipped bits if the fault plan says so — exactly the bit-rot
+// case end-to-end checksums exist for.
+func (d *Device) ReadAt(off uint64, p []byte) error {
 	if len(p) == 0 {
-		return
+		return nil
 	}
 	n := uint64(len(p))
-	d.checkRange(off, n)
+	if err := d.checkRange(off, n); err != nil {
+		return err
+	}
+	first, last := d.pageSpan(off, n)
+	if err := d.faults.Check(fault.Read, first, last); err != nil {
+		return err
+	}
 	copy(p, d.buf[off:off+n])
+	d.faults.Corrupt(p)
 	d.bytesRead.Add(n)
 	if d.lat.ReadPerPage > 0 {
 		latency.Spin(time.Duration(d.pagesTouched(off, n)) * d.lat.ReadPerPage)
 	}
+	return nil
 }
 
 // Sync makes all completed writes durable (flush cache / FUA). A no-op on a
-// power-protected device beyond its latency charge.
-func (d *Device) Sync() {
+// power-protected device beyond its latency charge. Sync consults the fault
+// plan as one write-stream operation; a failed Sync leaves dirty state
+// intact, so a retry can still make it durable.
+func (d *Device) Sync() error {
+	if err := d.faults.Check(fault.Write, 0, 0); err != nil && fault.IsTransient(err) {
+		return err
+	}
 	d.syncs.Add(1)
 	if !d.protected {
 		d.mu.Lock()
@@ -197,6 +272,7 @@ func (d *Device) Sync() {
 		d.mu.Unlock()
 	}
 	latency.Spin(d.lat.Sync)
+	return nil
 }
 
 // Crash simulates power loss. On a power-protected device the internal

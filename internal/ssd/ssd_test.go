@@ -2,6 +2,7 @@ package ssd
 
 import (
 	"bytes"
+	"errors"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -28,14 +29,14 @@ func TestDefaultsApplied(t *testing.T) {
 	}
 }
 
-func TestOutOfRangePanics(t *testing.T) {
+func TestOutOfRangeError(t *testing.T) {
 	d := New(Config{Pages: 1})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	d.WriteAt(4090, make([]byte, 100))
+	if err := d.WriteAt(4090, make([]byte, 100)); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("WriteAt err = %v, want ErrOutOfRange", err)
+	}
+	if err := d.ReadAt(4090, make([]byte, 100)); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("ReadAt err = %v, want ErrOutOfRange", err)
+	}
 }
 
 func TestPowerProtectedWritesSurviveCrash(t *testing.T) {

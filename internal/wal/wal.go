@@ -392,7 +392,14 @@ func (p *Pair) AppendIgnore(op uint16, name, payload []byte, ignore uint64) (*Ha
 		return nil, nil, ErrLogFull
 	}
 	lsn := p.lsn.Add(1)
-	l.writeRecordLocked(off, lsn, op, StateUncommitted, name, payload, total)
+	if err := l.writeRecordLocked(off, lsn, op, StateUncommitted, name, payload, total); err != nil {
+		// The device rejected the append. The LSN word at off was never
+		// written (it is still the previous append's zero guard), so the log
+		// is unchanged: no torn record, tail stays. The burned LSN is
+		// harmless — LSNs need only be monotonic, not dense.
+		l.mu.Unlock()
+		return nil, nil, fmt.Errorf("wal: append failed: %w", err)
+	}
 	l.tail = off + total
 	l.mu.Unlock()
 
@@ -410,9 +417,15 @@ var errRetry = errors.New("wal: retry append")
 func IsRetry(err error) bool { return errors.Is(err, errRetry) }
 
 // writeRecordLocked performs the paper's §3.4 append protocol at off.
-// Caller holds l.mu and the record fits.
-func (l *Log) writeRecordLocked(off, lsn uint64, op uint16, state uint8, name, payload []byte, total uint64) {
+// Caller holds l.mu and the record fits. The whole protocol counts as one
+// fallible media operation: on error nothing was made valid — the LSN word
+// at off still holds the previous append's zero guard, so a scan sees no
+// record (the same guarantee a torn append has).
+func (l *Log) writeRecordLocked(off, lsn uint64, op uint16, state uint8, name, payload []byte, total uint64) error {
 	sp := l.sp
+	if err := sp.CheckFault(off, total+8); err != nil {
+		return err
+	}
 	// Body: everything except the LSN word. The LSN word at off is still
 	// zero — it is the previous append's guard.
 	sp.PutU32(off+recLen, uint32(total))
@@ -443,6 +456,7 @@ func (l *Log) writeRecordLocked(off, lsn uint64, op uint16, state uint8, name, p
 	// The record becomes valid only now: write and persist the LSN.
 	sp.PutU64(off+recLSN, lsn)
 	sp.Persist(off+recLSN, 8)
+	return nil
 }
 
 func (p *Pair) lookup(lsn uint64) *Handle {
@@ -474,36 +488,50 @@ func (p *Pair) FindConflictIgnore(name []byte, ignore uint64) *Handle {
 
 // Commit marks h's record committed and durable — step ⑨ of the write
 // pipeline (Fig. 4), called only after the operation's data is durable.
-func (p *Pair) Commit(h *Handle) {
+//
+// On a device error the commit did not durably land: the record stays
+// uncommitted on media (a post-crash recovery marks it dead, so the
+// operation is not replayed — consistent with the error the caller returns).
+// The in-DRAM handle is settled either way so CC waiters are released; the
+// caller must treat the store as no longer able to persist (degrade).
+func (p *Pair) Commit(h *Handle) error {
+	return p.settle(h, StateCommitted)
+}
+
+// Abort marks h's record dead (used when an operation fails after logging,
+// e.g. pool exhaustion). Dead records are never replayed. Device-error
+// semantics mirror Commit: on error the record stays uncommitted on media,
+// which recovery also resolves to dead.
+func (p *Pair) Abort(h *Handle) error {
+	return p.settle(h, StateDead)
+}
+
+func (p *Pair) settle(h *Handle, state uint8) error {
 	p.swapMu.RLock()
 	// The state byte is spun on by CC scans and shares cache lines with
 	// neighbouring records; serialize the store and its flush with other
 	// log mutations (on real hardware this is a relaxed atomic byte store
 	// plus clwb — cache coherence does the serialization).
 	h.log.mu.Lock()
-	h.log.sp.PutU8(h.off+recState, StateCommitted)
-	h.log.sp.Persist(h.off+recState, 1)
+	// The store itself targets the cache and cannot fail; it is the flush
+	// to media that a faulty device rejects. Applying the volatile store
+	// unconditionally keeps conflict-window scans consistent (the record is
+	// settled for CC purposes) even when durability is lost.
+	h.log.sp.PutU8(h.off+recState, state)
+	err := h.log.sp.CheckFault(h.off+recState, 1)
+	if err == nil {
+		h.log.sp.Persist(h.off+recState, 1)
+	}
 	h.log.mu.Unlock()
-	h.committed.Store(true)
+	h.committed.Store(true) // release waiters; the handle is settled in DRAM
 	p.swapMu.RUnlock()
 	p.regMu.Lock()
 	delete(p.registry, h.lsn)
 	p.regMu.Unlock()
-}
-
-// Abort marks h's record dead (used when an operation fails after logging,
-// e.g. pool exhaustion). Dead records are never replayed.
-func (p *Pair) Abort(h *Handle) {
-	p.swapMu.RLock()
-	h.log.mu.Lock()
-	h.log.sp.PutU8(h.off+recState, StateDead)
-	h.log.sp.Persist(h.off+recState, 1)
-	h.log.mu.Unlock()
-	h.committed.Store(true) // release waiters; record is settled
-	p.swapMu.RUnlock()
-	p.regMu.Lock()
-	delete(p.registry, h.lsn)
-	p.regMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("wal: settle record %d: %w", h.lsn, err)
+	}
+	return nil
 }
 
 // SwapResult describes the archived log produced by a Swap.
@@ -530,20 +558,32 @@ type SwapResult struct {
 // migration is durable and before appends resume: it must durably record the
 // new active index and checkpoint state in the root object, so a crash at
 // any instant sees a consistent (active, archive) assignment.
-func (p *Pair) Swap(persistRoot func(newActive, archived int, replayEnd uint64)) SwapResult {
+//
+// A device error fails the swap before anything is published: the active log
+// is untouched (the migration writes only the inactive log) and appends
+// resume against the old active log, so a failed Swap is fully recoverable —
+// though the caller has lost its means of freeing log space and should
+// degrade once the active log fills.
+func (p *Pair) Swap(persistRoot func(newActive, archived int, replayEnd uint64)) (SwapResult, error) {
 	p.swapMu.Lock()
 	defer p.swapMu.Unlock()
 
 	old := p.logs[p.active]
 	newIdx := 1 - p.active
 	nl := p.logs[newIdx]
-	nl.reset()
 
 	old.mu.Lock()
 	old.advanceCursor()
 	cut := old.cur
 	tail := old.tail
 	old.mu.Unlock()
+
+	// The reset guard plus the whole migrated suffix is one media operation
+	// against the inactive log: fail it up front, before any state changes.
+	if err := nl.sp.CheckFault(logHeader, tail-cut+16); err != nil {
+		return SwapResult{}, fmt.Errorf("wal: swap migration: %w", err)
+	}
+	nl.reset()
 
 	// Migrate the suffix [cut, tail) record by record.
 	migrated := 0
@@ -586,7 +626,7 @@ func (p *Pair) Swap(persistRoot func(newActive, archived int, replayEnd uint64))
 		Migrated:       migrated,
 	}
 	p.active = newIdx
-	return res
+	return res, nil
 }
 
 // AppendNoop appends the paper's NOOP record used by olock (§4.5): it

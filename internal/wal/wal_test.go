@@ -177,7 +177,10 @@ func TestSwapArchivesCommittedPrefix(t *testing.T) {
 	p.Commit(mustAppend(t, p, 1, "after", nil)) // committed after the pending one
 
 	var rootCalls int
-	res := p.Swap(func(newActive, archived int, replayEnd uint64) { rootCalls++ })
+	res, err := p.Swap(func(newActive, archived int, replayEnd uint64) { rootCalls++ })
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rootCalls != 1 {
 		t.Fatal("persistRoot not called")
 	}
@@ -214,7 +217,10 @@ func TestSwapPreservesLSNOrderForReplay(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		p.Commit(mustAppend(t, p, 1, fmt.Sprintf("k%d", i), nil))
 	}
-	res := p.Swap(func(int, int, uint64) {})
+	res, err := p.Swap(func(int, int, uint64) {})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.ReplayEnd != logHeader {
 		t.Fatalf("replayEnd = %d, want empty prefix (first record uncommitted)", res.ReplayEnd)
 	}

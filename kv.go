@@ -71,8 +71,10 @@ func (k *KV) FootprintBytes() (dram, pmem, ssd uint64) {
 }
 
 // Crash implements kvapi.Crasher.
-func (k *KV) Crash(seed int64) {
-	k.cfg.PMEM, k.cfg.SSD = k.s.Crash(seed)
+func (k *KV) Crash(seed int64) error {
+	var err error
+	k.cfg.PMEM, k.cfg.SSD, err = k.s.Crash(seed)
+	return err
 }
 
 // CleanClose shuts down cleanly (final checkpoint included) but keeps the

@@ -3,7 +3,11 @@ package dstore
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"time"
 
+	"dstore/internal/fault"
+	"dstore/internal/meta"
 	"dstore/internal/wal"
 )
 
@@ -37,6 +41,15 @@ func (c *Ctx) heldLSN(name string) uint64 {
 	return 0
 }
 
+// scratchBuf returns a context-owned buffer of n bytes (reused across
+// calls; verified partial reads stage whole block spans through it).
+func (c *Ctx) scratchBuf(n uint64) []byte {
+	if uint64(cap(c.scratch)) < n {
+		c.scratch = make([]byte, n)
+	}
+	return c.scratch[:n]
+}
+
 // OpenFlag selects oopen semantics.
 type OpenFlag int
 
@@ -57,11 +70,73 @@ type Object struct {
 	closed bool
 }
 
+// --------------------------------------------------------------- checksums
+
+// castagnoli is the CRC32C polynomial table used for per-block data
+// checksums (the same polynomial hardware CRC instructions implement).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// blockSum computes the CRC32C of one block's logical content. A computed
+// zero is remapped to 1 so it never collides with meta.SumUnverified; the
+// one-in-2³² aliasing this introduces only ever weakens detection for that
+// single value, never produces a false mismatch.
+func blockSum(p []byte) uint32 {
+	s := crc32.Checksum(p, castagnoli)
+	if s == meta.SumUnverified {
+		return 1
+	}
+	return s
+}
+
+// blockSums computes the per-block checksums of value split at blockSize.
+func blockSums(value []byte, blockSize uint64) []uint32 {
+	n := int(blocksFor(uint64(len(value)), blockSize))
+	sums := make([]uint32, n)
+	for i := range sums {
+		lo := uint64(i) * blockSize
+		hi := lo + blockSize
+		if hi > uint64(len(value)) {
+			hi = uint64(len(value))
+		}
+		sums[i] = blockSum(value[lo:hi])
+	}
+	return sums
+}
+
+// readBlockVerified reads one block's logical span and verifies it against
+// the recorded CRC32C. A mismatch is re-read — a corrupted transfer is
+// transient — and only a persistent mismatch (at-rest corruption) surfaces
+// as ErrCorrupt.
+func (s *Store) readBlockVerified(block uint64, p []byte, sum uint32, name string) error {
+	const rereads = 2
+	for attempt := 0; ; attempt++ {
+		if err := s.ssdRead(s.dataOff(block), p); err != nil {
+			return fmt.Errorf("dstore: read block %d of %q: %w", block, name, err)
+		}
+		if sum == meta.SumUnverified || blockSum(p) == sum {
+			return nil
+		}
+		if attempt >= rereads {
+			s.health.corruptions.Add(1)
+			return fmt.Errorf("%w: block %d of %q (crc mismatch)", ErrCorrupt, block, name)
+		}
+	}
+}
+
+// isDeviceErr reports whether err originates in the device fault layer
+// (as opposed to validation or capacity errors).
+func isDeviceErr(err error) bool {
+	return fault.IsTransient(err) || fault.IsPermanent(err)
+}
+
 // appendPooled performs Fig. 4 steps ① and ② — lock the pools, then append
 // (and implicitly conflict-check) the log record — retrying on CC conflicts
 // and log-full backpressure. On success the pool lock is HELD; the caller
-// runs the pool phase and then calls s.poolUnlock.
+// runs the pool phase and then calls s.poolUnlock. Transient log-device
+// errors are retried with backoff; exhausting the retries (or a permanent
+// error) degrades the store.
 func (s *Store) appendPooled(op uint16, name, payload []byte, ignore uint64) (*wal.Handle, error) {
+	devRetries := 0
 	for {
 		s.poolMu.Lock()
 		h, conflict, err := s.eng.Pair().AppendIgnore(op, name, payload, ignore)
@@ -79,11 +154,20 @@ func (s *Store) appendPooled(op uint16, name, payload []byte, ignore uint64) (*w
 			if s.cfg.DisableCheckpoints {
 				return nil, fmt.Errorf("dstore: log full with checkpoints disabled")
 			}
-			if cerr := s.eng.Checkpoint(); cerr != nil {
+			if cerr := s.checkpointForSpace(); cerr != nil {
 				return nil, cerr
 			}
 		default:
 			s.poolMu.Unlock()
+			if fault.IsTransient(err) && devRetries < ioAttempts {
+				devRetries++
+				time.Sleep(time.Duration(devRetries) * 10 * time.Microsecond)
+				continue
+			}
+			if isDeviceErr(err) {
+				s.degrade(err)
+				return nil, fmt.Errorf("%w: log append: %v", ErrDegraded, err)
+			}
 			return nil, err
 		}
 	}
@@ -91,10 +175,11 @@ func (s *Store) appendPooled(op uint16, name, payload []byte, ignore uint64) (*w
 
 // allocAndAppend runs Fig. 4 steps ①–⑤ for put/create/extend: under the
 // pool lock it takes the allocations and appends the log record carrying
-// their ids, retrying (with the allocations rolled back) on CC conflicts
-// and log-full backpressure.
-func (s *Store) allocAndAppend(op uint16, name []byte, size uint64, ignore uint64) (*wal.Handle, putAlloc, error) {
+// their ids (and, for puts, the per-block data checksums), retrying (with
+// the allocations rolled back) on CC conflicts and log-full backpressure.
+func (s *Store) allocAndAppend(op uint16, name []byte, size uint64, sums []uint32, ignore uint64) (*wal.Handle, putAlloc, error) {
 	measure := s.cfg.Breakdown
+	devRetries := 0
 	for {
 		var t0 int64
 		if measure {
@@ -114,11 +199,14 @@ func (s *Store) allocAndAppend(op uint16, name []byte, size uint64, ignore uint6
 			s.poolMu.Unlock()
 			return nil, putAlloc{}, perr
 		}
+		if op == opPut {
+			a.sums = sums
+		}
 		var t1 int64
 		if measure {
 			t1 = nowNs()
 		}
-		payload := encodeAllocPayload(size, a.slot, a.blocks, s.physPad())
+		payload := encodeAllocPayload(size, a.slot, a.blocks, a.sums, s.physPad())
 		h, conflict, err := s.eng.Pair().AppendIgnore(op, name, payload, ignore)
 		if err == nil && conflict == nil {
 			s.eng.MaybeTrigger()
@@ -141,10 +229,19 @@ func (s *Store) allocAndAppend(op uint16, name []byte, size uint64, ignore uint6
 			if s.cfg.DisableCheckpoints {
 				return nil, putAlloc{}, fmt.Errorf("dstore: log full with checkpoints disabled")
 			}
-			if cerr := s.eng.Checkpoint(); cerr != nil {
+			if cerr := s.checkpointForSpace(); cerr != nil {
 				return nil, putAlloc{}, cerr
 			}
 		default:
+			if fault.IsTransient(err) && devRetries < ioAttempts {
+				devRetries++
+				time.Sleep(time.Duration(devRetries) * 10 * time.Microsecond)
+				continue
+			}
+			if isDeviceErr(err) {
+				s.degrade(err)
+				return nil, putAlloc{}, fmt.Errorf("%w: log append: %v", ErrDegraded, err)
+			}
 			return nil, putAlloc{}, err
 		}
 	}
@@ -153,7 +250,9 @@ func (s *Store) allocAndAppend(op uint16, name []byte, size uint64, ignore uint6
 // extendPoolPhase builds the grow-allocation for opExtend: the existing
 // block list (read under the slot's stripe lock; a concurrent same-name
 // writer makes the subsequent append conflict and the phase retry) plus
-// fresh blocks to reach newSize. Caller holds poolMu and treeMu.RLock.
+// fresh blocks to reach newSize. The existing blocks' checksums are carried
+// over; the fresh blocks start unverified (their content is whatever the
+// SSD holds until written). Caller holds poolMu and treeMu.RLock.
 func (s *Store) extendPoolPhase(name []byte, newSize uint64) (putAlloc, error) {
 	slot, ok := s.front.tree.Get(name)
 	if !ok {
@@ -168,6 +267,7 @@ func (s *Store) extendPoolPhase(name []byte, newSize uint64) (putAlloc, error) {
 		return putAlloc{}, fmt.Errorf("dstore: object %q needs %d blocks, max %d", name, need, s.front.zone.MaxBlocks())
 	}
 	blocks := e.Blocks
+	sums := e.Sums
 	oldLen := len(blocks)
 	for uint64(len(blocks)) < need {
 		b, err := s.front.blockPool.Get()
@@ -178,8 +278,9 @@ func (s *Store) extendPoolPhase(name []byte, newSize uint64) (putAlloc, error) {
 			return putAlloc{}, fmt.Errorf("dstore: out of blocks: %w", err)
 		}
 		blocks = append(blocks, b)
+		sums = append(sums, meta.SumUnverified)
 	}
-	return putAlloc{slot: slot, blocks: blocks, existed: true, freshFrom: oldLen}, nil
+	return putAlloc{slot: slot, blocks: blocks, sums: sums, existed: true, freshFrom: oldLen}, nil
 }
 
 // rollbackAlloc undoes allocAndAppend's pool phase. Caller holds poolMu.
@@ -236,10 +337,18 @@ func (s *Store) physPad() int {
 //	① lock pools ② append+flush log record ③ allocate blocks ④ allocate
 //	metadata page ⑤ unlock ⑥ write metadata ⑦ write btree record ⑧ write
 //	data to SSD ⑨ commit and flush log record.
+//
+// Step ⑧ is hoisted to run right after ⑤: the fresh blocks are invisible to
+// every reader until ⑥ publishes them, so writing early is safe — and it
+// lets a data-plane failure abort the operation (quarantining the bad block
+// and re-running the pipeline on fresh ones) before any structure changed.
 func (c *Ctx) Put(key string, value []byte) error {
 	s := c.s
 	if s == nil || s.closed.Load() {
 		return ErrClosed
+	}
+	if err := s.checkWritable(); err != nil {
+		return err
 	}
 	if err := s.validateName(key); err != nil {
 		return err
@@ -250,8 +359,9 @@ func (c *Ctx) Put(key string, value []byte) error {
 	s.ops.puts.Add(1)
 	name := []byte(key)
 	size := uint64(len(value))
+	sums := blockSums(value, s.cfg.BlockSize)
 
-	var t0, t2, t3, t4, t5 int64
+	var t0, t2, t3, t4 int64
 	measure := s.cfg.Breakdown
 	if measure {
 		t0 = nowNs()
@@ -260,16 +370,49 @@ func (c *Ctx) Put(key string, value []byte) error {
 	if s.cfg.DisableOE {
 		s.globalMu.Lock()
 	}
-	// Steps ①–⑤: under the pool lock, allocate (③–④) and append the log
-	// record carrying the allocation ids (②). Data always goes to fresh
-	// blocks, so a record that dies before commit leaves the previous
-	// version untouched on SSD.
-	h, a, err := s.allocAndAppend(opPut, name, size, c.heldLSN(key))
-	if err != nil {
+	// Steps ①–⑤ and ⑧: under the pool lock, allocate (③–④) and append the
+	// log record carrying the allocation ids and checksums (②); then write
+	// the data to the fresh blocks. A record that dies before commit leaves
+	// the previous version untouched on SSD.
+	var h *wal.Handle
+	var a putAlloc
+	for attempt := 0; ; attempt++ {
+		var err error
+		h, a, err = s.allocAndAppend(opPut, name, size, sums, c.heldLSN(key))
+		if err != nil {
+			if s.cfg.DisableOE {
+				s.globalMu.Unlock()
+			}
+			return err
+		}
+		var tw int64
+		if measure {
+			tw = nowNs()
+		}
+		bad, werr := s.putDataPhase(a, value, size)
+		if measure {
+			s.bd.ssdNs.Add(uint64(nowNs() - tw))
+		}
+		if werr == nil {
+			break
+		}
+		// The record never committed: it is dead and replays as a no-op.
+		// Return the fresh allocations (minus anything quarantined) and, on
+		// a permanent error, rerun the pipeline on different blocks.
+		s.abort(h)
+		s.poolMu.Lock()
+		s.freeBlocksLocked(a.blocks)
+		if !a.existed {
+			s.front.slotPool.Put(a.slot) //nolint:errcheck
+		}
+		s.poolMu.Unlock()
+		if bad && attempt < 2 {
+			continue
+		}
 		if s.cfg.DisableOE {
 			s.globalMu.Unlock()
 		}
-		return err
+		return werr
 	}
 	if measure {
 		t2 = nowNs() // pool and log components recorded inside allocAndAppend
@@ -293,7 +436,7 @@ func (c *Ctx) Put(key string, value []byte) error {
 	merr := s.front.putMetaPhase(a, name, size)
 	zlk.Unlock()
 	if err := merr; err != nil {
-		s.eng.Abort(h)
+		s.abort(h)
 		if s.cfg.DisableOE {
 			s.globalMu.Unlock()
 		}
@@ -310,36 +453,25 @@ func (c *Ctx) Put(key string, value []byte) error {
 		s.globalMu.Unlock()
 	}
 	if terr != nil {
-		s.eng.Abort(h)
+		s.abort(h)
 		return terr
 	}
 	if measure {
 		t4 = nowNs()
 	}
 
-	// Step ⑧: data to SSD, block by block.
-	for i, b := range a.blocks {
-		lo := uint64(i) * s.cfg.BlockSize
-		hi := lo + s.cfg.BlockSize
-		if hi > size {
-			hi = size
-		}
-		s.data.WriteAt(s.dataOff(b), value[lo:hi])
-	}
-	if measure {
-		t5 = nowNs()
-	}
-
 	// Step ⑨: commit — only now is the operation durable.
-	s.eng.Commit(h)
+	if err := s.commit(h); err != nil {
+		// Degraded: durability is indeterminate; keep the old blocks out of
+		// circulation (no more writes will need them anyway).
+		return err
+	}
 
 	// Deferred frees: the previous version's blocks return to the pool only
 	// after the new version committed.
 	if len(a.oldBlocks) > 0 {
 		s.poolMu.Lock()
-		for _, b := range a.oldBlocks {
-			s.front.blockPool.Put(b) //nolint:errcheck
-		}
+		s.freeBlocksLocked(a.oldBlocks)
 		s.poolMu.Unlock()
 	}
 
@@ -348,14 +480,37 @@ func (c *Ctx) Put(key string, value []byte) error {
 		s.bd.count.Add(1)
 		s.bd.metaNs.Add(uint64(t3 - t2))
 		s.bd.treeNs.Add(uint64(t4 - t3))
-		s.bd.ssdNs.Add(uint64(t5 - t4))
 		s.bd.totalNs.Add(uint64(end - t0))
 	}
 	return nil
 }
 
+// putDataPhase writes value into the allocation's fresh blocks (Fig. 4 step
+// ⑧) with bounded per-block retries. On a permanent device error the failing
+// block is quarantined and bad=true tells the caller the pipeline is worth
+// re-running on fresh blocks.
+func (s *Store) putDataPhase(a putAlloc, value []byte, size uint64) (bad bool, err error) {
+	for i, b := range a.blocks {
+		lo := uint64(i) * s.cfg.BlockSize
+		hi := lo + s.cfg.BlockSize
+		if hi > size {
+			hi = size
+		}
+		if werr := s.ssdWrite(s.dataOff(b), value[lo:hi]); werr != nil {
+			if fault.IsPermanent(werr) {
+				s.quarantineBlock(b)
+				return true, fmt.Errorf("dstore: data write to block %d: %w", b, werr)
+			}
+			return false, fmt.Errorf("dstore: data write to block %d: %w", b, werr)
+		}
+	}
+	return false, nil
+}
+
 // Get retrieves key's value, appending it to buf (which may be nil) and
-// returning the extended slice (paper Table 2: oget).
+// returning the extended slice (paper Table 2: oget). Every block carrying
+// a recorded checksum is verified end to end; a persistent mismatch returns
+// ErrCorrupt rather than wrong data.
 func (c *Ctx) Get(key string, buf []byte) ([]byte, error) {
 	s := c.s
 	if s == nil || s.closed.Load() {
@@ -398,7 +553,9 @@ func (c *Ctx) Get(key string, buf []byte) ([]byte, error) {
 		if lo >= e.Size {
 			break
 		}
-		s.data.ReadAt(s.dataOff(b), out[lo:hi])
+		if err := s.readBlockVerified(b, out[lo:hi], e.Sums[i], key); err != nil {
+			return nil, err
+		}
 	}
 	return buf, nil
 }
@@ -408,6 +565,9 @@ func (c *Ctx) Delete(key string) error {
 	s := c.s
 	if s == nil || s.closed.Load() {
 		return ErrClosed
+	}
+	if err := s.checkWritable(); err != nil {
+		return err
 	}
 	if err := s.validateName(key); err != nil {
 		return err
@@ -438,12 +598,12 @@ func (c *Ctx) Delete(key string) error {
 	}
 	s.poolMu.Unlock()
 	if perr != nil {
-		s.eng.Abort(h)
+		s.abort(h)
 		return perr
 	}
 	if !found {
 		// The record is dead: it never replays and changed nothing.
-		s.eng.Abort(h)
+		s.abort(h)
 		return ErrNotFound
 	}
 	s.readers.awaitZero(key)
@@ -453,14 +613,14 @@ func (c *Ctx) Delete(key string) error {
 	s.front.deleteStructPhase(name, slot)
 	zlk.Unlock()
 	s.treeMu.Unlock()
-	s.eng.Commit(h)
+	if err := s.commit(h); err != nil {
+		return err
+	}
 
 	// Deferred frees after commit: a crash in between leaks nothing — pool
 	// reconstitution at recovery returns unreferenced ids to the free sets.
 	s.poolMu.Lock()
-	for _, b := range blocks {
-		s.front.blockPool.Put(b) //nolint:errcheck
-	}
+	s.freeBlocksLocked(blocks)
 	s.front.slotPool.Put(slot) //nolint:errcheck
 	s.poolMu.Unlock()
 	return nil
@@ -502,14 +662,18 @@ func (c *Ctx) Open(name string, size uint64, flags OpenFlag) (*Object, error) {
 }
 
 // create runs the put pipeline without a data write (blocks are allocated
-// and the object's content is whatever the SSD holds until written).
+// and the object's content is whatever the SSD holds until written; its
+// checksums start unverified).
 func (s *Store) create(name string, size uint64, ignore uint64) error {
+	if err := s.checkWritable(); err != nil {
+		return err
+	}
 	nb := []byte(name)
 	if s.cfg.DisableOE {
 		s.globalMu.Lock()
 		defer s.globalMu.Unlock()
 	}
-	h, a, err := s.allocAndAppend(opCreate, nb, size, ignore)
+	h, a, err := s.allocAndAppend(opCreate, nb, size, nil, ignore)
 	if err != nil {
 		return err
 	}
@@ -519,22 +683,22 @@ func (s *Store) create(name string, size uint64, ignore uint64) error {
 	merr := s.front.putMetaPhase(a, nb, size)
 	zlk.Unlock()
 	if merr != nil {
-		s.eng.Abort(h)
+		s.abort(h)
 		return merr
 	}
 	s.treeMu.Lock()
 	terr := s.front.putTreePhase(a, nb)
 	s.treeMu.Unlock()
 	if terr != nil {
-		s.eng.Abort(h)
+		s.abort(h)
 		return terr
 	}
-	s.eng.Commit(h)
+	if err := s.commit(h); err != nil {
+		return err
+	}
 	if len(a.oldBlocks) > 0 {
 		s.poolMu.Lock()
-		for _, b := range a.oldBlocks {
-			s.front.blockPool.Put(b) //nolint:errcheck
-		}
+		s.freeBlocksLocked(a.oldBlocks)
 		s.poolMu.Unlock()
 	}
 	return nil
@@ -570,12 +734,39 @@ func (o *Object) lookup() (entrySnapshot, error) {
 	if !used {
 		return entrySnapshot{}, fmt.Errorf("dstore: index entry %q points at free slot %d", o.name, slot)
 	}
-	return entrySnapshot{size: e.Size, blocks: e.Blocks}, nil
+	return entrySnapshot{size: e.Size, blocks: e.Blocks, sums: e.Sums}, nil
 }
 
 type entrySnapshot struct {
 	size   uint64
 	blocks []uint64
+	sums   []uint32
+}
+
+// readSpan reads len(dst) bytes at offset bo inside block bi of e. When the
+// block carries a recorded checksum the whole logical span is staged
+// through the context scratch buffer and verified before the requested
+// window is copied out.
+func (c *Ctx) readSpan(name string, e entrySnapshot, bi, bo uint64, dst []byte) error {
+	s := c.s
+	block := e.blocks[bi]
+	sum := e.sums[bi]
+	if sum == meta.SumUnverified {
+		if err := s.ssdRead(s.dataOff(block)+bo, dst); err != nil {
+			return fmt.Errorf("dstore: read block %d of %q: %w", block, name, err)
+		}
+		return nil
+	}
+	span := e.size - bi*s.cfg.BlockSize
+	if span > s.cfg.BlockSize {
+		span = s.cfg.BlockSize
+	}
+	buf := c.scratchBuf(span)
+	if err := s.readBlockVerified(block, buf, sum, name); err != nil {
+		return err
+	}
+	copy(dst, buf[bo:])
+	return nil
 }
 
 // ReadAt implements oread: a partial read at an offset.
@@ -614,7 +805,9 @@ func (o *Object) ReadAt(p []byte, off int64) (int, error) {
 		if chunk > n-read {
 			chunk = n - read
 		}
-		s.data.ReadAt(s.dataOff(e.blocks[bi])+bo, p[read:read+chunk])
+		if err := o.c.readSpan(o.name, e, bi, bo, p[read:read+chunk]); err != nil {
+			return 0, err
+		}
 		read += chunk
 	}
 	return int(n), nil
@@ -623,11 +816,16 @@ func (o *Object) ReadAt(p []byte, off int64) (int, error) {
 // WriteAt implements owrite: a partial write at an offset. Writes within the
 // current size go straight to SSD with no log record (§4.3: records for
 // owrite are only written if metadata changes); writes past the end extend
-// the object through a logged opExtend.
+// the object through a logged opExtend. Any touched block that carries a
+// verified checksum has it durably invalidated first (opInval) — a crash
+// mid-write must never leave a stale checksum covering new bytes.
 func (o *Object) WriteAt(p []byte, off int64) (int, error) {
 	s := o.c.s
 	if o.closed || s == nil || s.closed.Load() {
 		return 0, ErrClosed
+	}
+	if err := s.checkWritable(); err != nil {
+		return 0, err
 	}
 	if o.flags&OpenWrite == 0 && o.flags&OpenCreate == 0 {
 		return 0, fmt.Errorf("dstore: object %q not open for writing", o.name)
@@ -654,11 +852,12 @@ func (o *Object) WriteAt(p []byte, off int64) (int, error) {
 			return 0, err
 		}
 	} else {
-		// Pure data write: wait out any conflicting metadata operation,
-		// then write in place. Durability comes from the SSD's power-loss
-		// protected cache; block writes are page-atomic.
-		if conflict := s.eng.FindConflictIgnore([]byte(o.name), o.c.heldLSN(o.name)); conflict != nil {
-			conflict.Wait()
+		// Pure data write: invalidate stale checksums (which also
+		// serializes against conflicting metadata operations), then write
+		// in place. Durability comes from the SSD's power-loss protected
+		// cache; block writes are page-atomic.
+		if err := s.invalidateSums(o, e, uint64(off), end); err != nil {
+			return 0, err
 		}
 	}
 
@@ -672,10 +871,62 @@ func (o *Object) WriteAt(p []byte, off int64) (int, error) {
 		if chunk > n-written {
 			chunk = n - written
 		}
-		s.data.WriteAt(s.dataOff(e.blocks[bi])+bo, p[written:written+chunk])
+		if werr := s.ssdWrite(s.dataOff(e.blocks[bi])+bo, p[written:written+chunk]); werr != nil {
+			if fault.IsPermanent(werr) {
+				s.quarantineBlock(e.blocks[bi])
+			}
+			return int(written), fmt.Errorf("dstore: data write to block %d: %w", e.blocks[bi], werr)
+		}
 		written += chunk
 	}
 	return int(n), nil
+}
+
+// invalidateSums durably resets the checksums of e's blocks overlapping
+// [lo, hi) to SumUnverified before an in-place overwrite, via a committed
+// opInval record. Blocks already unverified need nothing; when none are
+// verified the call only waits out conflicting metadata operations.
+func (s *Store) invalidateSums(o *Object, e entrySnapshot, lo, hi uint64) error {
+	name := []byte(o.name)
+	first := lo / s.cfg.BlockSize
+	last := (hi - 1) / s.cfg.BlockSize
+	var idxs []int
+	for bi := first; bi <= last && bi < uint64(len(e.sums)); bi++ {
+		if e.sums[bi] != meta.SumUnverified {
+			idxs = append(idxs, int(bi))
+		}
+	}
+	if len(idxs) == 0 {
+		if conflict := s.eng.FindConflictIgnore(name, o.c.heldLSN(o.name)); conflict != nil {
+			conflict.Wait()
+		}
+		return nil
+	}
+	if s.cfg.DisableOE {
+		s.globalMu.Lock()
+		defer s.globalMu.Unlock()
+	}
+	h, err := s.appendPooled(opInval, name, encodeInvalPayload(idxs), o.c.heldLSN(o.name))
+	if err != nil {
+		return err
+	}
+	s.treeMu.RLock()
+	slot, ok := s.front.tree.Get(name)
+	s.treeMu.RUnlock()
+	s.poolMu.Unlock() // appendPooled returns with poolMu held
+	if !ok {
+		s.abort(h)
+		return ErrNotFound
+	}
+	zlk := s.zoneLock(slot)
+	zlk.Lock()
+	for _, i := range idxs {
+		s.front.zone.SetSum(slot, i, meta.SumUnverified)
+	}
+	zlk.Unlock()
+	// Commit before the data write starts: the invalidation must be durable
+	// before any new byte lands under the old checksum.
+	return s.commit(h)
 }
 
 // extend grows an object's logical size (and block list) via a logged
@@ -686,21 +937,20 @@ func (s *Store) extend(name string, newSize uint64, ignore uint64) error {
 		s.globalMu.Lock()
 		defer s.globalMu.Unlock()
 	}
-	h, a, err := s.allocAndAppend(opExtend, nb, newSize, ignore)
+	h, a, err := s.allocAndAppend(opExtend, nb, newSize, nil, ignore)
 	if err != nil {
 		return err
 	}
 	s.readers.awaitZero(name)
 	zlk := s.zoneLock(a.slot)
 	zlk.Lock()
-	serr := s.front.extendStructPhase(a.slot, a.blocks, newSize)
+	serr := s.front.extendStructPhase(a.slot, a.blocks, a.sums, newSize)
 	zlk.Unlock()
 	if serr != nil {
-		s.eng.Abort(h)
+		s.abort(h)
 		return serr
 	}
-	s.eng.Commit(h)
-	return nil
+	return s.commit(h)
 }
 
 // ----------------------------------------------------- concurrency control
@@ -714,6 +964,9 @@ func (c *Ctx) Lock(name string) error {
 	if s == nil || s.closed.Load() {
 		return ErrClosed
 	}
+	if err := s.checkWritable(); err != nil {
+		return err
+	}
 	if err := s.validateName(name); err != nil {
 		return err
 	}
@@ -722,6 +975,10 @@ func (c *Ctx) Lock(name string) error {
 	}
 	h, err := s.eng.Append(opNoop, []byte(name), nil)
 	if err != nil {
+		if isDeviceErr(err) {
+			s.degrade(err)
+			return fmt.Errorf("%w: lock append: %v", ErrDegraded, err)
+		}
 		return err
 	}
 	if c.locks == nil {
@@ -743,6 +1000,5 @@ func (c *Ctx) Unlock(name string) error {
 	if !ok {
 		return fmt.Errorf("dstore: %q is not locked by this context", name)
 	}
-	s.eng.Commit(h)
-	return nil
+	return s.commit(h)
 }

@@ -13,12 +13,19 @@ import (
 
 // Logged operation codes (paper §4.3: "We write log records for oopen,
 // owrite, oput, and odelete operations"). opNoop backs olock/ounlock (§4.5).
+// opInval and opRemap support the end-to-end integrity layer: opInval
+// durably invalidates the checksums of blocks about to be overwritten in
+// place (so recovery never sees a stale sum over new data), and opRemap
+// repoints one object block at a relocation target (scrub repair migrating
+// data off a quarantined block).
 const (
 	opPut    uint16 = 1
 	opDelete uint16 = 2
 	opCreate uint16 = 3
 	opExtend uint16 = 4
 	opNoop   uint16 = 5
+	opInval  uint16 = 6
+	opRemap  uint16 = 7
 )
 
 // Allocator root slots holding the control-plane structure offsets.
@@ -89,6 +96,7 @@ func blocksFor(size, blockSize uint64) uint64 {
 type putAlloc struct {
 	slot      uint64
 	blocks    []uint64
+	sums      []uint32 // per-block CRC32C, nil when content is unknown
 	oldBlocks []uint64 // freed by the caller after commit
 	existed   bool
 	freshFrom int // extend only: blocks[freshFrom:] are newly allocated
@@ -138,7 +146,7 @@ func (p *plane) undoPutAlloc(a putAlloc) {
 // The caller provides synchronization appropriate to its space (frontend:
 // treeMu; replay: none).
 func (p *plane) putMetaPhase(a putAlloc, name []byte, size uint64) error {
-	return p.zone.Write(a.slot, name, size, a.blocks)
+	return p.zone.Write(a.slot, name, size, a.blocks, a.sums)
 }
 
 func (p *plane) putTreePhase(a putAlloc, name []byte) error {
@@ -154,9 +162,15 @@ func (p *plane) deleteStructPhase(name []byte, slot uint64) {
 	p.zone.Clear(slot)
 }
 
-func (p *plane) extendStructPhase(slot uint64, blocks []uint64, newSize uint64) error {
+func (p *plane) extendStructPhase(slot uint64, blocks []uint64, sums []uint32, newSize uint64) error {
 	if err := p.zone.SetBlocks(slot, blocks); err != nil {
 		return err
+	}
+	// SetBlocks resets every sum; restore the carried-over verified ones.
+	for i, sum := range sums {
+		if sum != meta.SumUnverified {
+			p.zone.SetSum(slot, i, sum)
+		}
 	}
 	p.zone.SetSize(slot, newSize)
 	return nil
@@ -166,38 +180,92 @@ func (p *plane) extendStructPhase(slot uint64, blocks []uint64, newSize uint64) 
 
 // Payload codecs. A record's parameters are the operation inputs excluding
 // data (paper §4.3) plus the allocation decisions — the metadata slot and
-// block ids the frontend took. Recording the ids keeps replay deterministic
-// even when uncommitted (dead) records mutated the pools before a crash:
-// replay applies each committed record's explicit allocations and
-// reconstitutes the free pools from the metadata zone afterwards, instead
-// of re-executing pool operations in log order. Physical-logging mode pads
-// the payload with an image to model ARIES-style records (Fig. 9 baseline).
-func encodeAllocPayload(size, slot uint64, blocks []uint64, physPad int) []byte {
-	b := make([]byte, 20+8*len(blocks)+physPad)
+// block ids the frontend took — and, for content-bearing ops, the per-block
+// CRC32C of the data (the value is in hand at append time, so the sums are
+// reconstructible by any replay). Recording the ids keeps replay
+// deterministic even when uncommitted (dead) records mutated the pools
+// before a crash: replay applies each committed record's explicit
+// allocations and reconstitutes the free pools from the metadata zone
+// afterwards, instead of re-executing pool operations in log order.
+// Physical-logging mode pads the payload with an image to model ARIES-style
+// records (Fig. 9 baseline).
+func encodeAllocPayload(size, slot uint64, blocks []uint64, sums []uint32, physPad int) []byte {
+	b := make([]byte, 20+12*len(blocks)+physPad)
 	binary.LittleEndian.PutUint64(b[0:], size)
 	binary.LittleEndian.PutUint64(b[8:], slot)
 	binary.LittleEndian.PutUint32(b[16:], uint32(len(blocks)))
+	so := 20 + 8*len(blocks)
 	for i, blk := range blocks {
 		binary.LittleEndian.PutUint64(b[20+8*i:], blk)
+		if sums != nil {
+			binary.LittleEndian.PutUint32(b[so+4*i:], sums[i])
+		}
 	}
 	return b
 }
 
-func decodeAllocPayload(p []byte) (size, slot uint64, blocks []uint64, err error) {
+func decodeAllocPayload(p []byte) (size, slot uint64, blocks []uint64, sums []uint32, err error) {
 	if len(p) < 20 {
-		return 0, 0, nil, fmt.Errorf("dstore: short payload (%d bytes)", len(p))
+		return 0, 0, nil, nil, fmt.Errorf("dstore: short payload (%d bytes)", len(p))
 	}
 	size = binary.LittleEndian.Uint64(p[0:])
 	slot = binary.LittleEndian.Uint64(p[8:])
 	n := binary.LittleEndian.Uint32(p[16:])
-	if len(p) < 20+8*int(n) {
-		return 0, 0, nil, fmt.Errorf("dstore: payload truncated (%d bytes for %d blocks)", len(p), n)
+	if len(p) < 20+12*int(n) {
+		return 0, 0, nil, nil, fmt.Errorf("dstore: payload truncated (%d bytes for %d blocks)", len(p), n)
 	}
 	blocks = make([]uint64, n)
+	sums = make([]uint32, n)
+	so := 20 + 8*int(n)
 	for i := range blocks {
 		blocks[i] = binary.LittleEndian.Uint64(p[20+8*i:])
+		sums[i] = binary.LittleEndian.Uint32(p[so+4*i:])
 	}
-	return size, slot, blocks, nil
+	return size, slot, blocks, sums, nil
+}
+
+// opInval payload: the block indices whose checksums must be invalidated.
+func encodeInvalPayload(idxs []int) []byte {
+	b := make([]byte, 4+4*len(idxs))
+	binary.LittleEndian.PutUint32(b[0:], uint32(len(idxs)))
+	for i, x := range idxs {
+		binary.LittleEndian.PutUint32(b[4+4*i:], uint32(x))
+	}
+	return b
+}
+
+func decodeInvalPayload(p []byte) ([]int, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("dstore: short inval payload (%d bytes)", len(p))
+	}
+	n := binary.LittleEndian.Uint32(p[0:])
+	if len(p) < 4+4*int(n) {
+		return nil, fmt.Errorf("dstore: inval payload truncated (%d bytes for %d indices)", len(p), n)
+	}
+	idxs := make([]int, n)
+	for i := range idxs {
+		idxs[i] = int(binary.LittleEndian.Uint32(p[4+4*i:]))
+	}
+	return idxs, nil
+}
+
+// opRemap payload: repoint the idx-th block of the named object at a
+// relocation target carrying the given checksum.
+func encodeRemapPayload(idx int, newBlock uint64, sum uint32) []byte {
+	b := make([]byte, 16)
+	binary.LittleEndian.PutUint32(b[0:], uint32(idx))
+	binary.LittleEndian.PutUint64(b[4:], newBlock)
+	binary.LittleEndian.PutUint32(b[12:], sum)
+	return b
+}
+
+func decodeRemapPayload(p []byte) (idx int, newBlock uint64, sum uint32, err error) {
+	if len(p) < 16 {
+		return 0, 0, 0, fmt.Errorf("dstore: short remap payload (%d bytes)", len(p))
+	}
+	return int(binary.LittleEndian.Uint32(p[0:])),
+		binary.LittleEndian.Uint64(p[4:]),
+		binary.LittleEndian.Uint32(p[12:]), nil
 }
 
 // replayRecord applies one logged operation to a plane using the explicit
@@ -209,11 +277,11 @@ func decodeAllocPayload(p []byte) (size, slot uint64, blocks []uint64, err error
 func replayRecord(p *plane, rv wal.RecordView) error {
 	switch rv.Op {
 	case opPut, opCreate, opExtend:
-		size, slot, blocks, err := decodeAllocPayload(rv.Payload)
+		size, slot, blocks, sums, err := decodeAllocPayload(rv.Payload)
 		if err != nil {
 			return err
 		}
-		if err := p.zone.Write(slot, rv.Name, size, blocks); err != nil {
+		if err := p.zone.Write(slot, rv.Name, size, blocks, sums); err != nil {
 			return err
 		}
 		if existing, ok := p.tree.Get(rv.Name); ok {
@@ -229,6 +297,48 @@ func replayRecord(p *plane, rv wal.RecordView) error {
 			p.tree.Delete(rv.Name)
 			p.zone.Clear(slot)
 		}
+		return nil
+	case opInval:
+		// Checksum invalidation before an in-place overwrite. The object may
+		// have been deleted or rewritten by later committed records; stale
+		// indices are ignored (invalidating an already-unverified or
+		// repointed block is harmless).
+		slot, ok := p.tree.Get(rv.Name)
+		if !ok {
+			return nil
+		}
+		idxs, err := decodeInvalPayload(rv.Payload)
+		if err != nil {
+			return err
+		}
+		e, used := p.zone.Read(slot)
+		if !used {
+			return nil
+		}
+		for _, i := range idxs {
+			if i >= 0 && i < len(e.Blocks) {
+				p.zone.SetSum(slot, i, meta.SumUnverified)
+			}
+		}
+		return nil
+	case opRemap:
+		// Scrub repair: repoint one block of the object at its relocation
+		// target. Skipped when the object no longer exists or the index is
+		// stale (a later committed rewrite supersedes the remap).
+		slot, ok := p.tree.Get(rv.Name)
+		if !ok {
+			return nil
+		}
+		idx, newBlock, sum, err := decodeRemapPayload(rv.Payload)
+		if err != nil {
+			return err
+		}
+		e, used := p.zone.Read(slot)
+		if !used || idx < 0 || idx >= len(e.Blocks) {
+			return nil
+		}
+		p.zone.SetBlockID(slot, idx, newBlock)
+		p.zone.SetSum(slot, idx, sum)
 		return nil
 	case opNoop:
 		// olock/ounlock: ignored by replay (§4.5).
