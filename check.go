@@ -63,7 +63,10 @@ func checkPlane(p *plane, blocks, blockSize uint64, quarantined map[uint64]bool)
 		}
 		slotOwner[slot] = append([]byte(nil), key...)
 
-		e, used := p.zone.Read(slot)
+		e, used, err := p.zone.Read(slot)
+		if err != nil {
+			return err
+		}
 		if !used {
 			return fmt.Errorf("key %q points at free slot %d", key, slot)
 		}
@@ -90,7 +93,10 @@ func checkPlane(p *plane, blocks, blockSize uint64, quarantined map[uint64]bool)
 
 	// Orphan scan: every used slot must be indexed.
 	for slot := uint64(0); slot < p.zone.Slots(); slot++ {
-		_, used := p.zone.Read(slot)
+		_, used, err := p.zone.Read(slot)
+		if err != nil {
+			return fmt.Errorf("dstore: slot %d: %w", slot, err)
+		}
 		_, indexed := slotOwner[slot]
 		if used && !indexed {
 			return fmt.Errorf("dstore: slot %d used but unreachable from the index", slot)
@@ -149,7 +155,10 @@ func (s *Store) Scrub(repair bool) (ScrubReport, error) {
 	}
 	buf := make([]byte, s.cfg.BlockSize)
 	for slot := uint64(0); slot < s.cfg.MaxObjects; slot++ {
-		e, used := s.zoneRead(slot)
+		e, used, err := s.zoneRead(slot)
+		if err != nil {
+			return rep, err
+		}
 		if !used {
 			continue
 		}
@@ -243,13 +252,28 @@ func (s *Store) remapBlock(name string, slot uint64, idx int, old uint64, data [
 	s.treeMu.RUnlock()
 	zlk := s.zoneLock(slot)
 	zlk.Lock()
-	e, used := s.front.zone.Read(slot)
-	stale := !ok || cur != slot || !used || idx >= len(e.Blocks) || e.Blocks[idx] != old
+	e, used, zerr := s.front.zone.Read(slot)
+	stale := zerr != nil || !ok || cur != slot || !used || idx >= len(e.Blocks) || e.Blocks[idx] != old
 	if !stale {
-		s.front.zone.SetBlockID(slot, idx, fresh)
-		s.front.zone.SetSum(slot, idx, sum)
+		if err := s.front.zone.SetBlockID(slot, idx, fresh); err != nil {
+			zlk.Unlock()
+			s.abort(h)
+			putBack()
+			return false, err
+		}
+		if err := s.front.zone.SetSum(slot, idx, sum); err != nil {
+			zlk.Unlock()
+			s.abort(h)
+			putBack()
+			return false, err
+		}
 	}
 	zlk.Unlock()
+	if zerr != nil {
+		s.abort(h)
+		putBack()
+		return false, zerr
+	}
 	if stale {
 		s.abort(h)
 		putBack()

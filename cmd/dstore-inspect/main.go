@@ -5,6 +5,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -68,15 +69,18 @@ func main() {
 		active := pair.Log(pair.ActiveIndex())
 		n := 0
 		states := map[uint8]string{0: "uncommitted", 1: "committed", 2: "dead"}
-		active.IterateAll(func(rv wal.RecordView) error {
+		errDone := errors.New("done")
+		if err := active.IterateAll(func(rv wal.RecordView) error {
 			if n >= *dumpLog {
-				return fmt.Errorf("done")
+				return errDone
 			}
 			n++
 			fmt.Printf("  lsn=%-6d op=%d state=%-11s name=%q payload=%dB\n",
 				rv.LSN, rv.Op, states[rv.State], rv.Name, len(rv.Payload))
 			return nil
-		})
+		}); err != nil && !errors.Is(err, errDone) {
+			log.Fatal(err)
+		}
 		fmt.Println()
 	}
 	if err := st.CheckpointNow(); err != nil {

@@ -1,0 +1,89 @@
+// Command dstore-vet runs the repository's invariant checkers (package
+// internal/analysis) over the whole module and reports violations as
+//
+//	file:line: [checker] message
+//
+// exiting nonzero if any finding is not covered by the committed baseline
+// (analysis/baseline.json). Usage:
+//
+//	go run ./cmd/dstore-vet ./...
+//	go run ./cmd/dstore-vet -json ./...
+//	go run ./cmd/dstore-vet -write-baseline ./...   # ratchet current findings
+//
+// Package patterns are accepted for familiarity but the analyzer always
+// loads and checks the entire module containing the working directory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dstore/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	baselinePath := flag.String("baseline", "", "baseline file (default <module>/analysis/baseline.json)")
+	writeBaseline := flag.Bool("write-baseline", false, "write current findings to the baseline file and exit 0")
+	flag.Parse()
+
+	if err := run(*jsonOut, *baselinePath, *writeBaseline); err != nil {
+		fmt.Fprintln(os.Stderr, "dstore-vet:", err)
+		os.Exit(2)
+	}
+}
+
+func run(jsonOut bool, baselinePath string, writeBaseline bool) error {
+	wd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	m, err := analysis.Load(wd)
+	if err != nil {
+		return err
+	}
+	if baselinePath == "" {
+		baselinePath = filepath.Join(m.RootDir, "analysis", "baseline.json")
+	}
+
+	findings := analysis.Run(m)
+
+	if writeBaseline {
+		if err := analysis.WriteBaseline(baselinePath, findings); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dstore-vet: wrote %d finding(s) to %s\n", len(findings), baselinePath)
+		return nil
+	}
+
+	baseline, err := analysis.LoadBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+	fresh := baseline.Filter(findings)
+
+	if jsonOut {
+		if fresh == nil {
+			fresh = []analysis.Finding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(fresh); err != nil {
+			return err
+		}
+	} else {
+		for _, f := range fresh {
+			fmt.Println(f)
+		}
+	}
+	if len(fresh) > 0 {
+		if !jsonOut {
+			fmt.Fprintf(os.Stderr, "dstore-vet: %d finding(s) not in baseline\n", len(fresh))
+		}
+		os.Exit(1)
+	}
+	return nil
+}

@@ -13,7 +13,7 @@ func newCowForTest(t *testing.T, arenaBytes uint64) (*cowSpace, *pmem.Device) {
 	t.Helper()
 	dev := pmem.New(pmem.Config{Size: int(arenaBytes), TrackPersistence: true})
 	inner := space.NewDRAM(arenaBytes)
-	scratch := space.NewPMEM(dev, 0, arenaBytes)
+	scratch := space.MustPMEM(dev, 0, arenaBytes)
 	return newCowSpace(inner, scratch, 4096), dev
 }
 

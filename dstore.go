@@ -242,7 +242,7 @@ type Store struct {
 	// repaired or replaced device) starts with an empty set, and a block
 	// that is still bad is re-quarantined on first touch.
 	quarMu     sync.Mutex
-	quarantine map[uint64]bool
+	quarantine map[uint64]bool // guarded by quarMu
 
 	health healthStats
 
@@ -306,7 +306,11 @@ func Format(cfg Config) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.front = openPlane(s.eng.Frontend())
+	s.front, err = openPlane(s.eng.Frontend())
+	if err != nil {
+		s.eng.Close()
+		return nil, err
+	}
 	if err := s.writeSuperblock(); err != nil {
 		s.eng.Close()
 		return nil, err
@@ -337,7 +341,11 @@ func Open(cfg Config) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.front = openPlane(s.eng.Frontend())
+	s.front, err = openPlane(s.eng.Frontend())
+	if err != nil {
+		s.eng.Close()
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -386,7 +394,9 @@ func (s *Store) frontendSpace(size uint64) space.Space {
 		return inner
 	}
 	scratchOff := s.cfg.dipperConfig().DeviceBytes()
-	scratch := space.NewPMEM(s.pm, scratchOff, s.cfg.ArenaBytes)
+	// The scratch window geometry is configuration (device sized from the
+	// same config), so a bad range here is a programmer error.
+	scratch := space.MustPMEM(s.pm, scratchOff, s.cfg.ArenaBytes)
 	s.cow = newCowSpace(inner, scratch, s.cfg.BlockSize)
 	return s.cow
 }
@@ -742,12 +752,12 @@ func (s *Store) zoneLock(slot uint64) *sync.Mutex { return &s.zoneMu[slot%64] }
 // zoneRead reads a metadata slot under its stripe lock. The returned entry's
 // Blocks are a copy; Name aliases the arena and must be consumed before the
 // slot can be rewritten.
-func (s *Store) zoneRead(slot uint64) (meta.Entry, bool) {
+func (s *Store) zoneRead(slot uint64) (meta.Entry, bool, error) {
 	lk := s.zoneLock(slot)
 	lk.Lock()
-	e, ok := s.front.zone.Read(slot)
+	e, ok, err := s.front.zone.Read(slot)
 	lk.Unlock()
-	return e, ok
+	return e, ok, err
 }
 
 // nowNs wraps time.Now for the breakdown timers.

@@ -344,7 +344,10 @@ func TestScrubRepairMigratesQuarantinedBlock(t *testing.T) {
 	if !ok {
 		t.Fatal("obj not indexed")
 	}
-	e, used := s.zoneRead(slot)
+	e, used, zerr := s.zoneRead(slot)
+	if zerr != nil {
+		t.Fatal(zerr)
+	}
 	if !used || len(e.Blocks) != 2 {
 		t.Fatalf("unexpected entry: used=%v blocks=%v", used, e.Blocks)
 	}
@@ -361,7 +364,7 @@ func TestScrubRepairMigratesQuarantinedBlock(t *testing.T) {
 	if len(rep.Corrupt) != 0 {
 		t.Fatalf("unexpected corruption: %+v", rep.Corrupt)
 	}
-	e2, _ := s.zoneRead(slot)
+	e2, _, _ := s.zoneRead(slot)
 	if e2.Blocks[0] == old {
 		t.Fatal("block not remapped")
 	}

@@ -24,11 +24,23 @@
 package alloc
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"dstore/internal/space"
 )
+
+// ErrCorrupt is the typed error wrapped by operations that decode
+// inconsistent allocator state from the arena (bad block headers, free-list
+// entries outside the heap, a bump pointer outside the arena). Arena content
+// is media-derived — it survives crashes and device faults — so corruption
+// is a runtime condition, not a programming error.
+var ErrCorrupt = errors.New("alloc: arena corrupt")
+
+// ErrOutOfRange is the typed error wrapped when a caller-supplied offset
+// falls outside the arena heap.
+var ErrOutOfRange = errors.New("alloc: offset out of range")
 
 const (
 	// Magic seals a formatted arena header.
@@ -76,7 +88,11 @@ func classFor(n uint64) int {
 	return -1
 }
 
-// Format initializes a fresh arena in sp and returns its allocator.
+// Format initializes a fresh arena in sp and returns its allocator. Arena
+// sizes are configuration, not media state, so an unusably small space is a
+// programmer error and panics.
+//
+//dstore:invariant
 func Format(sp space.Space) *Allocator {
 	if sp.Size() < HeaderSize+MinClass {
 		panic("alloc: space too small to format")
@@ -96,6 +112,9 @@ func Open(sp space.Space) (*Allocator, error) {
 	}
 	if got := sp.GetU64(offSize); got != sp.Size() {
 		return nil, fmt.Errorf("alloc: arena formatted for size %d, space has %d", got, sp.Size())
+	}
+	if bump := sp.GetU64(offBump); bump < HeaderSize || bump > sp.Size() {
+		return nil, fmt.Errorf("%w: bump pointer %d outside [%d,%d]", ErrCorrupt, bump, HeaderSize, sp.Size())
 	}
 	return &Allocator{sp: sp}, nil
 }
@@ -117,6 +136,12 @@ func (a *Allocator) Alloc(size uint64) (uint64, error) {
 	headOff := uint64(offFreeHeads + 8*c)
 	block := a.sp.GetU64(headOff)
 	if block != 0 {
+		// The free-list head is media-derived: validate it lies inside the
+		// heap before dereferencing its next pointer, so a corrupt arena
+		// surfaces as a typed error rather than an out-of-range access.
+		if block < HeaderSize || block+bs > a.sp.Size() {
+			return 0, fmt.Errorf("%w: class-%d free list head %d outside heap [%d,%d)", ErrCorrupt, c, block, HeaderSize, a.sp.Size())
+		}
 		next := a.sp.GetU64(block + 8)
 		a.sp.PutU64(headOff, next)
 	} else {
@@ -135,22 +160,24 @@ func (a *Allocator) Alloc(size uint64) (uint64, error) {
 }
 
 // Free returns the block holding payload offset off to its size-class free
-// list. Freeing a bad or already-freed offset panics: arena corruption is a
-// programming error in the store, not a runtime condition.
-func (a *Allocator) Free(off uint64) {
-	if off < HeaderSize+8 {
-		panic(fmt.Sprintf("alloc: Free(%d) below heap", off))
+// list. Offsets flow through logged records and replay, so a bad or
+// already-freed offset — double frees included, caught by the cleared
+// header — is reported as a typed ErrOutOfRange/ErrCorrupt error rather
+// than a panic.
+func (a *Allocator) Free(off uint64) error {
+	if off < HeaderSize+8 || off+8 > a.sp.Size() {
+		return fmt.Errorf("%w: Free(%d) outside heap", ErrOutOfRange, off)
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	block := off - 8
 	hdr := a.sp.GetU64(block)
 	if hdr>>32 != blockMagic {
-		panic(fmt.Sprintf("alloc: Free(%d): bad block header %#x", off, hdr))
+		return fmt.Errorf("%w: Free(%d): bad block header %#x", ErrCorrupt, off, hdr)
 	}
 	c := int(hdr & 0xff)
 	if c < 0 || c >= NumClasses {
-		panic(fmt.Sprintf("alloc: Free(%d): bad class %d", off, c))
+		return fmt.Errorf("%w: Free(%d): bad class %d", ErrCorrupt, off, c)
 	}
 	headOff := uint64(offFreeHeads + 8*c)
 	a.sp.PutU64(block, 0) // clear header so double frees are caught
@@ -158,18 +185,26 @@ func (a *Allocator) Free(off uint64) {
 	a.sp.PutU64(headOff, block)
 	a.sp.PutU64(offAllocBytes, a.sp.GetU64(offAllocBytes)-classSize(c))
 	a.sp.PutU64(offAllocCount, a.sp.GetU64(offAllocCount)-1)
+	return nil
 }
 
-// UsableSize returns the payload capacity of the block at payload offset off.
-func (a *Allocator) UsableSize(off uint64) uint64 {
+// UsableSize returns the payload capacity of the block at payload offset
+// off, or ErrCorrupt when the block header does not decode.
+func (a *Allocator) UsableSize(off uint64) (uint64, error) {
+	if off < HeaderSize+8 || off > a.sp.Size() {
+		return 0, fmt.Errorf("%w: UsableSize(%d) outside heap", ErrOutOfRange, off)
+	}
 	hdr := a.sp.GetU64(off - 8)
 	if hdr>>32 != blockMagic {
-		panic(fmt.Sprintf("alloc: UsableSize(%d): bad block header %#x", off, hdr))
+		return 0, fmt.Errorf("%w: UsableSize(%d): bad block header %#x", ErrCorrupt, off, hdr)
 	}
-	return classSize(int(hdr&0xff)) - 8
+	return classSize(int(hdr&0xff)) - 8, nil
 }
 
-// SetRoot stores a user root pointer (i in [0, NumRoots)).
+// SetRoot stores a user root pointer. Root indices are compile-time
+// constants in the store, so a bad index is a programmer error.
+//
+//dstore:invariant
 func (a *Allocator) SetRoot(i int, v uint64) {
 	if i < 0 || i >= NumRoots {
 		panic("alloc: root index out of range")
@@ -177,7 +212,9 @@ func (a *Allocator) SetRoot(i int, v uint64) {
 	a.sp.PutU64(uint64(offRoots+8*i), v)
 }
 
-// Root loads a user root pointer.
+// Root loads a user root pointer; see SetRoot for why a bad index panics.
+//
+//dstore:invariant
 func (a *Allocator) Root(i int) uint64 {
 	if i < 0 || i >= NumRoots {
 		panic("alloc: root index out of range")

@@ -1,6 +1,7 @@
 package alloc
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
@@ -101,7 +102,11 @@ func TestAccounting(t *testing.T) {
 func TestUsableSize(t *testing.T) {
 	a := newArena(t, 1<<20)
 	o, _ := a.Alloc(100)
-	if got := a.UsableSize(o); got != 120 {
+	got, err := a.UsableSize(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 120 {
 		t.Fatalf("UsableSize = %d, want 120", got)
 	}
 }
@@ -119,16 +124,48 @@ func TestExhaustion(t *testing.T) {
 	}
 }
 
-func TestDoubleFreePanics(t *testing.T) {
+func TestDoubleFreeReported(t *testing.T) {
 	a := newArena(t, 1<<20)
 	o, _ := a.Alloc(100)
-	a.Free(o)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("double free did not panic")
-		}
-	}()
-	a.Free(o)
+	if err := a.Free(o); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(o); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("double free: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFreeOutOfRange(t *testing.T) {
+	a := newArena(t, 1<<20)
+	if err := a.Free(3); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("Free(3): got %v, want ErrOutOfRange", err)
+	}
+	if err := a.Free(1 << 30); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("Free(huge): got %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestOpenRejectsCorruptBump(t *testing.T) {
+	sp := space.NewDRAM(1 << 16)
+	Format(sp)
+	sp.PutU64(offBump, sp.Size()+64) // media corruption: bump beyond the arena
+	if _, err := Open(sp); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open with corrupt bump: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestAllocRejectsCorruptFreeList(t *testing.T) {
+	a := newArena(t, 1<<20)
+	o, _ := a.Alloc(100)
+	if err := a.Free(o); err != nil {
+		t.Fatal(err)
+	}
+	// Scribble the class-1 free-list head to point outside the heap.
+	c := classFor(100)
+	a.Space().PutU64(uint64(offFreeHeads+8*c), 1<<40)
+	if _, err := a.Alloc(100); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Alloc from corrupt free list: got %v, want ErrCorrupt", err)
+	}
 }
 
 func TestRoots(t *testing.T) {
@@ -215,7 +252,7 @@ func TestCloneToPMEMAndBack(t *testing.T) {
 	src.SetRoot(1, o)
 
 	dev := pmem.New(pmem.Config{Size: 1 << 16, TrackPersistence: true})
-	pm := space.NewPMEM(dev, 0, 1<<16)
+	pm := space.MustPMEM(dev, 0, 1<<16)
 	shadow, err := src.CloneTo(pm)
 	if err != nil {
 		t.Fatal(err)
@@ -239,7 +276,7 @@ func TestCloneToPMEMAndBack(t *testing.T) {
 
 func TestFlushAllMakesArenaDurable(t *testing.T) {
 	dev := pmem.New(pmem.Config{Size: 1 << 16, TrackPersistence: true})
-	pm := space.NewPMEM(dev, 0, 1<<16)
+	pm := space.MustPMEM(dev, 0, 1<<16)
 	a := Format(pm)
 	o, _ := a.Alloc(100)
 	a.Space().Write(o, []byte("durable"))

@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one reported violation.
+type Finding struct {
+	File    string `json:"file"` // module-root-relative, slash-separated
+	Line    int    `json:"line"`
+	Checker string `json:"checker"`
+	Message string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Checker, f.Message)
+}
+
+// Key identifies a finding for baseline matching. Line numbers are excluded
+// so unrelated edits above a baselined finding do not un-baseline it.
+func (f Finding) Key() string {
+	return f.Checker + "\x00" + f.File + "\x00" + f.Message
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Checker != b.Checker {
+			return a.Checker < b.Checker
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Crash-path packages: code that runs during recovery or checkpoint replay
+// and therefore must behave identically across runs (paper §3.6: recovery
+// re-executes the logged operations; any wall-clock or seedless-random input
+// would make the replayed state diverge from the pre-crash state).
+var crashPathPkgs = map[string]bool{
+	"dstore/internal/wal":    true,
+	"dstore/internal/dipper": true,
+	"dstore/internal/alloc":  true,
+	"dstore/internal/space":  true,
+	"dstore/internal/meta":   true,
+	"dstore/internal/pool":   true,
+	"dstore/internal/btree":  true,
+	"dstore/internal/pmem":   true,
+}
+
+// Device packages whose error results must never be discarded: they surface
+// injected device faults, media corruption, and log-full conditions.
+var devicePkgs = map[string]bool{
+	"dstore/internal/pmem":   true,
+	"dstore/internal/ssd":    true,
+	"dstore/internal/wal":    true,
+	"dstore/internal/dipper": true,
+	"dstore/internal/space":  true,
+	"dstore/internal/fault":  true,
+	"dstore/internal/pool":   true,
+	"dstore/internal/alloc":  true,
+	"dstore/internal/meta":   true,
+	"dstore/internal/btree":  true,
+}
+
+func isTestdata(p *Package) bool {
+	return strings.Contains(p.Path, "/testdata/")
+}
+
+// Run executes every checker with its default package targeting and returns
+// the merged, sorted findings.
+func Run(m *Module) []Finding {
+	var fs []Finding
+	notTestdata := func(p *Package) bool { return !isTestdata(p) }
+	fs = append(fs, CheckPersistOrder(m, func(p *Package) bool {
+		// pmem and space implement the persistence primitives themselves;
+		// the ordering contract applies to their callers.
+		return notTestdata(p) && p.Path != "dstore/internal/pmem" && p.Path != "dstore/internal/space"
+	})...)
+	fs = append(fs, CheckErrcheck(m, notTestdata)...)
+	fs = append(fs, CheckNoPanic(m, func(p *Package) bool {
+		return notTestdata(p) && p.Pkg.Name() != "main"
+	})...)
+	fs = append(fs, CheckGuardedBy(m, notTestdata)...)
+	fs = append(fs, CheckWallclock(m, func(p *Package) bool {
+		return crashPathPkgs[p.Path]
+	})...)
+	sortFindings(fs)
+	return fs
+}
+
+// ---------------------------------------------------------------- shared
+
+// annotations returns the set of dstore: directives in a doc comment, e.g.
+// {"volatile": true} for a function whose doc contains "//dstore:volatile".
+func annotations(doc *ast.CommentGroup) map[string]bool {
+	if doc == nil {
+		return nil
+	}
+	var set map[string]bool
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		text = strings.TrimSpace(text)
+		rest, ok := strings.CutPrefix(text, "dstore:")
+		if !ok {
+			continue
+		}
+		word := rest
+		if i := strings.IndexAny(rest, " \t"); i >= 0 {
+			word = rest[:i]
+		}
+		if word == "" {
+			continue
+		}
+		if set == nil {
+			set = map[string]bool{}
+		}
+		set[word] = true
+	}
+	return set
+}
+
+func hasAnnotation(fn *ast.FuncDecl, name string) bool {
+	return fn != nil && annotations(fn.Doc)[name]
+}
+
+// nolintLines returns the set of line numbers in file carrying a //nolint
+// comment that applies to the given linter name (bare //nolint applies to
+// all).
+func nolintLines(fset *token.FileSet, file *ast.File, linter string) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "//nolint")
+			if !ok {
+				continue
+			}
+			if names, scoped := strings.CutPrefix(rest, ":"); scoped {
+				found := false
+				for _, n := range strings.Split(names, ",") {
+					n = strings.TrimSpace(n)
+					if i := strings.IndexAny(n, " \t/"); i >= 0 {
+						n = n[:i]
+					}
+					if n == linter {
+						found = true
+					}
+				}
+				if !found {
+					continue
+				}
+			}
+			lines[fset.Position(c.Pos()).Line] = true
+		}
+	}
+	return lines
+}
+
+// calleeFunc resolves the function or method a call invokes, or nil for
+// builtins, type conversions, and calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call, e.g. time.Now().
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// methodOn reports the (package path, receiver type name, method name) of a
+// method call, resolving through the type checker so aliasing and embedding
+// do not matter. ok is false for anything that is not a method call.
+func methodOn(info *types.Info, call *ast.CallExpr) (pkgPath, typeName, method string, ok bool) {
+	fun, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", "", false
+	}
+	sel, found := info.Selections[fun]
+	if !found || sel.Kind() != types.MethodVal {
+		return "", "", "", false
+	}
+	recv := sel.Recv()
+	if ptr, isPtr := recv.(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	named, isNamed := recv.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return "", "", "", false
+	}
+	return named.Obj().Pkg().Path(), named.Obj().Name(), fun.Sel.Name, true
+}
+
+// errorType is the predeclared error interface type.
+var errorType = types.Universe.Lookup("error").Type()
+
+// eachFunc invokes fn for every function declaration with a body in pkg.
+func eachFunc(pkg *Package, fn func(file *ast.File, decl *ast.FuncDecl)) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(f, fd)
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Golden tests: each testdata/src/<checker>test package holds deliberate
+// positive and negative cases, with expectations written as
+//
+//	expr // want "regexp"
+//
+// comments on the exact line a finding must anchor to. Each checker runs
+// with a predicate targeting only its own golden package; the test fails on
+// any unmatched want and on any finding no want expects.
+
+var goldenDirs = []string{
+	"persistordertest", "errchecktest", "nopanictest", "guardedbytest", "wallclocktest",
+}
+
+var (
+	loadOnce sync.Once
+	loadedM  *Module
+	loadErr  error
+)
+
+// goldenModule loads the whole module plus the golden packages once; the
+// source-importer stdlib load dominates, so every test shares it.
+func goldenModule(t *testing.T) *Module {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("module load uses the source importer; skipped in -short")
+	}
+	loadOnce.Do(func() {
+		extra := make([]string, len(goldenDirs))
+		for i, d := range goldenDirs {
+			extra[i] = filepath.Join("testdata", "src", d)
+		}
+		loadedM, loadErr = Load(".", extra...)
+	})
+	if loadErr != nil {
+		t.Fatalf("loading module with golden packages: %v", loadErr)
+	}
+	return loadedM
+}
+
+func onlyPkg(path string) func(*Package) bool {
+	return func(p *Package) bool { return p.Path == path }
+}
+
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+type want struct {
+	file string // module-root-relative, slash-separated (matches Finding.File)
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func collectWants(t *testing.T, m *Module, dir string) []*want {
+	t.Helper()
+	gdir, err := filepath.Abs(filepath.Join("testdata", "src", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(gdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*want
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		abs := filepath.Join(gdir, e.Name())
+		rel, err := filepath.Rel(m.RootDir, abs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(abs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			match := wantRe.FindStringSubmatch(line)
+			if match == nil {
+				continue
+			}
+			re, err := regexp.Compile(match[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", rel, i+1, match[1], err)
+			}
+			wants = append(wants, &want{file: filepath.ToSlash(rel), line: i + 1, re: re})
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("no want comments found under %s", gdir)
+	}
+	return wants
+}
+
+func checkGolden(t *testing.T, findings []Finding, wants []*want) {
+	t.Helper()
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.file == f.File && w.line == f.Line && w.re.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no finding matched %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func runGolden(t *testing.T, dir string, check func(*Module, func(*Package) bool) []Finding) {
+	t.Helper()
+	m := goldenModule(t)
+	pkgPath := m.Path + "/internal/analysis/testdata/src/" + dir
+	if m.Lookup(pkgPath) == nil {
+		t.Fatalf("golden package %s not loaded", pkgPath)
+	}
+	checkGolden(t, check(m, onlyPkg(pkgPath)), collectWants(t, m, dir))
+}
+
+func TestGoldenPersistOrder(t *testing.T) { runGolden(t, "persistordertest", CheckPersistOrder) }
+func TestGoldenErrcheck(t *testing.T)     { runGolden(t, "errchecktest", CheckErrcheck) }
+func TestGoldenNoPanic(t *testing.T)      { runGolden(t, "nopanictest", CheckNoPanic) }
+func TestGoldenGuardedBy(t *testing.T)    { runGolden(t, "guardedbytest", CheckGuardedBy) }
+func TestGoldenWallclock(t *testing.T)    { runGolden(t, "wallclocktest", CheckWallclock) }
+
+// TestRunCleanTree pins the steady state the baseline ratchet aims for: the
+// repository's own code produces zero findings (golden packages live under
+// testdata and are excluded from Run).
+func TestRunCleanTree(t *testing.T) {
+	m := goldenModule(t)
+	for _, f := range Run(m) {
+		t.Errorf("tree not clean: %s", f)
+	}
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Baseline is the committed ratchet: findings recorded here are tolerated
+// (grandfathered or justified), anything new fails the build. The intended
+// steady state is an empty baseline.
+type Baseline struct {
+	// Findings holds the tolerated findings. Line numbers are recorded for
+	// human readers but ignored when matching (edits above a finding must
+	// not un-baseline it).
+	Findings []Finding `json:"findings"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty baseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Filter returns the findings not covered by the baseline. Matching is by
+// (checker, file, message) with multiplicity: a baseline entry absorbs one
+// identical finding.
+func (b *Baseline) Filter(fs []Finding) []Finding {
+	budget := map[string]int{}
+	for _, f := range b.Findings {
+		budget[f.Key()]++
+	}
+	var out []Finding
+	for _, f := range fs {
+		if budget[f.Key()] > 0 {
+			budget[f.Key()]--
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// WriteBaseline writes findings as a baseline file.
+func WriteBaseline(path string, fs []Finding) error {
+	b := Baseline{Findings: fs}
+	if b.Findings == nil {
+		b.Findings = []Finding{}
+	}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBaselineFilterByKeyNotLine(t *testing.T) {
+	b := &Baseline{Findings: []Finding{
+		{File: "a.go", Line: 10, Checker: "no-panic-in-library", Message: "panic in library code"},
+	}}
+	// Same checker/file/message on a different line is absorbed: edits above
+	// a baselined finding must not un-baseline it.
+	fresh := b.Filter([]Finding{
+		{File: "a.go", Line: 99, Checker: "no-panic-in-library", Message: "panic in library code"},
+	})
+	if len(fresh) != 0 {
+		t.Fatalf("line-shifted finding not absorbed: %v", fresh)
+	}
+	// A second identical finding exceeds the entry's multiplicity budget.
+	fresh = b.Filter([]Finding{
+		{File: "a.go", Line: 10, Checker: "no-panic-in-library", Message: "panic in library code"},
+		{File: "a.go", Line: 11, Checker: "no-panic-in-library", Message: "panic in library code"},
+	})
+	if len(fresh) != 1 {
+		t.Fatalf("multiplicity budget not enforced: %v", fresh)
+	}
+	// Different message is fresh.
+	fresh = b.Filter([]Finding{
+		{File: "a.go", Line: 10, Checker: "guarded-by", Message: "other"},
+	})
+	if len(fresh) != 1 {
+		t.Fatalf("unrelated finding absorbed: %v", fresh)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	in := []Finding{{File: "x.go", Line: 3, Checker: "persist-order", Message: "m"}}
+	if err := WriteBaseline(path, in); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 1 || b.Findings[0] != in[0] {
+		t.Fatalf("round trip mismatch: %+v", b.Findings)
+	}
+}
+
+func TestBaselineMissingFileIsEmpty(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 0 {
+		t.Fatalf("expected empty baseline, got %+v", b.Findings)
+	}
+}
+
+func TestCommittedBaselineIsEmpty(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(filepath.Join(root, "analysis", "baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 0 {
+		t.Errorf("committed baseline should stay empty; justify entries in review: %+v", b.Findings)
+	}
+	if _, err := os.Stat(filepath.Join(root, "analysis", "baseline.json")); err != nil {
+		t.Errorf("committed baseline file missing: %v", err)
+	}
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// CheckErrcheck flags discarded error results from the fallible device-layer
+// APIs (packages in devicePkgs). Those errors carry injected device faults,
+// media corruption, and log-full conditions; dropping one silently converts
+// a detectable failure into data loss. Three discard shapes are reported:
+//
+//	dev.TryPersist(0, 64)          // expression statement
+//	_ = dev.TryWriteAt(0, p)       // blank assignment
+//	v, _ := zone.Read(slot)        // blank at an error position
+//	go log.Commit(h) / defer ...   // result unobservable
+//
+// A same-line //nolint:errcheck comment suppresses the finding; every such
+// escape in the tree is expected to justify itself in a comment.
+func CheckErrcheck(m *Module, target func(*Package) bool) []Finding {
+	var fs []Finding
+	for _, pkg := range m.Pkgs {
+		if !target(pkg) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			nolint := nolintLines(m.Fset, file, "errcheck")
+			report := func(call *ast.CallExpr, fn *types.Func, how string) {
+				f, line := m.Rel(call.Pos())
+				if nolint[line] {
+					return
+				}
+				fs = append(fs, Finding{
+					File: f, Line: line,
+					Checker: "errcheck-devices",
+					Message: fmt.Sprintf("%s error result from %s.%s (device-layer errors must be handled or //nolint:errcheck-justified)", how, fn.Pkg().Name(), fn.Name()),
+				})
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := n.X.(*ast.CallExpr); ok {
+						if fn := fallibleDeviceCall(pkg.Info, call); fn != nil {
+							report(call, fn, "discarded")
+						}
+						return true
+					}
+				case *ast.GoStmt:
+					if fn := fallibleDeviceCall(pkg.Info, n.Call); fn != nil {
+						report(n.Call, fn, "unobservable (go)")
+					}
+				case *ast.DeferStmt:
+					if fn := fallibleDeviceCall(pkg.Info, n.Call); fn != nil {
+						report(n.Call, fn, "unobservable (defer)")
+					}
+				case *ast.AssignStmt:
+					if len(n.Rhs) != 1 {
+						return true
+					}
+					call, ok := n.Rhs[0].(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := fallibleDeviceCall(pkg.Info, call)
+					if fn == nil {
+						return true
+					}
+					sig := fn.Type().(*types.Signature)
+					res := sig.Results()
+					if res.Len() == len(n.Lhs) {
+						for i := 0; i < res.Len(); i++ {
+							if !types.Identical(res.At(i).Type(), errorType) {
+								continue
+							}
+							if id, blank := n.Lhs[i].(*ast.Ident); blank && id.Name == "_" {
+								report(call, fn, "discarded (blank)")
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	sortFindings(fs)
+	return fs
+}
+
+// fallibleDeviceCall returns the called function if it is declared in a
+// device package and returns an error, else nil.
+func fallibleDeviceCall(info *types.Info, call *ast.CallExpr) *types.Func {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || !devicePkgs[fn.Pkg().Path()] {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errorType) {
+			return fn
+		}
+	}
+	return nil
+}

@@ -1,0 +1,459 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CheckPersistOrder enforces the x86 PMEM persistence-ordering contract
+// (paper §3.4): every durable write — a write primitive on a concrete
+// *pmem.Device or *space.PMEM — must be flushed (clwb) and fenced (sfence)
+// on every return path, and in particular before any WAL commit/abort or
+// root publish that makes the write's effects observable after a crash.
+//
+// The abstract state per control-flow path is {dirty, staged}: dirty lines
+// have been written but not flushed; staged lines were flushed but the fence
+// has not yet retired them. Flush is treated range-insensitively (a Flush
+// clears all dirty state), which keeps the checker optimistic: it catches
+// the forgotten-flush and forgotten-fence classes without false-flagging
+// code that flushes its writes piecewise.
+//
+// Interprocedural reasoning is one level deep via per-function summaries of
+// direct effects: a call to a function that writes and does not end clean
+// dirties the caller; a call to a function that flushes and fences acts as a
+// Persist. Writes through the space.Space interface are invisible by design:
+// arena structures are volatile until checkpoint FlushAll, so only concrete
+// persistent-space writes participate in the ordering contract.
+//
+// Functions annotated //dstore:volatile opt out (their writes are volatile
+// by design; recovery tolerates their loss).
+func CheckPersistOrder(m *Module, target func(*Package) bool) []Finding {
+	summaries := buildSummaries(m)
+	var fs []Finding
+	for _, pkg := range m.Pkgs {
+		if !target(pkg) {
+			continue
+		}
+		eachFunc(pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+			if hasAnnotation(fd, "volatile") {
+				return
+			}
+			w := &pwalker{m: m, pkg: pkg, summaries: summaries, check: true}
+			out, terminated := w.block(fd.Body, pstate{})
+			if !terminated {
+				w.exit(out, fd.Body.Rbrace)
+			}
+			fs = append(fs, w.findings...)
+		})
+	}
+	sortFindings(fs)
+	return fs
+}
+
+// pstate is the abstract persistence state along one control-flow path.
+type pstate struct {
+	dirty  bool // written, not flushed
+	staged bool // flushed, fence not yet issued
+}
+
+func (s pstate) clean() bool { return !s.dirty && !s.staged }
+
+func joinState(a, b pstate) pstate {
+	return pstate{a.dirty || b.dirty, a.staged || b.staged}
+}
+
+// summary records a function's direct persistence effects.
+type summary struct {
+	writes    bool // performs a concrete persistent write
+	flushes   bool // issues a Flush or Persist
+	fences    bool // issues a Fence or Persist
+	endsClean bool // every return path ends with dirty == staged == false
+}
+
+// event classification for one call expression.
+type event int
+
+const (
+	evNone event = iota
+	evWrite
+	evFlush
+	evFence
+	evPersist
+	evCommit
+)
+
+// persistPrimitives classifies methods of the two concrete persistent-space
+// types. Reads, range checks, and accessors are evNone.
+var persistPrimitives = map[[3]string]event{
+	{"dstore/internal/pmem", "Device", "WriteAt"}:    evWrite,
+	{"dstore/internal/pmem", "Device", "PutU64"}:     evWrite,
+	{"dstore/internal/pmem", "Device", "PutU8"}:      evWrite,
+	{"dstore/internal/pmem", "Device", "TryWriteAt"}: evWrite,
+	{"dstore/internal/pmem", "Device", "TryPutU64"}:  evWrite,
+	{"dstore/internal/pmem", "Device", "TryPutU8"}:   evWrite,
+	{"dstore/internal/pmem", "Device", "Flush"}:      evFlush,
+	{"dstore/internal/pmem", "Device", "Fence"}:      evFence,
+	{"dstore/internal/pmem", "Device", "Persist"}:    evPersist,
+	{"dstore/internal/pmem", "Device", "TryPersist"}: evPersist,
+	{"dstore/internal/space", "PMEM", "Write"}:       evWrite,
+	{"dstore/internal/space", "PMEM", "Zero"}:        evWrite,
+	{"dstore/internal/space", "PMEM", "PutU64"}:      evWrite,
+	{"dstore/internal/space", "PMEM", "PutU32"}:      evWrite,
+	{"dstore/internal/space", "PMEM", "PutU16"}:      evWrite,
+	{"dstore/internal/space", "PMEM", "PutU8"}:       evWrite,
+	{"dstore/internal/space", "PMEM", "Flush"}:       evFlush,
+	{"dstore/internal/space", "PMEM", "Fence"}:       evFence,
+	{"dstore/internal/space", "PMEM", "Persist"}:     evPersist,
+}
+
+// commitPoints are the calls that make logged state crash-observable: the
+// WAL record-state publish and the DIPPER root flip. Reaching one with
+// un-fenced writes means a crash could expose the commit without the data.
+var commitPoints = map[[3]string]bool{
+	{"dstore/internal/wal", "Pair", "Commit"}:           true,
+	{"dstore/internal/wal", "Pair", "Abort"}:            true,
+	{"dstore/internal/dipper", "Engine", "Commit"}:      true,
+	{"dstore/internal/dipper", "Engine", "Abort"}:       true,
+	{"dstore/internal/dipper", "Engine", "publishRoot"}: true,
+}
+
+func classifyCall(info *types.Info, call *ast.CallExpr) (event, bool) {
+	pkgPath, typeName, method, ok := methodOn(info, call)
+	if !ok {
+		return evNone, false
+	}
+	key := [3]string{pkgPath, typeName, method}
+	if commitPoints[key] {
+		return evCommit, true
+	}
+	if ev, found := persistPrimitives[key]; found {
+		return ev, true
+	}
+	return evNone, false
+}
+
+// buildSummaries computes direct-effect summaries for every function in the
+// module. Calls to other module functions are ignored here (summaries are
+// one level deep); //dstore:volatile functions summarize as effect-free so
+// callers do not inherit their intentionally-unfenced writes.
+func buildSummaries(m *Module) map[*types.Func]summary {
+	sums := map[*types.Func]summary{}
+	for _, pkg := range m.Pkgs {
+		eachFunc(pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				return
+			}
+			if hasAnnotation(fd, "volatile") {
+				sums[obj] = summary{endsClean: true}
+				return
+			}
+			w := &pwalker{m: m, pkg: pkg, summaries: nil, check: false}
+			out, terminated := w.block(fd.Body, pstate{})
+			endsClean := !w.sawDirtyExit
+			if !terminated && !out.clean() {
+				endsClean = false
+			}
+			sums[obj] = summary{
+				writes:    w.sawWrite,
+				flushes:   w.sawFlush,
+				fences:    w.sawFence,
+				endsClean: endsClean,
+			}
+		})
+	}
+	return sums
+}
+
+// pwalker walks one function body, threading pstate through the control
+// flow. In check mode it reports findings; in summarize mode it records the
+// function's direct effects.
+type pwalker struct {
+	m         *Module
+	pkg       *Package
+	summaries map[*types.Func]summary // nil in summarize mode
+	check     bool
+
+	findings     []Finding
+	sawWrite     bool
+	sawFlush     bool
+	sawFence     bool
+	sawDirtyExit bool
+}
+
+func (w *pwalker) report(pos token.Pos, format string, args ...any) {
+	file, line := w.m.Rel(pos)
+	w.findings = append(w.findings, Finding{
+		File: file, Line: line,
+		Checker: "persist-order",
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// exit handles a return path reaching pos with state st.
+func (w *pwalker) exit(st pstate, pos token.Pos) {
+	if st.clean() {
+		return
+	}
+	w.sawDirtyExit = true
+	if w.check {
+		what := "unflushed"
+		if !st.dirty {
+			what = "flushed but not fenced"
+		}
+		w.report(pos, "returns with %s persistent writes (flush+fence before returning, or annotate //dstore:volatile)", what)
+	}
+}
+
+// apply folds one call event into the state.
+func (w *pwalker) apply(st pstate, ev event, pos token.Pos) pstate {
+	switch ev {
+	case evWrite:
+		w.sawWrite = true
+		st.dirty = true
+	case evFlush:
+		w.sawFlush = true
+		if st.dirty {
+			st.dirty = false
+			st.staged = true
+		}
+	case evFence:
+		w.sawFence = true
+		st.staged = false
+	case evPersist:
+		w.sawFlush, w.sawFence = true, true
+		st.dirty, st.staged = false, false
+	case evCommit:
+		if w.check && !st.clean() {
+			what := "unflushed"
+			if !st.dirty {
+				what = "flushed but not fenced"
+			}
+			w.report(pos, "commit/publish reached with %s persistent writes (issue Flush+Fence or Persist first)", what)
+			// Reset so one missing fence is reported once, not cascaded.
+			st = pstate{}
+		}
+	}
+	return st
+}
+
+// applyCallee folds a summarized module-function call into the state.
+func (w *pwalker) applyCallee(st pstate, s summary) pstate {
+	if s.writes && !s.endsClean {
+		st.dirty = true
+		return st
+	}
+	if s.flushes && st.dirty {
+		st.dirty = false
+		st.staged = true
+	}
+	if s.fences {
+		st.staged = false
+	}
+	return st
+}
+
+// expr folds the events of every call inside e (in traversal order) into st.
+func (w *pwalker) expr(e ast.Node, st pstate) pstate {
+	if e == nil {
+		return st
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // deferred execution; analyzed on its own if ever called
+		}
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		if ev, ok := classifyCall(w.pkg.Info, call); ok {
+			st = w.apply(st, ev, call.Pos())
+			return true
+		}
+		if w.summaries != nil {
+			if callee := calleeFunc(w.pkg.Info, call); callee != nil {
+				if s, ok := w.summaries[callee]; ok {
+					st = w.applyCallee(st, s)
+				}
+			}
+		}
+		return true
+	})
+	return st
+}
+
+// isPanicCall reports whether s is a direct call to the predeclared panic.
+func (w *pwalker) isPanicCall(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := w.pkg.Info.Uses[id].(*types.Builtin)
+	return isBuiltin && id.Name == "panic"
+}
+
+// block walks a statement list; terminated reports that every path through
+// it ended in a return or panic.
+func (w *pwalker) block(b *ast.BlockStmt, st pstate) (pstate, bool) {
+	for _, s := range b.List {
+		var terminated bool
+		st, terminated = w.stmt(s, st)
+		if terminated {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *pwalker) stmt(s ast.Stmt, st pstate) (pstate, bool) {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			st = w.expr(r, st)
+		}
+		w.exit(st, s.Pos())
+		return pstate{}, true
+	case *ast.ExprStmt:
+		if w.isPanicCall(s) {
+			// A panicking path crashes the process; recovery replays the log,
+			// so unfenced state on it is not a persistence-ordering violation.
+			return pstate{}, true
+		}
+		return w.expr(s.X, st), false
+	case *ast.BlockStmt:
+		return w.block(s, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		st = w.expr(s.Cond, st)
+		thenOut, thenTerm := w.block(s.Body, st)
+		elseOut, elseTerm := st, false
+		if s.Else != nil {
+			elseOut, elseTerm = w.stmt(s.Else, st)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return pstate{}, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		default:
+			return joinState(thenOut, elseOut), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		st = w.expr(s.Cond, st)
+		bodyOut, _ := w.block(s.Body, st)
+		if s.Post != nil {
+			bodyOut, _ = w.stmt(s.Post, bodyOut)
+		}
+		// 0-or-1 iteration approximation; an infinite loop's fallthrough state
+		// is unreachable but joining it is merely conservative.
+		return joinState(st, bodyOut), false
+	case *ast.RangeStmt:
+		st = w.expr(s.X, st)
+		bodyOut, _ := w.block(s.Body, st)
+		return joinState(st, bodyOut), false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		st = w.expr(s.Tag, st)
+		return w.caseClauses(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		st = w.expr(s.Assign, st)
+		return w.caseClauses(s.Body, st)
+	case *ast.SelectStmt:
+		out := pstate{}
+		allTerm := len(s.Body.List) > 0
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			cst := st
+			if cc.Comm != nil {
+				cst, _ = w.stmt(cc.Comm, cst)
+			}
+			var term bool
+			cst, term = w.stmtList(cc.Body, cst)
+			if !term {
+				out = joinState(out, cst)
+				allTerm = false
+			}
+		}
+		return out, allTerm
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred/spawned work runs outside this path's persist ordering;
+		// its body is analyzed when its function is walked.
+		return st, false
+	case *ast.BranchStmt:
+		// break/continue/goto end this syntactic path; the state flows to the
+		// join approximated by the enclosing loop/switch handling.
+		return st, false
+	default:
+		// Assignments, declarations, sends, inc/dec: fold call events from
+		// every contained expression.
+		st = w.expr(s, st)
+		return st, false
+	}
+}
+
+func (w *pwalker) stmtList(list []ast.Stmt, st pstate) (pstate, bool) {
+	for _, s := range list {
+		var term bool
+		st, term = w.stmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+// caseClauses joins the bodies of a switch; without a default the zero-case
+// skip path joins too.
+func (w *pwalker) caseClauses(body *ast.BlockStmt, st pstate) (pstate, bool) {
+	out := pstate{}
+	hasDefault := false
+	allTerm := len(body.List) > 0
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		cst := st
+		for _, e := range cc.List {
+			cst = w.expr(e, cst)
+		}
+		var term bool
+		cst, term = w.stmtList(cc.Body, cst)
+		if !term {
+			out = joinState(out, cst)
+			allTerm = false
+		}
+	}
+	if !hasDefault {
+		out = joinState(out, st)
+		allTerm = false
+	}
+	return out, allTerm
+}

@@ -1,0 +1,43 @@
+// Package errchecktest is golden-test input for the errcheck-devices
+// checker.
+package errchecktest
+
+import "dstore/internal/pmem"
+
+// discardExpr drops a fallible device call's error on the floor.
+func discardExpr(d *pmem.Device) {
+	d.TryPersist(0, 64) // want "discarded error result from pmem.TryPersist"
+}
+
+// discardBlank discards via blank assignment.
+func discardBlank(d *pmem.Device, p []byte) {
+	_ = d.TryWriteAt(0, p) // want "discarded \(blank\) error result from pmem.TryWriteAt"
+}
+
+// unobservableDefer defers the call, making the result unobservable.
+func unobservableDefer(d *pmem.Device) {
+	defer d.TryPersist(0, 64) // want "unobservable \(defer\) error result from pmem.TryPersist"
+}
+
+// handled propagates the error; no finding.
+func handled(d *pmem.Device, p []byte) error {
+	return d.TryWriteAt(0, p)
+}
+
+// checked inspects the error; no finding.
+func checked(d *pmem.Device) bool {
+	if err := d.TryPersist(0, 64); err != nil {
+		return false
+	}
+	return true
+}
+
+// suppressed carries a same-line justification; no finding.
+func suppressed(d *pmem.Device) {
+	d.TryPersist(0, 64) //nolint:errcheck // golden test: justified escape hatch
+}
+
+// infallible calls a device method with no error result; no finding.
+func infallible(d *pmem.Device) {
+	d.Persist(0, 64)
+}

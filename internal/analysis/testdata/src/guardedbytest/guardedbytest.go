@@ -1,0 +1,44 @@
+// Package guardedbytest is golden-test input for the guarded-by checker.
+package guardedbytest
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	id int // unguarded; free to touch
+}
+
+// unlockedRead touches the guarded field without the lock.
+func unlockedRead(c *counter) int {
+	return c.n // want "unlockedRead accesses n \(guarded by mu\) without locking mu"
+}
+
+// lockedRead takes the lock first; no finding.
+func lockedRead(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// bumpLocked relies on the Locked-suffix convention: callers hold mu.
+func bumpLocked(c *counter) {
+	c.n++
+}
+
+// readID touches only the unguarded field; no finding.
+func readID(c *counter) int {
+	return c.id
+}
+
+type rwcounter struct {
+	mu sync.RWMutex
+	n  int // guarded by mu
+}
+
+// rlockedRead holds the read lock; RLock satisfies the guard.
+func rlockedRead(c *rwcounter) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}

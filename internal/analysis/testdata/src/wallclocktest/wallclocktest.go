@@ -1,0 +1,36 @@
+// Package wallclocktest is golden-test input for the
+// no-wallclock-in-crashpath checker.
+package wallclocktest
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stamp reads the wall clock in (simulated) crash-path code.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+// elapsed calls time.Since, which reads the clock under the covers.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+// scatter draws from the global, time-seeded source.
+func scatter() int {
+	return rand.Intn(10) // want "rand.Intn draws from the global time-seeded source"
+}
+
+// seeded builds an explicitly seeded generator — deterministic, no finding.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// metricsStamp timestamps a report that never feeds persisted state.
+//
+//dstore:wallclock
+func metricsStamp() time.Time {
+	return time.Now()
+}

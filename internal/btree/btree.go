@@ -334,8 +334,9 @@ func (t *Tree) insertLeaf(n uint64, key []byte, val uint64) (promoted, newNodeOf
 }
 
 // Delete removes key, returning its value. Leaf entries are removed without
-// rebalancing.
-func (t *Tree) Delete(key []byte) (uint64, bool) {
+// rebalancing. A non-nil error means the key's arena storage did not free
+// cleanly (corrupt block header) — the index entry is still removed.
+func (t *Tree) Delete(key []byte) (uint64, bool, error) {
 	n := t.root()
 	for !t.isLeaf(n) {
 		n = t.child(n, t.childIndex(n, key))
@@ -344,16 +345,16 @@ func (t *Tree) Delete(key []byte) (uint64, bool) {
 	for i := 0; i < k; i++ {
 		if t.cmp(t.leafKeyPtr(n, i), key) == 0 {
 			val := t.leafVal(n, i)
-			t.al.Free(t.leafKeyPtr(n, i))
+			err := t.al.Free(t.leafKeyPtr(n, i))
 			for j := i; j < k-1; j++ {
 				t.setLeafEntry(n, j, t.leafKeyPtr(n, j+1), t.leafVal(n, j+1))
 			}
 			t.setNKeys(n, k-1)
 			t.bumpCount(-1)
-			return val, true
+			return val, true, err
 		}
 	}
-	return 0, false
+	return 0, false, nil
 }
 
 // Iterate calls fn for every (key, value) in ascending key order. fn's key

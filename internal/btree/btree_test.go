@@ -78,7 +78,10 @@ func TestDelete(t *testing.T) {
 		tr.Insert([]byte(fmt.Sprintf("key-%04d", i)), uint64(i))
 	}
 	for i := 0; i < 500; i += 2 {
-		v, ok := tr.Delete([]byte(fmt.Sprintf("key-%04d", i)))
+		v, ok, err := tr.Delete([]byte(fmt.Sprintf("key-%04d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !ok || v != uint64(i) {
 			t.Fatalf("delete %d: %d, %v", i, v, ok)
 		}
@@ -92,7 +95,7 @@ func TestDelete(t *testing.T) {
 			t.Fatalf("get %d after deletes: ok=%v want %v", i, ok, want)
 		}
 	}
-	if _, ok := tr.Delete([]byte("missing")); ok {
+	if _, ok, _ := tr.Delete([]byte("missing")); ok {
 		t.Fatal("deleted a missing key")
 	}
 	if err := tr.Check(); err != nil {
@@ -107,7 +110,9 @@ func TestDeleteThenReinsert(t *testing.T) {
 			tr.Insert([]byte(fmt.Sprintf("k%03d", i)), uint64(round*1000+i))
 		}
 		for i := 0; i < 200; i++ {
-			tr.Delete([]byte(fmt.Sprintf("k%03d", i)))
+			if _, _, err := tr.Delete([]byte(fmt.Sprintf("k%03d", i))); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 	if tr.Len() != 0 {
@@ -172,7 +177,10 @@ func TestRandomMixAgainstModel(t *testing.T) {
 			tr.Insert([]byte(k), v)
 			model[k] = v
 		case 2:
-			_, ok := tr.Delete([]byte(k))
+			_, ok, derr := tr.Delete([]byte(k))
+			if derr != nil {
+				t.Fatal(derr)
+			}
 			_, mok := model[k]
 			if ok != mok {
 				t.Fatalf("op %d: delete(%q) = %v, model %v", op, k, ok, mok)
@@ -197,7 +205,7 @@ func TestRandomMixAgainstModel(t *testing.T) {
 func TestSameCodeOnPMEMSpace(t *testing.T) {
 	// The DIPPER property: the tree code must run unmodified on a PMEM arena.
 	dev := pmem.New(pmem.Config{Size: 1 << 22, TrackPersistence: true})
-	al := alloc.Format(space.NewPMEM(dev, 0, 1<<22))
+	al := alloc.Format(space.MustPMEM(dev, 0, 1<<22))
 	tr, hdr, err := New(al)
 	if err != nil {
 		t.Fatal(err)
@@ -211,7 +219,7 @@ func TestSameCodeOnPMEMSpace(t *testing.T) {
 	al.FlushAll()
 	dev.Crash(pmem.CrashDropDirty, 9)
 
-	al2, err := alloc.Open(space.NewPMEM(dev, 0, 1<<22))
+	al2, err := alloc.Open(space.MustPMEM(dev, 0, 1<<22))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +260,9 @@ func TestCloneCarriesTree(t *testing.T) {
 	}
 	// Mutating the clone must not affect the source (shadow-update property).
 	ct.Insert([]byte("only-in-clone"), 1)
-	ct.Delete([]byte("k000"))
+	if _, _, err := ct.Delete([]byte("k000")); err != nil {
+		t.Fatal(err)
+	}
 	if _, ok := tr.Get([]byte("only-in-clone")); ok {
 		t.Fatal("clone write leaked into source")
 	}
@@ -273,7 +283,9 @@ func TestQuickModelEquivalence(t *testing.T) {
 		for i, op := range ops {
 			k := fmt.Sprintf("k%02d", op%97)
 			if op%3 == 0 {
-				tr.Delete([]byte(k))
+				if _, _, err := tr.Delete([]byte(k)); err != nil {
+					t.Fatal(err)
+				}
 				delete(model, k)
 			} else {
 				tr.Insert([]byte(k), uint64(i))

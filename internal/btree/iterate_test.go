@@ -60,7 +60,9 @@ func TestIterateFromWithLazyDeletes(t *testing.T) {
 	}
 	for i := 0; i < 200; i++ {
 		if i%3 != 1 {
-			tr.Delete([]byte(fmt.Sprintf("k%03d", i)))
+			if _, _, err := tr.Delete([]byte(fmt.Sprintf("k%03d", i))); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 	var got []string

@@ -125,8 +125,8 @@ type Engine struct {
 	frontAl *alloc.Allocator // the DRAM system space
 
 	mu        sync.Mutex // guards root state transitions and shadowGen
-	rootSeq   uint64
-	shadowGen int
+	rootSeq   uint64     // guarded by mu
+	shadowGen int        // guarded by mu
 
 	ckptMu   sync.Mutex // serializes checkpoints
 	trigger  chan struct{}
@@ -153,6 +153,11 @@ func (c Config) shadowOff(i int) uint64 {
 // ErrClosed is returned by operations on a finalized engine.
 var ErrClosed = errors.New("dipper: engine closed")
 
+// ErrCorrupt is the typed error wrapped by Open when the durable root state
+// does not describe a usable layout (generation or log indices beyond 0/1, a
+// replay bound outside the log, a device smaller than the layout requires).
+var ErrCorrupt = errors.New("dipper: root state corrupt")
+
 // Format initializes a fresh DIPPER instance on dev. bootstrap builds the
 // initial system-space structures inside the (already formatted) DRAM arena;
 // the engine then clones them to shadow generation 0 and seals the root.
@@ -165,13 +170,6 @@ func Format(dev *pmem.Device, cfg Config, replayer Replayer, bootstrap func(al *
 	if err := bootstrap(frontAl); err != nil {
 		return nil, fmt.Errorf("dipper: bootstrap: %w", err)
 	}
-	shadow0 := space.NewPMEM(dev, cfg.shadowOff(0), cfg.ArenaBytes)
-	sh, err := frontAl.CloneTo(shadow0)
-	if err != nil {
-		return nil, err
-	}
-	sh.FlushAll()
-
 	e := &Engine{
 		dev:      dev,
 		cfg:      cfg,
@@ -180,23 +178,60 @@ func Format(dev *pmem.Device, cfg Config, replayer Replayer, bootstrap func(al *
 		trigger:  make(chan struct{}, 1),
 		closed:   make(chan struct{}),
 	}
-	e.pair = wal.NewPair(e.logSpace(0), e.logSpace(1), 1)
+	shadow0, err := e.shadowSpace(0)
+	if err != nil {
+		return nil, err
+	}
+	sh, err := frontAl.CloneTo(shadow0)
+	if err != nil {
+		return nil, err
+	}
+	sh.FlushAll()
+
+	log0, err := e.logSpace(0)
+	if err != nil {
+		return nil, err
+	}
+	log1, err := e.logSpace(1)
+	if err != nil {
+		return nil, err
+	}
+	e.pair = wal.NewPair(log0, log1, 1)
+	e.mu.Lock()
 	e.rootSeq = 1
+	e.mu.Unlock()
 	formatRootArea(dev, RootState{Seq: 1, ActiveLog: 0, ShadowGen: 0})
 	e.start()
 	return e, nil
 }
 
 // Open recovers a DIPPER instance from dev after a shutdown or crash,
-// implementing the idempotent recovery protocol of §3.6.
+// implementing the idempotent recovery protocol of §3.6. The root state is
+// media-derived, so its generation/log indices and replay bound are
+// validated (ErrCorrupt) before any window is derived from them.
+//
+// time.Now here feeds RecoveryBreakdown metrics only; recovery decisions
+// never read the clock.
+//
+//dstore:wallclock
 func Open(dev *pmem.Device, cfg Config, replayer Replayer) (*Engine, error) {
 	cfg.setDefaults()
 	if err := checkMagic(dev); err != nil {
 		return nil, err
 	}
+	if uint64(dev.Size()) < cfg.DeviceBytes() {
+		return nil, fmt.Errorf("dipper: device %d B < required %d B", dev.Size(), cfg.DeviceBytes())
+	}
 	st, err := readRoot(dev)
 	if err != nil {
 		return nil, err
+	}
+	if st.ActiveLog > 1 || st.ShadowGen > 1 || st.ArchivedLog > 1 {
+		return nil, fmt.Errorf("%w: indices out of range (active %d, shadow %d, archived %d)",
+			ErrCorrupt, st.ActiveLog, st.ShadowGen, st.ArchivedLog)
+	}
+	if st.CkptInProgress != 0 && st.ReplayEnd > cfg.LogBytes {
+		return nil, fmt.Errorf("%w: replay end %d beyond log size %d", ErrCorrupt, st.ReplayEnd, cfg.LogBytes)
 	}
 	e := &Engine{
 		dev:      dev,
@@ -205,9 +240,19 @@ func Open(dev *pmem.Device, cfg Config, replayer Replayer) (*Engine, error) {
 		trigger:  make(chan struct{}, 1),
 		closed:   make(chan struct{}),
 	}
+	e.mu.Lock()
 	e.rootSeq = st.Seq
 	e.shadowGen = int(st.ShadowGen)
-	e.pair, err = wal.RecoverPair(e.logSpace(0), e.logSpace(1), int(st.ActiveLog))
+	e.mu.Unlock()
+	log0, err := e.logSpace(0)
+	if err != nil {
+		return nil, err
+	}
+	log1, err := e.logSpace(1)
+	if err != nil {
+		return nil, err
+	}
+	e.pair, err = wal.RecoverPair(log0, log1, int(st.ActiveLog))
 	if err != nil {
 		return nil, err
 	}
@@ -222,8 +267,16 @@ func Open(dev *pmem.Device, cfg Config, replayer Replayer) (*Engine, error) {
 	}
 
 	// Step 2: recover the volatile space — replicate the PMEM allocator
-	// state in DRAM by copying the shadow arena.
-	shadowAl, err := alloc.Open(e.shadowSpace(e.shadowGen))
+	// state in DRAM by copying the shadow arena (the redo in step 1 may have
+	// flipped the current generation).
+	e.mu.Lock()
+	gen := e.shadowGen
+	e.mu.Unlock()
+	shadowSp, err := e.shadowSpace(gen)
+	if err != nil {
+		return nil, err
+	}
+	shadowAl, err := alloc.Open(shadowSp)
 	if err != nil {
 		return nil, fmt.Errorf("dipper: shadow arena: %w", err)
 	}
@@ -255,11 +308,11 @@ func (e *Engine) RecoveryBreakdown() (metadataNs, replayNs int64) {
 	return e.recoverMetadataNs, e.recoverReplayNs
 }
 
-func (e *Engine) logSpace(i int) *space.PMEM {
+func (e *Engine) logSpace(i int) (*space.PMEM, error) {
 	return space.NewPMEM(e.dev, e.cfg.logOff(i), e.cfg.LogBytes)
 }
 
-func (e *Engine) shadowSpace(i int) *space.PMEM {
+func (e *Engine) shadowSpace(i int) (*space.PMEM, error) {
 	return space.NewPMEM(e.dev, e.cfg.shadowOff(i), e.cfg.ArenaBytes)
 }
 
@@ -321,7 +374,8 @@ func (e *Engine) MaybeTrigger() {
 	}
 }
 
-// nextRootState builds the successor root state under e.mu.
+// publishRoot builds and durably publishes the successor root state under
+// e.mu.
 func (e *Engine) publishRoot(mutate func(*RootState)) {
 	e.mu.Lock()
 	e.rootSeq++
@@ -341,6 +395,11 @@ func (e *Engine) publishRoot(mutate func(*RootState)) {
 // records onto the clone, flush, and flip the root. The frontend continues
 // to serve requests throughout; only the log swap itself briefly excludes
 // appends.
+//
+// time.Now here feeds the CheckpointNanos metric only; checkpoint decisions
+// never read the clock.
+//
+//dstore:wallclock
 func (e *Engine) Checkpoint() error {
 	if e.closing.Load() {
 		return ErrClosed
@@ -349,7 +408,7 @@ func (e *Engine) Checkpoint() error {
 	defer e.ckptMu.Unlock()
 	e.ckptBusy.Store(true)
 	defer e.ckptBusy.Store(false)
-	start := time.Now()
+	start := time.Now() // metrics only; see the //dstore:wallclock note below
 
 	res, err := e.pair.Swap(func(newActive, archived int, replayEnd uint64) {
 		// Inside the swap critical section: durably record that appends go
@@ -400,11 +459,19 @@ func (e *Engine) replayOntoNewShadow(archivedIdx int, replayEnd uint64) error {
 	e.mu.Unlock()
 	newGen := 1 - curGen
 
-	cur, err := alloc.Open(e.shadowSpace(curGen))
+	curSp, err := e.shadowSpace(curGen)
+	if err != nil {
+		return err
+	}
+	cur, err := alloc.Open(curSp)
 	if err != nil {
 		return fmt.Errorf("dipper: open shadow %d: %w", curGen, err)
 	}
-	clone, err := cur.CloneTo(e.shadowSpace(newGen))
+	newSp, err := e.shadowSpace(newGen)
+	if err != nil {
+		return err
+	}
+	clone, err := cur.CloneTo(newSp)
 	if err != nil {
 		return err
 	}
@@ -445,9 +512,9 @@ func (e *Engine) replayOntoNewShadow(archivedIdx int, replayEnd uint64) error {
 func (e *Engine) SwapOnlyForCrash() {
 	e.ckptMu.Lock()
 	defer e.ckptMu.Unlock()
-	//nolint:errcheck // crash-experiment helper; an injected swap failure just
-	// means the crash point lands before the swap instead of after it.
-	e.pair.Swap(func(newActive, archived int, replayEnd uint64) {
+	// An injected swap failure just means the crash point lands before the
+	// swap instead of after it — fine for a crash-experiment helper.
+	e.pair.Swap(func(newActive, archived int, replayEnd uint64) { //nolint:errcheck
 		e.mu.Lock()
 		e.rootSeq++
 		writeRoot(e.dev, RootState{

@@ -30,8 +30,8 @@ func testReplayer() Replayer {
 				_, _, err := tr.Insert(rv.Name, v)
 				return err
 			case opDel:
-				tr.Delete(rv.Name)
-				return nil
+				_, _, err := tr.Delete(rv.Name)
+				return err
 			default:
 				return fmt.Errorf("unknown op %d", rv.Op)
 			}
@@ -86,7 +86,9 @@ func doDel(t *testing.T, e *Engine, name string) {
 		t.Fatalf("append: %v", err)
 	}
 	tr := btree.Open(e.Frontend(), e.Frontend().Root(0))
-	tr.Delete([]byte(name))
+	if _, _, err := tr.Delete([]byte(name)); err != nil {
+		t.Fatal(err)
+	}
 	e.Commit(h)
 }
 
@@ -138,7 +140,11 @@ func TestCheckpointFlipsGeneration(t *testing.T) {
 		t.Fatalf("root after checkpoint = %+v", st)
 	}
 	// The new shadow generation must hold the replayed state.
-	shadowAl, err := alloc.Open(e.shadowSpace(1))
+	shadowSp, err := e.shadowSpace(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadowAl, err := alloc.Open(shadowSp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,8 +287,15 @@ func TestRecoveryIsIdempotent(t *testing.T) {
 		e1 := &Engine{dev: dev, cfg: func() Config { c := testConfig(); c.setDefaults(); return c }(),
 			replayer: testReplayer(), rootSeq: st.Seq, shadowGen: int(st.ShadowGen),
 			trigger: make(chan struct{}, 1), closed: make(chan struct{})}
-		var err error
-		e1.pair, err = wal.RecoverPair(e1.logSpace(0), e1.logSpace(1), int(st.ActiveLog))
+		log0, err := e1.logSpace(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		log1, err := e1.logSpace(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e1.pair, err = wal.RecoverPair(log0, log1, int(st.ActiveLog))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -368,7 +381,11 @@ func TestCheckpointWhileFrontendRuns(t *testing.T) {
 	}
 	// Shadow must observationally match the frontend.
 	st, _ := e.RootState()
-	shadowAl, err := alloc.Open(e.shadowSpace(int(st.ShadowGen)))
+	shadowSp, err := e.shadowSpace(int(st.ShadowGen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadowAl, err := alloc.Open(shadowSp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -396,7 +413,7 @@ func TestQuickCrashRecoveryObservationalEquivalence(t *testing.T) {
 				if err != nil {
 					return false
 				}
-				frontendTree(e).Delete([]byte(k))
+				frontendTree(e).Delete([]byte(k)) //nolint:errcheck
 				e.Commit(h)
 				delete(model, k)
 			} else {

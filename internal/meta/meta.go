@@ -10,11 +10,23 @@
 package meta
 
 import (
+	"errors"
 	"fmt"
 
 	"dstore/internal/alloc"
 	"dstore/internal/space"
 )
+
+// ErrOutOfRange is the typed error wrapped when a slot or block index falls
+// outside the zone geometry. Slot indices flow through the B-tree and
+// logged records — both media-derived — so a bad index is a runtime
+// condition, not a programming error.
+var ErrOutOfRange = errors.New("meta: index out of range")
+
+// ErrCorrupt is the typed error wrapped when zone state read back from the
+// arena does not decode (inconsistent geometry header, a slot whose
+// recorded name length or block count exceeds the zone limits).
+var ErrCorrupt = errors.New("meta: zone corrupt")
 
 const (
 	hdrSlots     = 0
@@ -71,13 +83,25 @@ func New(al *alloc.Allocator, slots, maxName, maxBlocks uint64) (*Zone, uint64, 
 	sp.PutU64(base+hdrSlotSize, slotSize)
 	sp.PutU64(base+hdrMaxName, maxName)
 	sp.PutU64(base+hdrMaxBlocks, maxBlocks)
-	return Open(al, base), base, nil
+	z, err := Open(al, base)
+	if err != nil {
+		return nil, 0, err
+	}
+	return z, base, nil
 }
 
-// Open attaches to an existing zone at base.
-func Open(al *alloc.Allocator, base uint64) *Zone {
+// Open attaches to an existing zone at base. The geometry header is
+// media-derived (it survives crashes via the checkpoint arena), so Open
+// validates it — the slot size must match the recorded name/block limits
+// and the whole slot array must lie inside the arena — and returns
+// ErrCorrupt otherwise. This validation is what makes the unexported slot
+// arithmetic safe against corrupt headers.
+func Open(al *alloc.Allocator, base uint64) (*Zone, error) {
 	sp := al.Space()
-	return &Zone{
+	if base+hdrSize > sp.Size() || base+hdrSize < base {
+		return nil, fmt.Errorf("%w: zone base %d outside arena (size %d)", ErrCorrupt, base, sp.Size())
+	}
+	z := &Zone{
 		sp:        sp,
 		base:      base,
 		slots:     sp.GetU64(base + hdrSlots),
@@ -85,6 +109,16 @@ func Open(al *alloc.Allocator, base uint64) *Zone {
 		maxName:   sp.GetU64(base + hdrMaxName),
 		maxBlocks: sp.GetU64(base + hdrMaxBlocks),
 	}
+	wantSlotSize := (slotName + z.maxName + 8*z.maxBlocks + 4*z.maxBlocks + 7) &^ uint64(7)
+	if z.slotSize != wantSlotSize {
+		return nil, fmt.Errorf("%w: slot size %d does not match geometry (name %d, blocks %d → %d)",
+			ErrCorrupt, z.slotSize, z.maxName, z.maxBlocks, wantSlotSize)
+	}
+	if z.slotSize == 0 || z.slots > (sp.Size()-base-hdrSize)/z.slotSize {
+		return nil, fmt.Errorf("%w: %d slots of %d bytes exceed arena (base %d, size %d)",
+			ErrCorrupt, z.slots, z.slotSize, base, sp.Size())
+	}
+	return z, nil
 }
 
 // Slots returns the zone capacity in slots.
@@ -96,11 +130,22 @@ func (z *Zone) MaxName() uint64 { return z.maxName }
 // MaxBlocks returns the maximum number of blocks per object.
 func (z *Zone) MaxBlocks() uint64 { return z.maxBlocks }
 
-func (z *Zone) slotOff(slot uint64) uint64 {
+// slotOff returns the arena offset of slot. Slot indices reach the zone
+// from the B-tree and from logged records, both media-derived, so an
+// out-of-range slot is reported as a typed error rather than a panic.
+func (z *Zone) slotOff(slot uint64) (uint64, error) {
 	if slot >= z.slots {
-		panic(fmt.Sprintf("meta: slot %d out of range (%d)", slot, z.slots))
+		return 0, fmt.Errorf("%w: slot %d (zone has %d)", ErrOutOfRange, slot, z.slots)
 	}
-	return z.base + hdrSize + slot*z.slotSize
+	return z.base + hdrSize + slot*z.slotSize, nil
+}
+
+// blockIndex validates block index i against the zone's per-object limit.
+func (z *Zone) blockIndex(i int) error {
+	if i < 0 || uint64(i) >= z.maxBlocks {
+		return fmt.Errorf("%w: block index %d (max %d per object)", ErrOutOfRange, i, z.maxBlocks)
+	}
+	return nil
 }
 
 func (z *Zone) blocksOff(off uint64) uint64 { return off + slotName + z.maxName }
@@ -119,7 +164,10 @@ func (z *Zone) Write(slot uint64, name []byte, size uint64, blocks []uint64, sum
 	if sums != nil && len(sums) != len(blocks) {
 		return fmt.Errorf("meta: %d sums for %d blocks", len(sums), len(blocks))
 	}
-	off := z.slotOff(slot)
+	off, err := z.slotOff(slot)
+	if err != nil {
+		return err
+	}
 	z.sp.PutU8(off+slotUsed, 1)
 	z.sp.PutU16(off+slotNameLen, uint16(len(name)))
 	z.sp.PutU32(off+slotNBlocks, uint32(len(blocks)))
@@ -139,9 +187,13 @@ func (z *Zone) Write(slot uint64, name []byte, size uint64, blocks []uint64, sum
 }
 
 // SetSize updates only the logical size of a used slot (owrite extensions).
-func (z *Zone) SetSize(slot, size uint64) {
-	off := z.slotOff(slot)
+func (z *Zone) SetSize(slot, size uint64) error {
+	off, err := z.slotOff(slot)
+	if err != nil {
+		return err
+	}
 	z.sp.PutU64(off+slotSizeOff, size)
+	return nil
 }
 
 // SetBlocks replaces the block list of a used slot; the sums of the listed
@@ -151,7 +203,10 @@ func (z *Zone) SetBlocks(slot uint64, blocks []uint64) error {
 	if uint64(len(blocks)) > z.maxBlocks {
 		return fmt.Errorf("meta: %d blocks exceed max %d", len(blocks), z.maxBlocks)
 	}
-	off := z.slotOff(slot)
+	off, err := z.slotOff(slot)
+	if err != nil {
+		return err
+	}
 	z.sp.PutU32(off+slotNBlocks, uint32(len(blocks)))
 	bb := z.blocksOff(off)
 	sb := z.sumsOff(off)
@@ -163,26 +218,52 @@ func (z *Zone) SetBlocks(slot uint64, blocks []uint64) error {
 }
 
 // SetSum records the CRC32C of the i-th block of a used slot.
-func (z *Zone) SetSum(slot uint64, i int, sum uint32) {
-	off := z.slotOff(slot)
+func (z *Zone) SetSum(slot uint64, i int, sum uint32) error {
+	off, err := z.slotOff(slot)
+	if err != nil {
+		return err
+	}
+	if err := z.blockIndex(i); err != nil {
+		return err
+	}
 	z.sp.PutU32(z.sumsOff(off)+4*uint64(i), sum)
+	return nil
 }
 
 // SetBlockID rewrites the i-th block id of a used slot (block remapping:
 // quarantine repair migrates data to a fresh block and repoints the slot).
-func (z *Zone) SetBlockID(slot uint64, i int, block uint64) {
-	off := z.slotOff(slot)
+func (z *Zone) SetBlockID(slot uint64, i int, block uint64) error {
+	off, err := z.slotOff(slot)
+	if err != nil {
+		return err
+	}
+	if err := z.blockIndex(i); err != nil {
+		return err
+	}
 	z.sp.PutU64(z.blocksOff(off)+8*uint64(i), block)
+	return nil
 }
 
-// Read decodes slot; ok is false if the slot is unused.
-func (z *Zone) Read(slot uint64) (Entry, bool) {
-	off := z.slotOff(slot)
+// Read decodes slot; ok is false if the slot is unused. A used slot whose
+// recorded name length or block count exceeds the zone limits decodes as
+// ErrCorrupt (the limits bound the slot layout, so larger values would read
+// into neighboring slots).
+func (z *Zone) Read(slot uint64) (Entry, bool, error) {
+	off, err := z.slotOff(slot)
+	if err != nil {
+		return Entry{}, false, err
+	}
 	if z.sp.GetU8(off+slotUsed) == 0 {
-		return Entry{}, false
+		return Entry{}, false, nil
 	}
 	nl := uint64(z.sp.GetU16(off + slotNameLen))
 	nb := uint64(z.sp.GetU32(off + slotNBlocks))
+	if nl > z.maxName {
+		return Entry{}, false, fmt.Errorf("%w: slot %d name length %d exceeds max %d", ErrCorrupt, slot, nl, z.maxName)
+	}
+	if nb > z.maxBlocks {
+		return Entry{}, false, fmt.Errorf("%w: slot %d block count %d exceeds max %d", ErrCorrupt, slot, nb, z.maxBlocks)
+	}
 	e := Entry{
 		Name: z.sp.Slice(off+slotName, nl),
 		Size: z.sp.GetU64(off + slotSizeOff),
@@ -195,10 +276,15 @@ func (z *Zone) Read(slot uint64) (Entry, bool) {
 		e.Blocks[i] = z.sp.GetU64(bb + 8*uint64(i))
 		e.Sums[i] = z.sp.GetU32(sb + 4*uint64(i))
 	}
-	return e, true
+	return e, true, nil
 }
 
 // Clear marks slot unused.
-func (z *Zone) Clear(slot uint64) {
-	z.sp.PutU8(z.slotOff(slot)+slotUsed, 0)
+func (z *Zone) Clear(slot uint64) error {
+	off, err := z.slotOff(slot)
+	if err != nil {
+		return err
+	}
+	z.sp.PutU8(off+slotUsed, 0)
+	return nil
 }

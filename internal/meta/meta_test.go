@@ -1,6 +1,7 @@
 package meta
 
 import (
+	"errors"
 	"testing"
 
 	"dstore/internal/alloc"
@@ -17,13 +18,22 @@ func newZone(t *testing.T) (*Zone, *alloc.Allocator, uint64) {
 	return z, al, off
 }
 
+func mustRead(t *testing.T, z *Zone, slot uint64) (Entry, bool) {
+	t.Helper()
+	e, ok, err := z.Read(slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, ok
+}
+
 func TestWriteRead(t *testing.T) {
 	z, _, _ := newZone(t)
 	blocks := []uint64{10, 20, 30}
 	if err := z.Write(5, []byte("object-a"), 12288, blocks, nil); err != nil {
 		t.Fatal(err)
 	}
-	e, ok := z.Read(5)
+	e, ok := mustRead(t, z, 5)
 	if !ok {
 		t.Fatal("slot not used")
 	}
@@ -39,28 +49,36 @@ func TestWriteRead(t *testing.T) {
 
 func TestUnusedSlot(t *testing.T) {
 	z, _, _ := newZone(t)
-	if _, ok := z.Read(0); ok {
+	if _, ok := mustRead(t, z, 0); ok {
 		t.Fatal("fresh slot reads as used")
 	}
 }
 
 func TestClear(t *testing.T) {
 	z, _, _ := newZone(t)
-	z.Write(1, []byte("x"), 1, []uint64{1}, nil)
-	z.Clear(1)
-	if _, ok := z.Read(1); ok {
+	if err := z.Write(1, []byte("x"), 1, []uint64{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := z.Clear(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mustRead(t, z, 1); ok {
 		t.Fatal("cleared slot still used")
 	}
 }
 
 func TestSetSizeAndBlocks(t *testing.T) {
 	z, _, _ := newZone(t)
-	z.Write(2, []byte("grow"), 4096, []uint64{7}, nil)
-	z.SetSize(2, 8192)
+	if err := z.Write(2, []byte("grow"), 4096, []uint64{7}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := z.SetSize(2, 8192); err != nil {
+		t.Fatal(err)
+	}
 	if err := z.SetBlocks(2, []uint64{7, 8}); err != nil {
 		t.Fatal(err)
 	}
-	e, _ := z.Read(2)
+	e, _ := mustRead(t, z, 2)
 	if e.Size != 8192 || len(e.Blocks) != 2 || e.Blocks[1] != 8 {
 		t.Fatalf("entry = %+v", e)
 	}
@@ -81,24 +99,61 @@ func TestLimitsEnforced(t *testing.T) {
 	}
 }
 
-func TestSlotOutOfRangePanics(t *testing.T) {
+func TestSlotOutOfRange(t *testing.T) {
 	z, _, _ := newZone(t)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	z.Read(64)
+	if _, _, err := z.Read(64); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("Read(64): got %v, want ErrOutOfRange", err)
+	}
+	if err := z.Clear(64); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("Clear(64): got %v, want ErrOutOfRange", err)
+	}
+	if err := z.SetSum(0, 8, 1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("SetSum(0, 8): got %v, want ErrOutOfRange", err)
+	}
+	if err := z.SetBlockID(0, -1, 1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("SetBlockID(0, -1): got %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestCorruptSlotDetected(t *testing.T) {
+	z, al, off := newZone(t)
+	if err := z.Write(4, []byte("victim"), 64, []uint64{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Media corruption: scribble a name length beyond the zone limit.
+	slotBase := off + hdrSize + 4*z.slotSize
+	al.Space().PutU16(slotBase+slotNameLen, 999)
+	if _, _, err := z.Read(4); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Read of corrupt slot: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestOpenRejectsCorruptGeometry(t *testing.T) {
+	_, al, off := newZone(t)
+	al.Space().PutU64(off+hdrSlotSize, 8) // inconsistent with maxName/maxBlocks
+	if _, err := Open(al, off); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open with corrupt slot size: got %v, want ErrCorrupt", err)
+	}
+	al.Space().PutU64(off+hdrSlotSize, (slotName+32+8*8+4*8+7)&^7)
+	al.Space().PutU64(off+hdrSlots, 1<<40) // slot array beyond the arena
+	if _, err := Open(al, off); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open with oversize slot count: got %v, want ErrCorrupt", err)
+	}
 }
 
 func TestOpenRoundTrip(t *testing.T) {
 	z, al, off := newZone(t)
-	z.Write(3, []byte("persist"), 999, []uint64{1, 2}, nil)
-	z2 := Open(al, off)
+	if err := z.Write(3, []byte("persist"), 999, []uint64{1, 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	z2, err := Open(al, off)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if z2.Slots() != 64 || z2.MaxName() != 32 || z2.MaxBlocks() != 8 {
 		t.Fatalf("geometry lost: %d/%d/%d", z2.Slots(), z2.MaxName(), z2.MaxBlocks())
 	}
-	e, ok := z2.Read(3)
+	e, ok := mustRead(t, z2, 3)
 	if !ok || string(e.Name) != "persist" || e.Size != 999 {
 		t.Fatalf("entry = %+v ok=%v", e, ok)
 	}
@@ -106,14 +161,21 @@ func TestOpenRoundTrip(t *testing.T) {
 
 func TestCloneIndependence(t *testing.T) {
 	z, al, off := newZone(t)
-	z.Write(1, []byte("orig"), 1, []uint64{1}, nil)
+	if err := z.Write(1, []byte("orig"), 1, []uint64{1}, nil); err != nil {
+		t.Fatal(err)
+	}
 	clone, err := al.CloneTo(space.NewDRAM(1 << 20))
 	if err != nil {
 		t.Fatal(err)
 	}
-	cz := Open(clone, off)
-	cz.Write(1, []byte("newv"), 2, []uint64{2}, nil)
-	e, _ := z.Read(1)
+	cz, err := Open(clone, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cz.Write(1, []byte("newv"), 2, []uint64{2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := mustRead(t, z, 1)
 	if string(e.Name) != "orig" {
 		t.Fatal("clone write leaked into source zone")
 	}
@@ -128,7 +190,7 @@ func TestSlotsIndependent(t *testing.T) {
 		}
 	}
 	for i := uint64(0); i < 64; i++ {
-		e, ok := z.Read(i)
+		e, ok := mustRead(t, z, i)
 		if !ok || e.Size != i || e.Blocks[0] != i {
 			t.Fatalf("slot %d corrupted: %+v", i, e)
 		}

@@ -72,6 +72,12 @@ type Config struct {
 	// that recover from DRAM shadows rather than per-write error handling —
 	// never consult it.
 	Faults *fault.Plan
+	// StrictPersistOrder arms CheckPersisted, the runtime companion to the
+	// dstore-vet persist-order checker: protocol commit points (the WAL
+	// record publish) verify that every tracked cache line they are about
+	// to seal is already persistent, and fail with the offending offsets
+	// otherwise. Requires TrackPersistence; intended for tests.
+	StrictPersistOrder bool
 }
 
 // Latencies models Optane DCPMM timing. The defaults used by the benchmark
@@ -142,8 +148,8 @@ type lineState struct {
 
 type lineShard struct {
 	mu     sync.Mutex
-	lines  map[uint64]*lineState
-	staged []uint64 // line indices with a staged image awaiting a fence
+	lines  map[uint64]*lineState // guarded by mu
+	staged []uint64              // guarded by mu; line indices with a staged image awaiting a fence
 }
 
 // Device is a simulated PMEM device. All methods are safe for concurrent use.
@@ -152,6 +158,7 @@ type lineShard struct {
 type Device struct {
 	buf    []byte
 	track  bool
+	strict bool // see Config.StrictPersistOrder
 	lat    Latencies
 	hook   func() // fault-injection hook; see SetMutationHook
 	faults *fault.Plan
@@ -177,12 +184,19 @@ func New(cfg Config) *Device {
 	d := &Device{
 		buf:    make([]byte, size),
 		track:  cfg.TrackPersistence,
+		strict: cfg.StrictPersistOrder,
 		lat:    cfg.Latency,
 		faults: cfg.Faults,
 	}
 	prefault(d.buf)
 	for i := range d.shards {
-		d.shards[i].lines = make(map[uint64]*lineState)
+		// The device has not escaped yet, but the line maps are "guarded by
+		// mu" — take the (uncontended) lock so the discipline holds on every
+		// access, including construction.
+		s := &d.shards[i]
+		s.mu.Lock()
+		s.lines = make(map[uint64]*lineState)
+		s.mu.Unlock()
 	}
 	return d
 }
@@ -242,9 +256,31 @@ func (d *Device) markDirty(off, n uint64) {
 	}
 }
 
-func (d *Device) checkRange(off, n uint64) {
+// ErrOutOfRange is the typed error returned by the fallible operations
+// (Try*, CheckWriteFault) for accesses outside the device. Offsets that
+// reach the fallible surface may be media-derived (log headers, root state),
+// so a bad range is a runtime condition there, not a programming error.
+var ErrOutOfRange = errors.New("pmem: access out of range")
+
+// rangeErr validates [off, off+n) against the device size.
+func (d *Device) rangeErr(off, n uint64) error {
 	if off+n > uint64(len(d.buf)) || off+n < off {
-		panic(fmt.Sprintf("pmem: access [%d,%d) out of range (size %d)", off, off+n, len(d.buf)))
+		return fmt.Errorf("%w: [%d,%d) exceeds size %d", ErrOutOfRange, off, off+n, len(d.buf))
+	}
+	return nil
+}
+
+// checkRange guards the infallible operations, which are reserved for
+// callers whose offsets were validated upstream: the space layer
+// bounds-checks every window access, and media-derived offsets are
+// validated by their decoders (alloc header, meta geometry, WAL record
+// bounds) before they reach a device operation. Reaching this panic is a
+// programming error in the store, not a runtime condition.
+//
+//dstore:invariant
+func (d *Device) checkRange(off, n uint64) {
+	if err := d.rangeErr(off, n); err != nil {
+		panic(err)
 	}
 }
 
@@ -392,6 +428,9 @@ func (d *Device) Persist(off, n uint64) {
 // durability point (the WAL append protocol) use it to model the whole batch
 // as a single fallible media operation.
 func (d *Device) CheckWriteFault(off, n uint64) error {
+	if err := d.rangeErr(off, n); err != nil {
+		return err
+	}
 	if d.faults == nil {
 		return nil
 	}
@@ -442,6 +481,63 @@ func (d *Device) TryPersist(off, n uint64) error {
 		return err
 	}
 	d.Persist(off, n)
+	return nil
+}
+
+// SetStrictPersistOrder toggles strict persist-order checking at runtime so
+// tests can arm it on an existing device. It has no effect on a device built
+// without TrackPersistence. Install before concurrent use.
+func (d *Device) SetStrictPersistOrder(on bool) { d.strict = on }
+
+// UnpersistedError reports cache lines that a strict-mode commit point found
+// dirty or staged-but-unfenced.
+type UnpersistedError struct {
+	// Lines holds the line-aligned device byte offsets of the offending
+	// cache lines, in ascending order.
+	Lines []uint64
+}
+
+func (e *UnpersistedError) Error() string {
+	return fmt.Sprintf("pmem: strict persist-order violation: %d line(s) not persisted at commit point (device offsets %v)",
+		len(e.Lines), e.Lines)
+}
+
+// UnpersistedLines returns the line-aligned byte offsets of cache lines
+// overlapping [off, off+n) that are not persistent: dirty (stored but never
+// flushed), staged-but-unfenced, or re-dirtied after a flush. Requires
+// TrackPersistence (returns nil otherwise).
+func (d *Device) UnpersistedLines(off, n uint64) []uint64 {
+	if !d.track || n == 0 {
+		return nil
+	}
+	d.checkRange(off, n)
+	var out []uint64
+	first := off / LineSize
+	last := (off + n - 1) / LineSize
+	for line := first; line <= last; line++ {
+		s := d.shardFor(line)
+		s.mu.Lock()
+		_, unpersisted := s.lines[line]
+		s.mu.Unlock()
+		if unpersisted {
+			out = append(out, line*LineSize)
+		}
+	}
+	return out
+}
+
+// CheckPersisted is the strict-persist-order commit-point hook: with
+// StrictPersistOrder armed (and tracking enabled) it fails with an
+// *UnpersistedError when any cache line in [off, off+n) is not yet
+// persistent. A disarmed device always returns nil, so protocol code can
+// call it unconditionally.
+func (d *Device) CheckPersisted(off, n uint64) error {
+	if !d.strict || !d.track {
+		return nil
+	}
+	if lines := d.UnpersistedLines(off, n); len(lines) > 0 {
+		return &UnpersistedError{Lines: lines}
+	}
 	return nil
 }
 

@@ -1,0 +1,75 @@
+package pmem
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestStrictPersistOrder walks a write through the dirty → staged →
+// persisted lifecycle and checks that the strict commit-point hook reports
+// exactly the offending line offsets at each stage.
+func TestStrictPersistOrder(t *testing.T) {
+	d := New(Config{Size: 4 * LineSize, TrackPersistence: true, StrictPersistOrder: true})
+	if err := d.CheckPersisted(0, 4*LineSize); err != nil {
+		t.Fatalf("pristine device reported unpersisted lines: %v", err)
+	}
+
+	d.PutU64(0, 1)
+	d.PutU64(2*LineSize, 2)
+
+	var ue *UnpersistedError
+	err := d.CheckPersisted(0, 4*LineSize)
+	if !errors.As(err, &ue) {
+		t.Fatalf("dirty lines not reported, got %v", err)
+	}
+	if len(ue.Lines) != 2 || ue.Lines[0] != 0 || ue.Lines[1] != 2*LineSize {
+		t.Fatalf("wrong offending offsets: %v", ue.Lines)
+	}
+
+	// Flushed but not fenced is still not persistent.
+	d.Flush(0, LineSize)
+	if err := d.CheckPersisted(0, LineSize); err == nil {
+		t.Fatal("staged-but-unfenced line passed the commit-point check")
+	}
+
+	// The fence retires the staged line; the other line is still dirty.
+	d.Fence()
+	err = d.CheckPersisted(0, 4*LineSize)
+	if !errors.As(err, &ue) {
+		t.Fatalf("remaining dirty line not reported, got %v", err)
+	}
+	if len(ue.Lines) != 1 || ue.Lines[0] != 2*LineSize {
+		t.Fatalf("wrong offending offsets after fence: %v", ue.Lines)
+	}
+
+	d.Persist(2*LineSize, 8)
+	if err := d.CheckPersisted(0, 4*LineSize); err != nil {
+		t.Fatalf("fully persisted device still failing: %v", err)
+	}
+}
+
+// TestStrictPersistOrderDisarmed checks that the hook is free to call
+// unconditionally: a device without the mode (or without tracking) always
+// passes, and the mode can be armed on a live device.
+func TestStrictPersistOrderDisarmed(t *testing.T) {
+	d := New(Config{Size: LineSize, TrackPersistence: true})
+	d.PutU64(0, 1)
+	if err := d.CheckPersisted(0, LineSize); err != nil {
+		t.Fatalf("disarmed device enforced strict order: %v", err)
+	}
+	d.SetStrictPersistOrder(true)
+	if err := d.CheckPersisted(0, LineSize); err == nil {
+		t.Fatal("armed device missed a dirty line")
+	}
+
+	// Without tracking there is no line model; armed or not, the check is a
+	// no-op rather than a lie.
+	un := New(Config{Size: LineSize, StrictPersistOrder: true})
+	un.PutU64(0, 1)
+	if err := un.CheckPersisted(0, LineSize); err != nil {
+		t.Fatalf("untracked device reported lines: %v", err)
+	}
+	if lines := un.UnpersistedLines(0, LineSize); lines != nil {
+		t.Fatalf("untracked device returned offsets: %v", lines)
+	}
+}

@@ -19,10 +19,18 @@ package space
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"dstore/internal/pmem"
 )
+
+// ErrOutOfRange is the typed error returned by NewPMEM for bad window
+// geometry and by the fallible Check* operations for accesses outside a
+// window. Geometry that reaches NewPMEM may be media-derived (the root
+// object's shadow-generation and active-log fields select windows at
+// recovery), so a bad range is a runtime condition there.
+var ErrOutOfRange = errors.New("space: out of range")
 
 // Kind identifies the backing memory of a Space.
 type Kind int
@@ -104,6 +112,13 @@ func (d *DRAM) Kind() Kind { return DRAMKind }
 // Size returns the region size.
 func (d *DRAM) Size() uint64 { return uint64(len(d.buf)) }
 
+// check guards every DRAM access. Space accessors are infallible by design
+// (the arena structures run the same code on DRAM and PMEM and defer
+// durability to checkpoint-time FlushAll), so media-derived offsets must be
+// validated by their decoders before use; an out-of-range access here is a
+// programming error in the store.
+//
+//dstore:invariant
 func (d *DRAM) check(off, n uint64) {
 	if off+n > uint64(len(d.buf)) || off+n < off {
 		panic(fmt.Sprintf("space: DRAM access [%d,%d) out of range (size %d)", off, off+n, len(d.buf)))
@@ -190,15 +205,31 @@ type PMEM struct {
 	size uint64
 }
 
-// NewPMEM creates a Space over dev's window [base, base+size).
-func NewPMEM(dev *pmem.Device, base, size uint64) *PMEM {
+// NewPMEM creates a Space over dev's window [base, base+size). It returns
+// ErrOutOfRange when the window exceeds the device or the base is not
+// cache-line aligned — window geometry can be media-derived (recovery
+// selects windows from the root object's recorded generation fields), so
+// bad geometry is a runtime condition, not a programming error.
+func NewPMEM(dev *pmem.Device, base, size uint64) (*PMEM, error) {
 	if base+size > uint64(dev.Size()) || base+size < base {
-		panic(fmt.Sprintf("space: PMEM window [%d,%d) exceeds device size %d", base, base+size, dev.Size()))
+		return nil, fmt.Errorf("%w: PMEM window [%d,%d) exceeds device size %d", ErrOutOfRange, base, base+size, dev.Size())
 	}
 	if base%pmem.LineSize != 0 {
-		panic("space: PMEM window base must be cache-line aligned")
+		return nil, fmt.Errorf("%w: PMEM window base %d is not cache-line aligned", ErrOutOfRange, base)
 	}
-	return &PMEM{dev: dev, base: base, size: size}
+	return &PMEM{dev: dev, base: base, size: size}, nil
+}
+
+// MustPMEM is NewPMEM for callers whose geometry is statically correct
+// (tests and compile-time layouts); it panics where NewPMEM errors.
+//
+//dstore:invariant
+func MustPMEM(dev *pmem.Device, base, size uint64) *PMEM {
+	p, err := NewPMEM(dev, base, size)
+	if err != nil {
+		panic(err)
+	}
+	return p
 }
 
 // Device returns the underlying device.
@@ -213,6 +244,11 @@ func (p *PMEM) Kind() Kind { return PMEMKind }
 // Size returns the window size.
 func (p *PMEM) Size() uint64 { return p.size }
 
+// check guards every infallible window access; see (*DRAM).check for why
+// reaching it is a programming error. The fallible Check* operations return
+// ErrOutOfRange instead.
+//
+//dstore:invariant
 func (p *PMEM) check(off, n uint64) {
 	if off+n > p.size || off+n < off {
 		panic(fmt.Sprintf("space: PMEM access [%d,%d) out of range (size %d)", off, off+n, p.size))
@@ -301,8 +337,21 @@ func (p *PMEM) Fence() { p.dev.Fence() }
 // whole append protocol (body stores, reverse-order flushes, LSN persist) as
 // a single fallible media operation. Returns nil when no plan is installed.
 func (p *PMEM) CheckFault(off, n uint64) error {
-	p.check(off, n)
+	if off+n > p.size || off+n < off {
+		return fmt.Errorf("%w: access [%d,%d) exceeds window size %d", ErrOutOfRange, off, off+n, p.size)
+	}
 	return p.dev.CheckWriteFault(p.base+off, n)
+}
+
+// CheckPersisted forwards the strict-persist-order commit-point check to the
+// device (see pmem.Device.CheckPersisted). It returns nil unless the device
+// was armed with StrictPersistOrder, so commit points call it
+// unconditionally.
+func (p *PMEM) CheckPersisted(off, n uint64) error {
+	if off+n > p.size || off+n < off {
+		return fmt.Errorf("%w: access [%d,%d) exceeds window size %d", ErrOutOfRange, off, off+n, p.size)
+	}
+	return p.dev.CheckPersisted(p.base+off, n)
 }
 
 // Persist is Flush followed by Fence.

@@ -14,7 +14,7 @@ func both(size uint64) (map[string]Space, *pmem.Device) {
 	dev := pmem.New(pmem.Config{Size: int(size), TrackPersistence: true})
 	return map[string]Space{
 		"dram": NewDRAM(size),
-		"pmem": NewPMEM(dev, 0, size),
+		"pmem": MustPMEM(dev, 0, size),
 	}, dev
 }
 
@@ -82,8 +82,8 @@ func TestOutOfRangePanics(t *testing.T) {
 
 func TestPMEMWindowIsolation(t *testing.T) {
 	dev := pmem.New(pmem.Config{Size: 4096, TrackPersistence: true})
-	a := NewPMEM(dev, 0, 1024)
-	b := NewPMEM(dev, 1024, 1024)
+	a := MustPMEM(dev, 0, 1024)
+	b := MustPMEM(dev, 1024, 1024)
 	a.Write(0, []byte("AAAA"))
 	b.Write(0, []byte("BBBB"))
 	if string(a.Slice(0, 4)) != "AAAA" || string(b.Slice(0, 4)) != "BBBB" {
@@ -107,20 +107,26 @@ func TestPMEMWindowValidation(t *testing.T) {
 		{0, 8192},  // exceeds device
 		{100, 100}, // unaligned base
 	} {
+		if _, err := NewPMEM(dev, c.base, c.size); err == nil {
+			t.Errorf("NewPMEM(%d,%d) accepted a bad window", c.base, c.size)
+		}
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Errorf("NewPMEM(%d,%d) did not panic", c.base, c.size)
+					t.Errorf("MustPMEM(%d,%d) did not panic", c.base, c.size)
 				}
 			}()
-			NewPMEM(dev, c.base, c.size)
+			MustPMEM(dev, c.base, c.size)
 		}()
+	}
+	if _, err := NewPMEM(dev, 0, 4096); err != nil {
+		t.Fatalf("NewPMEM rejected a valid window: %v", err)
 	}
 }
 
 func TestPMEMPersistenceThroughSpace(t *testing.T) {
 	dev := pmem.New(pmem.Config{Size: 4096, TrackPersistence: true})
-	sp := NewPMEM(dev, 1024, 1024)
+	sp := MustPMEM(dev, 1024, 1024)
 	sp.Write(0, []byte("durable"))
 	sp.Persist(0, 7)
 	sp.Write(64, []byte("volatile"))

@@ -94,9 +94,8 @@ type Device struct {
 	lat       Latencies
 	faults    *fault.Plan
 
-	mu     sync.Mutex // guards dirty
-	dirty  map[int][]byte
-	synced bool
+	mu    sync.Mutex
+	dirty map[int][]byte // guarded by mu; pre-write page images, unprotected devices only
 
 	bytesWritten atomic.Uint64
 	bytesRead    atomic.Uint64

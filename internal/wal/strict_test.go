@@ -1,0 +1,62 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dstore/internal/pmem"
+	"dstore/internal/space"
+)
+
+// TestStrictModeAppendCommit runs the full append/commit protocol on a
+// device armed with StrictPersistOrder: the §3.4 implementation must already
+// have every record line persistent when it publishes the LSN, so strict
+// mode changes nothing observable.
+func TestStrictModeAppendCommit(t *testing.T) {
+	dev := pmem.New(pmem.Config{
+		Size:               2 * testLogSize,
+		TrackPersistence:   true,
+		StrictPersistOrder: true,
+	})
+	a := space.MustPMEM(dev, 0, testLogSize)
+	b := space.MustPMEM(dev, testLogSize, testLogSize)
+	p := NewPair(a, b, 1)
+
+	for i := 0; i < 32; i++ {
+		h := mustAppend(t, p, 1, fmt.Sprintf("obj-%d", i), []byte{byte(i), byte(i >> 8)})
+		if err := p.Commit(h); err != nil {
+			t.Fatalf("strict-mode commit %d: %v", i, err)
+		}
+	}
+	got := collect(t, p.Log(p.ActiveIndex()), ^uint64(0))
+	if len(got) != 32 {
+		t.Fatalf("strict-mode log lost records: got %d, want 32", len(got))
+	}
+}
+
+// TestStrictModeCatchesUnflushedPublish models the bug class the runtime
+// hook exists for: a publish-style write that was never flushed fails the
+// commit-point check with the offending line offsets.
+func TestStrictModeCatchesUnflushedPublish(t *testing.T) {
+	dev := pmem.New(pmem.Config{
+		Size:               testLogSize,
+		TrackPersistence:   true,
+		StrictPersistOrder: true,
+	})
+	sp := space.MustPMEM(dev, 0, testLogSize)
+
+	sp.PutU64(128, 7)
+	var ue *pmem.UnpersistedError
+	if err := sp.CheckPersisted(128, 8); !errors.As(err, &ue) {
+		t.Fatalf("unflushed write passed the commit-point check: %v", err)
+	}
+	if len(ue.Lines) != 1 || ue.Lines[0] != 128 {
+		t.Fatalf("wrong offending offsets: %v", ue.Lines)
+	}
+
+	sp.Persist(128, 8)
+	if err := sp.CheckPersisted(128, 8); err != nil {
+		t.Fatalf("persisted write still failing: %v", err)
+	}
+}

@@ -115,8 +115,8 @@ type RecordView struct {
 type Log struct {
 	sp   *space.PMEM
 	mu   sync.Mutex // serializes appends and window scans
-	tail uint64     // next append offset
-	cur  uint64     // firstUncommitted cursor (lazily advanced)
+	tail uint64     // next append offset; guarded by mu
+	cur  uint64     // firstUncommitted cursor (lazily advanced); guarded by mu
 }
 
 func newLog(sp *space.PMEM) *Log {
@@ -134,6 +134,8 @@ func (l *Log) Tail() uint64 {
 }
 
 func (l *Log) reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.tail = logHeader
 	l.cur = logHeader
 	l.sp.PutU64(logHeader, 0) // zero guard
@@ -173,9 +175,9 @@ func (l *Log) readRecord(off uint64) (RecordView, uint64, bool) {
 	return rv, off + total, true
 }
 
-// advanceCursor moves the firstUncommitted cursor past settled records.
-// Caller holds l.mu.
-func (l *Log) advanceCursor() {
+// advanceCursorLocked moves the firstUncommitted cursor past settled
+// records. Caller holds l.mu.
+func (l *Log) advanceCursorLocked() {
 	for l.cur < l.tail {
 		rv, next, ok := l.readRecord(l.cur)
 		if !ok || rv.State == StateUncommitted {
@@ -190,7 +192,7 @@ func (l *Log) advanceCursor() {
 // olock holders may operate on their own locked objects). Caller holds l.mu.
 // Returns the LSN of the first conflicting record.
 func (l *Log) findConflictLocked(name []byte, ignore uint64) (uint64, bool) {
-	l.advanceCursor()
+	l.advanceCursorLocked()
 	off := l.cur
 	for off < l.tail {
 		rv, next, ok := l.readRecord(off)
@@ -251,12 +253,12 @@ func (l *Log) IterateAll(fn func(RecordView) error) error {
 type Pair struct {
 	swapMu sync.RWMutex // W: swap; R: append/commit/conflict checks
 	logs   [2]*Log
-	active int
+	active int // guarded by swapMu
 
 	lsn atomic.Uint64
 
 	regMu    sync.Mutex
-	registry map[uint64]*Handle // LSN -> in-flight handle
+	registry map[uint64]*Handle // LSN -> in-flight handle; guarded by regMu
 }
 
 // NewPair formats a fresh pair over two equally-sized PMEM windows; log a is
@@ -305,8 +307,10 @@ func RecoverPair(a, b *space.PMEM, activeIdx int) (*Pair, error) {
 			}
 			off = next
 		}
+		l.mu.Lock()
 		l.tail = off
 		l.cur = off
+		l.mu.Unlock()
 	}
 	p.lsn.Store(maxLSN)
 	return p, nil
@@ -445,13 +449,24 @@ func (l *Log) writeRecordLocked(off, lsn uint64, op uint16, state uint8, name, p
 	sp.PutU64(off+total, 0)
 
 	// Flush the record body and guard, cache line by cache line in reverse
-	// order, then fence (§3.4).
+	// order, then fence (§3.4). The last line's flush is hoisted out of the
+	// loop: it always runs (last >= first), and stating that unconditionally
+	// lets the persist-order checker see a flush on every path to the fence.
 	first := off / pmem.LineSize
 	last := (off + total + 8 - 1) / pmem.LineSize
-	for line := last + 1; line > first; line-- {
+	sp.Flush(last*pmem.LineSize, pmem.LineSize)
+	for line := last; line > first; line-- {
 		sp.Flush((line-1)*pmem.LineSize, pmem.LineSize)
 	}
 	sp.Fence()
+
+	// Strict persist-order hook (runtime companion to the dstore-vet
+	// persist-order checker, armed only under tests): every cache line of
+	// the record body and guard must already be persistent before the LSN
+	// publish makes the record valid. A disarmed device returns nil.
+	if err := sp.CheckPersisted(off, total+8); err != nil {
+		return fmt.Errorf("wal: record publish at %d: %w", off, err)
+	}
 
 	// The record becomes valid only now: write and persist the LSN.
 	sp.PutU64(off+recLSN, lsn)
@@ -506,6 +521,13 @@ func (p *Pair) Abort(h *Handle) error {
 	return p.settle(h, StateDead)
 }
 
+// settle is intentionally exempt from the persist-order checker: on the
+// device-fault path the state byte stays volatile by design (the store is
+// applied for CC visibility, durability is refused by the media), and
+// recovery resolves the record to dead — consistent with the error the
+// caller returns.
+//
+//dstore:volatile
 func (p *Pair) settle(h *Handle, state uint8) error {
 	p.swapMu.RLock()
 	// The state byte is spun on by CC scans and shares cache lines with
@@ -573,7 +595,7 @@ func (p *Pair) Swap(persistRoot func(newActive, archived int, replayEnd uint64))
 	nl := p.logs[newIdx]
 
 	old.mu.Lock()
-	old.advanceCursor()
+	old.advanceCursorLocked()
 	cut := old.cur
 	tail := old.tail
 	old.mu.Unlock()
@@ -589,6 +611,7 @@ func (p *Pair) Swap(persistRoot func(newActive, archived int, replayEnd uint64))
 	migrated := 0
 	off := cut
 	var migLo, migHi uint64
+	nl.mu.Lock()
 	for off < tail {
 		rv, next, ok := old.readRecord(off)
 		if !ok {
@@ -612,9 +635,11 @@ func (p *Pair) Swap(persistRoot func(newActive, archived int, replayEnd uint64))
 		migrated++
 		off = next
 	}
-	if migrated > 0 {
-		nl.sp.Persist(migLo, migHi-migLo)
-	}
+	nl.mu.Unlock()
+	// Persist unconditionally (a zero-length range reduces to a fence) so
+	// every path from the migration writes to the root publish below is
+	// fenced — the invariant the persist-order checker verifies.
+	nl.sp.Persist(migLo, migHi-migLo)
 
 	persistRoot(newIdx, p.active, cut)
 

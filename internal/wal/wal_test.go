@@ -15,8 +15,8 @@ const testLogSize = 1 << 16
 func newTestPair(t *testing.T) (*Pair, *pmem.Device) {
 	t.Helper()
 	dev := pmem.New(pmem.Config{Size: 2 * testLogSize, TrackPersistence: true})
-	a := space.NewPMEM(dev, 0, testLogSize)
-	b := space.NewPMEM(dev, testLogSize, testLogSize)
+	a := space.MustPMEM(dev, 0, testLogSize)
+	b := space.MustPMEM(dev, testLogSize, testLogSize)
 	return NewPair(a, b, 1), dev
 }
 
@@ -150,7 +150,7 @@ func TestAbortReleasesWaiters(t *testing.T) {
 
 func TestLogFull(t *testing.T) {
 	dev := pmem.New(pmem.Config{Size: 2048, TrackPersistence: true})
-	p := NewPair(space.NewPMEM(dev, 0, 1024), space.NewPMEM(dev, 1024, 1024), 1)
+	p := NewPair(space.MustPMEM(dev, 0, 1024), space.MustPMEM(dev, 1024, 1024), 1)
 	full := false
 	for i := 0; i < 100; i++ {
 		h, _, err := p.Append(1, []byte(fmt.Sprintf("k%03d", i)), nil)
@@ -252,8 +252,8 @@ func TestAppendAfterSwapUsesNewLog(t *testing.T) {
 
 func TestRecoverAfterCleanRun(t *testing.T) {
 	dev := pmem.New(pmem.Config{Size: 2 * testLogSize, TrackPersistence: true})
-	a := space.NewPMEM(dev, 0, testLogSize)
-	b := space.NewPMEM(dev, testLogSize, testLogSize)
+	a := space.MustPMEM(dev, 0, testLogSize)
+	b := space.MustPMEM(dev, testLogSize, testLogSize)
 	p := NewPair(a, b, 1)
 	for i := 0; i < 10; i++ {
 		p.Commit(mustAppend(t, p, 3, fmt.Sprintf("key%d", i), []byte{byte(i)}))
@@ -280,8 +280,8 @@ func TestRecoverAfterCleanRun(t *testing.T) {
 
 func TestRecoverMarksInFlightDead(t *testing.T) {
 	dev := pmem.New(pmem.Config{Size: 2 * testLogSize, TrackPersistence: true})
-	a := space.NewPMEM(dev, 0, testLogSize)
-	b := space.NewPMEM(dev, testLogSize, testLogSize)
+	a := space.MustPMEM(dev, 0, testLogSize)
+	b := space.MustPMEM(dev, testLogSize, testLogSize)
 	p := NewPair(a, b, 1)
 	p.Commit(mustAppend(t, p, 1, "done", nil))
 	mustAppend(t, p, 1, "inflight", nil) // never committed
@@ -303,8 +303,8 @@ func TestRecoverMarksInFlightDead(t *testing.T) {
 func TestTornAppendIsInvisible(t *testing.T) {
 	// A record whose body persisted but whose LSN did not must vanish.
 	dev := pmem.New(pmem.Config{Size: 2 * testLogSize, TrackPersistence: true})
-	a := space.NewPMEM(dev, 0, testLogSize)
-	b := space.NewPMEM(dev, testLogSize, testLogSize)
+	a := space.MustPMEM(dev, 0, testLogSize)
+	b := space.MustPMEM(dev, testLogSize, testLogSize)
 	p := NewPair(a, b, 1)
 	p.Commit(mustAppend(t, p, 1, "ok", nil))
 
@@ -450,8 +450,8 @@ func TestQuickCommittedSurviveAnyCrash(t *testing.T) {
 	f := func(seed int64, n uint8) bool {
 		count := int(n%16) + 1
 		dev := pmem.New(pmem.Config{Size: 2 * testLogSize, TrackPersistence: true})
-		a := space.NewPMEM(dev, 0, testLogSize)
-		b := space.NewPMEM(dev, testLogSize, testLogSize)
+		a := space.MustPMEM(dev, 0, testLogSize)
+		b := space.MustPMEM(dev, testLogSize, testLogSize)
 		p := NewPair(a, b, 1)
 		want := make([]string, 0, count)
 		for i := 0; i < count; i++ {

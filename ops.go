@@ -258,7 +258,10 @@ func (s *Store) extendPoolPhase(name []byte, newSize uint64) (putAlloc, error) {
 	if !ok {
 		return putAlloc{}, fmt.Errorf("dstore: extend of unknown object %q", name)
 	}
-	e, used := s.zoneRead(slot)
+	e, used, err := s.zoneRead(slot)
+	if err != nil {
+		return putAlloc{}, err
+	}
 	if !used {
 		return putAlloc{}, fmt.Errorf("dstore: index entry %q points at free slot %d", name, slot)
 	}
@@ -421,7 +424,9 @@ func (c *Ctx) Put(key string, value []byte) error {
 	// With the record appended, this context owns the name (CC): read the
 	// previous version's blocks for the deferred free.
 	if a.existed {
-		if e, used := s.zoneRead(a.slot); used {
+		// A zone read error here would also surface at the metadata phase
+		// below; the deferred-free list just stays empty.
+		if e, used, err := s.zoneRead(a.slot); err == nil && used {
 			a.oldBlocks = e.Blocks
 		}
 	}
@@ -536,7 +541,10 @@ func (c *Ctx) Get(key string, buf []byte) ([]byte, error) {
 	if !ok {
 		return nil, ErrNotFound
 	}
-	e, used := s.zoneRead(slot)
+	e, used, err := s.zoneRead(slot)
+	if err != nil {
+		return nil, err
+	}
 	if !used {
 		return nil, fmt.Errorf("dstore: index entry %q points at free slot %d", key, slot)
 	}
@@ -590,7 +598,9 @@ func (c *Ctx) Delete(key string) error {
 	found := false
 	var perr error
 	if ok {
-		if e, used := s.zoneRead(slot); used {
+		if e, used, err := s.zoneRead(slot); err != nil {
+			perr = err
+		} else if used {
 			blocks, found = e.Blocks, true
 		} else {
 			perr = fmt.Errorf("dstore: index entry %q points at free slot %d", key, slot)
@@ -730,7 +740,10 @@ func (o *Object) lookup() (entrySnapshot, error) {
 	if !ok {
 		return entrySnapshot{}, ErrNotFound
 	}
-	e, used := s.zoneRead(slot)
+	e, used, err := s.zoneRead(slot)
+	if err != nil {
+		return entrySnapshot{}, err
+	}
 	if !used {
 		return entrySnapshot{}, fmt.Errorf("dstore: index entry %q points at free slot %d", o.name, slot)
 	}
@@ -921,7 +934,11 @@ func (s *Store) invalidateSums(o *Object, e entrySnapshot, lo, hi uint64) error 
 	zlk := s.zoneLock(slot)
 	zlk.Lock()
 	for _, i := range idxs {
-		s.front.zone.SetSum(slot, i, meta.SumUnverified)
+		if err := s.front.zone.SetSum(slot, i, meta.SumUnverified); err != nil {
+			zlk.Unlock()
+			s.abort(h)
+			return err
+		}
 	}
 	zlk.Unlock()
 	// Commit before the data write starts: the invalidation must be durable

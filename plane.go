@@ -72,15 +72,20 @@ func bootstrapPlane(al *alloc.Allocator, blocks, maxObjects, maxName, maxBlocks 
 	return nil
 }
 
-// openPlane attaches to the structures rooted in al.
-func openPlane(al *alloc.Allocator) *plane {
+// openPlane attaches to the structures rooted in al. The zone geometry is
+// media-derived, so attaching can fail with meta.ErrCorrupt.
+func openPlane(al *alloc.Allocator) (*plane, error) {
+	zone, err := meta.Open(al, al.Root(rootZone))
+	if err != nil {
+		return nil, err
+	}
 	return &plane{
 		al:        al,
 		tree:      btree.Open(al, al.Root(rootTree)),
-		zone:      meta.Open(al, al.Root(rootZone)),
+		zone:      zone,
 		blockPool: pool.Open(al, al.Root(rootBlockPool)),
 		slotPool:  pool.Open(al, al.Root(rootSlotPool)),
-	}
+	}, nil
 }
 
 func blocksFor(size, blockSize uint64) uint64 {
@@ -157,9 +162,11 @@ func (p *plane) putTreePhase(a putAlloc, name []byte) error {
 	return err
 }
 
-func (p *plane) deleteStructPhase(name []byte, slot uint64) {
-	p.tree.Delete(name)
-	p.zone.Clear(slot)
+func (p *plane) deleteStructPhase(name []byte, slot uint64) error {
+	if _, _, err := p.tree.Delete(name); err != nil {
+		return err
+	}
+	return p.zone.Clear(slot)
 }
 
 func (p *plane) extendStructPhase(slot uint64, blocks []uint64, sums []uint32, newSize uint64) error {
@@ -169,11 +176,12 @@ func (p *plane) extendStructPhase(slot uint64, blocks []uint64, sums []uint32, n
 	// SetBlocks resets every sum; restore the carried-over verified ones.
 	for i, sum := range sums {
 		if sum != meta.SumUnverified {
-			p.zone.SetSum(slot, i, sum)
+			if err := p.zone.SetSum(slot, i, sum); err != nil {
+				return err
+			}
 		}
 	}
-	p.zone.SetSize(slot, newSize)
-	return nil
+	return p.zone.SetSize(slot, newSize)
 }
 
 // ------------------------------------------------------------- replay
@@ -294,8 +302,10 @@ func replayRecord(p *plane, rv wal.RecordView) error {
 		return err
 	case opDelete:
 		if slot, ok := p.tree.Get(rv.Name); ok {
-			p.tree.Delete(rv.Name)
-			p.zone.Clear(slot)
+			if _, _, err := p.tree.Delete(rv.Name); err != nil {
+				return err
+			}
+			return p.zone.Clear(slot)
 		}
 		return nil
 	case opInval:
@@ -311,13 +321,18 @@ func replayRecord(p *plane, rv wal.RecordView) error {
 		if err != nil {
 			return err
 		}
-		e, used := p.zone.Read(slot)
+		e, used, err := p.zone.Read(slot)
+		if err != nil {
+			return err
+		}
 		if !used {
 			return nil
 		}
 		for _, i := range idxs {
 			if i >= 0 && i < len(e.Blocks) {
-				p.zone.SetSum(slot, i, meta.SumUnverified)
+				if err := p.zone.SetSum(slot, i, meta.SumUnverified); err != nil {
+					return err
+				}
 			}
 		}
 		return nil
@@ -333,13 +348,17 @@ func replayRecord(p *plane, rv wal.RecordView) error {
 		if err != nil {
 			return err
 		}
-		e, used := p.zone.Read(slot)
+		e, used, err := p.zone.Read(slot)
+		if err != nil {
+			return err
+		}
 		if !used || idx < 0 || idx >= len(e.Blocks) {
 			return nil
 		}
-		p.zone.SetBlockID(slot, idx, newBlock)
-		p.zone.SetSum(slot, idx, sum)
-		return nil
+		if err := p.zone.SetBlockID(slot, idx, newBlock); err != nil {
+			return err
+		}
+		return p.zone.SetSum(slot, idx, sum)
 	case opNoop:
 		// olock/ounlock: ignored by replay (§4.5).
 		return nil
@@ -355,7 +374,10 @@ func rebuildPools(p *plane, totalBlocks uint64) error {
 	usedBlocks := make(map[uint64]bool)
 	freeSlots := make([]uint64, 0, p.zone.Slots())
 	for slot := uint64(0); slot < p.zone.Slots(); slot++ {
-		e, used := p.zone.Read(slot)
+		e, used, err := p.zone.Read(slot)
+		if err != nil {
+			return err
+		}
 		if !used {
 			freeSlots = append(freeSlots, slot)
 			continue
@@ -392,7 +414,10 @@ type replayer struct {
 }
 
 func (r replayer) Replay(al *alloc.Allocator, records func(fn func(wal.RecordView) error) error) error {
-	p := openPlane(al)
+	p, err := openPlane(al)
+	if err != nil {
+		return err
+	}
 	if err := records(func(rv wal.RecordView) error {
 		return replayRecord(p, rv)
 	}); err != nil {

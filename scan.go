@@ -37,7 +37,10 @@ func (c *Ctx) Scan(prefix string, fn func(info ObjectInfo) bool) error {
 		if !strings.HasPrefix(string(key), prefix) {
 			return stop // keys are ordered: past the prefix range
 		}
-		e, used := s.zoneRead(slot)
+		e, used, err := s.zoneRead(slot)
+		if err != nil {
+			return err
+		}
 		if !used {
 			return errCorruptIndex
 		}
