@@ -5,10 +5,15 @@
 //
 //	dstore-bench -exp fig7 -threads 8 -duration 10s
 //	dstore-bench -exp all -objects 100000
+//	dstore-bench -net 127.0.0.1:7421
 //
 // Experiment ids: fig1 fig5 fig6 table3 fig7 fig8 fig9 table4 fig10 table5.
 // Defaults are laptop-scaled; raise -records/-objects/-duration/-threads to
 // approach the paper's 2M-object, 28-thread, 60-second runs.
+//
+// With -net, the embedded experiments are skipped and YCSB A/B run against
+// a live dstore-server at the given address, reporting client-observed
+// latency (wire round trip included).
 package main
 
 import (
@@ -34,6 +39,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload seed")
 		faults   = flag.Int64("faults", 0, "SSD fault-plan seed for DStore instances (used with -fault-rate)")
 		frate    = flag.Float64("fault-rate", 0, "per-op transient SSD read/write error probability (0 disables)")
+		netAddr  = flag.String("net", "", "benchmark a live dstore-server at this address instead of the embedded experiments")
 	)
 	flag.Parse()
 
@@ -48,6 +54,14 @@ func main() {
 		Seed:           *seed,
 		FaultSeed:      *faults,
 		FaultRate:      *frate,
+	}
+
+	if *netAddr != "" {
+		if err := bench.RunNet(*netAddr, o, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "net: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	ids := bench.ExperimentIDs

@@ -2,25 +2,71 @@
 // DIPPER persistent layout: the root object state across checkpoints, log
 // occupancy, shadow-arena usage, and the recovery breakdown after a
 // simulated crash. It serves as an executable tour of the §3 machinery.
+//
+// With -remote addr it instead connects to a live dstore-server and prints
+// its STATS and HEALTH over the wire protocol.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"dstore"
+	"dstore/internal/client"
 	"dstore/internal/wal"
 )
+
+// inspectRemote fetches and prints a live server's counters and health.
+func inspectRemote(addr string) {
+	c, err := client.Dial(client.Config{Addr: addr, Conns: 1})
+	if err != nil {
+		log.Fatalf("dial %s: %v", addr, err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		log.Fatalf("stats: %v", err)
+	}
+	h, err := c.Health(ctx)
+	if err != nil {
+		log.Fatalf("health: %v", err)
+	}
+	fmt.Printf("--- %s ---\n", addr)
+	fmt.Printf("ops:  puts=%d gets=%d deletes=%d reads=%d writes=%d opens=%d\n",
+		st.Puts, st.Gets, st.Deletes, st.Reads, st.Writes, st.Opens)
+	fmt.Printf("objs: live=%d ckpts=%d replayed=%d\n",
+		st.Objects, st.Checkpoints, st.RecordsReplayed)
+	fmt.Printf("foot: dram=%dKiB pmem=%dKiB ssd=%dKiB\n",
+		st.DRAMBytes>>10, st.PMEMBytes>>10, st.SSDBytes>>10)
+	fmt.Printf("srv:  conns=%d requests=%d\n", st.ServerConns, st.ServerRequests)
+	status := "healthy"
+	if h.Degraded {
+		status = fmt.Sprintf("DEGRADED (%s)", h.Reason)
+	}
+	fmt.Printf("health: %s retries=%d writeErrs=%d corrupt=%d remaps=%d quarantined=%v\n",
+		status, h.IORetries, h.WriteErrors, h.Corruptions, h.Remaps, h.QuarantinedBlocks)
+}
 
 func main() {
 	var (
 		objects = flag.Int("objects", 2000, "objects to load")
 		crash   = flag.Bool("crash", true, "simulate a worst-case crash and recover")
 		dumpLog = flag.Int("dumplog", 0, "dump up to N records of the active log after loading")
+		remote  = flag.String("remote", "", "inspect a live dstore-server at this address instead of building a local store")
 	)
 	flag.Parse()
+
+	if *remote != "" {
+		inspectRemote(*remote)
+		return
+	}
 
 	cfg := dstore.Config{TrackPersistence: true}
 	st, err := dstore.Format(cfg)

@@ -1,0 +1,92 @@
+// Command dstore-server serves a DStore over TCP with the wire protocol
+// (see internal/wire and DESIGN.md §7). The store lives on the simulated
+// PMEM and SSD devices; clients connect with internal/client,
+// `dstore-bench -net`, or `dstore-inspect -remote`.
+//
+// Usage:
+//
+//	dstore-server -addr :7421 -blocks 65536 -max-objects 16384
+//
+// SIGTERM/SIGINT triggers a graceful drain: in-flight requests finish,
+// responses flush, the store checkpoints, and the process exits with the
+// persistent state current (reopening replays nothing).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dstore"
+	"dstore/internal/latency"
+	"dstore/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7421", "TCP listen address")
+		blocks   = flag.Uint64("blocks", 65536, "SSD data blocks")
+		objects  = flag.Uint64("max-objects", 16384, "object capacity")
+		logBytes = flag.Uint64("log-bytes", 4<<20, "PMEM log size per log (bytes)")
+		conns    = flag.Int("max-conns", 0, "max concurrent client connections (default 256)")
+		window   = flag.Int("window", 0, "pipelined requests in flight per connection (default 64)")
+		maxScan  = flag.Int("max-scan", 0, "objects returned per SCAN (default 1024)")
+		idle     = flag.Duration("idle-timeout", 0, "drop connections idle this long (default none)")
+		drain    = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before connections are closed hard")
+		simlat   = flag.Bool("latency", false, "enable calibrated device latency injection")
+	)
+	flag.Parse()
+
+	if *simlat {
+		latency.Enable()
+	}
+	st, err := dstore.Format(dstore.Config{
+		Blocks:     *blocks,
+		MaxObjects: *objects,
+		LogBytes:   *logBytes,
+	})
+	if err != nil {
+		log.Fatalf("format store: %v", err)
+	}
+	srv := st.NewNetServer(dstore.ServeOptions{
+		MaxConns:    *conns,
+		Window:      *window,
+		MaxScan:     *maxScan,
+		IdleTimeout: *idle,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *addr, err)
+	}
+	log.Printf("dstore-server listening on %s (blocks=%d objects=%d)", ln.Addr(), *blocks, *objects)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		log.Printf("draining (budget %v)...", *drain)
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(dctx); err != nil {
+			log.Printf("drain: %v", err)
+		}
+	}()
+
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, server.ErrServerClosed) {
+		log.Fatalf("serve: %v", err)
+	}
+	<-done
+	ss := srv.Stats()
+	log.Printf("served %d requests over %d connections", ss.Requests, ss.Accepted)
+	if err := st.Close(); err != nil {
+		log.Printf("close store: %v", err)
+	}
+}

@@ -1,9 +1,13 @@
 package dstore_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"net"
 
 	"dstore"
+	"dstore/internal/client"
 )
 
 // The basic key-value lifecycle: format, put, get, delete, clean shutdown.
@@ -123,4 +127,49 @@ func ExampleCtx_Scan() {
 	// Output:
 	// img/a.png 4
 	// img/b.png 4
+}
+
+// Serving the store over TCP and driving it with the pipelined client. The
+// remote API returns the same sentinel errors as the embedded one.
+func ExampleStore_NewNetServer() {
+	st, err := dstore.Format(dstore.Config{})
+	if err != nil {
+		panic(err)
+	}
+	defer st.Close()
+
+	srv := st.NewNetServer(dstore.ServeOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Shutdown
+
+	c, err := client.Dial(client.Config{Addr: ln.Addr().String()})
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	if err := c.Put(ctx, "greeting", []byte("hello over the wire")); err != nil {
+		panic(err)
+	}
+	val, err := c.Get(ctx, "greeting")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(string(val))
+
+	if _, err := c.Get(ctx, "missing"); errors.Is(err, dstore.ErrNotFound) {
+		fmt.Println("missing object: ErrNotFound, same as embedded")
+	}
+
+	// Graceful drain: in-flight requests finish, then the store checkpoints.
+	if err := srv.Shutdown(ctx); err != nil {
+		panic(err)
+	}
+	// Output:
+	// hello over the wire
+	// missing object: ErrNotFound, same as embedded
 }

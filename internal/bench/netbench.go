@@ -1,0 +1,53 @@
+package bench
+
+// Network benchmark: drive YCSB workloads against a live dstore-server over
+// TCP through the pooled wire-protocol client, reporting client-observed
+// latency — framing, the round trip, server queueing, and the store itself
+// all land in the histogram, unlike the embedded runs which time only the
+// store call.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dstore/internal/client"
+	"dstore/internal/ycsb"
+)
+
+// RunNet preloads and runs YCSB A and B against the dstore-server at addr,
+// printing throughput and client-observed read/update percentiles.
+func RunNet(addr string, o Options, w io.Writer) error {
+	o.setDefaults()
+
+	t := Table{
+		Title: fmt.Sprintf("Network YCSB against %s (client-observed latency, %d threads, %v/workload)",
+			addr, o.Threads, o.Duration),
+		Header: []string{"workload", "op", "kops/s", "p50 us", "p90 us", "p99 us", "p999 us"},
+	}
+	for _, wl := range []ycsb.Workload{
+		ycsb.A(o.Records, o.ValueBytes),
+		ycsb.B(o.Records, o.ValueBytes),
+	} {
+		c, err := client.Dial(client.Config{Addr: addr, Conns: o.Threads})
+		if err != nil {
+			return fmt.Errorf("netbench: %w", err)
+		}
+		kv := client.NewKV(c, 30*time.Second)
+		res, err := runWorkload(kv, wl, o)
+		kv.Close() //nolint:errcheck // pooled conns; nothing to flush
+		if err != nil {
+			return fmt.Errorf("netbench %s: %w", wl.Name, err)
+		}
+		ops := float64(res.TotalOps) / o.Duration.Seconds()
+		r, u := res.Read, res.Update
+		t.Rows = append(t.Rows,
+			[]string{wl.Name, "read", kops(ops), us(r.P50), us(r.P90), us(r.P99), us(r.P999)},
+			[]string{wl.Name, "update", "", us(u.P50), us(u.P90), us(u.P99), us(u.P999)},
+		)
+	}
+	t.Notes = append(t.Notes,
+		"latencies include the wire round trip; compare against table4/fig10 embedded numbers for the network overhead")
+	t.Print(w)
+	return nil
+}

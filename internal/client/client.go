@@ -1,0 +1,459 @@
+// Package client is the Go client for a dstore-server: a connection pool
+// speaking the internal/wire protocol with request pipelining, per-call
+// context deadlines, and bounded retry-with-backoff on transient transport
+// errors.
+//
+// Pipelining: many calls may be in flight on one connection at once; each
+// carries a unique request id and a dedicated response channel, and a
+// per-connection reader goroutine routes responses (which the server may
+// send in any order) back to their callers. Transport failures fail every
+// in-flight call on that connection, the connection is discarded from the
+// pool, and the retry loop re-dials.
+//
+// Errors: wire statuses map back onto the store's sentinel errors, so
+// errors.Is(err, dstore.ErrNotFound / ErrCorrupt / ErrDegraded / ErrClosed)
+// works identically for embedded and remote stores. Transport-level
+// failures are wrapped in fault.ErrTransient — the same transient class the
+// device layer uses — and the retry loop mirrors the store's own bounded
+// linear-backoff policy for transiently failing device IO.
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dstore"
+	"dstore/internal/fault"
+	"dstore/internal/wire"
+)
+
+// Config configures a Client. Only Addr is required.
+type Config struct {
+	// Addr is the server's TCP address ("host:port").
+	Addr string
+	// Conns is the connection pool size; calls round-robin over it.
+	// Default 2.
+	Conns int
+	// Attempts bounds tries per call on transient transport errors
+	// (mirroring the store's device-IO retry policy). Default 3.
+	Attempts int
+	// Backoff is the base retry delay; attempt i sleeps i*Backoff.
+	// Default 5ms.
+	Backoff time.Duration
+	// DialTimeout bounds each dial. Default 5s.
+	DialTimeout time.Duration
+	// WriteTimeout bounds each request frame write. Default 30s.
+	WriteTimeout time.Duration
+	// MaxFrame bounds response payloads (and, with the header, outgoing
+	// requests). Default wire.DefaultMaxFrame.
+	MaxFrame int
+}
+
+func (c *Config) setDefaults() {
+	if c.Conns <= 0 {
+		c.Conns = 2
+	}
+	if c.Attempts <= 0 {
+		c.Attempts = 3
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 5 * time.Millisecond
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = wire.DefaultMaxFrame
+	}
+}
+
+// ErrClientClosed is returned by calls on a closed Client.
+var ErrClientClosed = errors.New("client: closed")
+
+// ServerError carries a non-OK wire status that has no store sentinel
+// (bad request, internal failure, shutdown refusal).
+type ServerError struct {
+	Status wire.Status
+	Msg    string
+}
+
+func (e *ServerError) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("client: server status %s", e.Status)
+	}
+	return fmt.Sprintf("client: server status %s: %s", e.Status, e.Msg)
+}
+
+// Client is a pooled, pipelining dstore-server client. All methods are safe
+// for concurrent use.
+type Client struct {
+	cfg Config
+
+	mu     sync.Mutex
+	pool   []*conn // guarded by mu; nil slots dial lazily
+	closed bool    // guarded by mu
+
+	next atomic.Uint64
+}
+
+// Dial creates a client for cfg and verifies connectivity by establishing
+// the first pooled connection.
+func Dial(cfg Config) (*Client, error) {
+	cfg.setDefaults()
+	c := &Client{cfg: cfg, pool: make([]*conn, cfg.Conns)}
+	cn, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.pool[0] = cn
+	c.mu.Unlock()
+	return c, nil
+}
+
+// Close tears down every pooled connection. In-flight calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	for _, cn := range c.pool {
+		if cn != nil {
+			cn.fail(ErrClientClosed)
+		}
+	}
+	return nil
+}
+
+// ------------------------------------------------------------- operations
+
+// Put stores value under key.
+func (c *Client) Put(ctx context.Context, key string, value []byte) error {
+	_, err := c.do(ctx, &wire.Request{Op: wire.OpPut, Key: key, Value: value})
+	return err
+}
+
+// Get returns key's value.
+func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
+	resp, err := c.do(ctx, &wire.Request{Op: wire.OpGet, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Value, nil
+}
+
+// Delete removes key.
+func (c *Client) Delete(ctx context.Context, key string) error {
+	_, err := c.do(ctx, &wire.Request{Op: wire.OpDelete, Key: key})
+	return err
+}
+
+// Scan lists up to limit objects whose names start with prefix (limit 0
+// accepts the server's cap).
+func (c *Client) Scan(ctx context.Context, prefix string, limit int) ([]wire.Object, error) {
+	var lim uint32
+	if limit > 0 {
+		lim = uint32(limit)
+	}
+	resp, err := c.do(ctx, &wire.Request{Op: wire.OpScan, Key: prefix, Limit: lim})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Objects, nil
+}
+
+// Stats fetches store and server counters.
+func (c *Client) Stats(ctx context.Context) (wire.StatsReply, error) {
+	resp, err := c.do(ctx, &wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return wire.StatsReply{}, err
+	}
+	if resp.Stats == nil {
+		return wire.StatsReply{}, fmt.Errorf("%w: stats response without payload", wire.ErrMalformed)
+	}
+	return *resp.Stats, nil
+}
+
+// Health fetches the store's fault/integrity status.
+func (c *Client) Health(ctx context.Context) (wire.HealthReply, error) {
+	resp, err := c.do(ctx, &wire.Request{Op: wire.OpHealth})
+	if err != nil {
+		return wire.HealthReply{}, err
+	}
+	if resp.Health == nil {
+		return wire.HealthReply{}, fmt.Errorf("%w: health response without payload", wire.ErrMalformed)
+	}
+	return *resp.Health, nil
+}
+
+// Checkpoint runs one synchronous checkpoint on the server.
+func (c *Client) Checkpoint(ctx context.Context) error {
+	_, err := c.do(ctx, &wire.Request{Op: wire.OpCheckpoint})
+	return err
+}
+
+// ------------------------------------------------------------ retry engine
+
+// do executes one request with bounded retry on transient transport
+// errors: the same shape as the store's device-IO retries (ioAttempts ×
+// linear backoff over the fault package's transient class). Server status
+// errors are never retried here — the caller owns semantic retries.
+func (c *Client) do(ctx context.Context, req *wire.Request) (wire.Response, error) {
+	var err error
+	for attempt := 0; attempt < c.cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(time.Duration(attempt) * c.cfg.Backoff):
+			case <-ctx.Done():
+				return wire.Response{}, ctx.Err()
+			}
+		}
+		var resp wire.Response
+		resp, err = c.roundTrip(ctx, req)
+		if err == nil {
+			return resp, statusErr(&resp)
+		}
+		if !fault.IsTransient(err) {
+			return wire.Response{}, err
+		}
+	}
+	return wire.Response{}, err
+}
+
+// statusErr maps a response status back onto the store's sentinel errors.
+func statusErr(resp *wire.Response) error {
+	switch resp.Status {
+	case wire.StatusOK:
+		return nil
+	case wire.StatusNotFound:
+		return dstore.ErrNotFound
+	case wire.StatusCorrupt:
+		if resp.Msg != "" {
+			return fmt.Errorf("%w: %s", dstore.ErrCorrupt, resp.Msg)
+		}
+		return dstore.ErrCorrupt
+	case wire.StatusDegraded:
+		if resp.Msg != "" {
+			return fmt.Errorf("%w: %s", dstore.ErrDegraded, resp.Msg)
+		}
+		return dstore.ErrDegraded
+	case wire.StatusClosed:
+		return dstore.ErrClosed
+	default:
+		return &ServerError{Status: resp.Status, Msg: resp.Msg}
+	}
+}
+
+// roundTrip sends req on a pooled connection and waits for its response.
+// Every error it returns is transport-level and wrapped transient.
+func (c *Client) roundTrip(ctx context.Context, req *wire.Request) (wire.Response, error) {
+	cn, err := c.acquire()
+	if err != nil {
+		return wire.Response{}, err
+	}
+	return cn.roundTrip(ctx, req)
+}
+
+// acquire picks the next pool slot, dialing it if empty or broken.
+func (c *Client) acquire() (*conn, error) {
+	slot := int(c.next.Add(1)) % c.cfg.Conns
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	if cn := c.pool[slot]; cn != nil && !cn.broken() {
+		c.mu.Unlock()
+		return cn, nil
+	}
+	c.mu.Unlock()
+
+	// Dial outside the pool lock so a dead server never serializes callers.
+	cn, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		cn.fail(ErrClientClosed)
+		return nil, ErrClientClosed
+	}
+	if old := c.pool[slot]; old != nil && !old.broken() {
+		// Someone re-dialed the slot first; use theirs, drop ours.
+		c.mu.Unlock()
+		cn.fail(ErrClientClosed)
+		return old, nil
+	}
+	c.pool[slot] = cn
+	c.mu.Unlock()
+	return cn, nil
+}
+
+func (c *Client) dial() (*conn, error) {
+	nc, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, transientf("dial %s", c.cfg.Addr, err)
+	}
+	cn := &conn{
+		cfg:     &c.cfg,
+		nc:      nc,
+		pending: make(map[uint64]chan wire.Response),
+	}
+	go cn.readLoop()
+	return cn, nil
+}
+
+// transientf wraps a transport error in the fault package's transient class
+// so the retry loop (and any caller using fault.IsTransient) can classify it.
+func transientf(what, addr string, err error) error {
+	return fmt.Errorf("client: %s %s: %w: %v", what, addr, fault.ErrTransient, err)
+}
+
+// ------------------------------------------------------------------- conn
+
+// conn is one pooled connection. Writes are serialized by wmu; responses
+// are routed by the readLoop goroutine via the pending map.
+type conn struct {
+	cfg *Config
+	nc  net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	pending map[uint64]chan wire.Response // guarded by mu
+	err     error                         // guarded by mu; set once when the conn dies
+	nextID  uint64                        // guarded by mu
+}
+
+// broken reports whether the connection has failed.
+func (cn *conn) broken() bool {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return cn.err != nil
+}
+
+// fail marks the connection dead and fails every in-flight call.
+func (cn *conn) fail(err error) {
+	cn.mu.Lock()
+	if cn.err == nil {
+		cn.err = err
+		for id, ch := range cn.pending {
+			delete(cn.pending, id)
+			ch <- wire.Response{} // cap-1 channel; never blocks
+			close(ch)
+		}
+	}
+	cn.mu.Unlock()
+	cn.nc.Close() //nolint:errcheck // teardown of a dead conn
+}
+
+// register allocates a request id and response channel.
+func (cn *conn) register() (uint64, chan wire.Response, error) {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if cn.err != nil {
+		return 0, nil, cn.err
+	}
+	cn.nextID++
+	id := cn.nextID
+	ch := make(chan wire.Response, 1)
+	cn.pending[id] = ch
+	return id, ch, nil
+}
+
+// deregister abandons a pending call (context cancellation); the eventual
+// response is dropped by the readLoop.
+func (cn *conn) deregister(id uint64) {
+	cn.mu.Lock()
+	delete(cn.pending, id)
+	cn.mu.Unlock()
+}
+
+func (cn *conn) roundTrip(ctx context.Context, req *wire.Request) (wire.Response, error) {
+	if err := ctx.Err(); err != nil {
+		return wire.Response{}, err
+	}
+	id, ch, err := cn.register()
+	if err != nil {
+		return wire.Response{}, transientf("conn", cn.cfg.Addr, err)
+	}
+	r := *req
+	r.ID = id
+	frame, err := wire.AppendRequest(nil, &r)
+	if err != nil {
+		cn.deregister(id)
+		return wire.Response{}, err // malformed request: permanent
+	}
+	if len(frame)-wire.FrameHeader > cn.cfg.MaxFrame {
+		cn.deregister(id)
+		return wire.Response{}, fmt.Errorf("%w: request payload %d > %d",
+			wire.ErrFrameTooLarge, len(frame)-wire.FrameHeader, cn.cfg.MaxFrame)
+	}
+
+	cn.wmu.Lock()
+	cn.nc.SetWriteDeadline(time.Now().Add(cn.cfg.WriteTimeout)) //nolint:errcheck // enforced by the Write below
+	_, werr := cn.nc.Write(frame)
+	cn.wmu.Unlock()
+	if werr != nil {
+		cn.deregister(id)
+		cn.fail(werr)
+		return wire.Response{}, transientf("write", cn.cfg.Addr, werr)
+	}
+
+	select {
+	case resp, ok := <-ch:
+		if !ok || (resp.ID == 0 && resp.Op == 0) {
+			cn.mu.Lock()
+			err := cn.err
+			cn.mu.Unlock()
+			if err == nil {
+				err = io.ErrUnexpectedEOF
+			}
+			return wire.Response{}, transientf("await", cn.cfg.Addr, err)
+		}
+		return resp, nil
+	case <-ctx.Done():
+		cn.deregister(id)
+		return wire.Response{}, ctx.Err()
+	}
+}
+
+// readLoop routes responses to their callers until the stream dies.
+func (cn *conn) readLoop() {
+	br := bufio.NewReaderSize(cn.nc, 32<<10)
+	for {
+		payload, err := wire.ReadFrame(br, cn.cfg.MaxFrame)
+		if err != nil {
+			cn.fail(err)
+			return
+		}
+		resp, err := wire.DecodeResponse(payload)
+		if err != nil {
+			cn.fail(err)
+			return
+		}
+		cn.mu.Lock()
+		ch, ok := cn.pending[resp.ID]
+		if ok {
+			delete(cn.pending, resp.ID)
+		}
+		cn.mu.Unlock()
+		if ok {
+			ch <- resp // cap-1; never blocks
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"dstore"
+	"dstore/internal/kvapi"
+)
+
+// KV adapts a Client to the kvapi.Store interface so the benchmark harness
+// can drive a remote store through the same workload loops it uses for the
+// embedded engines. Latencies recorded around KV calls are client-observed:
+// they include framing, the network round trip, and server queueing.
+type KV struct {
+	c       *Client
+	timeout time.Duration
+}
+
+// NewKV wraps c. timeout bounds each call (default 30s).
+func NewKV(c *Client, timeout time.Duration) *KV {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return &KV{c: c, timeout: timeout}
+}
+
+// Label identifies the engine in benchmark tables.
+func (k *KV) Label() string { return "DStore (net)" }
+
+// Put stores value under key.
+func (k *KV) Put(key string, value []byte) error {
+	ctx, cancel := context.WithTimeout(context.Background(), k.timeout)
+	defer cancel()
+	return k.c.Put(ctx, key, value)
+}
+
+// Get appends key's value to buf.
+func (k *KV) Get(key string, buf []byte) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), k.timeout)
+	defer cancel()
+	v, err := k.c.Get(ctx, key)
+	if err != nil {
+		if errors.Is(err, dstore.ErrNotFound) {
+			return buf, kvapi.ErrNotFound
+		}
+		return buf, fmt.Errorf("net get %q: %w", key, err)
+	}
+	return append(buf, v...), nil
+}
+
+// Delete removes key.
+func (k *KV) Delete(key string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), k.timeout)
+	defer cancel()
+	return k.c.Delete(ctx, key)
+}
+
+// Close releases the underlying client's connections.
+func (k *KV) Close() error { return k.c.Close() }

@@ -1,0 +1,508 @@
+// Package server implements DStore's TCP front end: a pipelined
+// request/response server speaking the internal/wire protocol over a
+// Backend (normally a *dstore.Store via its NetBackend adapter).
+//
+// The design moves coordination out of the data path, in the spirit of the
+// paper's decoupled control/data planes:
+//
+//   - Each connection gets one reader goroutine and one writer goroutine.
+//     The reader parses frames and dispatches every request to its own
+//     handler goroutine; handlers complete in any order and push encoded
+//     responses to the writer. Responses therefore ship out of order — a
+//     PUT stalled on a slow or faulty device never head-of-line-blocks the
+//     GETs pipelined behind it.
+//   - In-flight requests per connection are bounded by a window semaphore.
+//     When the window is full the reader simply stops reading; TCP flow
+//     control pushes back on the client (bounded memory, no drops).
+//   - Malformed input (bad CRC, oversized frame, truncated stream, garbage)
+//     closes that connection with a protocol-error count; it never panics
+//     and never affects other connections.
+//   - Shutdown drains gracefully: listeners close, readers stop accepting
+//     new frames, in-flight handlers finish and their responses flush, and
+//     then the backend is checkpointed so a following process exit loses
+//     nothing. Degraded-mode stores keep serving reads through all of this;
+//     writes fail fast with StatusDegraded.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dstore/internal/wire"
+)
+
+// Backend is the store surface the server drives. Implementations must be
+// safe for concurrent use; every method may be called from many handler
+// goroutines at once. Errors returned by the operation methods are mapped
+// onto wire statuses by ErrorStatus, keeping this package free of a
+// dependency on the root dstore package.
+type Backend interface {
+	// Put stores value under key.
+	Put(key string, value []byte) error
+	// Get returns key's value.
+	Get(key string) ([]byte, error)
+	// Delete removes key.
+	Delete(key string) error
+	// Scan lists up to limit objects with the given name prefix.
+	Scan(prefix string, limit int) ([]wire.Object, error)
+	// Stats snapshots store counters (the server overlays its own).
+	Stats() wire.StatsReply
+	// Health snapshots the fault/integrity status.
+	Health() wire.HealthReply
+	// Checkpoint runs one synchronous checkpoint (also invoked by Shutdown).
+	Checkpoint() error
+	// ErrorStatus maps an error returned by the methods above to its wire
+	// status and detail message.
+	ErrorStatus(err error) (wire.Status, string)
+}
+
+// Config tunes a Server. The zero value is usable.
+type Config struct {
+	// MaxConns bounds concurrent connections; further accepts are closed
+	// immediately. Default 256.
+	MaxConns int
+	// Window bounds in-flight requests per connection; when full, the
+	// connection's reader stops reading (TCP backpressure). Default 64.
+	Window int
+	// MaxFrame bounds accepted request payloads. Default wire.DefaultMaxFrame.
+	MaxFrame int
+	// MaxScan caps SCAN result counts (and is the limit applied when a scan
+	// request asks for 0). Default 1024.
+	MaxScan int
+	// IdleTimeout closes a connection whose reader sees no frame for this
+	// long. 0 disables.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response frame write. 0 disables.
+	WriteTimeout time.Duration
+}
+
+func (c *Config) setDefaults() {
+	if c.MaxConns == 0 {
+		c.MaxConns = 256
+	}
+	if c.Window == 0 {
+		c.Window = 64
+	}
+	if c.MaxFrame == 0 {
+		c.MaxFrame = wire.DefaultMaxFrame
+	}
+	if c.MaxScan == 0 {
+		c.MaxScan = 1024
+	}
+}
+
+// Stats counts server-level events.
+type Stats struct {
+	// Accepted counts connections admitted; Rejected counts connections
+	// closed at accept because MaxConns was reached.
+	Accepted, Rejected uint64
+	// Active is the current connection count.
+	Active uint64
+	// Requests counts requests dispatched to the backend.
+	Requests uint64
+	// ProtocolErrors counts connections dropped for malformed input.
+	ProtocolErrors uint64
+}
+
+// ErrServerClosed is returned by Serve after Shutdown completes.
+var ErrServerClosed = errors.New("server: closed")
+
+// Server serves the wire protocol over a Backend.
+type Server struct {
+	b   Backend
+	cfg Config
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{} // guarded by mu
+	conns     map[*conn]struct{}        // guarded by mu
+	draining  bool                      // guarded by mu
+
+	connWG sync.WaitGroup
+
+	accepted  atomic.Uint64
+	rejected  atomic.Uint64
+	active    atomic.Uint64
+	requests  atomic.Uint64
+	protoErrs atomic.Uint64
+}
+
+// New creates a Server over b.
+func New(b Backend, cfg Config) *Server {
+	cfg.setDefaults()
+	return &Server{
+		b:         b,
+		cfg:       cfg,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[*conn]struct{}),
+	}
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Accepted:       s.accepted.Load(),
+		Rejected:       s.rejected.Load(),
+		Active:         s.active.Load(),
+		Requests:       s.requests.Load(),
+		ProtocolErrors: s.protoErrs.Load(),
+	}
+}
+
+// Serve accepts connections on ln until Shutdown. It always closes ln and
+// returns ErrServerClosed after a graceful shutdown, or the first
+// non-temporary accept error otherwise. Multiple Serve calls on different
+// listeners may run concurrently.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close() //nolint:errcheck // best-effort close of a rejected listener
+		return ErrServerClosed
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, ln)
+		s.mu.Unlock()
+		ln.Close() //nolint:errcheck // listener teardown; accept loop already ended
+	}()
+
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return ErrServerClosed
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				time.Sleep(5 * time.Millisecond)
+				continue
+			}
+			return err
+		}
+		if !s.admit(nc) {
+			s.rejected.Add(1)
+			nc.Close() //nolint:errcheck // over-limit connection is discarded unused
+		}
+	}
+}
+
+// admit registers nc and starts its goroutines, or reports false when the
+// server is draining or at MaxConns.
+func (s *Server) admit(nc net.Conn) bool {
+	s.mu.Lock()
+	if s.draining || len(s.conns) >= s.cfg.MaxConns {
+		s.mu.Unlock()
+		return false
+	}
+	c := &conn{
+		srv:     s,
+		nc:      nc,
+		out:     make(chan []byte, s.cfg.Window+1),
+		slots:   make(chan struct{}, s.cfg.Window),
+		closing: make(chan struct{}),
+	}
+	s.conns[c] = struct{}{}
+	s.connWG.Add(1)
+	s.mu.Unlock()
+
+	s.accepted.Add(1)
+	s.active.Add(1)
+	go c.run()
+	return true
+}
+
+// CloseConns force-closes every live connection without draining or
+// stopping the listeners. Clients see a transport error and reconnect; use
+// Shutdown for a graceful exit.
+func (s *Server) CloseConns() {
+	s.mu.Lock()
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.close()
+	}
+}
+
+// Shutdown performs a graceful drain: stop accepting, let in-flight
+// requests finish and their responses flush, close the connections, then
+// checkpoint the backend so a following process exit is durable. If ctx
+// expires first the remaining connections are closed hard (their in-flight
+// requests still complete against the backend; only the responses are
+// lost). The checkpoint runs in every case.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	for ln := range s.listeners {
+		ln.Close() //nolint:errcheck // unblocks Accept; Serve returns ErrServerClosed
+	}
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	for _, c := range conns {
+		c.beginDrain()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		drainErr = ctx.Err()
+		for _, c := range conns {
+			c.close()
+		}
+		<-done
+	}
+
+	if s.b.Health().Degraded {
+		// The store's persistence path is failing; a final checkpoint
+		// cannot succeed and must not fail the drain. Its committed state
+		// is already as durable as it can be.
+		return drainErr
+	}
+	if err := s.b.Checkpoint(); err != nil {
+		return fmt.Errorf("server: shutdown checkpoint: %w", err)
+	}
+	return drainErr
+}
+
+// --------------------------------------------------------------------- conn
+
+// conn is one client connection: a reader loop (runs in run), a writer
+// goroutine, and up to Window concurrent handler goroutines.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+
+	out     chan []byte   // encoded response frames awaiting the writer
+	slots   chan struct{} // in-flight window semaphore
+	closing chan struct{} // closed exactly once to abort everything
+
+	closeOnce sync.Once
+	draining  atomic.Bool
+	handlers  sync.WaitGroup
+}
+
+// close aborts the connection immediately.
+func (c *conn) close() {
+	c.closeOnce.Do(func() {
+		close(c.closing)
+		c.nc.Close() //nolint:errcheck // teardown; the sockets's fate is sealed either way
+	})
+}
+
+// beginDrain stops the reader without killing in-flight work: the read
+// deadline unblocks a parked Read, the reader sees the draining flag and
+// exits its loop, and run's epilogue flushes the remaining responses.
+func (c *conn) beginDrain() {
+	c.draining.Store(true)
+	c.nc.SetReadDeadline(time.Now()) //nolint:errcheck // failing fast-path: close() still bounds the drain
+}
+
+// run owns the connection lifecycle. The reader runs inline; the epilogue
+// waits for handlers (so every accepted request gets its response encoded),
+// closes the response channel, and lets the writer flush before teardown.
+func (c *conn) run() {
+	writerDone := make(chan struct{})
+	go c.writeLoop(writerDone)
+
+	c.readLoop()
+
+	c.handlers.Wait()
+	close(c.out)
+	<-writerDone
+	c.close()
+
+	c.srv.mu.Lock()
+	delete(c.srv.conns, c)
+	c.srv.mu.Unlock()
+	c.srv.active.Add(^uint64(0))
+	c.srv.connWG.Done()
+}
+
+// readLoop parses frames and dispatches handlers until EOF, error, drain,
+// or close.
+func (c *conn) readLoop() {
+	br := bufio.NewReaderSize(c.nc, 32<<10)
+	for {
+		if c.draining.Load() {
+			return
+		}
+		if t := c.srv.cfg.IdleTimeout; t > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(t)) //nolint:errcheck // worst case: no idle kick, close() still works
+		}
+		payload, err := wire.ReadFrame(br, c.srv.cfg.MaxFrame)
+		if err != nil {
+			if c.draining.Load() || errors.Is(err, io.EOF) {
+				return // clean end of stream or graceful drain
+			}
+			if !isConnReset(err) {
+				// Oversized frame, bad CRC, or mid-frame truncation: the
+				// stream cannot be trusted past this point.
+				c.srv.protoErrs.Add(1)
+			}
+			return
+		}
+		req, err := wire.DecodeRequest(payload)
+		if err != nil {
+			c.srv.protoErrs.Add(1)
+			return
+		}
+		if c.draining.Load() {
+			c.respond(&wire.Response{
+				ID: req.ID, Op: req.Op,
+				Status: wire.StatusShuttingDown, Msg: "server draining",
+			})
+			return
+		}
+		select {
+		case c.slots <- struct{}{}:
+		case <-c.closing:
+			return
+		}
+		c.srv.requests.Add(1)
+		c.handlers.Add(1)
+		go c.handle(req)
+	}
+}
+
+// handle executes one request against the backend and queues the response.
+func (c *conn) handle(req wire.Request) {
+	defer c.handlers.Done()
+	resp := c.execute(req)
+	c.respond(resp)
+	<-c.slots
+}
+
+// respond encodes resp and hands it to the writer, dropping it only when
+// the connection is already closing.
+func (c *conn) respond(resp *wire.Response) {
+	frame := wire.AppendResponse(nil, resp)
+	select {
+	case c.out <- frame:
+	case <-c.closing:
+	}
+}
+
+// execute runs one decoded request against the backend.
+func (c *conn) execute(req wire.Request) *wire.Response {
+	resp := &wire.Response{ID: req.ID, Op: req.Op}
+	var err error
+	switch req.Op {
+	case wire.OpPut:
+		if req.Key == "" {
+			return badRequest(resp, "put: empty key")
+		}
+		err = c.srv.b.Put(req.Key, req.Value)
+	case wire.OpGet:
+		if req.Key == "" {
+			return badRequest(resp, "get: empty key")
+		}
+		resp.Value, err = c.srv.b.Get(req.Key)
+	case wire.OpDelete:
+		if req.Key == "" {
+			return badRequest(resp, "delete: empty key")
+		}
+		err = c.srv.b.Delete(req.Key)
+	case wire.OpScan:
+		limit := int(req.Limit)
+		if limit <= 0 || limit > c.srv.cfg.MaxScan {
+			limit = c.srv.cfg.MaxScan
+		}
+		resp.Objects, err = c.srv.b.Scan(req.Key, limit)
+	case wire.OpStats:
+		st := c.srv.b.Stats()
+		ss := c.srv.Stats()
+		st.ServerConns = ss.Active
+		st.ServerRequests = ss.Requests
+		resp.Stats = &st
+	case wire.OpHealth:
+		h := c.srv.b.Health()
+		resp.Health = &h
+	case wire.OpCheckpoint:
+		err = c.srv.b.Checkpoint()
+	default:
+		return badRequest(resp, fmt.Sprintf("unknown opcode %d", uint8(req.Op)))
+	}
+	if err != nil {
+		resp.Status, resp.Msg = c.srv.b.ErrorStatus(err)
+		resp.Value, resp.Objects = nil, nil
+	}
+	return resp
+}
+
+func badRequest(resp *wire.Response, msg string) *wire.Response {
+	resp.Status, resp.Msg = wire.StatusBadRequest, msg
+	return resp
+}
+
+// writeLoop ships encoded frames in completion order until out closes (all
+// handlers done) or a write fails.
+func (c *conn) writeLoop(done chan<- struct{}) {
+	defer close(done)
+	bw := bufio.NewWriterSize(c.nc, 32<<10)
+	for {
+		frame, ok := <-c.out
+		if !ok {
+			bw.Flush() //nolint:errcheck // final flush; conn is being torn down regardless
+			return
+		}
+		if t := c.srv.cfg.WriteTimeout; t > 0 {
+			c.nc.SetWriteDeadline(time.Now().Add(t)) //nolint:errcheck // enforced by the Write below
+		}
+		if _, err := bw.Write(frame); err != nil {
+			c.close()
+			c.drainOut()
+			return
+		}
+		// Flush opportunistically: batch frames that are already queued,
+		// then push the batch in one syscall.
+		if len(c.out) == 0 {
+			if err := bw.Flush(); err != nil {
+				c.close()
+				c.drainOut()
+				return
+			}
+		}
+	}
+}
+
+// drainOut keeps the out channel moving after a write failure so handlers
+// finishing late never block; run closes the channel once they are done.
+func (c *conn) drainOut() {
+	for range c.out { //nolint:revive // intentionally discarding undeliverable frames
+	}
+}
+
+// isConnReset reports errors that are peer disconnects rather than protocol
+// violations (so they are not counted as protocol errors).
+func isConnReset(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe)
+}

@@ -1,0 +1,541 @@
+// Package wire defines DStore's network protocol: a length-prefixed binary
+// framing with CRC32C integrity, request ids for out-of-order response
+// pipelining, one opcode per store operation, and typed status codes that
+// round-trip the store's sentinel errors (ErrNotFound, ErrCorrupt,
+// ErrDegraded) across the socket.
+//
+// Frame layout (all integers little-endian, matching the on-device formats):
+//
+//	offset  size  field
+//	0       4     payload length n (bytes after the 8-byte header)
+//	4       4     CRC32C of the payload
+//	8       n     payload
+//
+// A request payload is
+//
+//	u64 id | u8 op | u16 keyLen | key | u32 valueLen | value | u32 limit
+//
+// (value is only meaningful for PUT, limit only for SCAN; both are encoded
+// unconditionally so every request parses with one shape). A response
+// payload is
+//
+//	u64 id | u8 op | u8 status | u16 msgLen | msg | section
+//
+// where section is present only when status is StatusOK and depends on the
+// echoed op: GET carries the value, SCAN a counted object list, STATS and
+// HEALTH fixed counter blocks. The id is chosen by the client and echoed
+// verbatim; servers may answer ids in any order (that is what makes slow
+// PUTs unable to head-of-line-block pipelined GETs).
+//
+// Decoding is defensive: every length field is validated against the bytes
+// actually present, framing errors are typed (ErrChecksum, ErrFrameTooLarge,
+// ErrMalformed), and no input — truncated, oversized, or random garbage —
+// can make a decoder panic.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Op identifies a request operation.
+type Op uint8
+
+// Opcodes. Zero is deliberately invalid so an all-zero frame is malformed.
+const (
+	// OpPut stores Value under Key.
+	OpPut Op = 1 + iota
+	// OpGet retrieves Key's value.
+	OpGet
+	// OpDelete removes Key.
+	OpDelete
+	// OpScan lists up to Limit objects whose names start with Key.
+	OpScan
+	// OpStats fetches store + server counters.
+	OpStats
+	// OpHealth fetches the fault/integrity status.
+	OpHealth
+	// OpCheckpoint runs one synchronous checkpoint.
+	OpCheckpoint
+
+	opMax
+)
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o >= OpPut && o < opMax }
+
+func (o Op) String() string {
+	switch o {
+	case OpPut:
+		return "PUT"
+	case OpGet:
+		return "GET"
+	case OpDelete:
+		return "DELETE"
+	case OpScan:
+		return "SCAN"
+	case OpStats:
+		return "STATS"
+	case OpHealth:
+		return "HEALTH"
+	case OpCheckpoint:
+		return "CHECKPOINT"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Status is a response result code. Codes are part of the protocol: the
+// server maps store errors onto them and the client maps them back onto the
+// store's sentinel errors, so errors.Is works across the socket.
+type Status uint8
+
+const (
+	// StatusOK is success.
+	StatusOK Status = iota
+	// StatusNotFound round-trips dstore.ErrNotFound.
+	StatusNotFound
+	// StatusCorrupt round-trips dstore.ErrCorrupt (at-rest data corruption).
+	StatusCorrupt
+	// StatusDegraded round-trips dstore.ErrDegraded: the store is read-only;
+	// writes fail with this code while reads keep being served.
+	StatusDegraded
+	// StatusClosed means the store behind the server is closed.
+	StatusClosed
+	// StatusShuttingDown means the server is draining and accepted no new
+	// work for this request; the client may retry elsewhere.
+	StatusShuttingDown
+	// StatusBadRequest means the request was structurally valid but
+	// semantically rejected (unknown opcode, empty key, oversized key).
+	StatusBadRequest
+	// StatusInternal covers any other server-side failure; Msg has detail.
+	StatusInternal
+
+	statusMax
+)
+
+// Valid reports whether s is a defined status code.
+func (s Status) Valid() bool { return s < statusMax }
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusNotFound:
+		return "NOT_FOUND"
+	case StatusCorrupt:
+		return "CORRUPT"
+	case StatusDegraded:
+		return "DEGRADED"
+	case StatusClosed:
+		return "CLOSED"
+	case StatusShuttingDown:
+		return "SHUTTING_DOWN"
+	case StatusBadRequest:
+		return "BAD_REQUEST"
+	case StatusInternal:
+		return "INTERNAL"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Framing errors.
+var (
+	// ErrFrameTooLarge is returned when a frame header announces a payload
+	// beyond the reader's limit (protects servers from memory-exhaustion by
+	// a single garbage length word).
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+	// ErrChecksum is returned when a payload fails its CRC32C.
+	ErrChecksum = errors.New("wire: frame checksum mismatch")
+	// ErrMalformed is returned when a payload's internal lengths do not add
+	// up or a field is out of range.
+	ErrMalformed = errors.New("wire: malformed payload")
+)
+
+const (
+	// FrameHeader is the fixed frame header size (length + CRC).
+	FrameHeader = 8
+	// DefaultMaxFrame bounds accepted payloads: it fits the default
+	// 64 KiB-object geometry with comfortable headroom.
+	DefaultMaxFrame = 1 << 20
+	// MaxKeyLen is the largest key the encoding can carry.
+	MaxKeyLen = 1<<16 - 1
+
+	reqFixed  = 8 + 1 + 2 + 4 + 4 // id op keyLen valueLen limit
+	respFixed = 8 + 1 + 1 + 2     // id op status msgLen
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Request is one client operation.
+type Request struct {
+	// ID is the client-chosen pipelining id, echoed on the response.
+	ID uint64
+	// Op selects the operation.
+	Op Op
+	// Key is the object name (the prefix for OpScan; empty for OpStats,
+	// OpHealth, OpCheckpoint).
+	Key string
+	// Value is the object content for OpPut.
+	Value []byte
+	// Limit bounds OpScan results; 0 means the server's cap.
+	Limit uint32
+}
+
+// Object is one SCAN result row.
+type Object struct {
+	Name   string
+	Size   uint64
+	Blocks uint32
+}
+
+// StatsReply is the STATS payload: store operation counters, engine
+// checkpoint counters, per-tier footprint, and the serving front end's own
+// connection/request counters.
+type StatsReply struct {
+	Puts, Gets, Deletes, Reads, Writes, Opens uint64
+	Objects                                   uint64
+	Checkpoints, RecordsReplayed              uint64
+	DRAMBytes, PMEMBytes, SSDBytes            uint64
+	ServerConns, ServerRequests               uint64
+}
+
+// HealthReply is the HEALTH payload, mirroring dstore.Health.
+type HealthReply struct {
+	Degraded                                    bool
+	Reason                                      string
+	IORetries, WriteErrors, Corruptions, Remaps uint64
+	QuarantinedBlocks                           []uint64
+}
+
+// Response answers one Request.
+type Response struct {
+	// ID echoes the request id.
+	ID uint64
+	// Op echoes the request opcode (it selects the section layout).
+	Op Op
+	// Status is the result code; Msg carries human-readable detail for
+	// non-OK statuses.
+	Status Status
+	Msg    string
+	// Value is the GET result (section present only when Status is OK).
+	Value []byte
+	// Objects is the SCAN result.
+	Objects []Object
+	// Stats is the STATS result.
+	Stats *StatsReply
+	// Health is the HEALTH result.
+	Health *HealthReply
+}
+
+// ------------------------------------------------------------------ frames
+
+// AppendFrame appends a complete frame carrying payload to dst.
+func AppendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...)
+}
+
+// ReadFrame reads one frame from r and returns its payload (freshly
+// allocated, so it may outlive the next read). maxPayload bounds the
+// announced length; 0 means DefaultMaxFrame. A short or interrupted stream
+// surfaces as io.EOF / io.ErrUnexpectedEOF, a corrupted payload as
+// ErrChecksum.
+func ReadFrame(r io.Reader, maxPayload int) ([]byte, error) {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxFrame
+	}
+	var hdr [FrameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	want := binary.LittleEndian.Uint32(hdr[4:8])
+	if n > uint32(maxPayload) {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, maxPayload)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: got %08x want %08x", ErrChecksum, got, want)
+	}
+	return payload, nil
+}
+
+// --------------------------------------------------------------- requests
+
+// AppendRequest appends a framed request to dst. Keys longer than MaxKeyLen
+// are rejected here (the only client-side fixed limit; total frame size is
+// the transport's concern).
+func AppendRequest(dst []byte, req *Request) ([]byte, error) {
+	if len(req.Key) > MaxKeyLen {
+		return dst, fmt.Errorf("%w: key length %d > %d", ErrMalformed, len(req.Key), MaxKeyLen)
+	}
+	payload := make([]byte, 0, reqFixed+len(req.Key)+len(req.Value))
+	payload = binary.LittleEndian.AppendUint64(payload, req.ID)
+	payload = append(payload, byte(req.Op))
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(req.Key)))
+	payload = append(payload, req.Key...)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(req.Value)))
+	payload = append(payload, req.Value...)
+	payload = binary.LittleEndian.AppendUint32(payload, req.Limit)
+	return AppendFrame(dst, payload), nil
+}
+
+// DecodeRequest parses a request payload. The returned request's Value
+// aliases payload.
+func DecodeRequest(payload []byte) (Request, error) {
+	d := decoder{p: payload}
+	var req Request
+	req.ID = d.u64()
+	req.Op = Op(d.u8())
+	req.Key = string(d.bytes(int(d.u16())))
+	req.Value = d.bytes(int(d.u32()))
+	req.Limit = d.u32()
+	if !d.done() {
+		return Request{}, d.fail("request")
+	}
+	return req, nil
+}
+
+// --------------------------------------------------------------- responses
+
+// AppendResponse appends a framed response to dst.
+func AppendResponse(dst []byte, resp *Response) []byte {
+	msg := resp.Msg
+	if len(msg) > MaxKeyLen {
+		msg = msg[:MaxKeyLen]
+	}
+	payload := make([]byte, 0, respFixed+len(msg)+len(resp.Value))
+	payload = binary.LittleEndian.AppendUint64(payload, resp.ID)
+	payload = append(payload, byte(resp.Op), byte(resp.Status))
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(msg)))
+	payload = append(payload, msg...)
+	if resp.Status == StatusOK {
+		switch resp.Op {
+		case OpGet:
+			payload = binary.LittleEndian.AppendUint32(payload, uint32(len(resp.Value)))
+			payload = append(payload, resp.Value...)
+		case OpScan:
+			payload = binary.LittleEndian.AppendUint32(payload, uint32(len(resp.Objects)))
+			for _, o := range resp.Objects {
+				name := o.Name
+				if len(name) > MaxKeyLen {
+					name = name[:MaxKeyLen]
+				}
+				payload = binary.LittleEndian.AppendUint16(payload, uint16(len(name)))
+				payload = append(payload, name...)
+				payload = binary.LittleEndian.AppendUint64(payload, o.Size)
+				payload = binary.LittleEndian.AppendUint32(payload, o.Blocks)
+			}
+		case OpStats:
+			var st StatsReply
+			if resp.Stats != nil {
+				st = *resp.Stats
+			}
+			for _, v := range st.fields() {
+				payload = binary.LittleEndian.AppendUint64(payload, v)
+			}
+		case OpHealth:
+			var h HealthReply
+			if resp.Health != nil {
+				h = *resp.Health
+			}
+			var deg byte
+			if h.Degraded {
+				deg = 1
+			}
+			reason := h.Reason
+			if len(reason) > MaxKeyLen {
+				reason = reason[:MaxKeyLen]
+			}
+			payload = append(payload, deg)
+			payload = binary.LittleEndian.AppendUint16(payload, uint16(len(reason)))
+			payload = append(payload, reason...)
+			for _, v := range []uint64{h.IORetries, h.WriteErrors, h.Corruptions, h.Remaps} {
+				payload = binary.LittleEndian.AppendUint64(payload, v)
+			}
+			payload = binary.LittleEndian.AppendUint32(payload, uint32(len(h.QuarantinedBlocks)))
+			for _, b := range h.QuarantinedBlocks {
+				payload = binary.LittleEndian.AppendUint64(payload, b)
+			}
+		}
+	}
+	return AppendFrame(dst, payload)
+}
+
+// fields lists the StatsReply counters in wire order.
+func (s *StatsReply) fields() []uint64 {
+	return []uint64{
+		s.Puts, s.Gets, s.Deletes, s.Reads, s.Writes, s.Opens,
+		s.Objects, s.Checkpoints, s.RecordsReplayed,
+		s.DRAMBytes, s.PMEMBytes, s.SSDBytes,
+		s.ServerConns, s.ServerRequests,
+	}
+}
+
+func (s *StatsReply) setFields(v []uint64) {
+	s.Puts, s.Gets, s.Deletes, s.Reads, s.Writes, s.Opens = v[0], v[1], v[2], v[3], v[4], v[5]
+	s.Objects, s.Checkpoints, s.RecordsReplayed = v[6], v[7], v[8]
+	s.DRAMBytes, s.PMEMBytes, s.SSDBytes = v[9], v[10], v[11]
+	s.ServerConns, s.ServerRequests = v[12], v[13]
+}
+
+const statsFields = 14
+
+// DecodeResponse parses a response payload. The returned response's Value
+// aliases payload.
+func DecodeResponse(payload []byte) (Response, error) {
+	d := decoder{p: payload}
+	var resp Response
+	resp.ID = d.u64()
+	resp.Op = Op(d.u8())
+	resp.Status = Status(d.u8())
+	resp.Msg = string(d.bytes(int(d.u16())))
+	if d.err == nil && !resp.Status.Valid() {
+		return Response{}, fmt.Errorf("%w: response status %d", ErrMalformed, resp.Status)
+	}
+	if resp.Status == StatusOK {
+		switch resp.Op {
+		case OpGet:
+			resp.Value = d.bytes(int(d.u32()))
+		case OpScan:
+			n := int(d.u32())
+			// Each row is at least 14 bytes; reject counts the remaining
+			// bytes cannot possibly satisfy before allocating.
+			if d.err == nil && n > d.remaining()/14 {
+				return Response{}, fmt.Errorf("%w: scan count %d", ErrMalformed, n)
+			}
+			if d.err == nil && n > 0 {
+				resp.Objects = make([]Object, 0, n)
+				for i := 0; i < n && d.err == nil; i++ {
+					var o Object
+					o.Name = string(d.bytes(int(d.u16())))
+					o.Size = d.u64()
+					o.Blocks = d.u32()
+					resp.Objects = append(resp.Objects, o)
+				}
+			}
+		case OpStats:
+			var v [statsFields]uint64
+			for i := range v {
+				v[i] = d.u64()
+			}
+			if d.err == nil {
+				resp.Stats = &StatsReply{}
+				resp.Stats.setFields(v[:])
+			}
+		case OpHealth:
+			h := &HealthReply{}
+			h.Degraded = d.u8() != 0
+			h.Reason = string(d.bytes(int(d.u16())))
+			h.IORetries = d.u64()
+			h.WriteErrors = d.u64()
+			h.Corruptions = d.u64()
+			h.Remaps = d.u64()
+			n := int(d.u32())
+			if d.err == nil && n > d.remaining()/8 {
+				return Response{}, fmt.Errorf("%w: quarantine count %d", ErrMalformed, n)
+			}
+			for i := 0; i < n && d.err == nil; i++ {
+				h.QuarantinedBlocks = append(h.QuarantinedBlocks, d.u64())
+			}
+			if d.err == nil {
+				resp.Health = h
+			}
+		}
+	}
+	if !d.done() {
+		return Response{}, d.fail("response")
+	}
+	return resp, nil
+}
+
+// ----------------------------------------------------------------- decoder
+
+// decoder is a bounds-checked cursor over a payload. The first underflow
+// latches err; subsequent reads return zeros so decode logic stays linear.
+type decoder struct {
+	p   []byte
+	off int
+	err error
+}
+
+func (d *decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if n < 0 || len(d.p)-d.off < n {
+		d.err = ErrMalformed
+		return false
+	}
+	return true
+}
+
+func (d *decoder) u8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.p[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.p[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.p[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.p[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if !d.need(n) {
+		return nil
+	}
+	v := d.p[d.off : d.off+n]
+	d.off += n
+	return v
+}
+
+func (d *decoder) remaining() int { return len(d.p) - d.off }
+
+// done reports a fully consumed, error-free payload. Trailing bytes are
+// malformed: they would let a peer smuggle data past the CRC'd structure.
+func (d *decoder) done() bool { return d.err == nil && d.off == len(d.p) }
+
+func (d *decoder) fail(what string) error {
+	if d.err != nil {
+		return fmt.Errorf("%w: truncated %s", ErrMalformed, what)
+	}
+	return fmt.Errorf("%w: %d trailing byte(s) after %s", ErrMalformed, len(d.p)-d.off, what)
+}

@@ -1,0 +1,140 @@
+package dstore
+
+import (
+	"errors"
+	"time"
+
+	"dstore/internal/server"
+	"dstore/internal/wire"
+)
+
+// This file is the store-side half of the network service layer: a
+// server.Backend adapter over Store plus a convenience constructor for a
+// wire-protocol TCP server. The adapter lives here (not in internal/server)
+// so the server package depends only on internal/wire and stays reusable
+// over any backend; the import direction is wire ← server ← dstore ← cmd.
+
+// ServeOptions configures NewNetServer. The zero value uses the server
+// package defaults (256 connections, 64-request pipeline window, 1 MiB
+// frames).
+type ServeOptions struct {
+	// MaxConns caps concurrent client connections.
+	MaxConns int
+	// Window caps pipelined in-flight requests per connection; when full
+	// the server stops reading that connection (TCP backpressure).
+	Window int
+	// MaxScan caps objects returned per SCAN request.
+	MaxScan int
+	// MaxFrame caps request payload bytes.
+	MaxFrame int
+	// IdleTimeout drops connections with no inbound frames for this long.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write.
+	WriteTimeout time.Duration
+}
+
+// NewNetServer returns a wire-protocol TCP server over the store. Start it
+// with Serve on a listener; Shutdown drains in-flight requests and then
+// checkpoints the store, so a following Close (or process exit) is cheap
+// and the reopened store replays nothing.
+func (s *Store) NewNetServer(opt ServeOptions) *server.Server {
+	return server.New(s.NetBackend(), server.Config{
+		MaxConns:     opt.MaxConns,
+		Window:       opt.Window,
+		MaxScan:      opt.MaxScan,
+		MaxFrame:     opt.MaxFrame,
+		IdleTimeout:  opt.IdleTimeout,
+		WriteTimeout: opt.WriteTimeout,
+	})
+}
+
+// NetBackend exposes the store as a server.Backend. Methods are safe for
+// concurrent use; each call runs under its own request context.
+func (s *Store) NetBackend() server.Backend { return &netBackend{s: s} }
+
+type netBackend struct{ s *Store }
+
+func (b *netBackend) Put(key string, value []byte) error {
+	c := b.s.Init()
+	defer c.Finalize()
+	return c.Put(key, value)
+}
+
+func (b *netBackend) Get(key string) ([]byte, error) {
+	c := b.s.Init()
+	defer c.Finalize()
+	return c.Get(key, nil)
+}
+
+func (b *netBackend) Delete(key string) error {
+	c := b.s.Init()
+	defer c.Finalize()
+	return c.Delete(key)
+}
+
+func (b *netBackend) Scan(prefix string, limit int) ([]wire.Object, error) {
+	c := b.s.Init()
+	defer c.Finalize()
+	out := []wire.Object{}
+	err := c.Scan(prefix, func(info ObjectInfo) bool {
+		out = append(out, wire.Object{
+			Name:   info.Name,
+			Size:   info.Size,
+			Blocks: uint32(info.Blocks),
+		})
+		return len(out) < limit
+	})
+	return out, err
+}
+
+func (b *netBackend) Stats() wire.StatsReply {
+	st := b.s.Stats()
+	fp := b.s.Footprint()
+	return wire.StatsReply{
+		Puts:            st.Puts,
+		Gets:            st.Gets,
+		Deletes:         st.Deletes,
+		Reads:           st.Reads,
+		Writes:          st.Writes,
+		Opens:           st.Opens,
+		Objects:         b.s.Count(),
+		Checkpoints:     st.Engine.Checkpoints,
+		RecordsReplayed: st.Engine.RecordsReplayed,
+		DRAMBytes:       fp.DRAMBytes,
+		PMEMBytes:       fp.PMEMBytes,
+		SSDBytes:        fp.SSDBytes,
+	}
+}
+
+func (b *netBackend) Health() wire.HealthReply {
+	h := b.s.Health()
+	return wire.HealthReply{
+		Degraded:          h.Degraded,
+		Reason:            h.Reason,
+		IORetries:         h.IORetries,
+		WriteErrors:       h.WriteErrors,
+		Corruptions:       h.Corruptions,
+		Remaps:            h.Remaps,
+		QuarantinedBlocks: h.QuarantinedBlocks,
+	}
+}
+
+func (b *netBackend) Checkpoint() error { return b.s.CheckpointNow() }
+
+// ErrorStatus maps store errors onto wire statuses so remote clients can
+// reconstruct the matching sentinels (degraded mode in particular must be
+// distinguishable from a plain failure: reads keep working, writes do not).
+func (b *netBackend) ErrorStatus(err error) (wire.Status, string) {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return wire.StatusNotFound, ""
+	case errors.Is(err, ErrCorrupt):
+		return wire.StatusCorrupt, err.Error()
+	case errors.Is(err, ErrDegraded):
+		return wire.StatusDegraded, err.Error()
+	case errors.Is(err, ErrClosed):
+		return wire.StatusClosed, ""
+	default:
+		return wire.StatusInternal, err.Error()
+	}
+}
