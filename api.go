@@ -1,0 +1,83 @@
+package dstore
+
+import "dstore/internal/server"
+
+// This file extracts the store surface shared by the single-instance *Store
+// and the hash-partitioned *Sharded (shard.go), so every consumer — the
+// network backend (net.go), the benchmark harness (internal/bench via
+// kv.go), and the cmd binaries — drives either through one pair of
+// interfaces instead of duplicating per-backend plumbing.
+
+// Context is the per-goroutine request surface (paper Table 2: ds_init /
+// ds_finalize and the operations between them). *Ctx implements it for a
+// single store; *ShardedCtx implements it over N stores with identical
+// semantics (same sentinel errors, same ordered-Scan contract).
+//
+// Like *Ctx, a Context is owned by a single goroutine for the stateful
+// operations (Open handles, Lock/Unlock, Finalize); Put, Get, Delete, and
+// Scan are safe to share because they keep no per-call state in the context.
+type Context interface {
+	// Put stores value under key (oput).
+	Put(key string, value []byte) error
+	// Get retrieves key's value, appending to buf (oget).
+	Get(key string, buf []byte) ([]byte, error)
+	// Delete removes key's object (odelete).
+	Delete(key string) error
+	// Open opens (or creates) an object and returns a stateful handle whose
+	// ReadAt/WriteAt implement the filesystem-style API (oopen).
+	Open(name string, size uint64, flags OpenFlag) (*Object, error)
+	// Scan calls fn for every object whose name starts with prefix, in
+	// ascending name order, until fn returns false.
+	Scan(prefix string, fn func(info ObjectInfo) bool) error
+	// Lock takes an exclusive application-level lock on name (olock).
+	Lock(name string) error
+	// Unlock releases a lock taken with Lock (ounlock).
+	Unlock(name string) error
+	// Finalize releases the context and any locks it still holds.
+	Finalize()
+}
+
+// API is the store-level surface shared by *Store and *Sharded: context
+// creation, checkpointing, integrity checking, lifecycle, and observability.
+// On a *Sharded, the mutating and checking entry points fan out to every
+// shard in parallel and the observability snapshots aggregate across shards.
+type API interface {
+	// NewContext creates a request context (Table 2: ds_init).
+	NewContext() Context
+	// CheckpointNow runs one synchronous checkpoint (on every shard).
+	CheckpointNow() error
+	// Check verifies the cross-structure invariants (fsck).
+	Check() error
+	// Scrub verifies live data blocks against their checksums, optionally
+	// migrating intact blocks off quarantined media.
+	Scrub(repair bool) (ScrubReport, error)
+	// Stats snapshots operation and engine counters.
+	Stats() Stats
+	// Breakdown snapshots the write-path timing breakdown.
+	Breakdown() Breakdown
+	// Footprint measures storage consumption per tier.
+	Footprint() Footprint
+	// Health reports the fault and integrity status.
+	Health() Health
+	// Count returns the number of live objects.
+	Count() uint64
+	// Degraded reports whether the store (any shard) is read-only degraded.
+	Degraded() bool
+	// Close performs a clean shutdown with a final checkpoint.
+	Close() error
+	// CloseNoCheckpoint stops the store without the final checkpoint.
+	CloseNoCheckpoint() error
+	// NetBackend exposes the store as a wire-protocol server backend.
+	NetBackend() server.Backend
+	// NewNetServer returns a wire-protocol TCP server over the store.
+	NewNetServer(opt ServeOptions) *server.Server
+}
+
+// NewContext implements API; it is Init under the interface's name (Init
+// keeps its concrete *Ctx return for existing callers).
+func (s *Store) NewContext() Context { return s.Init() }
+
+var (
+	_ API     = (*Store)(nil)
+	_ Context = (*Ctx)(nil)
+)

@@ -5,9 +5,11 @@
 //
 //	dstore-bench -exp fig7 -threads 8 -duration 10s
 //	dstore-bench -exp all -objects 100000
+//	dstore-bench -exp shards -threads 8 -shards-json BENCH_shards.json
 //	dstore-bench -net 127.0.0.1:7421
 //
-// Experiment ids: fig1 fig5 fig6 table3 fig7 fig8 fig9 table4 fig10 table5.
+// Experiment ids: fig1 fig5 fig6 table3 fig7 fig8 fig9 table4 fig10 table5
+// ycsbfull shards.
 // Defaults are laptop-scaled; raise -records/-objects/-duration/-threads to
 // approach the paper's 2M-object, 28-thread, 60-second runs.
 //
@@ -40,6 +42,8 @@ func main() {
 		faults   = flag.Int64("faults", 0, "SSD fault-plan seed for DStore instances (used with -fault-rate)")
 		frate    = flag.Float64("fault-rate", 0, "per-op transient SSD read/write error probability (0 disables)")
 		netAddr  = flag.String("net", "", "benchmark a live dstore-server at this address instead of the embedded experiments")
+		shards   = flag.Int("shards", 0, "shard count for the shards experiment sweep (adds it to 1,4,8 when outside)")
+		shardsJS = flag.String("shards-json", "", "write the shards experiment snapshot to this JSON file")
 	)
 	flag.Parse()
 
@@ -54,6 +58,8 @@ func main() {
 		Seed:           *seed,
 		FaultSeed:      *faults,
 		FaultRate:      *frate,
+		Shards:         *shards,
+		ShardsJSON:     *shardsJS,
 	}
 
 	if *netAddr != "" {

@@ -40,17 +40,25 @@ func main() {
 		idle     = flag.Duration("idle-timeout", 0, "drop connections idle this long (default none)")
 		drain    = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before connections are closed hard")
 		simlat   = flag.Bool("latency", false, "enable calibrated device latency injection")
+		shards   = flag.Int("shards", 1, "independent store shards behind the one address (keys hash-partition across them)")
 	)
 	flag.Parse()
 
 	if *simlat {
 		latency.Enable()
 	}
-	st, err := dstore.Format(dstore.Config{
+	cfg := dstore.Config{
 		Blocks:     *blocks,
 		MaxObjects: *objects,
 		LogBytes:   *logBytes,
-	})
+	}
+	var st dstore.API
+	var err error
+	if *shards > 1 {
+		st, err = dstore.FormatSharded(*shards, cfg)
+	} else {
+		st, err = dstore.Format(cfg)
+	}
 	if err != nil {
 		log.Fatalf("format store: %v", err)
 	}
@@ -64,7 +72,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen %s: %v", *addr, err)
 	}
-	log.Printf("dstore-server listening on %s (blocks=%d objects=%d)", ln.Addr(), *blocks, *objects)
+	log.Printf("dstore-server listening on %s (shards=%d blocks=%d objects=%d)", ln.Addr(), *shards, *blocks, *objects)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

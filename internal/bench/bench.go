@@ -58,6 +58,13 @@ type Options struct {
 	// FaultRate is the per-op probability of a transient SSD read/write
 	// error. Zero disables fault injection.
 	FaultRate float64
+	// Shards partitions DStore instances across N independent shards
+	// (dstore.FormatSharded). 0 or 1 means a single store. The shards
+	// experiment additionally sweeps 1→Shards regardless of this value.
+	Shards int
+	// ShardsJSON, when non-empty, makes the shards experiment write its
+	// before/after throughput snapshot to this path as JSON.
+	ShardsJSON string
 }
 
 func (o *Options) setDefaults() {
@@ -148,6 +155,27 @@ func newDStore(o Options, mode dstore.Mode, disableOE, disableCkpt, track bool) 
 		return nil, err
 	}
 	return dstore.NewKV(s, cfg), nil
+}
+
+// newShardedDStore builds an n-shard DStore sized like newDStore's single
+// instance (same aggregate geometry, so the comparison is capacity-fair).
+func newShardedDStore(o Options, n int, track bool) (*dstore.ShardedKV, error) {
+	cfg := dstoreConfig(o, dstore.ModeDIPPER, false, false, track)
+	sh, err := dstore.FormatSharded(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return dstore.NewShardedKV(sh), nil
+}
+
+// newAnyDStore dispatches on o.Shards: the sharded store when > 1, the
+// single instance otherwise, both behind kvapi.Store.
+func newAnyDStore(o Options, track bool) (kvapi.Store, error) {
+	if o.Shards > 1 {
+		return newShardedDStore(o, o.Shards, track)
+	}
+	kv, err := newDStore(o, dstore.ModeDIPPER, false, false, track)
+	return kv, err
 }
 
 func newLSM(o Options, disableCompaction, track bool) (*lsmstore.Store, error) {

@@ -70,8 +70,8 @@ func TestAllExperimentsRun(t *testing.T) {
 }
 
 func TestExperimentRegistryComplete(t *testing.T) {
-	if len(ExperimentIDs) != 11 {
-		t.Fatalf("expected 11 experiments (every table and figure + the YCSB extension), got %d", len(ExperimentIDs))
+	if len(ExperimentIDs) != 12 {
+		t.Fatalf("expected 12 experiments (every table and figure + the YCSB and shard-scaling extensions), got %d", len(ExperimentIDs))
 	}
 	for _, id := range ExperimentIDs {
 		if Experiments[id] == nil {

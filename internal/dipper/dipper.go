@@ -113,6 +113,9 @@ type Stats struct {
 	CheckpointNanos   uint64
 	RecordsReplayed   uint64
 	ShadowBytesCloned uint64
+	// RecordsRecovered counts active-log records replayed by the last Open
+	// to rebuild the volatile space (the replay half of RecoveryBreakdown).
+	RecordsRecovered uint64
 }
 
 // Engine is a DIPPER instance bound to one PMEM device.
@@ -135,10 +138,11 @@ type Engine struct {
 	closing  atomic.Bool
 	ckptBusy atomic.Bool
 
-	checkpoints     atomic.Uint64
-	checkpointNanos atomic.Uint64
-	recordsReplayed atomic.Uint64
-	shadowCloned    atomic.Uint64
+	checkpoints      atomic.Uint64
+	checkpointNanos  atomic.Uint64
+	recordsReplayed  atomic.Uint64
+	shadowCloned     atomic.Uint64
+	recordsRecovered atomic.Uint64
 
 	recoverMetadataNs int64
 	recoverReplayNs   int64
@@ -291,7 +295,10 @@ func Open(dev *pmem.Device, cfg Config, replayer Replayer) (*Engine, error) {
 	t1 := time.Now()
 	active := e.pair.Log(e.pair.ActiveIndex())
 	err = e.replayer.Replay(e.frontAl, func(fn func(wal.RecordView) error) error {
-		return active.IterateCommitted(active.Tail(), fn)
+		return active.IterateCommitted(active.Tail(), func(rv wal.RecordView) error {
+			e.recordsRecovered.Add(1)
+			return fn(rv)
+		})
 	})
 	if err != nil {
 		return nil, fmt.Errorf("dipper: active log replay: %w", err)
@@ -357,6 +364,7 @@ func (e *Engine) Stats() Stats {
 		CheckpointNanos:   e.checkpointNanos.Load(),
 		RecordsReplayed:   e.recordsReplayed.Load(),
 		ShadowBytesCloned: e.shadowCloned.Load(),
+		RecordsRecovered:  e.recordsRecovered.Load(),
 	}
 }
 

@@ -10,6 +10,7 @@
 package latency
 
 import (
+	"runtime"
 	"sync/atomic"
 	"time"
 )
@@ -27,15 +28,36 @@ func Disable() { enabled.Store(false) }
 // Enabled reports whether injection is currently active.
 func Enabled() bool { return enabled.Load() }
 
-// Spin busy-waits for approximately d if injection is enabled. For very short
-// waits the loop just polls the monotonic clock; accuracy is bounded by the
-// clock read cost (~20-30 ns), which is sufficient for the ≥100 ns delays the
-// device models use.
+// yieldFloor is the wait length above which Spin yields the processor while
+// waiting. A device with an I/O in flight does not occupy a CPU, so modelling
+// multi-microsecond device time as a pure busy-wait both wastes a core and —
+// on machines with fewer cores than client threads — serialises waits that
+// real hardware would overlap. Sub-microsecond PMEM line costs stay pure spins
+// for accuracy; anything at NVMe-page scale (≈9 µs per 4 KB write) yields.
+const yieldFloor = 2 * time.Microsecond
+
+// spinTail is the final stretch of a yielding wait that is burned as a pure
+// spin so the achieved duration lands tightly on the target instead of on a
+// scheduler quantum boundary.
+const spinTail = 500 * time.Nanosecond
+
+// Spin waits for at least d if injection is enabled. Short waits poll the
+// monotonic clock; accuracy is bounded by the clock read cost (~20-30 ns),
+// which is sufficient for the ≥100 ns delays the device models use. Waits of
+// yieldFloor or longer release the processor between polls, so concurrent
+// device operations overlap the way independent hardware queues do; the
+// calibrated duration is a floor, and any scheduling overshoot is the same
+// queueing delay a loaded host would add.
 func Spin(d time.Duration) {
 	if d <= 0 || !enabled.Load() {
 		return
 	}
 	deadline := time.Now().Add(d)
+	if d >= yieldFloor {
+		for time.Until(deadline) > spinTail {
+			runtime.Gosched()
+		}
+	}
 	for time.Now().Before(deadline) {
 	}
 }

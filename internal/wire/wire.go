@@ -195,22 +195,59 @@ type Object struct {
 
 // StatsReply is the STATS payload: store operation counters, engine
 // checkpoint counters, per-tier footprint, and the serving front end's own
-// connection/request counters.
+// connection/request counters. Sharded servers additionally carry one
+// ShardStat row per shard after the aggregate block; single-store servers
+// omit the section entirely, so their frames are byte-identical to the
+// pre-sharding protocol and old clients keep parsing them.
 type StatsReply struct {
 	Puts, Gets, Deletes, Reads, Writes, Opens uint64
 	Objects                                   uint64
 	Checkpoints, RecordsReplayed              uint64
 	DRAMBytes, PMEMBytes, SSDBytes            uint64
 	ServerConns, ServerRequests               uint64
+	// Shards holds per-shard counter rows in shard order; empty for a
+	// single-store server.
+	Shards []ShardStat
 }
 
-// HealthReply is the HEALTH payload, mirroring dstore.Health.
+// ShardStat is one shard's counters inside a sharded StatsReply.
+type ShardStat struct {
+	Puts, Gets, Deletes, Reads, Writes, Opens uint64
+	Objects                                   uint64
+	Checkpoints, RecordsReplayed              uint64
+	DRAMBytes, PMEMBytes, SSDBytes            uint64
+}
+
+// shardStatBytes is one encoded ShardStat row (12 u64 counters).
+const shardStatBytes = 12 * 8
+
+// HealthReply is the HEALTH payload, mirroring dstore.Health. Sharded
+// servers append one ShardHealth row per shard (same backward-compatible
+// trailing-section scheme as StatsReply); in that case the aggregate
+// QuarantinedBlocks concatenates shard-local block ids, and the per-shard
+// rows are the unambiguous view.
 type HealthReply struct {
 	Degraded                                    bool
 	Reason                                      string
 	IORetries, WriteErrors, Corruptions, Remaps uint64
 	QuarantinedBlocks                           []uint64
+	// Shards holds per-shard health rows in shard order; empty for a
+	// single-store server.
+	Shards []ShardHealth
 }
+
+// ShardHealth is one shard's fault status inside a sharded HealthReply.
+// Block ids are local to the shard's own SSD.
+type ShardHealth struct {
+	Degraded                                    bool
+	Reason                                      string
+	IORetries, WriteErrors, Corruptions, Remaps uint64
+	QuarantinedBlocks                           []uint64
+}
+
+// shardHealthMinBytes is the smallest encoded ShardHealth row (empty
+// reason, empty quarantine list).
+const shardHealthMinBytes = 1 + 2 + 4*8 + 4
 
 // Response answers one Request.
 type Response struct {
@@ -346,32 +383,58 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 			for _, v := range st.fields() {
 				payload = binary.LittleEndian.AppendUint64(payload, v)
 			}
+			// Shard rows are a trailing optional section: absent for a
+			// single store, so those frames match the pre-sharding layout.
+			if len(st.Shards) > 0 {
+				payload = binary.LittleEndian.AppendUint32(payload, uint32(len(st.Shards)))
+				for i := range st.Shards {
+					for _, v := range st.Shards[i].fields() {
+						payload = binary.LittleEndian.AppendUint64(payload, v)
+					}
+				}
+			}
 		case OpHealth:
 			var h HealthReply
 			if resp.Health != nil {
 				h = *resp.Health
 			}
-			var deg byte
-			if h.Degraded {
-				deg = 1
-			}
-			reason := h.Reason
-			if len(reason) > MaxKeyLen {
-				reason = reason[:MaxKeyLen]
-			}
-			payload = append(payload, deg)
-			payload = binary.LittleEndian.AppendUint16(payload, uint16(len(reason)))
-			payload = append(payload, reason...)
-			for _, v := range []uint64{h.IORetries, h.WriteErrors, h.Corruptions, h.Remaps} {
-				payload = binary.LittleEndian.AppendUint64(payload, v)
-			}
-			payload = binary.LittleEndian.AppendUint32(payload, uint32(len(h.QuarantinedBlocks)))
-			for _, b := range h.QuarantinedBlocks {
-				payload = binary.LittleEndian.AppendUint64(payload, b)
+			payload = appendHealthRow(payload, h.Degraded, h.Reason,
+				h.IORetries, h.WriteErrors, h.Corruptions, h.Remaps, h.QuarantinedBlocks)
+			if len(h.Shards) > 0 {
+				payload = binary.LittleEndian.AppendUint32(payload, uint32(len(h.Shards)))
+				for i := range h.Shards {
+					sd := &h.Shards[i]
+					payload = appendHealthRow(payload, sd.Degraded, sd.Reason,
+						sd.IORetries, sd.WriteErrors, sd.Corruptions, sd.Remaps, sd.QuarantinedBlocks)
+				}
 			}
 		}
 	}
 	return AppendFrame(dst, payload)
+}
+
+// appendHealthRow encodes one health block (the aggregate or one shard's):
+// degraded flag, truncated reason, four counters, counted quarantine list.
+func appendHealthRow(payload []byte, degraded bool, reason string,
+	retries, werrs, corrupt, remaps uint64, quarantined []uint64) []byte {
+	var deg byte
+	if degraded {
+		deg = 1
+	}
+	if len(reason) > MaxKeyLen {
+		reason = reason[:MaxKeyLen]
+	}
+	payload = append(payload, deg)
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(reason)))
+	payload = append(payload, reason...)
+	for _, v := range []uint64{retries, werrs, corrupt, remaps} {
+		payload = binary.LittleEndian.AppendUint64(payload, v)
+	}
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(quarantined)))
+	for _, b := range quarantined {
+		payload = binary.LittleEndian.AppendUint64(payload, b)
+	}
+	return payload
 }
 
 // fields lists the StatsReply counters in wire order.
@@ -392,6 +455,23 @@ func (s *StatsReply) setFields(v []uint64) {
 }
 
 const statsFields = 14
+
+// fields lists one shard row's counters in wire order.
+func (s *ShardStat) fields() []uint64 {
+	return []uint64{
+		s.Puts, s.Gets, s.Deletes, s.Reads, s.Writes, s.Opens,
+		s.Objects, s.Checkpoints, s.RecordsReplayed,
+		s.DRAMBytes, s.PMEMBytes, s.SSDBytes,
+	}
+}
+
+func (s *ShardStat) setFields(v []uint64) {
+	s.Puts, s.Gets, s.Deletes, s.Reads, s.Writes, s.Opens = v[0], v[1], v[2], v[3], v[4], v[5]
+	s.Objects, s.Checkpoints, s.RecordsReplayed = v[6], v[7], v[8]
+	s.DRAMBytes, s.PMEMBytes, s.SSDBytes = v[9], v[10], v[11]
+}
+
+const shardStatFields = 12
 
 // DecodeResponse parses a response payload. The returned response's Value
 // aliases payload.
@@ -435,20 +515,42 @@ func DecodeResponse(payload []byte) (Response, error) {
 				resp.Stats = &StatsReply{}
 				resp.Stats.setFields(v[:])
 			}
+			// Optional shard section: a pre-sharding (or single-store)
+			// server ends the payload here.
+			if d.err == nil && d.remaining() > 0 {
+				n := int(d.u32())
+				if d.err == nil && n > d.remaining()/shardStatBytes {
+					return Response{}, fmt.Errorf("%w: shard stats count %d", ErrMalformed, n)
+				}
+				for i := 0; i < n && d.err == nil; i++ {
+					var sv [shardStatFields]uint64
+					for j := range sv {
+						sv[j] = d.u64()
+					}
+					if d.err == nil {
+						var row ShardStat
+						row.setFields(sv[:])
+						resp.Stats.Shards = append(resp.Stats.Shards, row)
+					}
+				}
+			}
 		case OpHealth:
 			h := &HealthReply{}
-			h.Degraded = d.u8() != 0
-			h.Reason = string(d.bytes(int(d.u16())))
-			h.IORetries = d.u64()
-			h.WriteErrors = d.u64()
-			h.Corruptions = d.u64()
-			h.Remaps = d.u64()
-			n := int(d.u32())
-			if d.err == nil && n > d.remaining()/8 {
-				return Response{}, fmt.Errorf("%w: quarantine count %d", ErrMalformed, n)
-			}
-			for i := 0; i < n && d.err == nil; i++ {
-				h.QuarantinedBlocks = append(h.QuarantinedBlocks, d.u64())
+			h.Degraded, h.Reason, h.IORetries, h.WriteErrors,
+				h.Corruptions, h.Remaps, h.QuarantinedBlocks = decodeHealthRow(&d)
+			if d.err == nil && d.remaining() > 0 {
+				n := int(d.u32())
+				if d.err == nil && n > d.remaining()/shardHealthMinBytes {
+					return Response{}, fmt.Errorf("%w: shard health count %d", ErrMalformed, n)
+				}
+				for i := 0; i < n && d.err == nil; i++ {
+					var row ShardHealth
+					row.Degraded, row.Reason, row.IORetries, row.WriteErrors,
+						row.Corruptions, row.Remaps, row.QuarantinedBlocks = decodeHealthRow(&d)
+					if d.err == nil {
+						h.Shards = append(h.Shards, row)
+					}
+				}
 			}
 			if d.err == nil {
 				resp.Health = h
@@ -459,6 +561,27 @@ func DecodeResponse(payload []byte) (Response, error) {
 		return Response{}, d.fail("response")
 	}
 	return resp, nil
+}
+
+// decodeHealthRow parses one health block (the inverse of appendHealthRow).
+// On underflow the decoder's latched error stands and zero values return.
+func decodeHealthRow(d *decoder) (degraded bool, reason string,
+	retries, werrs, corrupt, remaps uint64, quarantined []uint64) {
+	degraded = d.u8() != 0
+	reason = string(d.bytes(int(d.u16())))
+	retries = d.u64()
+	werrs = d.u64()
+	corrupt = d.u64()
+	remaps = d.u64()
+	n := int(d.u32())
+	if d.err == nil && n > d.remaining()/8 {
+		d.err = fmt.Errorf("%w: quarantine count %d", ErrMalformed, n)
+		return
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		quarantined = append(quarantined, d.u64())
+	}
+	return
 }
 
 // ----------------------------------------------------------------- decoder

@@ -63,20 +63,50 @@ func randResponse(rng *rand.Rand, op Op) Response {
 			v[i] = rng.Uint64()
 		}
 		st.setFields(v)
+		// Half the responses carry the sharded trailing section.
+		if rng.Intn(2) == 0 {
+			for i := 1 + rng.Intn(8); i > 0; i-- {
+				var row ShardStat
+				sv := make([]uint64, shardStatFields)
+				for j := range sv {
+					sv[j] = rng.Uint64()
+				}
+				row.setFields(sv)
+				st.Shards = append(st.Shards, row)
+			}
+		}
 		resp.Stats = st
 	case OpHealth:
+		randRow := func() ShardHealth {
+			row := ShardHealth{
+				Degraded:    rng.Intn(2) == 0,
+				IORetries:   rng.Uint64(),
+				WriteErrors: rng.Uint64(),
+				Corruptions: rng.Uint64(),
+				Remaps:      rng.Uint64(),
+			}
+			if row.Degraded {
+				row.Reason = "dstore: store degraded (read-only): injected"
+			}
+			for i := rng.Intn(8); i > 0; i-- {
+				row.QuarantinedBlocks = append(row.QuarantinedBlocks, rng.Uint64())
+			}
+			return row
+		}
+		agg := randRow()
 		h := &HealthReply{
-			Degraded:    rng.Intn(2) == 0,
-			IORetries:   rng.Uint64(),
-			WriteErrors: rng.Uint64(),
-			Corruptions: rng.Uint64(),
-			Remaps:      rng.Uint64(),
+			Degraded:          agg.Degraded,
+			Reason:            agg.Reason,
+			IORetries:         agg.IORetries,
+			WriteErrors:       agg.WriteErrors,
+			Corruptions:       agg.Corruptions,
+			Remaps:            agg.Remaps,
+			QuarantinedBlocks: agg.QuarantinedBlocks,
 		}
-		if h.Degraded {
-			h.Reason = "dstore: store degraded (read-only): injected"
-		}
-		for i := rng.Intn(8); i > 0; i-- {
-			h.QuarantinedBlocks = append(h.QuarantinedBlocks, rng.Uint64())
+		if rng.Intn(2) == 0 {
+			for i := 1 + rng.Intn(8); i > 0; i-- {
+				h.Shards = append(h.Shards, randRow())
+			}
 		}
 		resp.Health = h
 	}
@@ -328,4 +358,53 @@ func FuzzReadFrame(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestShardSectionBackwardCompat pins the single-store wire format: replies
+// without shard rows must encode byte-identically to the pre-sharding
+// layout (no trailing section at all), and such frames must decode with
+// empty Shards — so old servers and old clients interoperate with new ones.
+func TestShardSectionBackwardCompat(t *testing.T) {
+	st := &StatsReply{Puts: 1, Gets: 2, Objects: 3, SSDBytes: 4}
+	resp := Response{ID: 9, Op: OpStats, Status: StatusOK, Stats: st}
+	frame := AppendResponse(nil, &resp)
+	payload := roundTripPayload(t, frame)
+	if want := respFixed + statsFields*8; len(payload) != want {
+		t.Fatalf("single-store STATS payload is %d bytes, want pre-sharding %d", len(payload), want)
+	}
+	got, err := DecodeResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats == nil || len(got.Stats.Shards) != 0 {
+		t.Fatalf("single-store STATS decoded with shard rows: %+v", got.Stats)
+	}
+
+	h := &HealthReply{Degraded: true, Reason: "r", QuarantinedBlocks: []uint64{7}}
+	hresp := Response{ID: 10, Op: OpHealth, Status: StatusOK, Health: h}
+	hframe := AppendResponse(nil, &hresp)
+	hpayload := roundTripPayload(t, hframe)
+	if want := respFixed + 1 + 2 + len(h.Reason) + 4*8 + 4 + 8; len(hpayload) != want {
+		t.Fatalf("single-store HEALTH payload is %d bytes, want pre-sharding %d", len(hpayload), want)
+	}
+	hgot, err := DecodeResponse(hpayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hgot.Health == nil || len(hgot.Health.Shards) != 0 {
+		t.Fatalf("single-store HEALTH decoded with shard rows: %+v", hgot.Health)
+	}
+
+	// A sharded reply must reject an impossible shard count instead of
+	// allocating for it.
+	st.Shards = []ShardStat{{Puts: 1}}
+	sframe := AppendResponse(nil, &Response{ID: 11, Op: OpStats, Status: StatusOK, Stats: st})
+	spayload := roundTripPayload(t, sframe)
+	// Corrupt the shard count (first 4 bytes after the aggregate block).
+	off := respFixed + statsFields*8
+	spayload[off] = 0xff
+	spayload[off+1] = 0xff
+	if _, err := DecodeResponse(spayload); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("oversized shard count decoded: %v, want ErrMalformed", err)
+	}
 }

@@ -2,6 +2,7 @@ package dstore
 
 import (
 	"errors"
+	"fmt"
 
 	"dstore/internal/kvapi"
 )
@@ -122,3 +123,107 @@ var _ kvapi.IOStatsReporter = (*KV)(nil)
 var _ kvapi.Store = (*KV)(nil)
 var _ kvapi.FootprintReporter = (*KV)(nil)
 var _ kvapi.Crasher = (*KV)(nil)
+
+// ShardedKV adapts a Sharded store to kvapi.Store, so the benchmark harness
+// measures shard scaling through the exact adapter it uses for one store.
+type ShardedKV struct {
+	sh   *Sharded
+	ctx  *ShardedCtx
+	cfgs []Config // per-shard configs for Recover, filled by Crash
+}
+
+// NewShardedKV wraps sh.
+func NewShardedKV(sh *Sharded) *ShardedKV {
+	return &ShardedKV{sh: sh, ctx: sh.Init()}
+}
+
+// Sharded returns the wrapped store (it changes after Recover).
+func (k *ShardedKV) Sharded() *Sharded { return k.sh }
+
+// Label implements kvapi.Store.
+func (k *ShardedKV) Label() string {
+	return fmt.Sprintf("DStore (%d shards)", k.sh.Shards())
+}
+
+// Put implements kvapi.Store.
+func (k *ShardedKV) Put(key string, value []byte) error { return k.ctx.Put(key, value) }
+
+// Get implements kvapi.Store; absent keys return kvapi.ErrNotFound.
+func (k *ShardedKV) Get(key string, buf []byte) ([]byte, error) {
+	out, err := k.ctx.Get(key, buf)
+	if errors.Is(err, ErrNotFound) {
+		return nil, kvapi.ErrNotFound
+	}
+	return out, err
+}
+
+// Delete implements kvapi.Store; absent keys return kvapi.ErrNotFound.
+func (k *ShardedKV) Delete(key string) error {
+	if err := k.ctx.Delete(key); err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return kvapi.ErrNotFound
+		}
+		return err
+	}
+	return nil
+}
+
+// Close implements kvapi.Store.
+func (k *ShardedKV) Close() error { return k.sh.Close() }
+
+// FootprintBytes implements kvapi.FootprintReporter.
+func (k *ShardedKV) FootprintBytes() (dram, pmem, ssd uint64) {
+	fp := k.sh.Footprint()
+	return fp.DRAMBytes, fp.PMEMBytes, fp.SSDBytes
+}
+
+// IOBytes implements kvapi.IOStatsReporter, summing device traffic across
+// shards.
+func (k *ShardedKV) IOBytes() (pmemBytes, ssdBytes uint64) {
+	for i := 0; i < k.sh.Shards(); i++ {
+		pm, data := k.sh.Shard(i).Devices()
+		ps := pm.Stats()
+		ds := data.Stats()
+		pmemBytes += ps.BytesRead + ps.BytesWritten
+		ssdBytes += ds.BytesRead + ds.BytesWritten
+	}
+	return pmemBytes, ssdBytes
+}
+
+// Crash implements kvapi.Crasher: every shard crashes (volatile state
+// dropped), keeping the surviving devices for Recover.
+func (k *ShardedKV) Crash(seed int64) error {
+	cfgs, err := k.sh.Crash(seed)
+	k.cfgs = cfgs
+	return err
+}
+
+// Recover implements kvapi.Crasher: reopen every shard in parallel and
+// report the slowest shard's phase times (recovery wall-clock is the
+// slowest shard, not the sum — the parallel-recovery payoff).
+func (k *ShardedKV) Recover() (metadataNs, replayNs int64, err error) {
+	if k.cfgs == nil {
+		return 0, 0, errors.New("dstore: Recover before Crash")
+	}
+	sh2, err := OpenSharded(k.cfgs)
+	if err != nil {
+		return 0, 0, err
+	}
+	k.sh = sh2
+	k.ctx = sh2.Init()
+	for i := 0; i < sh2.Shards(); i++ {
+		m, r := sh2.Shard(i).Engine().RecoveryBreakdown()
+		if m > metadataNs {
+			metadataNs = m
+		}
+		if r > replayNs {
+			replayNs = r
+		}
+	}
+	return metadataNs, replayNs, nil
+}
+
+var _ kvapi.IOStatsReporter = (*ShardedKV)(nil)
+var _ kvapi.Store = (*ShardedKV)(nil)
+var _ kvapi.FootprintReporter = (*ShardedKV)(nil)
+var _ kvapi.Crasher = (*ShardedKV)(nil)

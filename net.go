@@ -33,12 +33,9 @@ type ServeOptions struct {
 	WriteTimeout time.Duration
 }
 
-// NewNetServer returns a wire-protocol TCP server over the store. Start it
-// with Serve on a listener; Shutdown drains in-flight requests and then
-// checkpoints the store, so a following Close (or process exit) is cheap
-// and the reopened store replays nothing.
-func (s *Store) NewNetServer(opt ServeOptions) *server.Server {
-	return server.New(s.NetBackend(), server.Config{
+// newNetServer builds a wire-protocol TCP server over any API.
+func newNetServer(api API, opt ServeOptions) *server.Server {
+	return server.New(netBackendFor(api), server.Config{
 		MaxConns:     opt.MaxConns,
 		Window:       opt.Window,
 		MaxScan:      opt.MaxScan,
@@ -48,32 +45,67 @@ func (s *Store) NewNetServer(opt ServeOptions) *server.Server {
 	})
 }
 
+// NewNetServer returns a wire-protocol TCP server over the store. Start it
+// with Serve on a listener; Shutdown drains in-flight requests and then
+// checkpoints the store, so a following Close (or process exit) is cheap
+// and the reopened store replays nothing.
+func (s *Store) NewNetServer(opt ServeOptions) *server.Server { return newNetServer(s, opt) }
+
+// NewNetServer returns a wire-protocol TCP server over the sharded store.
+// STATS and HEALTH replies carry per-shard rows after the aggregates;
+// everything else is indistinguishable from a single-store server on the
+// wire (keys route to shards behind the opcode).
+func (sh *Sharded) NewNetServer(opt ServeOptions) *server.Server { return newNetServer(sh, opt) }
+
 // NetBackend exposes the store as a server.Backend. Methods are safe for
 // concurrent use; each call runs under its own request context.
-func (s *Store) NetBackend() server.Backend { return &netBackend{s: s} }
+func (s *Store) NetBackend() server.Backend { return netBackendFor(s) }
 
-type netBackend struct{ s *Store }
+// NetBackend exposes the sharded store as a server.Backend.
+func (sh *Sharded) NetBackend() server.Backend { return netBackendFor(sh) }
+
+// shardView is the optional per-shard observability surface a backend's API
+// may provide; *Sharded does, *Store does not.
+type shardView interface {
+	Shards() int
+	Shard(i int) *Store
+}
+
+// netBackendFor adapts any API to the wire server, attaching per-shard
+// stats/health rows when the API exposes shards.
+func netBackendFor(api API) server.Backend {
+	b := &netBackend{api: api}
+	if v, ok := api.(shardView); ok && v.Shards() > 1 {
+		b.shards = v
+	}
+	return b
+}
+
+type netBackend struct {
+	api    API
+	shards shardView // nil for a single store (or a 1-shard Sharded)
+}
 
 func (b *netBackend) Put(key string, value []byte) error {
-	c := b.s.Init()
+	c := b.api.NewContext()
 	defer c.Finalize()
 	return c.Put(key, value)
 }
 
 func (b *netBackend) Get(key string) ([]byte, error) {
-	c := b.s.Init()
+	c := b.api.NewContext()
 	defer c.Finalize()
 	return c.Get(key, nil)
 }
 
 func (b *netBackend) Delete(key string) error {
-	c := b.s.Init()
+	c := b.api.NewContext()
 	defer c.Finalize()
 	return c.Delete(key)
 }
 
 func (b *netBackend) Scan(prefix string, limit int) ([]wire.Object, error) {
-	c := b.s.Init()
+	c := b.api.NewContext()
 	defer c.Finalize()
 	out := []wire.Object{}
 	err := c.Scan(prefix, func(info ObjectInfo) bool {
@@ -87,17 +119,17 @@ func (b *netBackend) Scan(prefix string, limit int) ([]wire.Object, error) {
 	return out, err
 }
 
-func (b *netBackend) Stats() wire.StatsReply {
-	st := b.s.Stats()
-	fp := b.s.Footprint()
-	return wire.StatsReply{
+// statsReplyFor flattens one store-level snapshot into the wire layout
+// (used for the aggregate block and for each per-shard row).
+func statsReplyFor(st Stats, fp Footprint, objects uint64) wire.ShardStat {
+	return wire.ShardStat{
 		Puts:            st.Puts,
 		Gets:            st.Gets,
 		Deletes:         st.Deletes,
 		Reads:           st.Reads,
 		Writes:          st.Writes,
 		Opens:           st.Opens,
-		Objects:         b.s.Count(),
+		Objects:         objects,
 		Checkpoints:     st.Engine.Checkpoints,
 		RecordsReplayed: st.Engine.RecordsReplayed,
 		DRAMBytes:       fp.DRAMBytes,
@@ -106,9 +138,35 @@ func (b *netBackend) Stats() wire.StatsReply {
 	}
 }
 
-func (b *netBackend) Health() wire.HealthReply {
-	h := b.s.Health()
-	return wire.HealthReply{
+func (b *netBackend) Stats() wire.StatsReply {
+	agg := statsReplyFor(b.api.Stats(), b.api.Footprint(), b.api.Count())
+	reply := wire.StatsReply{
+		Puts:            agg.Puts,
+		Gets:            agg.Gets,
+		Deletes:         agg.Deletes,
+		Reads:           agg.Reads,
+		Writes:          agg.Writes,
+		Opens:           agg.Opens,
+		Objects:         agg.Objects,
+		Checkpoints:     agg.Checkpoints,
+		RecordsReplayed: agg.RecordsReplayed,
+		DRAMBytes:       agg.DRAMBytes,
+		PMEMBytes:       agg.PMEMBytes,
+		SSDBytes:        agg.SSDBytes,
+	}
+	if b.shards != nil {
+		reply.Shards = make([]wire.ShardStat, b.shards.Shards())
+		for i := range reply.Shards {
+			s := b.shards.Shard(i)
+			reply.Shards[i] = statsReplyFor(s.Stats(), s.Footprint(), s.Count())
+		}
+	}
+	return reply
+}
+
+// healthRowFor flattens one store-level health snapshot into the wire layout.
+func healthRowFor(h Health) wire.ShardHealth {
+	return wire.ShardHealth{
 		Degraded:          h.Degraded,
 		Reason:            h.Reason,
 		IORetries:         h.IORetries,
@@ -119,7 +177,27 @@ func (b *netBackend) Health() wire.HealthReply {
 	}
 }
 
-func (b *netBackend) Checkpoint() error { return b.s.CheckpointNow() }
+func (b *netBackend) Health() wire.HealthReply {
+	h := b.api.Health()
+	reply := wire.HealthReply{
+		Degraded:          h.Degraded,
+		Reason:            h.Reason,
+		IORetries:         h.IORetries,
+		WriteErrors:       h.WriteErrors,
+		Corruptions:       h.Corruptions,
+		Remaps:            h.Remaps,
+		QuarantinedBlocks: h.QuarantinedBlocks,
+	}
+	if b.shards != nil {
+		reply.Shards = make([]wire.ShardHealth, b.shards.Shards())
+		for i := range reply.Shards {
+			reply.Shards[i] = healthRowFor(b.shards.Shard(i).Health())
+		}
+	}
+	return reply
+}
+
+func (b *netBackend) Checkpoint() error { return b.api.CheckpointNow() }
 
 // ErrorStatus maps store errors onto wire statuses so remote clients can
 // reconstruct the matching sentinels (degraded mode in particular must be

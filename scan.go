@@ -1,6 +1,7 @@
 package dstore
 
 import (
+	"fmt"
 	"strings"
 )
 
@@ -63,8 +64,12 @@ func (s *Store) Count() uint64 {
 }
 
 var (
-	errStopScan     = &scanSentinel{"stop"}
-	errCorruptIndex = &scanSentinel{"dstore: index entry points at free slot"}
+	errStopScan = &scanSentinel{"stop"}
+	// errCorruptIndex wraps ErrCorrupt so callers can classify an index that
+	// points at a free metadata slot with errors.Is(err, ErrCorrupt) — and so
+	// the network backend maps it onto StatusCorrupt instead of a generic
+	// internal error.
+	errCorruptIndex = fmt.Errorf("%w: index entry points at free slot", ErrCorrupt)
 )
 
 type scanSentinel struct{ msg string }

@@ -1,0 +1,551 @@
+package dstore
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+)
+
+// This file implements the sharded store: N fully independent DStore
+// instances — each with its own PMEM and SSD devices, WAL pair, DIPPER
+// engine, and fault domain — behind the same API as a single *Store.
+//
+// Partitioning follows the multi-instance scaling path the paper implies:
+// OE locking (§4.4) cuts contention within an instance, but every write
+// still serializes on that instance's single log tail and index lock, so
+// the next lever is hash-partitioning keys across instances whose
+// flush/fence pipelines never interact (cf. "Persistent Memory I/O
+// Primitives": cross-partition persistence stalls are what private
+// pipelines avoid). Each shard checkpoints, degrades, recovers, and is
+// fsck'd independently; a shard whose persistence path fails turns
+// read-only and surfaces ErrDegraded for its keys only, while every other
+// shard keeps accepting writes.
+
+// Sharded is a hash-partitioned store over N independent *Store instances.
+// It implements API; all methods are safe for concurrent use.
+type Sharded struct {
+	shards []*Store
+	cfgs   []Config // per-shard configs; devices filled by Crash for reopening
+}
+
+// shardIndex routes a key to its shard with FNV-1a over the name. The
+// function is part of the persistent contract of a sharded deployment: the
+// same shard count must be used across reopen, or keys become unreachable
+// (they live on the shard the hash chose at write time).
+func shardIndex(key string, n int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}
+
+// shardConfig derives one shard's configuration from the aggregate cfg:
+// block and object capacity are divided across n shards with 25% headroom
+// for hash imbalance, while the log pair and checkpoint policy stay
+// per-shard (each partition owns a full private persistence pipeline —
+// that independence is the point of sharding).
+func shardConfig(cfg Config, n int) Config {
+	if n <= 1 {
+		return cfg
+	}
+	userArena := cfg.ArenaBytes
+	cfg.setDefaults() // resolve the aggregate geometry before dividing
+	div := func(v uint64) uint64 {
+		per := v/uint64(n) + v/uint64(4*n) + 64
+		if per > v {
+			per = v
+		}
+		return per
+	}
+	cfg.Blocks = div(cfg.Blocks)
+	cfg.MaxObjects = div(cfg.MaxObjects)
+	// Arena sizing is geometry-derived unless the caller pinned it.
+	cfg.ArenaBytes = userArena
+	return cfg
+}
+
+// FormatSharded creates a fresh sharded store: shards independent instances
+// formatted in parallel, each on its own devices. cfg describes the
+// aggregate geometry (see shardConfig); cfg.PMEM and cfg.SSD must be nil —
+// injected devices cannot be split across shards. With shards == 1 the
+// result is a thin wrapper over one instance with identical behavior.
+func FormatSharded(shards int, cfg Config) (*Sharded, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("dstore: FormatSharded needs >= 1 shard, got %d", shards)
+	}
+	if cfg.PMEM != nil || cfg.SSD != nil {
+		return nil, fmt.Errorf("dstore: FormatSharded cannot split injected devices; use OpenSharded with per-shard configs")
+	}
+	sh := &Sharded{
+		shards: make([]*Store, shards),
+		cfgs:   make([]Config, shards),
+	}
+	per := shardConfig(cfg, shards)
+	for i := range sh.cfgs {
+		sh.cfgs[i] = per
+	}
+	if err := sh.forEachShard(func(i int, _ *Store) error {
+		s, err := Format(sh.cfgs[i])
+		if err != nil {
+			return fmt.Errorf("dstore: format shard %d: %w", i, err)
+		}
+		sh.shards[i] = s
+		return nil
+	}); err != nil {
+		sh.closeOpened()
+		return nil, err
+	}
+	return sh, nil
+}
+
+// OpenSharded recovers a sharded store from per-shard configs (each must
+// carry its shard's PMEM and SSD devices, in shard order). Recovery runs in
+// parallel: every shard rebuilds its metadata and replays its own log
+// concurrently, so wall-clock recovery is the slowest shard, not the sum.
+func OpenSharded(cfgs []Config) (*Sharded, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("dstore: OpenSharded needs >= 1 shard config")
+	}
+	sh := &Sharded{
+		shards: make([]*Store, len(cfgs)),
+		cfgs:   append([]Config(nil), cfgs...),
+	}
+	if err := sh.forEachShard(func(i int, _ *Store) error {
+		s, err := Open(sh.cfgs[i])
+		if err != nil {
+			return fmt.Errorf("dstore: open shard %d: %w", i, err)
+		}
+		sh.shards[i] = s
+		return nil
+	}); err != nil {
+		sh.closeOpened()
+		return nil, err
+	}
+	return sh, nil
+}
+
+// closeOpened tears down the shards a failed parallel constructor managed
+// to open.
+func (sh *Sharded) closeOpened() {
+	for _, s := range sh.shards {
+		if s != nil {
+			s.CloseNoCheckpoint() //nolint:errcheck // best-effort teardown after a failed constructor
+		}
+	}
+}
+
+// forEachShard runs f on every shard concurrently and returns the error of
+// the lowest-indexed shard that failed.
+func (sh *Sharded) forEachShard(f func(i int, s *Store) error) error {
+	errs := make([]error, len(sh.shards))
+	var wg sync.WaitGroup
+	for i := range sh.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = f(i, sh.shards[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Shards returns the shard count.
+func (sh *Sharded) Shards() int { return len(sh.shards) }
+
+// Shard returns shard i (for per-shard inspection, fault injection, and
+// crash preparation in tests and tooling).
+func (sh *Sharded) Shard(i int) *Store { return sh.shards[i] }
+
+// ShardFor returns the index of the shard that owns key.
+func (sh *Sharded) ShardFor(key string) int { return shardIndex(key, len(sh.shards)) }
+
+// ShardConfigs returns a copy of the per-shard configs (after Crash they
+// carry the surviving devices, ready for OpenSharded).
+func (sh *Sharded) ShardConfigs() []Config { return append([]Config(nil), sh.cfgs...) }
+
+// Init creates a request context spanning every shard. Like *Ctx, the
+// stateful surface (Open handles, Lock/Unlock, Finalize) is owned by a
+// single goroutine; Put/Get/Delete/Scan are safe to share.
+func (sh *Sharded) Init() *ShardedCtx {
+	c := &ShardedCtx{sh: sh, ctxs: make([]*Ctx, len(sh.shards))}
+	for i, s := range sh.shards {
+		c.ctxs[i] = s.Init()
+	}
+	return c
+}
+
+// NewContext implements API.
+func (sh *Sharded) NewContext() Context { return sh.Init() }
+
+// CheckpointNow checkpoints every shard in parallel. Checkpoints stay
+// quiescent-free per shard: each frontend keeps accepting operations while
+// its own engine replays onto shadow copies, and no shard ever waits for
+// another's flush/fence pipeline.
+func (sh *Sharded) CheckpointNow() error {
+	return sh.forEachShard(func(_ int, s *Store) error { return s.CheckpointNow() })
+}
+
+// Check runs the cross-structure fsck on every shard in parallel. Shards
+// share no structures, so per-shard invariants are the whole story.
+func (sh *Sharded) Check() error {
+	return sh.forEachShard(func(i int, s *Store) error {
+		if err := s.Check(); err != nil {
+			return fmt.Errorf("dstore: shard %d: %w", i, err)
+		}
+		return nil
+	})
+}
+
+// Scrub scrubs every shard in parallel and merges the reports in shard
+// order. Block ids in the findings are shard-local; object names identify
+// the owner uniquely.
+func (sh *Sharded) Scrub(repair bool) (ScrubReport, error) {
+	reps := make([]ScrubReport, len(sh.shards))
+	err := sh.forEachShard(func(i int, s *Store) error {
+		var serr error
+		reps[i], serr = s.Scrub(repair)
+		return serr
+	})
+	var out ScrubReport
+	for _, r := range reps {
+		out.BlocksChecked += r.BlocksChecked
+		out.Unverified += r.Unverified
+		out.Corrupt = append(out.Corrupt, r.Corrupt...)
+		out.Repaired = append(out.Repaired, r.Repaired...)
+	}
+	return out, err
+}
+
+// Close cleanly shuts down every shard in parallel (final checkpoints
+// included).
+func (sh *Sharded) Close() error {
+	return sh.forEachShard(func(_ int, s *Store) error { return s.Close() })
+}
+
+// CloseNoCheckpoint stops every shard without final checkpoints; reopening
+// replays each shard's active log.
+func (sh *Sharded) CloseNoCheckpoint() error {
+	return sh.forEachShard(func(_ int, s *Store) error { return s.CloseNoCheckpoint() })
+}
+
+// Crash simulates a power failure across every shard (volatile state
+// dropped, devices resolved per their crash models, seeds varied per shard)
+// and returns per-shard configs carrying the surviving devices for
+// OpenSharded. Requires Config.TrackPersistence.
+func (sh *Sharded) Crash(seed int64) ([]Config, error) {
+	var firstErr error
+	for i, s := range sh.shards {
+		pm, data, err := s.Crash(seed + int64(i))
+		sh.cfgs[i].PMEM, sh.cfgs[i].SSD = pm, data
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("dstore: crash shard %d: %w", i, err)
+		}
+	}
+	return sh.ShardConfigs(), firstErr
+}
+
+// Stats aggregates every shard's counters. Per-shard snapshots are
+// available via ShardStats.
+func (sh *Sharded) Stats() Stats {
+	var out Stats
+	for _, s := range sh.shards {
+		st := s.Stats()
+		out.Puts += st.Puts
+		out.Gets += st.Gets
+		out.Deletes += st.Deletes
+		out.Reads += st.Reads
+		out.Writes += st.Writes
+		out.Opens += st.Opens
+		out.Engine.Checkpoints += st.Engine.Checkpoints
+		out.Engine.CheckpointNanos += st.Engine.CheckpointNanos
+		out.Engine.RecordsReplayed += st.Engine.RecordsReplayed
+		out.Engine.ShadowBytesCloned += st.Engine.ShadowBytesCloned
+		out.Engine.RecordsRecovered += st.Engine.RecordsRecovered
+		out.CowPagesCopied += st.CowPagesCopied
+		out.CowFaultCopies += st.CowFaultCopies
+	}
+	return out
+}
+
+// ShardStats returns shard i's own counters.
+func (sh *Sharded) ShardStats(i int) Stats { return sh.shards[i].Stats() }
+
+// Breakdown aggregates the per-stage write timing across shards.
+func (sh *Sharded) Breakdown() Breakdown {
+	var out Breakdown
+	for _, s := range sh.shards {
+		bd := s.Breakdown()
+		out.Count += bd.Count
+		out.LogNs += bd.LogNs
+		out.PoolNs += bd.PoolNs
+		out.MetaNs += bd.MetaNs
+		out.TreeNs += bd.TreeNs
+		out.SSDNs += bd.SSDNs
+		out.TotalNs += bd.TotalNs
+	}
+	return out
+}
+
+// Footprint sums storage consumption across shards.
+func (sh *Sharded) Footprint() Footprint {
+	var out Footprint
+	for _, s := range sh.shards {
+		fp := s.Footprint()
+		out.DRAMBytes += fp.DRAMBytes
+		out.PMEMBytes += fp.PMEMBytes
+		out.SSDBytes += fp.SSDBytes
+	}
+	return out
+}
+
+// Health aggregates fault status across shards: Degraded when any shard is
+// degraded (Reason names the first such shard), counters summed, and the
+// quarantine lists concatenated in shard order (block ids are shard-local;
+// use ShardHealth for an unambiguous per-shard view).
+func (sh *Sharded) Health() Health {
+	var out Health
+	for i, s := range sh.shards {
+		h := s.Health()
+		if h.Degraded && !out.Degraded {
+			out.Degraded = true
+			out.Reason = fmt.Sprintf("shard %d: %s", i, h.Reason)
+		}
+		out.IORetries += h.IORetries
+		out.WriteErrors += h.WriteErrors
+		out.Corruptions += h.Corruptions
+		out.Remaps += h.Remaps
+		out.QuarantinedBlocks = append(out.QuarantinedBlocks, h.QuarantinedBlocks...)
+	}
+	return out
+}
+
+// ShardHealth returns shard i's own fault status.
+func (sh *Sharded) ShardHealth(i int) Health { return sh.shards[i].Health() }
+
+// Count sums live objects across shards.
+func (sh *Sharded) Count() uint64 {
+	var n uint64
+	for _, s := range sh.shards {
+		n += s.Count()
+	}
+	return n
+}
+
+// Degraded reports whether any shard is in read-only degraded mode. Writes
+// to the other shards' keys keep succeeding — check per key via the error
+// returned by Put/Delete, or per shard via ShardHealth.
+func (sh *Sharded) Degraded() bool {
+	for _, s := range sh.shards {
+		if s.Degraded() {
+			return true
+		}
+	}
+	return false
+}
+
+var _ API = (*Sharded)(nil)
+
+// --------------------------------------------------------------- contexts
+
+// ShardedCtx is a request context over a sharded store: single-key
+// operations route to the owning shard's context; Scan k-way-merges the
+// shards' ordered streams.
+type ShardedCtx struct {
+	sh   *Sharded
+	ctxs []*Ctx
+}
+
+// shardCtx returns the context of the shard owning key.
+func (c *ShardedCtx) shardCtx(key string) *Ctx {
+	return c.ctxs[shardIndex(key, len(c.ctxs))]
+}
+
+// Put stores value under key on its shard.
+func (c *ShardedCtx) Put(key string, value []byte) error {
+	if c.sh == nil {
+		return ErrClosed
+	}
+	return c.shardCtx(key).Put(key, value)
+}
+
+// Get retrieves key's value from its shard, appending to buf.
+func (c *ShardedCtx) Get(key string, buf []byte) ([]byte, error) {
+	if c.sh == nil {
+		return nil, ErrClosed
+	}
+	return c.shardCtx(key).Get(key, buf)
+}
+
+// Delete removes key's object from its shard.
+func (c *ShardedCtx) Delete(key string) error {
+	if c.sh == nil {
+		return ErrClosed
+	}
+	return c.shardCtx(key).Delete(key)
+}
+
+// Open opens (or creates) an object on its shard; the returned handle's
+// ReadAt/WriteAt run entirely within that shard.
+func (c *ShardedCtx) Open(name string, size uint64, flags OpenFlag) (*Object, error) {
+	if c.sh == nil {
+		return nil, ErrClosed
+	}
+	return c.shardCtx(name).Open(name, size, flags)
+}
+
+// Lock takes an exclusive application-level lock on name (held on name's
+// shard; locks on different shards are independent, like the shards).
+func (c *ShardedCtx) Lock(name string) error {
+	if c.sh == nil {
+		return ErrClosed
+	}
+	return c.shardCtx(name).Lock(name)
+}
+
+// Unlock releases a lock taken with Lock.
+func (c *ShardedCtx) Unlock(name string) error {
+	if c.sh == nil {
+		return ErrClosed
+	}
+	return c.shardCtx(name).Unlock(name)
+}
+
+// Finalize releases every shard context (and any locks they still hold).
+func (c *ShardedCtx) Finalize() {
+	for _, sc := range c.ctxs {
+		sc.Finalize()
+	}
+	c.sh = nil
+}
+
+var _ Context = (*ShardedCtx)(nil)
+
+// ------------------------------------------------------------- merge scan
+
+// scanStreamBuf bounds each shard's in-flight scan results. Small: it only
+// needs to hide the per-item channel hop, not buffer whole shards.
+const scanStreamBuf = 32
+
+// Scan calls fn for every object whose name starts with prefix, in
+// ascending name order across all shards, until fn returns false or the
+// namespace is exhausted — the single-store contract, preserved by k-way
+// merging the shards' individually ordered streams.
+func (c *ShardedCtx) Scan(prefix string, fn func(info ObjectInfo) bool) error {
+	if c.sh == nil {
+		return ErrClosed
+	}
+	if len(c.ctxs) == 1 {
+		return c.ctxs[0].Scan(prefix, fn)
+	}
+	return c.sh.mergeScan(prefix, fn)
+}
+
+// mergeScan streams each shard's ordered scan through a bounded channel and
+// merges the heads with a min-heap. fn runs on the caller's goroutine.
+// Early stop (fn returning false) or a shard error cancels the remaining
+// producers. Keys are unique across shards (each name hashes to exactly one
+// shard), so the merge never sees duplicates; ties break by shard index for
+// determinism anyway.
+func (sh *Sharded) mergeScan(prefix string, fn func(info ObjectInfo) bool) error {
+	n := len(sh.shards)
+	done := make(chan struct{})
+	chans := make([]chan ObjectInfo, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		ch := make(chan ObjectInfo, scanStreamBuf)
+		chans[i] = ch
+		wg.Add(1)
+		go func(i int, s *Store) {
+			defer wg.Done()
+			// A fresh per-shard context: Scan keeps no context state, and the
+			// producer goroutine must not share the caller's contexts.
+			err := s.Init().Scan(prefix, func(info ObjectInfo) bool {
+				select {
+				case ch <- info:
+					return true
+				case <-done:
+					return false
+				}
+			})
+			errs[i] = err
+			close(ch)
+		}(i, sh.shards[i])
+	}
+	// stop cancels the producers and waits them out; close(done) unblocks
+	// any producer parked on a channel send.
+	stop := func() {
+		close(done)
+		wg.Wait()
+	}
+
+	h := make(scanHeap, 0, n)
+	// pull advances shard i's stream into the heap; a closed channel means
+	// that shard's scan finished (errs[i] is its verdict, published before
+	// the close).
+	pull := func(i int) error {
+		info, ok := <-chans[i]
+		if !ok {
+			return errs[i]
+		}
+		heap.Push(&h, scanHead{info: info, shard: i})
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if err := pull(i); err != nil {
+			stop()
+			return err
+		}
+	}
+	for h.Len() > 0 {
+		hd := heap.Pop(&h).(scanHead)
+		if !fn(hd.info) {
+			stop()
+			return nil
+		}
+		if err := pull(hd.shard); err != nil {
+			stop()
+			return err
+		}
+	}
+	stop()
+	return nil
+}
+
+// scanHead is one shard's current frontier item in the merge.
+type scanHead struct {
+	info  ObjectInfo
+	shard int
+}
+
+// scanHeap is a min-heap of shard frontiers ordered by object name.
+type scanHeap []scanHead
+
+func (h scanHeap) Len() int { return len(h) }
+func (h scanHeap) Less(i, j int) bool {
+	if h[i].info.Name != h[j].info.Name {
+		return h[i].info.Name < h[j].info.Name
+	}
+	return h[i].shard < h[j].shard
+}
+func (h scanHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *scanHeap) Push(x interface{}) { *h = append(*h, x.(scanHead)) }
+func (h *scanHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

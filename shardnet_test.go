@@ -1,0 +1,205 @@
+package dstore_test
+
+// End-to-end tests of a sharded store behind the TCP server: the wire
+// protocol is shard-agnostic for data ops (keys hash-route behind the
+// opcode), SCAN merges shard streams in order, STATS/HEALTH carry per-shard
+// rows, and one degraded shard fails writes with the typed error while the
+// other shards keep serving writes remotely.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"dstore"
+	"dstore/internal/client"
+	"dstore/internal/fault"
+	"dstore/internal/server"
+)
+
+// serveSharded starts a wire server over a fresh n-shard store.
+func serveSharded(t *testing.T, n int) (*dstore.Sharded, string, *server.Server) {
+	t.Helper()
+	sh, err := dstore.FormatSharded(n, netTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, srv := serveBackend(t, sh.NetBackend(), server.Config{})
+	return sh, addr, srv
+}
+
+// TestNetShardedEndToEnd drives puts, gets, an ordered merge scan, and the
+// shard-aware STATS reply through the full stack over a sharded store.
+func TestNetShardedEndToEnd(t *testing.T) {
+	const shards = 4
+	sh, addr, srv := serveSharded(t, shards)
+	defer sh.Close()
+	defer shutdownServer(t, srv)
+
+	c, err := client.Dial(client.Config{Addr: addr, Conns: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	committed := map[string][]byte{}
+	for i := 0; i < 60; i++ {
+		k := fmt.Sprintf("net/%03d", i)
+		v := bytes.Repeat([]byte{byte(i + 1)}, 64+i*5)
+		if err := c.Put(ctx, k, v); err != nil {
+			t.Fatal(err)
+		}
+		committed[k] = v
+	}
+	for k, v := range committed {
+		got, err := c.Get(ctx, k)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", k, err)
+		}
+		if !bytes.Equal(got, v) {
+			t.Fatalf("Get(%s): wrong data", k)
+		}
+	}
+
+	// SCAN merges the shard streams into one ordered listing.
+	objs, err := c.Scan(ctx, "net/", 1000)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(objs) != len(committed) {
+		t.Fatalf("Scan returned %d objects, want %d", len(objs), len(committed))
+	}
+	if !sort.SliceIsSorted(objs, func(i, j int) bool { return objs[i].Name < objs[j].Name }) {
+		t.Fatal("sharded SCAN results not name-ordered")
+	}
+	for _, o := range objs {
+		if uint64(len(committed[o.Name])) != o.Size {
+			t.Fatalf("Scan row %s: size %d, want %d", o.Name, o.Size, len(committed[o.Name]))
+		}
+	}
+
+	// STATS: aggregate block plus one row per shard, consistent with it.
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if len(st.Shards) != shards {
+		t.Fatalf("Stats carried %d shard rows, want %d", len(st.Shards), shards)
+	}
+	var puts, objects uint64
+	for _, row := range st.Shards {
+		puts += row.Puts
+		objects += row.Objects
+	}
+	if puts != st.Puts || objects != st.Objects {
+		t.Fatalf("shard rows sum (puts=%d objs=%d) != aggregate (puts=%d objs=%d)",
+			puts, objects, st.Puts, st.Objects)
+	}
+	if st.Objects != uint64(len(committed)) {
+		t.Fatalf("aggregate objects %d, want %d", st.Objects, len(committed))
+	}
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if h.Degraded || len(h.Shards) != shards {
+		t.Fatalf("healthy sharded HEALTH reply wrong: %+v", h)
+	}
+}
+
+// TestNetShardedDegradedShard is the fault-soak through the server: exactly
+// one shard degrades, and remote clients see ErrDegraded only for keys that
+// hash to it — every other shard keeps accepting writes over the same
+// connection, and HEALTH pinpoints the degraded shard.
+func TestNetShardedDegradedShard(t *testing.T) {
+	const shards = 4
+	sh, addr, srv := serveSharded(t, shards)
+	defer sh.CloseNoCheckpoint() //nolint:errcheck // one shard is degraded by design
+	defer func() {
+		// Shutdown's final checkpoint is skipped on a degraded store; just
+		// drain.
+		shutdownServer(t, srv)
+	}()
+
+	c, err := client.Dial(client.Config{Addr: addr, Conns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	// Bucket keys by owning shard before degrading anything.
+	const victim = 2
+	byShard := make([][]string, shards)
+	for i := 0; len(byShard[victim]) < 4 || len(byShard[0]) < 4; i++ {
+		k := fmt.Sprintf("soak/%04d", i)
+		byShard[sh.ShardFor(k)] = append(byShard[sh.ShardFor(k)], k)
+	}
+	committed := map[string][]byte{}
+	for s, ks := range byShard {
+		for i, k := range ks {
+			if i >= 3 {
+				break
+			}
+			v := []byte(fmt.Sprintf("shard%d:%s", s, k))
+			if err := c.Put(ctx, k, v); err != nil {
+				t.Fatal(err)
+			}
+			committed[k] = v
+		}
+	}
+
+	// Fail every PMEM log append on the victim shard; the next write routed
+	// there degrades it.
+	pm, _ := sh.Shard(victim).Devices()
+	pm.SetFaultPlan(fault.NewPlan(fault.Config{Seed: 11, WriteErrRate: 1}))
+
+	victimKey := byShard[victim][3]
+	if err := c.Put(ctx, victimKey, []byte("doomed")); !errors.Is(err, dstore.ErrDegraded) {
+		t.Fatalf("remote Put on degraded shard: %v, want ErrDegraded", err)
+	}
+	// Writes to every other shard still succeed through the same server.
+	for s, ks := range byShard {
+		if s == victim {
+			continue
+		}
+		k := ks[3]
+		v := []byte("post-degrade:" + k)
+		if err := c.Put(ctx, k, v); err != nil {
+			t.Fatalf("remote Put(%s) on healthy shard %d: %v", k, s, err)
+		}
+		committed[k] = v
+	}
+	// Reads keep serving everywhere, the degraded shard included.
+	for k, v := range committed {
+		got, err := c.Get(ctx, k)
+		if err != nil {
+			t.Fatalf("remote Get(%s): %v", k, err)
+		}
+		if !bytes.Equal(got, v) {
+			t.Fatalf("remote Get(%s): wrong data", k)
+		}
+	}
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if !h.Degraded || !strings.HasPrefix(h.Reason, fmt.Sprintf("shard %d:", victim)) {
+		t.Fatalf("aggregate HEALTH %+v does not name shard %d", h, victim)
+	}
+	if len(h.Shards) != shards {
+		t.Fatalf("HEALTH carried %d shard rows, want %d", len(h.Shards), shards)
+	}
+	for i, row := range h.Shards {
+		if row.Degraded != (i == victim) {
+			t.Fatalf("HEALTH shard %d degraded = %v, want %v", i, row.Degraded, i == victim)
+		}
+	}
+}
