@@ -53,6 +53,9 @@ type API interface {
 	Scrub(repair bool) (ScrubReport, error)
 	// Stats snapshots operation and engine counters.
 	Stats() Stats
+	// CacheStats snapshots the DRAM block-cache counters (all-zero when the
+	// cache is disabled; aggregated across shards on a *Sharded).
+	CacheStats() CacheStats
 	// Breakdown snapshots the write-path timing breakdown.
 	Breakdown() Breakdown
 	// Footprint measures storage consumption per tier.

@@ -178,7 +178,9 @@ func (s *Store) Scrub(repair bool) (ScrubReport, error) {
 				continue
 			}
 			p := buf[:span]
-			if err := s.readBlockVerified(b, p, e.Sums[i], name); err != nil {
+			// Scrub verifies the medium, never the cache: a cached copy
+			// would mask at-rest corruption on the device.
+			if err := s.readBlockDevice(b, p, e.Sums[i], name); err != nil {
 				if errors.Is(err, ErrCorrupt) {
 					rep.Corrupt = append(rep.Corrupt, ScrubFinding{Name: name, Block: b, Index: i})
 					continue
@@ -282,6 +284,10 @@ func (s *Store) remapBlock(name string, slot uint64, idx int, old uint64, data [
 	if err := s.commit(h); err != nil {
 		return false, err
 	}
+	// The object's content now lives at fresh: drop both ids from the cache
+	// (old is quarantined and unpointed; fresh may hold a previous owner's
+	// entry, unreachable thanks to the sum tag but worth the DRAM back).
+	s.cacheInvalidate([]uint64{old, fresh})
 	s.health.remaps.Add(1)
 	return true, nil
 }

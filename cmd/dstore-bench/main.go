@@ -9,7 +9,7 @@
 //	dstore-bench -net 127.0.0.1:7421
 //
 // Experiment ids: fig1 fig5 fig6 table3 fig7 fig8 fig9 table4 fig10 table5
-// ycsbfull shards.
+// ycsbfull shards cache.
 // Defaults are laptop-scaled; raise -records/-objects/-duration/-threads to
 // approach the paper's 2M-object, 28-thread, 60-second runs.
 //
@@ -44,6 +44,8 @@ func main() {
 		netAddr  = flag.String("net", "", "benchmark a live dstore-server at this address instead of the embedded experiments")
 		shards   = flag.Int("shards", 0, "shard count for the shards experiment sweep (adds it to 1,4,8 when outside)")
 		shardsJS = flag.String("shards-json", "", "write the shards experiment snapshot to this JSON file")
+		cacheMB  = flag.Int("cache-mb", 0, "DRAM block cache MiB on DStore instances; the cache experiment adds it to its 0,8,64 sweep when outside")
+		cacheJS  = flag.String("cache-json", "", "write the cache experiment snapshot to this JSON file")
 	)
 	flag.Parse()
 
@@ -60,6 +62,8 @@ func main() {
 		FaultRate:      *frate,
 		Shards:         *shards,
 		ShardsJSON:     *shardsJS,
+		CacheMB:        *cacheMB,
+		CacheJSON:      *cacheJS,
 	}
 
 	if *netAddr != "" {

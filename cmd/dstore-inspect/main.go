@@ -50,6 +50,10 @@ func inspectRemote(addr string) {
 	fmt.Printf("foot: dram=%dKiB pmem=%dKiB ssd=%dKiB\n",
 		st.DRAMBytes>>10, st.PMEMBytes>>10, st.SSDBytes>>10)
 	fmt.Printf("srv:  conns=%d requests=%d\n", st.ServerConns, st.ServerRequests)
+	if c := st.Cache; c != nil {
+		fmt.Printf("cache: hits=%d misses=%d ratio=%.1f%% evict=%d bytes=%dKiB/%dKiB\n",
+			c.Hits, c.Misses, hitRatio(c.Hits, c.Misses), c.Evictions, c.Bytes>>10, c.Capacity>>10)
+	}
 	status := "healthy"
 	if h.Degraded {
 		status = fmt.Sprintf("DEGRADED (%s)", h.Reason)
@@ -59,7 +63,7 @@ func inspectRemote(addr string) {
 	if len(st.Shards) > 0 {
 		fmt.Printf("--- per-shard (%d shards) ---\n", len(st.Shards))
 		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "shard\tputs\tgets\tdeletes\tobjs\tckpts\treplayed\tpmemKiB\tssdKiB\thealth")
+		fmt.Fprintln(tw, "shard\tputs\tgets\tdeletes\tobjs\tckpts\treplayed\tpmemKiB\tssdKiB\tcacheHit%\thealth")
 		for i, row := range st.Shards {
 			hs := "healthy"
 			if i < len(h.Shards) {
@@ -71,20 +75,33 @@ func inspectRemote(addr string) {
 						sd.IORetries, sd.WriteErrors, sd.Corruptions)
 				}
 			}
-			fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			ch := "-"
+			if st.Cache != nil && i < len(st.Cache.Shards) {
+				cs := st.Cache.Shards[i]
+				ch = fmt.Sprintf("%.1f", hitRatio(cs.Hits, cs.Misses))
+			}
+			fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
 				i, row.Puts, row.Gets, row.Deletes, row.Objects,
 				row.Checkpoints, row.RecordsReplayed,
-				row.PMEMBytes>>10, row.SSDBytes>>10, hs)
+				row.PMEMBytes>>10, row.SSDBytes>>10, ch, hs)
 		}
 		tw.Flush()
 	}
 }
 
+// hitRatio returns hits as a percentage of all cache probes (0 when idle).
+func hitRatio(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return 100 * float64(hits) / float64(hits+misses)
+}
+
 // inspectSharded builds a local sharded store, exercises it, prints the
 // aggregate and per-shard views, then crashes every shard and recovers them
 // in parallel — the sharded analogue of the single-store tour.
-func inspectSharded(shards, objects int) {
-	cfg := dstore.Config{TrackPersistence: true}
+func inspectSharded(shards, objects, cacheMB int) {
+	cfg := dstore.Config{TrackPersistence: true, CacheBytes: uint64(cacheMB) << 20}
 	sh, err := dstore.FormatSharded(shards, cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -101,8 +118,14 @@ func inspectSharded(shards, objects int) {
 		st := sh.Stats()
 		fmt.Printf("aggregate: puts=%d gets=%d objs=%d ckpts=%d replayed=%d\n",
 			st.Puts, st.Gets, sh.Count(), st.Engine.Checkpoints, st.Engine.RecordsReplayed)
+		agg := sh.CacheStats()
+		if agg.Capacity > 0 {
+			fmt.Printf("cache: hits=%d misses=%d ratio=%.1f%% evict=%d inval=%d bytes=%dKiB/%dKiB\n",
+				agg.Hits, agg.Misses, hitRatio(agg.Hits, agg.Misses),
+				agg.Evictions, agg.Invalidations, agg.Bytes>>10, agg.Capacity>>10)
+		}
 		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "shard\tputs\tobjs\tckpts\treplayed\tpmemKiB\tssdKiB\thealth")
+		fmt.Fprintln(tw, "shard\tputs\tobjs\tckpts\treplayed\tpmemKiB\tssdKiB\tcacheHit%\thealth")
 		for i := 0; i < sh.Shards(); i++ {
 			ss := sh.ShardStats(i)
 			fp := sh.Shard(i).Footprint()
@@ -110,14 +133,31 @@ func inspectSharded(shards, objects int) {
 			if hh := sh.ShardHealth(i); hh.Degraded {
 				hs = fmt.Sprintf("DEGRADED (%s)", hh.Reason)
 			}
-			fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			ch := "-"
+			if agg.Capacity > 0 {
+				cs := sh.ShardCacheStats(i)
+				ch = fmt.Sprintf("%.1f", hitRatio(cs.Hits, cs.Misses))
+			}
+			fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
 				i, ss.Puts, sh.Shard(i).Count(), ss.Engine.Checkpoints,
-				ss.Engine.RecordsReplayed, fp.PMEMBytes>>10, fp.SSDBytes>>10, hs)
+				ss.Engine.RecordsReplayed, fp.PMEMBytes>>10, fp.SSDBytes>>10, ch, hs)
 		}
 		tw.Flush()
 		fmt.Println()
 	}
 	dumpShards(fmt.Sprintf("after %d puts", objects))
+	if cacheMB > 0 {
+		// Two read passes: the first warms the cache, the second hits it, so
+		// the table shows a real ratio rather than a cold zero.
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i < objects; i++ {
+				if _, err := ctx.Get(fmt.Sprintf("object-%06d", i), nil); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		dumpShards("after 2 read passes")
+	}
 	if err := sh.CheckpointNow(); err != nil {
 		log.Fatal(err)
 	}
@@ -158,6 +198,7 @@ func main() {
 		dumpLog = flag.Int("dumplog", 0, "dump up to N records of the active log after loading")
 		remote  = flag.String("remote", "", "inspect a live dstore-server at this address instead of building a local store")
 		shards  = flag.Int("shards", 1, "build a sharded local store and print the per-shard table")
+		cacheMB = flag.Int("cache-mb", 0, "DRAM block cache size in MiB for the local store (0 disables)")
 	)
 	flag.Parse()
 
@@ -166,11 +207,11 @@ func main() {
 		return
 	}
 	if *shards > 1 {
-		inspectSharded(*shards, *objects)
+		inspectSharded(*shards, *objects, *cacheMB)
 		return
 	}
 
-	cfg := dstore.Config{TrackPersistence: true}
+	cfg := dstore.Config{TrackPersistence: true, CacheBytes: uint64(*cacheMB) << 20}
 	st, err := dstore.Format(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -199,8 +240,14 @@ func main() {
 		if h.Degraded {
 			status = fmt.Sprintf("DEGRADED (%s)", h.Reason)
 		}
-		fmt.Printf("health: %s retries=%d writeErrs=%d corrupt=%d remaps=%d quarantined=%v\n\n",
+		fmt.Printf("health: %s retries=%d writeErrs=%d corrupt=%d remaps=%d quarantined=%v\n",
 			status, h.IORetries, h.WriteErrors, h.Corruptions, h.Remaps, h.QuarantinedBlocks)
+		if cs := st.CacheStats(); cs.Capacity > 0 {
+			fmt.Printf("cache: hits=%d misses=%d ratio=%.1f%% evict=%d inval=%d bytes=%dKiB/%dKiB\n",
+				cs.Hits, cs.Misses, hitRatio(cs.Hits, cs.Misses),
+				cs.Evictions, cs.Invalidations, cs.Bytes>>10, cs.Capacity>>10)
+		}
+		fmt.Println()
 	}
 
 	dump("fresh store")
@@ -211,6 +258,17 @@ func main() {
 		}
 	}
 	dump(fmt.Sprintf("after %d puts", *objects))
+	if *cacheMB > 0 {
+		// Two read passes: the first warms the cache, the second hits it.
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i < *objects; i++ {
+				if _, err := ctx.Get(fmt.Sprintf("object-%06d", i), nil); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		dump("after 2 read passes")
+	}
 	if *dumpLog > 0 {
 		fmt.Printf("--- active log (first %d records) ---\n", *dumpLog)
 		pair := st.Engine().Pair()

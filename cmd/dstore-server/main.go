@@ -41,6 +41,7 @@ func main() {
 		drain    = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before connections are closed hard")
 		simlat   = flag.Bool("latency", false, "enable calibrated device latency injection")
 		shards   = flag.Int("shards", 1, "independent store shards behind the one address (keys hash-partition across them)")
+		cacheMB  = flag.Int("cache-mb", 0, "DRAM block cache size in MiB, split across shards (0 disables)")
 	)
 	flag.Parse()
 
@@ -51,6 +52,7 @@ func main() {
 		Blocks:     *blocks,
 		MaxObjects: *objects,
 		LogBytes:   *logBytes,
+		CacheBytes: uint64(*cacheMB) << 20,
 	}
 	var st dstore.API
 	var err error
@@ -72,7 +74,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen %s: %v", *addr, err)
 	}
-	log.Printf("dstore-server listening on %s (shards=%d blocks=%d objects=%d)", ln.Addr(), *shards, *blocks, *objects)
+	log.Printf("dstore-server listening on %s (shards=%d blocks=%d objects=%d cacheMB=%d)", ln.Addr(), *shards, *blocks, *objects, *cacheMB)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

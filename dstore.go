@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"dstore/internal/alloc"
+	"dstore/internal/cache"
 	"dstore/internal/dipper"
 	"dstore/internal/fault"
 	"dstore/internal/meta"
@@ -100,6 +101,12 @@ type Config struct {
 	MaxNameLen uint64
 	// MaxBlocksPerObject bounds object size. Default 16.
 	MaxBlocksPerObject uint64
+
+	// CacheBytes sizes the DRAM block cache on the read path. 0 (the
+	// default) disables it. The cache holds verified SSD block spans, so a
+	// hit skips both the device read and the CRC re-verification; writes
+	// invalidate through it (see DESIGN.md §9 for the coherence contract).
+	CacheBytes uint64
 
 	// LogBytes sizes each of the two DIPPER logs. Default 4 MiB.
 	LogBytes uint64
@@ -208,6 +215,11 @@ type Store struct {
 	data *ssd.Device
 
 	front *plane
+
+	// bcache is the DRAM block cache on the read path; nil when disabled
+	// (a nil *cache.Cache is a valid always-miss cache). Volatile by
+	// design: it is rebuilt empty on every Format/Open, never persisted.
+	bcache *cache.Cache
 
 	// Fig. 4 locks. With OE enabled, poolMu covers only log append + pool
 	// mutation (steps ①–⑤) and treeMu only the B-tree touch (step ⑦); the
@@ -346,11 +358,15 @@ func Open(cfg Config) (*Store, error) {
 		s.eng.Close()
 		return nil, err
 	}
+	// Recovery replay may have rewritten any block's content or ownership;
+	// the cache starts this incarnation empty (it was just constructed, but
+	// the reset makes the invariant explicit rather than incidental).
+	s.bcache.Reset()
 	return s, nil
 }
 
 func newStore(cfg *Config) (*Store, error) {
-	s := &Store{cfg: *cfg}
+	s := &Store{cfg: *cfg, bcache: cache.New(cfg.CacheBytes)}
 	s.pm = cfg.PMEM
 	if s.pm == nil {
 		var lat pmem.Latencies
@@ -528,6 +544,31 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
+// CacheStats is a snapshot of the DRAM block cache counters. All-zero when
+// the cache is disabled (Capacity == 0 distinguishes "off" from "cold").
+type CacheStats struct {
+	// Hits and Misses count read-path probe outcomes; Evictions counts
+	// CLOCK reclaims; Invalidations counts entries dropped by write-through
+	// coherence.
+	Hits, Misses, Evictions, Invalidations uint64
+	// Bytes is the currently cached payload total; Capacity the configured
+	// budget.
+	Bytes, Capacity uint64
+}
+
+// CacheStats returns a snapshot of the block-cache counters.
+func (s *Store) CacheStats() CacheStats {
+	st := s.bcache.Stats()
+	return CacheStats{
+		Hits:          st.Hits,
+		Misses:        st.Misses,
+		Evictions:     st.Evictions,
+		Invalidations: st.Invalidations,
+		Bytes:         st.Bytes,
+		Capacity:      st.Capacity,
+	}
+}
+
 // Breakdown returns the accumulated write-path timing (Table 3); zero unless
 // Config.Breakdown.
 func (s *Store) Breakdown() Breakdown {
@@ -628,13 +669,25 @@ func (s *Store) quarantinedBlocks() []uint64 {
 }
 
 // freeBlocksLocked returns block ids to the pool, withholding quarantined
-// ones. Caller holds poolMu.
+// ones. Caller holds poolMu. Freed blocks leave the cache here: their next
+// owner's content must never be answered from their previous life (the
+// checksum tag already guarantees that, but eager invalidation also frees
+// the DRAM).
 func (s *Store) freeBlocksLocked(ids []uint64) {
 	for _, b := range ids {
+		s.bcache.Invalidate(b)
 		if s.isQuarantined(b) {
 			continue
 		}
 		s.front.blockPool.Put(b) //nolint:errcheck
+	}
+}
+
+// cacheInvalidate drops the given blocks from the read cache (no-op when the
+// cache is disabled).
+func (s *Store) cacheInvalidate(ids []uint64) {
+	for _, b := range ids {
+		s.bcache.Invalidate(b)
 	}
 }
 

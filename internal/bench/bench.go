@@ -65,6 +65,13 @@ type Options struct {
 	// ShardsJSON, when non-empty, makes the shards experiment write its
 	// before/after throughput snapshot to this path as JSON.
 	ShardsJSON string
+	// CacheMB sizes the DRAM block cache on DStore instances in MiB
+	// (Config.CacheBytes). 0 disables. The cache experiment additionally
+	// sweeps 0→CacheMB regardless of this value.
+	CacheMB int
+	// CacheJSON, when non-empty, makes the cache experiment write its
+	// hit-ratio/speedup snapshot to this path as JSON.
+	CacheJSON string
 }
 
 func (o *Options) setDefaults() {
@@ -142,6 +149,7 @@ func dstoreConfig(o Options, mode dstore.Mode, disableOE, disableCkpt, track boo
 		MaxObjects:         maxObjects,
 		MaxBlocksPerObject: blocksPerObj * 4,
 		LogBytes:           logBytes,
+		CacheBytes:         uint64(o.CacheMB) << 20,
 		TrackPersistence:   track,
 		DeviceLatency:      true,
 		Breakdown:          true,

@@ -26,12 +26,13 @@ var Experiments = map[string]func(o Options, w io.Writer) error{
 	"table5":   Table5,
 	"ycsbfull": YCSBFull,
 	"shards":   Shards,
+	"cache":    Cache,
 }
 
 // ExperimentIDs lists the experiment ids in paper order.
 var ExperimentIDs = []string{
 	"fig1", "fig5", "fig6", "table3", "fig7", "fig8", "fig9",
-	"table4", "fig10", "table5", "ycsbfull", "shards",
+	"table4", "fig10", "table5", "ycsbfull", "shards", "cache",
 }
 
 // Fig1 regenerates Figure 1: the tail-latency overhead of checkpoints.

@@ -1,0 +1,259 @@
+// Package cache implements a sharded, fixed-capacity DRAM block cache for
+// the store's hot read path. Entries are verified SSD block spans keyed by
+// block id and tagged with the block's recorded CRC32C, so a hit can skip
+// both the device read and the checksum re-verification; eviction is CLOCK
+// second-chance within each shard.
+//
+// The cache holds volatile DRAM state only — it never persists anything and
+// never must: coherence comes from the store's write-through invalidation
+// (every mutation invalidates the block ids it touches) backed by the sum
+// tag (a hit is served only when the caller's expected checksum matches the
+// entry's, so an entry from a block's previous life can never satisfy a read
+// of its current content).
+package cache
+
+import "sync"
+
+// shardTargetBytes is the per-shard capacity the shard count aims for; the
+// count is the largest power of two (capped at maxShards) keeping shards at
+// least this big, so tiny caches don't fragment into useless slivers.
+const (
+	shardTargetBytes = 256 << 10
+	maxShards        = 16
+)
+
+// Stats is a point-in-time snapshot of cache counters, aggregated across
+// shards.
+type Stats struct {
+	// Hits and Misses count Get outcomes.
+	Hits, Misses uint64
+	// Evictions counts entries removed by CLOCK to make room.
+	Evictions uint64
+	// Invalidations counts entries removed by explicit Invalidate calls
+	// (write-through coherence traffic).
+	Invalidations uint64
+	// Bytes is the current cached payload total; Capacity the configured
+	// budget.
+	Bytes, Capacity uint64
+}
+
+// Cache is a sharded block cache. All methods are safe for concurrent use;
+// a nil *Cache is a valid always-miss cache (every method is a no-op).
+type Cache struct {
+	shards []shard
+	mask   uint64
+}
+
+type entry struct {
+	block uint64
+	sum   uint32
+	ref   bool
+	data  []byte // nil marks a free ring slot
+}
+
+type shard struct {
+	mu       sync.Mutex
+	capacity uint64
+	bytes    uint64
+	index    map[uint64]int // block id -> ring slot
+	ring     []entry        // CLOCK ring; grows up to the byte budget
+	free     []int          // recycled ring slots
+	hand     int
+
+	hits, misses, evictions, invalidations uint64
+}
+
+// New creates a cache with the given total byte capacity, split evenly
+// across a power-of-two number of shards. A zero capacity returns nil (the
+// always-miss cache).
+func New(capacity uint64) *Cache {
+	if capacity == 0 {
+		return nil
+	}
+	n := 1
+	for n < maxShards && capacity/uint64(n*2) >= shardTargetBytes {
+		n *= 2
+	}
+	c := &Cache{shards: make([]shard, n), mask: uint64(n - 1)}
+	per := capacity / uint64(n)
+	if per == 0 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i].capacity = per
+		c.shards[i].index = make(map[uint64]int)
+	}
+	return c
+}
+
+// shardFor hashes a block id to its shard (Fibonacci hashing: block ids are
+// sequential pool indices, so the multiplicative mix keeps neighbors apart).
+func (c *Cache) shardFor(block uint64) *shard {
+	const phi64 = 0x9e3779b97f4a7c15
+	return &c.shards[(block*phi64>>32)&c.mask]
+}
+
+// Get copies the cached content of block into dst and reports a hit. The hit
+// is served only when the entry's checksum tag equals sum AND the entry's
+// span length equals len(dst) — both must match the caller's current
+// metadata, so stale entries (a block reallocated and rewritten, or a span
+// regrown by extend) can never satisfy the read. A tag mismatch drops the
+// stale entry on the spot.
+func (c *Cache) Get(block uint64, sum uint32, dst []byte) bool {
+	if c == nil {
+		return false
+	}
+	sh := c.shardFor(block)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	i, ok := sh.index[block]
+	if ok {
+		e := &sh.ring[i]
+		if e.sum == sum && len(e.data) == len(dst) {
+			copy(dst, e.data)
+			e.ref = true
+			sh.hits++
+			return true
+		}
+		sh.drop(i) // stale: the block's content moved on under this entry
+	}
+	sh.misses++
+	return false
+}
+
+// Insert caches a copy of data (one verified block span) under block, tagged
+// with its recorded checksum. Oversized spans (beyond a shard's whole
+// budget) are ignored; an existing entry for the block is replaced.
+func (c *Cache) Insert(block uint64, sum uint32, data []byte) {
+	if c == nil || len(data) == 0 {
+		return
+	}
+	sh := c.shardFor(block)
+	if uint64(len(data)) > sh.capacity {
+		return
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if i, ok := sh.index[block]; ok {
+		sh.drop(i)
+	}
+	for sh.bytes+uint64(len(data)) > sh.capacity {
+		sh.evictOne()
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	i := len(sh.ring)
+	if n := len(sh.free); n > 0 {
+		i = sh.free[n-1]
+		sh.free = sh.free[:n-1]
+	} else {
+		sh.ring = append(sh.ring, entry{})
+	}
+	sh.ring[i] = entry{block: block, sum: sum, data: cp}
+	sh.index[block] = i
+	sh.bytes += uint64(len(cp))
+}
+
+// evictOne runs the CLOCK hand until it reclaims one entry: referenced
+// entries get their second chance (ref cleared, hand moves on), unreferenced
+// ones are evicted. Caller holds sh.mu and guarantees at least one live
+// entry (bytes > 0 whenever the caller's loop runs, since every live byte
+// belongs to some ring entry).
+func (sh *shard) evictOne() {
+	for {
+		if sh.hand >= len(sh.ring) {
+			sh.hand = 0
+		}
+		e := &sh.ring[sh.hand]
+		if e.data == nil {
+			sh.hand++
+			continue
+		}
+		if e.ref {
+			e.ref = false
+			sh.hand++
+			continue
+		}
+		delete(sh.index, e.block)
+		sh.bytes -= uint64(len(e.data))
+		sh.ring[sh.hand] = entry{}
+		sh.free = append(sh.free, sh.hand)
+		sh.evictions++
+		sh.hand++
+		return
+	}
+}
+
+// drop removes ring slot i. Caller holds sh.mu.
+func (sh *shard) drop(i int) {
+	e := &sh.ring[i]
+	delete(sh.index, e.block)
+	sh.bytes -= uint64(len(e.data))
+	sh.ring[i] = entry{}
+	sh.free = append(sh.free, i)
+}
+
+// Invalidate removes block's entry, if cached. This is the write-through
+// coherence hook: every store mutation that changes a block's content or
+// ownership calls it before the new version becomes readable.
+func (c *Cache) Invalidate(block uint64) {
+	if c == nil {
+		return
+	}
+	sh := c.shardFor(block)
+	sh.mu.Lock()
+	if i, ok := sh.index[block]; ok {
+		sh.drop(i)
+		sh.invalidations++
+	}
+	sh.mu.Unlock()
+}
+
+// Reset drops every entry (counters survive). Open calls it after recovery
+// replay: the cache is freshly constructed and therefore already empty, but
+// the reset makes "recovery invalidates everything" explicit rather than
+// incidental.
+func (c *Cache) Reset() {
+	if c == nil {
+		return
+	}
+	for s := range c.shards {
+		sh := &c.shards[s]
+		sh.mu.Lock()
+		for i := range sh.ring {
+			if sh.ring[i].data != nil {
+				sh.drop(i)
+				sh.invalidations++
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Stats aggregates counters across shards.
+func (c *Cache) Stats() Stats {
+	var st Stats
+	if c == nil {
+		return st
+	}
+	for s := range c.shards {
+		sh := &c.shards[s]
+		sh.mu.Lock()
+		st.Hits += sh.hits
+		st.Misses += sh.misses
+		st.Evictions += sh.evictions
+		st.Invalidations += sh.invalidations
+		st.Bytes += sh.bytes
+		st.Capacity += sh.capacity
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// Shards returns the shard count (for tests and sizing introspection).
+func (c *Cache) Shards() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.shards)
+}

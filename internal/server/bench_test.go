@@ -1,0 +1,108 @@
+package server_test
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"dstore/internal/server"
+	"dstore/internal/wire"
+)
+
+// End-to-end allocation benchmarks for the server's per-request hot path
+// (run with -benchmem): one pipelined client issuing PUT or GET frames
+// against the in-memory fake backend, so allocs/op is dominated by framing
+// and dispatch, not store work.
+
+func benchServer(b *testing.B) (*rawBenchConn, func()) {
+	b.Helper()
+	fb := newFake()
+	srv := server.New(fb, server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := &rawBenchConn{nc: nc, br: bufio.NewReaderSize(nc, 64<<10)}
+	cleanup := func() {
+		nc.Close() //nolint:errcheck
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck
+		<-done
+	}
+	return c, cleanup
+}
+
+type rawBenchConn struct {
+	nc    net.Conn
+	br    *bufio.Reader
+	frame []byte
+}
+
+func (c *rawBenchConn) roundTrip(b *testing.B, req *wire.Request) wire.Response {
+	var err error
+	c.frame, err = wire.AppendRequest(c.frame[:0], req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.nc.Write(c.frame); err != nil {
+		b.Fatal(err)
+	}
+	payload, err := wire.ReadFrame(c.br, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := wire.DecodeResponse(payload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return resp
+}
+
+func BenchmarkServerPut(b *testing.B) {
+	c, cleanup := benchServer(b)
+	defer cleanup()
+	req := &wire.Request{Op: wire.OpPut, Key: "bench", Value: benchValue(4096)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req.ID = uint64(i)
+		if resp := c.roundTrip(b, req); resp.Status != wire.StatusOK {
+			b.Fatalf("put: %v %s", resp.Status, resp.Msg)
+		}
+	}
+}
+
+func BenchmarkServerGet(b *testing.B) {
+	c, cleanup := benchServer(b)
+	defer cleanup()
+	put := &wire.Request{ID: 1, Op: wire.OpPut, Key: "bench", Value: benchValue(4096)}
+	if resp := c.roundTrip(b, put); resp.Status != wire.StatusOK {
+		b.Fatalf("seed put: %v %s", resp.Status, resp.Msg)
+	}
+	req := &wire.Request{Op: wire.OpGet, Key: "bench"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req.ID = uint64(i)
+		if resp := c.roundTrip(b, req); resp.Status != wire.StatusOK {
+			b.Fatalf("get: %v %s", resp.Status, resp.Msg)
+		}
+	}
+}
+
+func benchValue(n int) []byte {
+	v := make([]byte, n)
+	for i := range v {
+		v[i] = byte(i)
+	}
+	return v
+}

@@ -44,7 +44,9 @@ import (
 // onto wire statuses by ErrorStatus, keeping this package free of a
 // dependency on the root dstore package.
 type Backend interface {
-	// Put stores value under key.
+	// Put stores value under key. value is only valid for the duration of
+	// the call (the server recycles the underlying frame buffer afterwards);
+	// implementations that retain it must copy.
 	Put(key string, value []byte) error
 	// Get returns key's value.
 	Get(key string) ([]byte, error)
@@ -113,6 +115,26 @@ type Stats struct {
 
 // ErrServerClosed is returned by Serve after Shutdown completes.
 var ErrServerClosed = errors.New("server: closed")
+
+// bufPool recycles frame buffers — request payloads read off sockets and
+// encoded response frames — across requests, so the steady-state per-request
+// hot path allocates nothing for framing. Buffers whose capacity outgrew
+// poolBufCap are left to the GC on put-back: one oversized frame must not
+// pin megabytes for the life of the pool.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// poolBufCap is the largest buffer capacity the pool retains.
+const poolBufCap = 256 << 10
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(b *[]byte) {
+	if cap(*b) > poolBufCap {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
 
 // Server serves the wire protocol over a Backend.
 type Server struct {
@@ -209,7 +231,7 @@ func (s *Server) admit(nc net.Conn) bool {
 	c := &conn{
 		srv:     s,
 		nc:      nc,
-		out:     make(chan []byte, s.cfg.Window+1),
+		out:     make(chan *[]byte, s.cfg.Window+1),
 		slots:   make(chan struct{}, s.cfg.Window),
 		closing: make(chan struct{}),
 	}
@@ -296,7 +318,7 @@ type conn struct {
 	srv *Server
 	nc  net.Conn
 
-	out     chan []byte   // encoded response frames awaiting the writer
+	out     chan *[]byte  // pooled encoded response frames awaiting the writer
 	slots   chan struct{} // in-flight window semaphore
 	closing chan struct{} // closed exactly once to abort everything
 
@@ -353,8 +375,10 @@ func (c *conn) readLoop() {
 		if t := c.srv.cfg.IdleTimeout; t > 0 {
 			c.nc.SetReadDeadline(time.Now().Add(t)) //nolint:errcheck // worst case: no idle kick, close() still works
 		}
-		payload, err := wire.ReadFrame(br, c.srv.cfg.MaxFrame)
+		pb := getBuf()
+		payload, err := wire.ReadFrameInto(br, c.srv.cfg.MaxFrame, *pb)
 		if err != nil {
+			putBuf(pb)
 			if c.draining.Load() || errors.Is(err, io.EOF) {
 				return // clean end of stream or graceful drain
 			}
@@ -365,12 +389,15 @@ func (c *conn) readLoop() {
 			}
 			return
 		}
+		*pb = payload // track a reallocation so the grown buffer is pooled
 		req, err := wire.DecodeRequest(payload)
 		if err != nil {
+			putBuf(pb)
 			c.srv.protoErrs.Add(1)
 			return
 		}
 		if c.draining.Load() {
+			putBuf(pb)
 			c.respond(&wire.Response{
 				ID: req.ID, Op: req.Op,
 				Status: wire.StatusShuttingDown, Msg: "server draining",
@@ -380,29 +407,36 @@ func (c *conn) readLoop() {
 		select {
 		case c.slots <- struct{}{}:
 		case <-c.closing:
+			putBuf(pb)
 			return
 		}
 		c.srv.requests.Add(1)
 		c.handlers.Add(1)
-		go c.handle(req)
+		go c.handle(req, pb)
 	}
 }
 
 // handle executes one request against the backend and queues the response.
-func (c *conn) handle(req wire.Request) {
+// pb is the pooled payload buffer req.Value aliases; it is recycled once the
+// response is encoded and the request's bytes are dead.
+func (c *conn) handle(req wire.Request, pb *[]byte) {
 	defer c.handlers.Done()
 	resp := c.execute(req)
 	c.respond(resp)
+	putBuf(pb)
 	<-c.slots
 }
 
-// respond encodes resp and hands it to the writer, dropping it only when
-// the connection is already closing.
+// respond encodes resp into a pooled frame buffer and hands it to the
+// writer, dropping (and recycling) it only when the connection is already
+// closing.
 func (c *conn) respond(resp *wire.Response) {
-	frame := wire.AppendResponse(nil, resp)
+	fb := getBuf()
+	*fb = wire.AppendResponse((*fb)[:0], resp)
 	select {
-	case c.out <- frame:
+	case c.out <- fb:
 	case <-c.closing:
+		putBuf(fb)
 	}
 }
 
@@ -464,7 +498,7 @@ func (c *conn) writeLoop(done chan<- struct{}) {
 	defer close(done)
 	bw := bufio.NewWriterSize(c.nc, 32<<10)
 	for {
-		frame, ok := <-c.out
+		fb, ok := <-c.out
 		if !ok {
 			bw.Flush() //nolint:errcheck // final flush; conn is being torn down regardless
 			return
@@ -472,7 +506,9 @@ func (c *conn) writeLoop(done chan<- struct{}) {
 		if t := c.srv.cfg.WriteTimeout; t > 0 {
 			c.nc.SetWriteDeadline(time.Now().Add(t)) //nolint:errcheck // enforced by the Write below
 		}
-		if _, err := bw.Write(frame); err != nil {
+		_, err := bw.Write(*fb)
+		putBuf(fb)
+		if err != nil {
 			c.close()
 			c.drainOut()
 			return
@@ -491,8 +527,10 @@ func (c *conn) writeLoop(done chan<- struct{}) {
 
 // drainOut keeps the out channel moving after a write failure so handlers
 // finishing late never block; run closes the channel once they are done.
+// Undeliverable frames go back to the pool.
 func (c *conn) drainOut() {
-	for range c.out { //nolint:revive // intentionally discarding undeliverable frames
+	for fb := range c.out {
+		putBuf(fb)
 	}
 }
 

@@ -1,0 +1,49 @@
+package wire
+
+import "testing"
+
+// Allocation microbenchmarks for the frame hot path (run with -benchmem).
+// The PUT/GET encode benchmarks reuse dst across iterations, so allocs/op
+// measures only what the encoder itself allocates per frame.
+
+func benchValue(n int) []byte {
+	v := make([]byte, n)
+	for i := range v {
+		v[i] = byte(i)
+	}
+	return v
+}
+
+func BenchmarkAppendRequestPut(b *testing.B) {
+	req := &Request{ID: 42, Op: OpPut, Key: "bench-key-0123", Value: benchValue(4096)}
+	var dst []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = AppendRequest(dst[:0], req)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendResponseGet(b *testing.B) {
+	resp := &Response{ID: 42, Op: OpGet, Status: StatusOK, Value: benchValue(4096)}
+	var dst []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = AppendResponse(dst[:0], resp)
+	}
+}
+
+func BenchmarkAppendResponsePutAck(b *testing.B) {
+	resp := &Response{ID: 42, Op: OpPut, Status: StatusOK}
+	var dst []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = AppendResponse(dst[:0], resp)
+	}
+}

@@ -208,6 +208,42 @@ type StatsReply struct {
 	// Shards holds per-shard counter rows in shard order; empty for a
 	// single-store server.
 	Shards []ShardStat
+	// Cache holds the block-cache counters when the server has a cache
+	// configured; nil otherwise. Cache-off frames carry no cache section and
+	// stay byte-identical to the pre-cache protocol.
+	Cache *CacheReply
+}
+
+// CacheStat is one block-cache counter row (the aggregate or one shard's).
+type CacheStat struct {
+	Hits, Misses, Evictions uint64
+	Bytes, Capacity         uint64
+}
+
+// cacheStatBytes is one encoded CacheStat row (5 u64 counters).
+const cacheStatBytes = 5 * 8
+
+// fields lists the CacheStat counters in wire order.
+func (s *CacheStat) fields() []uint64 {
+	return []uint64{s.Hits, s.Misses, s.Evictions, s.Bytes, s.Capacity}
+}
+
+func (s *CacheStat) setFields(v []uint64) {
+	s.Hits, s.Misses, s.Evictions, s.Bytes, s.Capacity = v[0], v[1], v[2], v[3], v[4]
+}
+
+const cacheStatFields = 5
+
+// CacheReply is the optional STATS cache section: the aggregate counters
+// plus, on a sharded server, one row per store shard (paralleling
+// StatsReply.Shards). On the wire it trails the shard section; because a
+// lone trailing u32 would be ambiguous, a server emitting a cache section
+// always emits the shard-count word first (zero for a single store).
+type CacheReply struct {
+	CacheStat
+	// Shards holds per-store-shard cache rows in shard order; empty for a
+	// single-store server.
+	Shards []CacheStat
 }
 
 // ShardStat is one shard's counters inside a sharded StatsReply.
@@ -278,12 +314,39 @@ func AppendFrame(dst, payload []byte) []byte {
 	return append(dst, payload...)
 }
 
+// beginFrame reserves a frame header in dst and returns its offset. The
+// payload is then encoded directly into dst (no intermediate buffer) and
+// finishFrame backfills the header, so a reused dst makes encoding
+// allocation-free on the hot path.
+func beginFrame(dst []byte) ([]byte, int) {
+	off := len(dst)
+	return append(dst, make([]byte, FrameHeader)...), off
+}
+
+// finishFrame backfills the length and CRC32C for the payload encoded after
+// the header that beginFrame placed at off.
+func finishFrame(dst []byte, off int) []byte {
+	payload := dst[off+FrameHeader:]
+	binary.LittleEndian.PutUint32(dst[off:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[off+4:], crc32.Checksum(payload, castagnoli))
+	return dst
+}
+
 // ReadFrame reads one frame from r and returns its payload (freshly
 // allocated, so it may outlive the next read). maxPayload bounds the
 // announced length; 0 means DefaultMaxFrame. A short or interrupted stream
 // surfaces as io.EOF / io.ErrUnexpectedEOF, a corrupted payload as
 // ErrChecksum.
 func ReadFrame(r io.Reader, maxPayload int) ([]byte, error) {
+	return ReadFrameInto(r, maxPayload, nil)
+}
+
+// ReadFrameInto is ReadFrame reusing buf's capacity for the payload when it
+// is large enough (allocating only when it is not). The returned slice
+// aliases buf in that case, so the caller owns recycling it — this is the
+// pooling-friendly entry point for servers reading many frames per
+// connection.
+func ReadFrameInto(r io.Reader, maxPayload int, buf []byte) ([]byte, error) {
 	if maxPayload <= 0 {
 		maxPayload = DefaultMaxFrame
 	}
@@ -296,7 +359,12 @@ func ReadFrame(r io.Reader, maxPayload int) ([]byte, error) {
 	if n > uint32(maxPayload) {
 		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, maxPayload)
 	}
-	payload := make([]byte, n)
+	var payload []byte
+	if uint32(cap(buf)) >= n {
+		payload = buf[:n]
+	} else {
+		payload = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, payload); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
@@ -318,15 +386,15 @@ func AppendRequest(dst []byte, req *Request) ([]byte, error) {
 	if len(req.Key) > MaxKeyLen {
 		return dst, fmt.Errorf("%w: key length %d > %d", ErrMalformed, len(req.Key), MaxKeyLen)
 	}
-	payload := make([]byte, 0, reqFixed+len(req.Key)+len(req.Value))
-	payload = binary.LittleEndian.AppendUint64(payload, req.ID)
-	payload = append(payload, byte(req.Op))
-	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(req.Key)))
-	payload = append(payload, req.Key...)
-	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(req.Value)))
-	payload = append(payload, req.Value...)
-	payload = binary.LittleEndian.AppendUint32(payload, req.Limit)
-	return AppendFrame(dst, payload), nil
+	dst, off := beginFrame(dst)
+	dst = binary.LittleEndian.AppendUint64(dst, req.ID)
+	dst = append(dst, byte(req.Op))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(req.Key)))
+	dst = append(dst, req.Key...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(req.Value)))
+	dst = append(dst, req.Value...)
+	dst = binary.LittleEndian.AppendUint32(dst, req.Limit)
+	return finishFrame(dst, off), nil
 }
 
 // DecodeRequest parses a request payload. The returned request's Value
@@ -347,33 +415,35 @@ func DecodeRequest(payload []byte) (Request, error) {
 
 // --------------------------------------------------------------- responses
 
-// AppendResponse appends a framed response to dst.
+// AppendResponse appends a framed response to dst. The response is encoded
+// in place after a reserved header (no intermediate payload buffer), so
+// callers that recycle dst pay zero allocations per frame.
 func AppendResponse(dst []byte, resp *Response) []byte {
 	msg := resp.Msg
 	if len(msg) > MaxKeyLen {
 		msg = msg[:MaxKeyLen]
 	}
-	payload := make([]byte, 0, respFixed+len(msg)+len(resp.Value))
-	payload = binary.LittleEndian.AppendUint64(payload, resp.ID)
-	payload = append(payload, byte(resp.Op), byte(resp.Status))
-	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(msg)))
-	payload = append(payload, msg...)
+	dst, off := beginFrame(dst)
+	dst = binary.LittleEndian.AppendUint64(dst, resp.ID)
+	dst = append(dst, byte(resp.Op), byte(resp.Status))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(msg)))
+	dst = append(dst, msg...)
 	if resp.Status == StatusOK {
 		switch resp.Op {
 		case OpGet:
-			payload = binary.LittleEndian.AppendUint32(payload, uint32(len(resp.Value)))
-			payload = append(payload, resp.Value...)
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(resp.Value)))
+			dst = append(dst, resp.Value...)
 		case OpScan:
-			payload = binary.LittleEndian.AppendUint32(payload, uint32(len(resp.Objects)))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(resp.Objects)))
 			for _, o := range resp.Objects {
 				name := o.Name
 				if len(name) > MaxKeyLen {
 					name = name[:MaxKeyLen]
 				}
-				payload = binary.LittleEndian.AppendUint16(payload, uint16(len(name)))
-				payload = append(payload, name...)
-				payload = binary.LittleEndian.AppendUint64(payload, o.Size)
-				payload = binary.LittleEndian.AppendUint32(payload, o.Blocks)
+				dst = binary.LittleEndian.AppendUint16(dst, uint16(len(name)))
+				dst = append(dst, name...)
+				dst = binary.LittleEndian.AppendUint64(dst, o.Size)
+				dst = binary.LittleEndian.AppendUint32(dst, o.Blocks)
 			}
 		case OpStats:
 			var st StatsReply
@@ -381,15 +451,30 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 				st = *resp.Stats
 			}
 			for _, v := range st.fields() {
-				payload = binary.LittleEndian.AppendUint64(payload, v)
+				dst = binary.LittleEndian.AppendUint64(dst, v)
 			}
 			// Shard rows are a trailing optional section: absent for a
 			// single store, so those frames match the pre-sharding layout.
-			if len(st.Shards) > 0 {
-				payload = binary.LittleEndian.AppendUint32(payload, uint32(len(st.Shards)))
+			// A cache section trails the shard rows; since it needs the
+			// shard-count word as a delimiter, its presence forces the word
+			// out even on a single store (count zero). With neither, the
+			// payload ends at the aggregate block exactly as before.
+			if len(st.Shards) > 0 || st.Cache != nil {
+				dst = binary.LittleEndian.AppendUint32(dst, uint32(len(st.Shards)))
 				for i := range st.Shards {
 					for _, v := range st.Shards[i].fields() {
-						payload = binary.LittleEndian.AppendUint64(payload, v)
+						dst = binary.LittleEndian.AppendUint64(dst, v)
+					}
+				}
+			}
+			if st.Cache != nil {
+				for _, v := range st.Cache.fields() {
+					dst = binary.LittleEndian.AppendUint64(dst, v)
+				}
+				dst = binary.LittleEndian.AppendUint32(dst, uint32(len(st.Cache.Shards)))
+				for i := range st.Cache.Shards {
+					for _, v := range st.Cache.Shards[i].fields() {
+						dst = binary.LittleEndian.AppendUint64(dst, v)
 					}
 				}
 			}
@@ -398,19 +483,19 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 			if resp.Health != nil {
 				h = *resp.Health
 			}
-			payload = appendHealthRow(payload, h.Degraded, h.Reason,
+			dst = appendHealthRow(dst, h.Degraded, h.Reason,
 				h.IORetries, h.WriteErrors, h.Corruptions, h.Remaps, h.QuarantinedBlocks)
 			if len(h.Shards) > 0 {
-				payload = binary.LittleEndian.AppendUint32(payload, uint32(len(h.Shards)))
+				dst = binary.LittleEndian.AppendUint32(dst, uint32(len(h.Shards)))
 				for i := range h.Shards {
 					sd := &h.Shards[i]
-					payload = appendHealthRow(payload, sd.Degraded, sd.Reason,
+					dst = appendHealthRow(dst, sd.Degraded, sd.Reason,
 						sd.IORetries, sd.WriteErrors, sd.Corruptions, sd.Remaps, sd.QuarantinedBlocks)
 				}
 			}
 		}
 	}
-	return AppendFrame(dst, payload)
+	return finishFrame(dst, off)
 }
 
 // appendHealthRow encodes one health block (the aggregate or one shard's):
@@ -515,8 +600,8 @@ func DecodeResponse(payload []byte) (Response, error) {
 				resp.Stats = &StatsReply{}
 				resp.Stats.setFields(v[:])
 			}
-			// Optional shard section: a pre-sharding (or single-store)
-			// server ends the payload here.
+			// Optional shard section: a pre-sharding (or single-store,
+			// cache-off) server ends the payload here.
 			if d.err == nil && d.remaining() > 0 {
 				n := int(d.u32())
 				if d.err == nil && n > d.remaining()/shardStatBytes {
@@ -532,6 +617,34 @@ func DecodeResponse(payload []byte) (Response, error) {
 						row.setFields(sv[:])
 						resp.Stats.Shards = append(resp.Stats.Shards, row)
 					}
+				}
+			}
+			// Optional cache section after the shard rows: aggregate
+			// counters plus counted per-shard cache rows.
+			if d.err == nil && d.remaining() > 0 {
+				var cv [cacheStatFields]uint64
+				for i := range cv {
+					cv[i] = d.u64()
+				}
+				cr := &CacheReply{}
+				cr.setFields(cv[:])
+				n := int(d.u32())
+				if d.err == nil && n > d.remaining()/cacheStatBytes {
+					return Response{}, fmt.Errorf("%w: cache stats count %d", ErrMalformed, n)
+				}
+				for i := 0; i < n && d.err == nil; i++ {
+					var sv [cacheStatFields]uint64
+					for j := range sv {
+						sv[j] = d.u64()
+					}
+					if d.err == nil {
+						var row CacheStat
+						row.setFields(sv[:])
+						cr.Shards = append(cr.Shards, row)
+					}
+				}
+				if d.err == nil {
+					resp.Stats.Cache = cr
 				}
 			}
 		case OpHealth:

@@ -408,3 +408,96 @@ func TestShardSectionBackwardCompat(t *testing.T) {
 		t.Fatalf("oversized shard count decoded: %v, want ErrMalformed", err)
 	}
 }
+
+// TestCacheSectionRoundTrip covers the optional STATS cache section: a
+// single-store reply carries a zero shard-count word as the delimiter, a
+// sharded reply carries per-shard cache rows, and both decode back exactly.
+func TestCacheSectionRoundTrip(t *testing.T) {
+	// Single store, cache on: aggregate block + zero shard count + cache
+	// aggregate + zero cache-shard count.
+	st := &StatsReply{
+		Puts: 1, Gets: 2,
+		Cache: &CacheReply{CacheStat: CacheStat{
+			Hits: 10, Misses: 3, Evictions: 1, Bytes: 4096, Capacity: 1 << 20,
+		}},
+	}
+	frame := AppendResponse(nil, &Response{ID: 1, Op: OpStats, Status: StatusOK, Stats: st})
+	payload := roundTripPayload(t, frame)
+	if want := respFixed + statsFields*8 + 4 + cacheStatFields*8 + 4; len(payload) != want {
+		t.Fatalf("single-store cache STATS payload is %d bytes, want %d", len(payload), want)
+	}
+	got, err := DecodeResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats == nil || got.Stats.Cache == nil {
+		t.Fatalf("cache section lost in decode: %+v", got.Stats)
+	}
+	if !reflect.DeepEqual(got.Stats.Cache, st.Cache) {
+		t.Fatalf("cache section round trip: got %+v want %+v", got.Stats.Cache, st.Cache)
+	}
+	if len(got.Stats.Shards) != 0 {
+		t.Fatalf("phantom shard rows: %+v", got.Stats.Shards)
+	}
+
+	// Sharded with cache: shard rows then cache aggregate then cache rows.
+	st.Shards = []ShardStat{{Puts: 1}, {Puts: 2}}
+	st.Cache.Shards = []CacheStat{
+		{Hits: 6, Misses: 2, Bytes: 2048, Capacity: 1 << 19},
+		{Hits: 4, Misses: 1, Evictions: 1, Bytes: 2048, Capacity: 1 << 19},
+	}
+	frame = AppendResponse(nil, &Response{ID: 2, Op: OpStats, Status: StatusOK, Stats: st})
+	payload = roundTripPayload(t, frame)
+	want := respFixed + statsFields*8 + 4 + 2*shardStatBytes + cacheStatFields*8 + 4 + 2*cacheStatBytes
+	if len(payload) != want {
+		t.Fatalf("sharded cache STATS payload is %d bytes, want %d", len(payload), want)
+	}
+	got, err = DecodeResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Stats, st) {
+		t.Fatalf("sharded cache STATS round trip: got %+v want %+v", got.Stats, st)
+	}
+
+	// An impossible cache row count must be rejected, not allocated.
+	off := respFixed + statsFields*8 + 4 + 2*shardStatBytes + cacheStatFields*8
+	payload[off] = 0xff
+	payload[off+1] = 0xff
+	if _, err := DecodeResponse(payload); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("oversized cache row count decoded: %v, want ErrMalformed", err)
+	}
+}
+
+// TestCacheOffFramesUnchanged pins the cache-off wire layouts: with
+// Stats.Cache nil the frames must be byte-identical to the pre-cache
+// protocol, for both the single-store and the sharded shapes.
+func TestCacheOffFramesUnchanged(t *testing.T) {
+	// Single store: payload ends at the aggregate block, no shard-count word.
+	st := &StatsReply{Puts: 7, Gets: 8, SSDBytes: 9}
+	payload := roundTripPayload(t, AppendResponse(nil, &Response{ID: 3, Op: OpStats, Status: StatusOK, Stats: st}))
+	if want := respFixed + statsFields*8; len(payload) != want {
+		t.Fatalf("cache-off single-store STATS payload is %d bytes, want pre-cache %d", len(payload), want)
+	}
+	got, err := DecodeResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.Cache != nil {
+		t.Fatalf("phantom cache section: %+v", got.Stats.Cache)
+	}
+
+	// Sharded: payload ends right after the shard rows.
+	st.Shards = []ShardStat{{Puts: 1}, {Gets: 2}, {Deletes: 3}}
+	payload = roundTripPayload(t, AppendResponse(nil, &Response{ID: 4, Op: OpStats, Status: StatusOK, Stats: st}))
+	if want := respFixed + statsFields*8 + 4 + 3*shardStatBytes; len(payload) != want {
+		t.Fatalf("cache-off sharded STATS payload is %d bytes, want pre-cache %d", len(payload), want)
+	}
+	got, err = DecodeResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.Cache != nil || len(got.Stats.Shards) != 3 {
+		t.Fatalf("cache-off sharded STATS decode: %+v", got.Stats)
+	}
+}

@@ -161,7 +161,31 @@ func (b *netBackend) Stats() wire.StatsReply {
 			reply.Shards[i] = statsReplyFor(s.Stats(), s.Footprint(), s.Count())
 		}
 	}
+	// Attach the cache section only when a cache is configured, so
+	// cache-off deployments emit frames byte-identical to the pre-cache
+	// protocol.
+	if cs := b.api.CacheStats(); cs.Capacity > 0 {
+		cr := &wire.CacheReply{CacheStat: cacheStatFor(cs)}
+		if b.shards != nil {
+			cr.Shards = make([]wire.CacheStat, b.shards.Shards())
+			for i := range cr.Shards {
+				cr.Shards[i] = cacheStatFor(b.shards.Shard(i).CacheStats())
+			}
+		}
+		reply.Cache = cr
+	}
 	return reply
+}
+
+// cacheStatFor flattens one cache snapshot into the wire layout.
+func cacheStatFor(cs CacheStats) wire.CacheStat {
+	return wire.CacheStat{
+		Hits:      cs.Hits,
+		Misses:    cs.Misses,
+		Evictions: cs.Evictions,
+		Bytes:     cs.Bytes,
+		Capacity:  cs.Capacity,
+	}
 }
 
 // healthRowFor flattens one store-level health snapshot into the wire layout.

@@ -42,10 +42,16 @@ func (c *Ctx) heldLSN(name string) uint64 {
 }
 
 // scratchBuf returns a context-owned buffer of n bytes (reused across
-// calls; verified partial reads stage whole block spans through it).
+// calls; verified partial reads stage whole block spans through it). Growth
+// is geometric so a sequence of increasing spans costs one allocation, not
+// one per size.
 func (c *Ctx) scratchBuf(n uint64) []byte {
 	if uint64(cap(c.scratch)) < n {
-		c.scratch = make([]byte, n)
+		newCap := uint64(cap(c.scratch)) * 2
+		if newCap < n {
+			newCap = n
+		}
+		c.scratch = make([]byte, newCap)
 	}
 	return c.scratch[:n]
 }
@@ -103,11 +109,34 @@ func blockSums(value []byte, blockSize uint64) []uint32 {
 	return sums
 }
 
-// readBlockVerified reads one block's logical span and verifies it against
-// the recorded CRC32C. A mismatch is re-read — a corrupted transfer is
-// transient — and only a persistent mismatch (at-rest corruption) surfaces
-// as ErrCorrupt.
+// readBlockVerified reads one block's logical span, consulting the DRAM
+// block cache first: a hit skips both the device read and the CRC
+// re-verification (only verified content is ever inserted, and the hit is
+// gated on the caller's current checksum and span length, so a stale entry
+// can never satisfy it). On a miss the span is read from the device,
+// verified, and — when verification applies and the store is healthy —
+// inserted for the next reader. Unverified spans and degraded-mode reads
+// never populate the cache.
 func (s *Store) readBlockVerified(block uint64, p []byte, sum uint32, name string) error {
+	verified := sum != meta.SumUnverified
+	if verified && s.bcache.Get(block, sum, p) {
+		return nil
+	}
+	if err := s.readBlockDevice(block, p, sum, name); err != nil {
+		return err
+	}
+	if verified && !s.degraded.Load() {
+		s.bcache.Insert(block, sum, p)
+	}
+	return nil
+}
+
+// readBlockDevice reads one block's logical span from the SSD and verifies
+// it against the recorded CRC32C, bypassing the cache (Scrub uses it
+// directly: a scrub must observe the medium, not DRAM). A mismatch is
+// re-read — a corrupted transfer is transient — and only a persistent
+// mismatch (at-rest corruption) surfaces as ErrCorrupt.
+func (s *Store) readBlockDevice(block uint64, p []byte, sum uint32, name string) error {
 	const rereads = 2
 	for attempt := 0; ; attempt++ {
 		if err := s.ssdRead(s.dataOff(block), p); err != nil {
@@ -495,6 +524,10 @@ func (c *Ctx) Put(key string, value []byte) error {
 // block is quarantined and bad=true tells the caller the pipeline is worth
 // re-running on fresh blocks.
 func (s *Store) putDataPhase(a putAlloc, value []byte, size uint64) (bad bool, err error) {
+	// The fresh blocks left the cache when they were freed, but invalidating
+	// again here keeps the invariant local: no block is written while a cache
+	// entry for it exists.
+	s.cacheInvalidate(a.blocks)
 	for i, b := range a.blocks {
 		lo := uint64(i) * s.cfg.BlockSize
 		hi := lo + s.cfg.BlockSize
@@ -687,6 +720,9 @@ func (s *Store) create(name string, size uint64, ignore uint64) error {
 	if err != nil {
 		return err
 	}
+	// Created blocks start unverified; drop any entries left from their
+	// previous owners before the object becomes readable.
+	s.cacheInvalidate(a.blocks)
 	s.readers.awaitZero(name)
 	zlk := s.zoneLock(a.slot)
 	zlk.Lock()
@@ -774,6 +810,11 @@ func (c *Ctx) readSpan(name string, e entrySnapshot, bi, bo uint64, dst []byte) 
 	if span > s.cfg.BlockSize {
 		span = s.cfg.BlockSize
 	}
+	// A whole-span window needs no staging: verify (or hit the cache)
+	// directly into the destination.
+	if bo == 0 && uint64(len(dst)) == span {
+		return s.readBlockVerified(block, dst, sum, name)
+	}
 	buf := c.scratchBuf(span)
 	if err := s.readBlockVerified(block, buf, sum, name); err != nil {
 		return err
@@ -857,6 +898,22 @@ func (o *Object) WriteAt(p []byte, off int64) (int, error) {
 		return 0, err
 	}
 	if end > e.size {
+		// An extending write invalidates stale checksums on two fronts
+		// before any structure or byte changes (the opExtend record then
+		// carries the unverified sums forward): blocks the write overwrites
+		// in place (off inside the current size), and the partial tail
+		// block, whose verified sum covers the old, shorter logical span —
+		// after the extend, reads verify the grown span, so the old sum can
+		// never match again.
+		lo := uint64(off)
+		if tail := e.size % s.cfg.BlockSize; tail != 0 && e.size-tail < lo {
+			lo = e.size - tail
+		}
+		if lo < e.size {
+			if err := s.invalidateSums(o, e, lo, e.size); err != nil {
+				return 0, err
+			}
+		}
 		if err := s.extend(o.name, end, o.c.heldLSN(o.name)); err != nil {
 			return 0, err
 		}
@@ -941,6 +998,12 @@ func (s *Store) invalidateSums(o *Object, e entrySnapshot, lo, hi uint64) error 
 		}
 	}
 	zlk.Unlock()
+	// Drop the cached copies before the overwrite lands. (The metadata now
+	// says SumUnverified, so readers would not probe the cache for these
+	// blocks anyway; the eager drop reclaims the DRAM.)
+	for _, i := range idxs {
+		s.bcache.Invalidate(e.blocks[i])
+	}
 	// Commit before the data write starts: the invalidation must be durable
 	// before any new byte lands under the old checksum.
 	return s.commit(h)
@@ -959,6 +1022,10 @@ func (s *Store) extend(name string, newSize uint64, ignore uint64) error {
 		return err
 	}
 	s.readers.awaitZero(name)
+	// The grown tail blocks start unverified (never cacheable), but their
+	// ids may still sit in the cache from a previous owner awaiting lazy
+	// drop; clear them before they become readable.
+	s.cacheInvalidate(a.blocks[a.freshFrom:])
 	zlk := s.zoneLock(a.slot)
 	zlk.Lock()
 	serr := s.front.extendStructPhase(a.slot, a.blocks, a.sums, newSize)

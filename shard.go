@@ -65,6 +65,10 @@ func shardConfig(cfg Config, n int) Config {
 	}
 	cfg.Blocks = div(cfg.Blocks)
 	cfg.MaxObjects = div(cfg.MaxObjects)
+	// The cache is a DRAM budget, not a capacity to headroom: divide it
+	// exactly so N shards never consume more memory than the caller asked
+	// for.
+	cfg.CacheBytes /= uint64(n)
 	// Arena sizing is geometry-derived unless the caller pinned it.
 	cfg.ArenaBytes = userArena
 	return cfg
@@ -281,6 +285,25 @@ func (sh *Sharded) Stats() Stats {
 
 // ShardStats returns shard i's own counters.
 func (sh *Sharded) ShardStats(i int) Stats { return sh.shards[i].Stats() }
+
+// CacheStats aggregates the block-cache counters across shards. Per-shard
+// snapshots are available via ShardCacheStats.
+func (sh *Sharded) CacheStats() CacheStats {
+	var out CacheStats
+	for _, s := range sh.shards {
+		cs := s.CacheStats()
+		out.Hits += cs.Hits
+		out.Misses += cs.Misses
+		out.Evictions += cs.Evictions
+		out.Invalidations += cs.Invalidations
+		out.Bytes += cs.Bytes
+		out.Capacity += cs.Capacity
+	}
+	return out
+}
+
+// ShardCacheStats returns shard i's own block-cache counters.
+func (sh *Sharded) ShardCacheStats(i int) CacheStats { return sh.shards[i].CacheStats() }
 
 // Breakdown aggregates the per-stage write timing across shards.
 func (sh *Sharded) Breakdown() Breakdown {

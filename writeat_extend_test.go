@@ -1,0 +1,84 @@
+package dstore
+
+// Regression tests for extending WriteAt vs recorded checksums: an opExtend
+// carries the existing blocks' sums forward, so WriteAt must durably
+// invalidate (opInval) the sums of blocks whose bytes or logical span the
+// extend changes — the prefix blocks it overwrites in place, and the old
+// partial tail block, whose grown span can never match a sum computed over
+// the shorter one. Both cases corrupted on the very next Get before the
+// invalidation was added.
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestWriteAtExtendInvalidatesOverwrittenPrefix(t *testing.T) {
+	s, err := Format(Config{Blocks: 256, MaxObjects: 16, LogBytes: 1 << 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := s.Init()
+	v := make([]byte, 5000)
+	for i := range v {
+		v[i] = byte(i)
+	}
+	if err := ctx.Put("k", v); err != nil {
+		t.Fatal(err)
+	}
+	o, err := ctx.Open("k", 0, OpenRead|OpenWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := bytes.Repeat([]byte{0xEE}, 2000)
+	if _, err := o.WriteAt(span, 4000); err != nil {
+		t.Fatal(err)
+	}
+	o.Close()
+	got, err := ctx.Get("k", nil)
+	if err != nil {
+		t.Fatalf("Get after extending WriteAt: %v", err)
+	}
+	want := append(append([]byte{}, v[:4000]...), span...)
+	if !bytes.Equal(got, want) {
+		t.Fatal("wrong bytes")
+	}
+}
+
+func TestWriteAtExtendInvalidatesPartialTail(t *testing.T) {
+	s, err := Format(Config{Blocks: 256, MaxObjects: 16, LogBytes: 1 << 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := s.Init()
+	v := make([]byte, 5000)
+	for i := range v {
+		v[i] = byte(i * 7)
+	}
+	if err := ctx.Put("k", v); err != nil {
+		t.Fatal(err)
+	}
+	o, err := ctx.Open("k", 0, OpenRead|OpenWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write entirely past the old end: the old partial tail block's span
+	// grows, so its verified sum must have been invalidated.
+	span := bytes.Repeat([]byte{0xAB}, 100)
+	if _, err := o.WriteAt(span, 6000); err != nil {
+		t.Fatal(err)
+	}
+	o.Close()
+	got, err := ctx.Get("k", nil)
+	if err != nil {
+		t.Fatalf("Get after gap-extending WriteAt: %v", err)
+	}
+	if len(got) != 6100 {
+		t.Fatalf("size = %d, want 6100", len(got))
+	}
+	if !bytes.Equal(got[:5000], v) || !bytes.Equal(got[6000:], span) {
+		t.Fatal("wrong bytes")
+	}
+}
