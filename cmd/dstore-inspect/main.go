@@ -20,12 +20,14 @@ import (
 	"dstore"
 	"dstore/internal/client"
 	"dstore/internal/wal"
+	"dstore/internal/wire"
 )
 
-// inspectRemote fetches and prints a live server's counters and health.
-// Sharded servers return per-shard rows after the aggregates; those print
-// as a table.
-func inspectRemote(addr string) {
+// inspectRemote fetches and prints a live server's counters and health;
+// with promote it first asks the server to promote its standby backend for
+// writes (the remote failover trigger). Sharded servers return per-shard
+// rows after the aggregates; those print as a table.
+func inspectRemote(addr string, promote bool) {
 	c, err := client.Dial(client.Config{Addr: addr, Conns: 1})
 	if err != nil {
 		log.Fatalf("dial %s: %v", addr, err)
@@ -34,6 +36,12 @@ func inspectRemote(addr string) {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 
+	if promote {
+		if err := c.Promote(ctx); err != nil {
+			log.Fatalf("promote: %v", err)
+		}
+		fmt.Printf("promoted: %s now accepts writes\n", addr)
+	}
 	st, err := c.Stats(ctx)
 	if err != nil {
 		log.Fatalf("stats: %v", err)
@@ -53,6 +61,18 @@ func inspectRemote(addr string) {
 	if c := st.Cache; c != nil {
 		fmt.Printf("cache: hits=%d misses=%d ratio=%.1f%% evict=%d bytes=%dKiB/%dKiB\n",
 			c.Hits, c.Misses, hitRatio(c.Hits, c.Misses), c.Evictions, c.Bytes>>10, c.Capacity>>10)
+	}
+	if r := st.Repl; r != nil {
+		role := "primary"
+		if r.Role == wire.ReplRoleStandby {
+			role = "standby"
+		}
+		var lag uint64
+		if r.LastLSN > r.AckedLSN {
+			lag = r.LastLSN - r.AckedLSN
+		}
+		fmt.Printf("repl: role=%s subscribers=%d slowDrops=%d lastLSN=%d ackedLSN=%d lag=%d\n",
+			role, r.Subscribers, r.Drops, r.LastLSN, r.AckedLSN, lag)
 	}
 	status := "healthy"
 	if h.Degraded {
@@ -118,6 +138,9 @@ func inspectSharded(shards, objects, cacheMB int) {
 		st := sh.Stats()
 		fmt.Printf("aggregate: puts=%d gets=%d objs=%d ckpts=%d replayed=%d\n",
 			st.Puts, st.Gets, sh.Count(), st.Engine.Checkpoints, st.Engine.RecordsReplayed)
+		if hh := sh.Health(); hh.Degraded {
+			fmt.Printf("health: DEGRADED shard=%d (%s)\n", hh.DegradedShard, hh.Reason)
+		}
 		agg := sh.CacheStats()
 		if agg.Capacity > 0 {
 			fmt.Printf("cache: hits=%d misses=%d ratio=%.1f%% evict=%d inval=%d bytes=%dKiB/%dKiB\n",
@@ -191,19 +214,95 @@ func inspectSharded(shards, objects, cacheMB int) {
 	}
 }
 
+// inspectReplicated builds a local replicated sharded store (every shard a
+// primary/standby pair), loads it, shows the standbys' replication lag
+// converge, then forces a failover on shard 0 and shows the store staying
+// writable — the phase-one failover walk-through (DESIGN.md §10).
+func inspectReplicated(shards, objects int) {
+	if shards < 1 {
+		shards = 2
+	}
+	sh, err := dstore.FormatShardedReplicated(shards, dstore.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := sh.Init()
+	val := make([]byte, 4096)
+	for i := 0; i < objects; i++ {
+		if err := ctx.Put(fmt.Sprintf("object-%06d", i), val); err != nil {
+			log.Fatal(err)
+		}
+	}
+	lagLine := func(when string) {
+		fmt.Printf("--- %s ---\nrepl lag (primary LSN - applied LSN):", when)
+		for i := 0; i < sh.Shards(); i++ {
+			fmt.Printf(" shard%d=%d", i, sh.Replica(i).Lag())
+		}
+		fmt.Println()
+	}
+	lagLine(fmt.Sprintf("after %d puts", objects))
+	// The in-process feeds poll every millisecond; give them a moment and
+	// show the lag draining to zero.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		drained := true
+		for i := 0; i < sh.Shards(); i++ {
+			if sh.Replica(i).Lag() != 0 {
+				drained = false
+			}
+		}
+		if drained {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	lagLine("after feed drain")
+
+	fmt.Println("forcing failover of shard 0 (promote standby)...")
+	if err := sh.Replica(0).Promote(); err != nil {
+		log.Fatal(err)
+	}
+	h := sh.Health()
+	fmt.Printf("health: degraded=%v degradedShard=%d (failover absorbed the fault)\n",
+		h.Degraded, h.DegradedShard)
+	errs := 0
+	for i := 0; i < objects; i++ {
+		if err := ctx.Put(fmt.Sprintf("object-%06d", i), val); err != nil {
+			errs++
+		}
+	}
+	ok := 0
+	for i := 0; i < objects; i++ {
+		if _, err := ctx.Get(fmt.Sprintf("object-%06d", i), nil); err == nil {
+			ok++
+		}
+	}
+	fmt.Printf("post-failover: rewrote %d/%d objects (%d errors), %d/%d readable\n",
+		objects-errs, objects, errs, ok, objects)
+	if err := sh.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
 func main() {
 	var (
 		objects = flag.Int("objects", 2000, "objects to load")
 		crash   = flag.Bool("crash", true, "simulate a worst-case crash and recover")
 		dumpLog = flag.Int("dumplog", 0, "dump up to N records of the active log after loading")
 		remote  = flag.String("remote", "", "inspect a live dstore-server at this address instead of building a local store")
+		promote = flag.Bool("promote", false, "with -remote: promote the server's standby backend for writes before printing stats")
+		repl    = flag.Bool("replicated", false, "build a local replicated sharded store and walk through a failover")
 		shards  = flag.Int("shards", 1, "build a sharded local store and print the per-shard table")
 		cacheMB = flag.Int("cache-mb", 0, "DRAM block cache size in MiB for the local store (0 disables)")
 	)
 	flag.Parse()
 
 	if *remote != "" {
-		inspectRemote(*remote)
+		inspectRemote(*remote, *promote)
+		return
+	}
+	if *repl {
+		inspectReplicated(*shards, *objects)
 		return
 	}
 	if *shards > 1 {

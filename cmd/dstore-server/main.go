@@ -7,6 +7,11 @@
 //
 //	dstore-server -addr :7421 -blocks 65536 -max-objects 16384
 //
+// With -replicate-from the process runs as a hot standby instead: it tails
+// the named primary's committed WAL over the wire, serves reads, refuses
+// writes, and is promoted to a writable primary by OpPromote (e.g.
+// `dstore-inspect -remote addr -promote`) — the phase-one failover path.
+//
 // SIGTERM/SIGINT triggers a graceful drain: in-flight requests finish,
 // responses flush, the store checkpoints, and the process exits with the
 // persistent state current (reopening replays nothing).
@@ -25,6 +30,7 @@ import (
 
 	"dstore"
 	"dstore/internal/latency"
+	"dstore/internal/replica"
 	"dstore/internal/server"
 )
 
@@ -42,6 +48,8 @@ func main() {
 		simlat   = flag.Bool("latency", false, "enable calibrated device latency injection")
 		shards   = flag.Int("shards", 1, "independent store shards behind the one address (keys hash-partition across them)")
 		cacheMB  = flag.Int("cache-mb", 0, "DRAM block cache size in MiB, split across shards (0 disables)")
+		replFrom = flag.String("replicate-from", "", "run as a hot standby tailing the primary dstore-server at this address (requires -shards 1)")
+		replHot  = flag.Bool("replicated", false, "pair every shard with an in-process hot standby that is promoted transparently when the shard degrades")
 	)
 	flag.Parse()
 
@@ -55,15 +63,60 @@ func main() {
 		CacheBytes: uint64(*cacheMB) << 20,
 	}
 	var st dstore.API
+	var single *dstore.Store
 	var err error
-	if *shards > 1 {
+	switch {
+	case *replHot:
+		st, err = dstore.FormatShardedReplicated(*shards, cfg)
+	case *shards > 1:
 		st, err = dstore.FormatSharded(*shards, cfg)
-	} else {
-		st, err = dstore.Format(cfg)
+	default:
+		single, err = dstore.Format(cfg)
+		st = single
 	}
 	if err != nil {
 		log.Fatalf("format store: %v", err)
 	}
+
+	// Standby mode: tail the primary's committed WAL into this store and
+	// serve it read-only until OpPromote arrives.
+	var tailer *replica.Standby
+	if *replFrom != "" {
+		if single == nil {
+			log.Fatalf("-replicate-from requires -shards 1 (a standby mirrors exactly one WAL)")
+		}
+		single.BeginStandby()
+		tailer, err = replica.Start(replica.Config{
+			Addr:  *replFrom,
+			Store: single,
+			Logf:  log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("replicate from %s: %v", *replFrom, err)
+		}
+		// OpPromote lands on the store behind the server's back; once the
+		// standby gate lifts, stop tailing (applies would be refused anyway).
+		go func() {
+			tick := time.NewTicker(100 * time.Millisecond)
+			defer tick.Stop()
+			for range tick.C {
+				if !single.IsStandby() {
+					log.Printf("promoted: standby is now a writable primary")
+					tailer.Stop() //nolint:errcheck // promotion path; verdict logged by the tailer
+					return
+				}
+				select {
+				case <-tailer.Done():
+					if err := tailer.Err(); err != nil {
+						log.Printf("replication ended: %v", err)
+					}
+					return
+				default:
+				}
+			}
+		}()
+	}
+
 	srv := st.NewNetServer(dstore.ServeOptions{
 		MaxConns:    *conns,
 		Window:      *window,
@@ -74,7 +127,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen %s: %v", *addr, err)
 	}
-	log.Printf("dstore-server listening on %s (shards=%d blocks=%d objects=%d cacheMB=%d)", ln.Addr(), *shards, *blocks, *objects, *cacheMB)
+	role := "primary"
+	if *replFrom != "" {
+		role = "standby of " + *replFrom
+	} else if *replHot {
+		role = "replicated"
+	}
+	log.Printf("dstore-server listening on %s (%s shards=%d blocks=%d objects=%d cacheMB=%d)", ln.Addr(), role, *shards, *blocks, *objects, *cacheMB)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -94,8 +153,14 @@ func main() {
 		log.Fatalf("serve: %v", err)
 	}
 	<-done
+	if tailer != nil {
+		tailer.Stop() //nolint:errcheck // shutdown path; the tailer logged its verdict
+	}
 	ss := srv.Stats()
 	log.Printf("served %d requests over %d connections", ss.Requests, ss.Accepted)
+	if ss.ReplSubscribers > 0 || ss.ReplDrops > 0 {
+		log.Printf("replication: subscribers=%d slow-follower-drops=%d", ss.ReplSubscribers, ss.ReplDrops)
+	}
 	if err := st.Close(); err != nil {
 		log.Printf("close store: %v", err)
 	}

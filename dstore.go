@@ -249,6 +249,12 @@ type Store struct {
 	degraded    atomic.Bool
 	degradedErr atomic.Value // error
 
+	// standby gates mutating entry points while the store mirrors a
+	// primary's WAL (see repl.go); applyMu serializes ApplyReplicated with
+	// Promote.
+	standby atomic.Bool
+	applyMu sync.Mutex
+
 	// quarantine holds SSD block ids withheld from allocation after a
 	// permanent device error. Volatile by design: a reopen (presumably on a
 	// repaired or replaced device) starts with an empty set, and a block
@@ -623,13 +629,17 @@ func (s *Store) degrade(err error) {
 // Degraded reports whether the store is in read-only degraded mode.
 func (s *Store) Degraded() bool { return s.degraded.Load() }
 
-// checkWritable gates every mutating entry point in degraded mode.
+// checkWritable gates every mutating entry point in degraded or standby
+// mode.
 func (s *Store) checkWritable() error {
 	if s.degraded.Load() {
 		if e, ok := s.degradedErr.Load().(error); ok && e != nil {
 			return fmt.Errorf("%w: %v", ErrDegraded, e)
 		}
 		return ErrDegraded
+	}
+	if s.standby.Load() {
+		return ErrStandby
 	}
 	return nil
 }
@@ -769,6 +779,11 @@ type Health struct {
 	// persistence failure that caused it.
 	Degraded bool
 	Reason   string
+	// DegradedShard is the index of the first degraded shard when this
+	// snapshot aggregates a sharded store; -1 for a healthy aggregate or a
+	// single store (operators read which shard failed over from here
+	// without iterating per-shard rows).
+	DegradedShard int
 	// QuarantinedBlocks lists SSD blocks withheld after permanent errors.
 	QuarantinedBlocks []uint64
 	// IORetries counts SSD operations that succeeded only after transient
@@ -785,6 +800,7 @@ type Health struct {
 func (s *Store) Health() Health {
 	h := Health{
 		Degraded:          s.degraded.Load(),
+		DegradedShard:     -1,
 		QuarantinedBlocks: s.quarantinedBlocks(),
 		IORetries:         s.health.ioRetries.Load(),
 		WriteErrors:       s.health.writeErrs.Load(),

@@ -1,0 +1,60 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// The default retry schedule is pinned: no jitter, linear i*Backoff growth,
+// saturating at BackoffCap. Existing deployments tuning only Backoff must
+// see exactly the pre-jitter delays.
+func TestBackoffDefaultSchedulePinned(t *testing.T) {
+	cfg := Config{Addr: "x"}
+	cfg.setDefaults()
+	if cfg.Backoff != 5*time.Millisecond || cfg.BackoffCap != 500*time.Millisecond || cfg.BackoffJitter != 0 {
+		t.Fatalf("defaults changed: backoff=%v cap=%v jitter=%v", cfg.Backoff, cfg.BackoffCap, cfg.BackoffJitter)
+	}
+	rng := func() float64 { t.Fatal("default schedule must not consult the RNG"); return 0 }
+	for i := 1; i <= 5; i++ {
+		if got, want := cfg.backoffDelay(i, rng), time.Duration(i)*5*time.Millisecond; got != want {
+			t.Fatalf("attempt %d: delay %v, want %v", i, got, want)
+		}
+	}
+	// Linear growth saturates at the cap instead of sleeping forever.
+	if got := cfg.backoffDelay(1000, rng); got != 500*time.Millisecond {
+		t.Fatalf("attempt 1000: delay %v, want cap 500ms", got)
+	}
+}
+
+// Jitter adds at most BackoffJitter fraction on top of the base delay and
+// never subtracts, so retries spread out without undershooting the base
+// schedule.
+func TestBackoffJitterBounds(t *testing.T) {
+	cfg := Config{Addr: "x", Backoff: 10 * time.Millisecond, BackoffJitter: 0.5}
+	cfg.setDefaults()
+	base := 30 * time.Millisecond // attempt 3
+	if got := cfg.backoffDelay(3, func() float64 { return 0 }); got != base {
+		t.Fatalf("zero draw: %v, want %v", got, base)
+	}
+	if got, want := cfg.backoffDelay(3, func() float64 { return 1 }), base+base/2; got != want {
+		t.Fatalf("max draw: %v, want %v", got, want)
+	}
+	if got, want := cfg.backoffDelay(3, func() float64 { return 0.5 }), base+base/4; got != want {
+		t.Fatalf("mid draw: %v, want %v", got, want)
+	}
+}
+
+// The cap applies to the base delay before jitter: a capped retry still
+// jitters, so synchronized clients hammering a recovering server spread out
+// even deep into a retry storm.
+func TestBackoffCapThenJitter(t *testing.T) {
+	cfg := Config{Addr: "x", Backoff: 100 * time.Millisecond, BackoffCap: 250 * time.Millisecond, BackoffJitter: 0.2}
+	cfg.setDefaults()
+	capped := 250 * time.Millisecond
+	if got := cfg.backoffDelay(50, func() float64 { return 0 }); got != capped {
+		t.Fatalf("capped base: %v, want %v", got, capped)
+	}
+	if got, want := cfg.backoffDelay(50, func() float64 { return 1 }), capped+capped/5; got != want {
+		t.Fatalf("capped max jitter: %v, want %v", got, want)
+	}
+}

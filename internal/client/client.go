@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -44,9 +45,18 @@ type Config struct {
 	// Attempts bounds tries per call on transient transport errors
 	// (mirroring the store's device-IO retry policy). Default 3.
 	Attempts int
-	// Backoff is the base retry delay; attempt i sleeps i*Backoff.
-	// Default 5ms.
+	// Backoff is the base retry delay; attempt i sleeps i*Backoff (plus
+	// jitter, capped by BackoffCap). Default 5ms.
 	Backoff time.Duration
+	// BackoffCap caps each retry delay: the linear growth saturates here,
+	// so a large Attempts setting cannot produce multi-second stalls.
+	// Default 500ms.
+	BackoffCap time.Duration
+	// BackoffJitter adds up to this fraction of random extra delay to each
+	// backoff (0.25 = up to +25%), decorrelating the retry storms of many
+	// clients hitting one recovering server. Default 0: the exact linear
+	// schedule, preserved for existing callers.
+	BackoffJitter float64
 	// DialTimeout bounds each dial. Default 5s.
 	DialTimeout time.Duration
 	// WriteTimeout bounds each request frame write. Default 30s.
@@ -65,6 +75,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.Backoff <= 0 {
 		c.Backoff = 5 * time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 500 * time.Millisecond
 	}
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = 5 * time.Second
@@ -204,6 +217,14 @@ func (c *Client) Checkpoint(ctx context.Context) error {
 	return err
 }
 
+// Promote asks the server to promote its standby backend for writes
+// (OpPromote): the failover trigger for a remote standby. Servers without a
+// replicating backend refuse with StatusBadRequest.
+func (c *Client) Promote(ctx context.Context) error {
+	_, err := c.do(ctx, &wire.Request{Op: wire.OpPromote})
+	return err
+}
+
 // ------------------------------------------------------------ retry engine
 
 // do executes one request with bounded retry on transient transport
@@ -215,7 +236,7 @@ func (c *Client) do(ctx context.Context, req *wire.Request) (wire.Response, erro
 	for attempt := 0; attempt < c.cfg.Attempts; attempt++ {
 		if attempt > 0 {
 			select {
-			case <-time.After(time.Duration(attempt) * c.cfg.Backoff):
+			case <-time.After(c.cfg.backoffDelay(attempt, rand.Float64)):
 			case <-ctx.Done():
 				return wire.Response{}, ctx.Err()
 			}
@@ -230,6 +251,22 @@ func (c *Client) do(ctx context.Context, req *wire.Request) (wire.Response, erro
 		}
 	}
 	return wire.Response{}, err
+}
+
+// backoffDelay computes the sleep before the given retry attempt: linear in
+// the attempt number, saturating at BackoffCap, with up to BackoffJitter
+// extra randomness drawn from rng (injected for testability). With the
+// default zero jitter this is exactly the historical i*Backoff schedule,
+// merely capped.
+func (c *Config) backoffDelay(attempt int, rng func() float64) time.Duration {
+	d := time.Duration(attempt) * c.Backoff
+	if c.BackoffCap > 0 && d > c.BackoffCap {
+		d = c.BackoffCap
+	}
+	if c.BackoffJitter > 0 {
+		d += time.Duration(rng() * c.BackoffJitter * float64(d))
+	}
+	return d
 }
 
 // statusErr maps a response status back onto the store's sentinel errors.

@@ -27,6 +27,7 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -65,6 +66,26 @@ type Backend interface {
 	ErrorStatus(err error) (wire.Status, string)
 }
 
+// Replicator is the optional backend surface behind OpReplicate. A backend
+// that implements it can stream its committed WAL suffix to subscribers;
+// one that does not rejects OpReplicate with StatusBadRequest.
+type Replicator interface {
+	// ExportCommitted returns up to max committed records with LSN > from,
+	// paired with the data they reference. An error means the subscriber
+	// cannot be served from that position (e.g. the log was recycled past
+	// it) and must re-seed.
+	ExportCommitted(from uint64, max int) ([]wire.Record, error)
+	// LastLSN is the most recently committed LSN (the feed's target; the
+	// gap to a subscriber's acked LSN is its lag).
+	LastLSN() uint64
+}
+
+// Promoter is the optional backend surface behind OpPromote: it opens a
+// standby backend for writes.
+type Promoter interface {
+	Promote() error
+}
+
 // Config tunes a Server. The zero value is usable.
 type Config struct {
 	// MaxConns bounds concurrent connections; further accepts are closed
@@ -79,10 +100,19 @@ type Config struct {
 	// request asks for 0). Default 1024.
 	MaxScan int
 	// IdleTimeout closes a connection whose reader sees no frame for this
-	// long. 0 disables.
+	// long. 0 disables. Subscriber connections are exempt once subscribed
+	// (their inbound direction carries only occasional acks).
 	IdleTimeout time.Duration
 	// WriteTimeout bounds each response frame write. 0 disables.
 	WriteTimeout time.Duration
+	// ReplicaMaxLag disconnects a replication subscriber whose acked LSN
+	// falls more than this many LSNs behind the primary (a slow follower
+	// must not pin unbounded log history or memory). Default 65536;
+	// negative disables the check.
+	ReplicaMaxLag int
+	// ReplicaPoll is the feed's idle poll interval once a subscriber is
+	// caught up. Default 2ms.
+	ReplicaPoll time.Duration
 }
 
 func (c *Config) setDefaults() {
@@ -98,6 +128,12 @@ func (c *Config) setDefaults() {
 	if c.MaxScan == 0 {
 		c.MaxScan = 1024
 	}
+	if c.ReplicaMaxLag == 0 {
+		c.ReplicaMaxLag = 65536
+	}
+	if c.ReplicaPoll == 0 {
+		c.ReplicaPoll = 2 * time.Millisecond
+	}
 }
 
 // Stats counts server-level events.
@@ -111,6 +147,13 @@ type Stats struct {
 	Requests uint64
 	// ProtocolErrors counts connections dropped for malformed input.
 	ProtocolErrors uint64
+	// ReplSubscribers is the current replication subscriber count;
+	// ReplDrops counts subscribers disconnected for exceeding ReplicaMaxLag.
+	ReplSubscribers, ReplDrops uint64
+	// ReplAcked is the lowest acked LSN among current subscribers (the
+	// primary's replication frontier; LastLSN − ReplAcked is the worst
+	// follower's lag). 0 when there are no subscribers.
+	ReplAcked uint64
 }
 
 // ErrServerClosed is returned by Serve after Shutdown completes.
@@ -153,6 +196,8 @@ type Server struct {
 	active    atomic.Uint64
 	requests  atomic.Uint64
 	protoErrs atomic.Uint64
+	replSubs  atomic.Uint64
+	replDrops atomic.Uint64
 }
 
 // New creates a Server over b.
@@ -168,12 +213,25 @@ func New(b Backend, cfg Config) *Server {
 
 // Stats snapshots the server counters.
 func (s *Server) Stats() Stats {
+	var minAcked uint64
+	s.mu.Lock()
+	for c := range s.conns {
+		if c.replOn.Load() {
+			if a := c.acked.Load(); minAcked == 0 || a < minAcked {
+				minAcked = a
+			}
+		}
+	}
+	s.mu.Unlock()
 	return Stats{
-		Accepted:       s.accepted.Load(),
-		Rejected:       s.rejected.Load(),
-		Active:         s.active.Load(),
-		Requests:       s.requests.Load(),
-		ProtocolErrors: s.protoErrs.Load(),
+		ReplAcked:       minAcked,
+		Accepted:        s.accepted.Load(),
+		Rejected:        s.rejected.Load(),
+		Active:          s.active.Load(),
+		Requests:        s.requests.Load(),
+		ProtocolErrors:  s.protoErrs.Load(),
+		ReplSubscribers: s.replSubs.Load(),
+		ReplDrops:       s.replDrops.Load(),
 	}
 }
 
@@ -229,11 +287,12 @@ func (s *Server) admit(nc net.Conn) bool {
 		return false
 	}
 	c := &conn{
-		srv:     s,
-		nc:      nc,
-		out:     make(chan *[]byte, s.cfg.Window+1),
-		slots:   make(chan struct{}, s.cfg.Window),
-		closing: make(chan struct{}),
+		srv:        s,
+		nc:         nc,
+		out:        make(chan *[]byte, s.cfg.Window+1),
+		slots:      make(chan struct{}, s.cfg.Window),
+		closing:    make(chan struct{}),
+		readerDone: make(chan struct{}),
 	}
 	s.conns[c] = struct{}{}
 	s.connWG.Add(1)
@@ -318,13 +377,20 @@ type conn struct {
 	srv *Server
 	nc  net.Conn
 
-	out     chan *[]byte  // pooled encoded response frames awaiting the writer
-	slots   chan struct{} // in-flight window semaphore
-	closing chan struct{} // closed exactly once to abort everything
+	out        chan *[]byte  // pooled encoded response frames awaiting the writer
+	slots      chan struct{} // in-flight window semaphore
+	closing    chan struct{} // closed exactly once to abort everything
+	readerDone chan struct{} // closed when readLoop returns
 
 	closeOnce sync.Once
 	draining  atomic.Bool
 	handlers  sync.WaitGroup
+
+	// Replication subscriber state: replOn flips once (the first
+	// OpReplicate wins the CAS and starts the feed; later ones are acks)
+	// and acked tracks the highest LSN the subscriber confirmed applying.
+	replOn atomic.Bool
+	acked  atomic.Uint64
 }
 
 // close aborts the connection immediately.
@@ -344,13 +410,15 @@ func (c *conn) beginDrain() {
 }
 
 // run owns the connection lifecycle. The reader runs inline; the epilogue
-// waits for handlers (so every accepted request gets its response encoded),
-// closes the response channel, and lets the writer flush before teardown.
+// waits for handlers — including a replication feed, which on a graceful
+// drain first flushes the committed tail — closes the response channel, and
+// lets the writer flush before teardown.
 func (c *conn) run() {
 	writerDone := make(chan struct{})
 	go c.writeLoop(writerDone)
 
 	c.readLoop()
+	close(c.readerDone)
 
 	c.handlers.Wait()
 	close(c.out)
@@ -372,7 +440,7 @@ func (c *conn) readLoop() {
 		if c.draining.Load() {
 			return
 		}
-		if t := c.srv.cfg.IdleTimeout; t > 0 {
+		if t := c.srv.cfg.IdleTimeout; t > 0 && !c.replOn.Load() {
 			c.nc.SetReadDeadline(time.Now().Add(t)) //nolint:errcheck // worst case: no idle kick, close() still works
 		}
 		pb := getBuf()
@@ -418,11 +486,14 @@ func (c *conn) readLoop() {
 
 // handle executes one request against the backend and queues the response.
 // pb is the pooled payload buffer req.Value aliases; it is recycled once the
-// response is encoded and the request's bytes are dead.
+// response is encoded and the request's bytes are dead. A nil response means
+// the request wanted none (a replication ack).
 func (c *conn) handle(req wire.Request, pb *[]byte) {
 	defer c.handlers.Done()
 	resp := c.execute(req)
-	c.respond(resp)
+	if resp != nil {
+		c.respond(resp)
+	}
 	putBuf(pb)
 	<-c.slots
 }
@@ -471,12 +542,38 @@ func (c *conn) execute(req wire.Request) *wire.Response {
 		ss := c.srv.Stats()
 		st.ServerConns = ss.Active
 		st.ServerRequests = ss.Requests
+		// The backend knows its replication role; the server owns the
+		// subscriber counters. Attach a primary-role section only once
+		// replication has actually been used, so replication-off
+		// deployments emit byte-identical frames.
+		if st.Repl != nil {
+			st.Repl.Subscribers = ss.ReplSubscribers
+			st.Repl.Drops = ss.ReplDrops
+		} else if ss.ReplSubscribers > 0 || ss.ReplDrops > 0 {
+			if r, ok := c.srv.b.(Replicator); ok {
+				st.Repl = &wire.ReplReply{
+					Role:        wire.ReplRolePrimary,
+					Subscribers: ss.ReplSubscribers,
+					Drops:       ss.ReplDrops,
+					LastLSN:     r.LastLSN(),
+					AckedLSN:    ss.ReplAcked,
+				}
+			}
+		}
 		resp.Stats = &st
 	case wire.OpHealth:
 		h := c.srv.b.Health()
 		resp.Health = &h
 	case wire.OpCheckpoint:
 		err = c.srv.b.Checkpoint()
+	case wire.OpReplicate:
+		return c.executeReplicate(req, resp)
+	case wire.OpPromote:
+		p, ok := c.srv.b.(Promoter)
+		if !ok {
+			return badRequest(resp, "promote: backend does not replicate")
+		}
+		err = p.Promote()
 	default:
 		return badRequest(resp, fmt.Sprintf("unknown opcode %d", uint8(req.Op)))
 	}
@@ -490,6 +587,166 @@ func (c *conn) execute(req wire.Request) *wire.Response {
 func badRequest(resp *wire.Response, msg string) *wire.Response {
 	resp.Status, resp.Msg = wire.StatusBadRequest, msg
 	return resp
+}
+
+// ------------------------------------------------------------- replication
+
+// feedBatch bounds the records pulled per export call; it also bounds the
+// copied-out data held in memory per subscriber per round.
+const feedBatch = 64
+
+// feedStallCheck is how often a feed blocked on a full out channel rechecks
+// the subscriber's lag, so a completely stalled follower is still detected
+// and dropped.
+const feedStallCheck = 50 * time.Millisecond
+
+// executeReplicate handles OpReplicate: the connection's first one is a
+// subscription (answered with the primary's current LSN, then the feed
+// starts), every later one is an ack carrying the subscriber's applied LSN
+// (answered with nothing — the stream direction is busy carrying records).
+func (c *conn) executeReplicate(req wire.Request, resp *wire.Response) *wire.Response {
+	r, ok := c.srv.b.(Replicator)
+	if !ok {
+		return badRequest(resp, "replicate: backend does not replicate")
+	}
+	lsn, err := wire.ReplicateLSN(&req)
+	if err != nil {
+		return badRequest(resp, err.Error())
+	}
+	if !c.replOn.CompareAndSwap(false, true) {
+		c.ackTo(lsn)
+		return nil
+	}
+	// Probe the position before acknowledging: a subscriber behind the log
+	// recycling horizon must re-seed, and learns it from the subscribe
+	// response, not a mid-stream cut.
+	if _, err := r.ExportCommitted(lsn, 1); err != nil {
+		c.replOn.Store(false)
+		resp.Status, resp.Msg = c.srv.b.ErrorStatus(err)
+		return resp
+	}
+	c.acked.Store(lsn)
+	c.nc.SetReadDeadline(time.Time{}) //nolint:errcheck // lift the idle deadline: acks may be sparse
+	c.srv.replSubs.Add(1)
+	c.handlers.Add(1)
+	go c.feedLoop(r, lsn)
+
+	var v [8]byte
+	binary.LittleEndian.PutUint64(v[:], r.LastLSN())
+	resp.Value = v[:]
+	return resp
+}
+
+// ackTo advances the subscriber's acked LSN monotonically (acks are handled
+// on concurrent goroutines and may arrive reordered).
+func (c *conn) ackTo(lsn uint64) {
+	for {
+		cur := c.acked.Load()
+		if lsn <= cur || c.acked.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
+// feedLoop streams committed records to one subscriber: export a batch from
+// the cursor, frame and queue each record behind the pipelined responses,
+// sleep briefly when caught up. Backpressure is bounded: a subscriber whose
+// acked LSN lags the primary by more than ReplicaMaxLag is dropped (counted
+// in ReplDrops) rather than allowed to pin history. On a graceful drain the
+// loop instead runs until the committed tail at drain time has been queued,
+// so the standby receives everything the primary will ever commit.
+func (c *conn) feedLoop(r Replicator, cursor uint64) {
+	defer c.handlers.Done()
+	defer c.srv.replSubs.Add(^uint64(0))
+	for {
+		select {
+		case <-c.closing:
+			return
+		default:
+		}
+		recs, err := r.ExportCommitted(cursor, feedBatch)
+		if err != nil {
+			// The cursor fell behind the recycling horizon mid-stream (or
+			// the backend failed); the subscriber must resubscribe and
+			// learns the verdict from its next subscribe response.
+			c.close()
+			return
+		}
+		for i := range recs {
+			if !c.feedSend(r, &recs[i]) {
+				return
+			}
+			cursor = recs[i].LSN
+		}
+		if c.lagExceeded(r) {
+			return
+		}
+		if len(recs) == 0 {
+			if c.draining.Load() {
+				return // committed tail flushed; drain completes
+			}
+			select {
+			case <-c.closing:
+				return
+			case <-c.readerDone:
+				// The reader is gone: either the subscriber hung up, or a
+				// graceful drain stopped the readLoop. Only the former ends
+				// the feed — a drain still owes the committed tail, which
+				// the next empty export detects.
+				if !c.draining.Load() {
+					return
+				}
+			case <-time.After(c.srv.cfg.ReplicaPoll):
+			}
+		}
+	}
+}
+
+// feedSend frames one record and queues it for the writer, rechecking the
+// lag bound while blocked so a stalled follower cannot park the feed
+// forever. Reports whether the feed should continue.
+func (c *conn) feedSend(r Replicator, rec *wire.Record) bool {
+	fb := getBuf()
+	var err error
+	*fb, err = wire.AppendRecordFrame((*fb)[:0], rec)
+	if err != nil {
+		putBuf(fb)
+		c.close()
+		return false
+	}
+	for {
+		select {
+		case c.out <- fb:
+			return true
+		case <-c.closing:
+			putBuf(fb)
+			return false
+		case <-time.After(feedStallCheck):
+			if c.lagExceeded(r) {
+				putBuf(fb)
+				return false
+			}
+		}
+	}
+}
+
+// lagExceeded applies the slow-follower bound; on a violation it counts the
+// drop and closes the connection. Drains are exempt — the subscriber cannot
+// ack during a drain (the reader has stopped), and the drain deadline
+// already bounds the flush.
+func (c *conn) lagExceeded(r Replicator) bool {
+	maxLag := c.srv.cfg.ReplicaMaxLag
+	if maxLag < 0 || c.draining.Load() {
+		return false
+	}
+	last := r.LastLSN()
+	acked := c.acked.Load()
+	if last > acked && last-acked > uint64(maxLag) {
+		c.srv.replDrops.Add(1)
+		c.close()
+		return true
+	}
+	return false
 }
 
 // writeLoop ships encoded frames in completion order until out closes (all

@@ -117,6 +117,12 @@ type Log struct {
 	mu   sync.Mutex // serializes appends and window scans
 	tail uint64     // next append offset; guarded by mu
 	cur  uint64     // firstUncommitted cursor (lazily advanced); guarded by mu
+
+	// archiveMax is the highest LSN in this log's genuine archived prefix,
+	// set when the log is archived by a swap and consumed (folded into the
+	// pair's truncation horizon) when the log is recycled by the next swap.
+	// Guarded by the Pair's swapMu.
+	archiveMax uint64
 }
 
 func newLog(sp *space.PMEM) *Log {
@@ -257,6 +263,12 @@ type Pair struct {
 
 	lsn atomic.Uint64
 
+	// truncated is the highest LSN that may no longer be present in either
+	// log region — discarded by log recycling, or consumed by checkpoints
+	// before a recovery. Replication exports refuse to start below it.
+	// Guarded by swapMu.
+	truncated uint64
+
 	regMu    sync.Mutex
 	registry map[uint64]*Handle // LSN -> in-flight handle; guarded by regMu
 }
@@ -289,6 +301,7 @@ func RecoverPair(a, b *space.PMEM, activeIdx int) (*Pair, error) {
 		registry: make(map[uint64]*Handle),
 	}
 	var maxLSN uint64
+	minFirst := ^uint64(0)
 	for _, l := range p.logs {
 		off := uint64(logHeader)
 		var prev uint64
@@ -296,6 +309,9 @@ func RecoverPair(a, b *space.PMEM, activeIdx int) (*Pair, error) {
 			rv, next, ok := l.readRecord(off)
 			if !ok || rv.LSN <= prev {
 				break
+			}
+			if prev == 0 && rv.LSN < minFirst {
+				minFirst = rv.LSN
 			}
 			prev = rv.LSN
 			if rv.LSN > maxLSN {
@@ -313,6 +329,14 @@ func RecoverPair(a, b *space.PMEM, activeIdx int) (*Pair, error) {
 		l.mu.Unlock()
 	}
 	p.lsn.Store(maxLSN)
+	// The recycling history is lost with the crash; set the export horizon
+	// conservatively. Records below the lowest LSN still present may have
+	// been consumed by checkpoints, so replication must not resume there.
+	if minFirst == ^uint64(0) {
+		p.truncated = maxLSN
+	} else {
+		p.truncated = minFirst - 1
+	}
 	return p, nil
 }
 
@@ -605,7 +629,23 @@ func (p *Pair) Swap(persistRoot func(newActive, archived int, replayEnd uint64))
 	if err := nl.sp.CheckFault(logHeader, tail-cut+16); err != nil {
 		return SwapResult{}, fmt.Errorf("wal: swap migration: %w", err)
 	}
+	// Recycling nl destroys its archived prefix (already consumed by the
+	// previous checkpoint); fold the highest destroyed LSN into the
+	// replication export horizon before any bytes are overwritten.
+	if nl.archiveMax > p.truncated {
+		p.truncated = nl.archiveMax
+	}
+	nl.archiveMax = 0
 	nl.reset()
+	// The archived prefix of old is [logHeader, cut): everything below the
+	// first migrated record's LSN lives only there until the next swap.
+	oldMax := p.lsn.Load()
+	if cut < tail {
+		if rv, _, ok := old.readRecord(cut); ok {
+			oldMax = rv.LSN - 1
+		}
+	}
+	old.archiveMax = oldMax
 
 	// Migrate the suffix [cut, tail) record by record.
 	migrated := 0

@@ -1,0 +1,297 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func randRecord(rng *rand.Rand) Record {
+	rec := Record{
+		LSN: 1 + rng.Uint64()%1000000,
+		Op:  uint16(rng.Intn(8)),
+	}
+	rec.Name = make([]byte, 1+rng.Intn(64))
+	rng.Read(rec.Name)
+	if rng.Intn(4) > 0 {
+		rec.Payload = make([]byte, rng.Intn(256))
+		rng.Read(rec.Payload)
+	}
+	if rng.Intn(2) == 0 {
+		rec.Data = make([]byte, rng.Intn(32<<10))
+		rng.Read(rec.Data)
+	}
+	return rec
+}
+
+func TestRecordFrameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 500; i++ {
+		want := randRecord(rng)
+		frame, err := AppendRecordFrame(nil, &want)
+		if err != nil {
+			t.Fatalf("AppendRecordFrame: %v", err)
+		}
+		got, err := DecodeRecordFrame(roundTripPayload(t, frame))
+		if err != nil {
+			t.Fatalf("DecodeRecordFrame: %v", err)
+		}
+		norm := func(r *Record) {
+			if r.Payload == nil {
+				r.Payload = []byte{}
+			}
+			if r.Data == nil {
+				r.Data = []byte{}
+			}
+		}
+		norm(&want)
+		norm(&got)
+		if got.LSN != want.LSN || got.Op != want.Op ||
+			!bytes.Equal(got.Name, want.Name) ||
+			!bytes.Equal(got.Payload, want.Payload) ||
+			!bytes.Equal(got.Data, want.Data) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+func TestRecordFrameRejectsInvalid(t *testing.T) {
+	// LSN zero is invalid in both directions.
+	if _, err := AppendRecordFrame(nil, &Record{LSN: 0, Name: []byte("x")}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("zero-LSN encode: %v", err)
+	}
+	frame, err := AppendRecordFrame(nil, &Record{LSN: 5, Name: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := append([]byte(nil), roundTripPayload(t, frame)...)
+	for i := 0; i < 8; i++ {
+		payload[i] = 0
+	}
+	if _, err := DecodeRecordFrame(payload); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("zero-LSN decode: %v", err)
+	}
+	// Oversized fields are rejected before allocation.
+	if _, err := AppendRecordFrame(nil, &Record{LSN: 1, Name: make([]byte, MaxRecordField+1)}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("oversized name encode: %v", err)
+	}
+	if _, err := AppendRecordFrame(nil, &Record{LSN: 1, Payload: make([]byte, MaxRecordField+1)}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("oversized payload encode: %v", err)
+	}
+}
+
+// Every single-bit corruption of a record frame must be rejected, never
+// silently accepted with changed content — the same discipline as request
+// and response frames.
+func TestRecordFrameBitFlips(t *testing.T) {
+	rec := Record{LSN: 42, Op: 3, Name: []byte("object/a"), Payload: []byte{1, 2, 3, 4}, Data: []byte("block-bytes")}
+	frame, err := AppendRecordFrame(nil, &rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bit := 0; bit < len(frame)*8; bit++ {
+		mut := append([]byte(nil), frame...)
+		mut[bit/8] ^= 1 << (bit % 8)
+		payload, err := ReadFrame(bytes.NewReader(mut), 0)
+		if err != nil {
+			continue
+		}
+		if got, err := DecodeRecordFrame(payload); err == nil {
+			t.Fatalf("bit flip %d survived framing: decoded %+v", bit, got)
+		}
+	}
+}
+
+func FuzzDecodeRecordFrame(f *testing.F) {
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 8; i++ {
+		rec := randRecord(rng)
+		frame, _ := AppendRecordFrame(nil, &rec) //nolint:errcheck
+		if len(frame) > FrameHeader {
+			f.Add(frame[FrameHeader:])
+		}
+	}
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		rec, err := DecodeRecordFrame(payload)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode and decode to the same value.
+		frame, err := AppendRecordFrame(nil, &rec)
+		if err != nil {
+			t.Fatalf("re-encode of decoded record failed: %v", err)
+		}
+		back, err := ReadFrame(bytes.NewReader(frame), 0)
+		if err != nil {
+			t.Fatalf("re-read: %v", err)
+		}
+		rec2, err := DecodeRecordFrame(back)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if rec2.LSN != rec.LSN || rec2.Op != rec.Op ||
+			!bytes.Equal(rec2.Name, rec.Name) ||
+			!bytes.Equal(rec2.Payload, rec.Payload) ||
+			!bytes.Equal(rec2.Data, rec.Data) {
+			t.Fatalf("re-decode mismatch: %+v vs %+v", rec2, rec)
+		}
+	})
+}
+
+func TestReplicateRequestRoundTrip(t *testing.T) {
+	req := ReplicateRequest(7, 123456)
+	frame, err := AppendRequest(nil, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRequest(roundTripPayload(t, frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := ReplicateLSN(&got)
+	if err != nil || lsn != 123456 || got.ID != 7 || got.Op != OpReplicate {
+		t.Fatalf("replicate round trip: %+v lsn=%d err=%v", got, lsn, err)
+	}
+	bad := Request{Op: OpReplicate, Value: []byte{1, 2, 3}}
+	if _, err := ReplicateLSN(&bad); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("short replicate value: %v", err)
+	}
+}
+
+// TestReplSectionRoundTrip covers the optional STATS replication section:
+// its presence forces the shard and cache delimiters out, and the forced
+// zeroed cache block decodes back to a nil Cache.
+func TestReplSectionRoundTrip(t *testing.T) {
+	// Single store, no cache, replicating: aggregate + zero shard count +
+	// zeroed cache block + zero cache-shard count + repl block.
+	st := &StatsReply{
+		Puts: 1, Gets: 2,
+		Repl: &ReplReply{Role: ReplRolePrimary, Subscribers: 1, Drops: 2, LastLSN: 100, AckedLSN: 90},
+	}
+	payload := roundTripPayload(t, AppendResponse(nil, &Response{ID: 1, Op: OpStats, Status: StatusOK, Stats: st}))
+	want := respFixed + statsFields*8 + 4 + cacheStatFields*8 + 4 + replStatFields*8
+	if len(payload) != want {
+		t.Fatalf("repl STATS payload is %d bytes, want %d", len(payload), want)
+	}
+	got, err := DecodeResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats == nil || !reflect.DeepEqual(got.Stats.Repl, st.Repl) {
+		t.Fatalf("repl section round trip: %+v", got.Stats)
+	}
+	if got.Stats.Cache != nil || len(got.Stats.Shards) != 0 {
+		t.Fatalf("forced delimiters decoded as phantom sections: %+v", got.Stats)
+	}
+
+	// All three sections together.
+	st.Shards = []ShardStat{{Puts: 1}, {Puts: 2}}
+	st.Cache = &CacheReply{
+		CacheStat: CacheStat{Hits: 5, Capacity: 1 << 20},
+		Shards:    []CacheStat{{Hits: 3, Capacity: 1 << 19}, {Hits: 2, Capacity: 1 << 19}},
+	}
+	payload = roundTripPayload(t, AppendResponse(nil, &Response{ID: 2, Op: OpStats, Status: StatusOK, Stats: st}))
+	want = respFixed + statsFields*8 + 4 + 2*shardStatBytes +
+		cacheStatFields*8 + 4 + 2*cacheStatBytes + replStatFields*8
+	if len(payload) != want {
+		t.Fatalf("full STATS payload is %d bytes, want %d", len(payload), want)
+	}
+	got, err = DecodeResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Stats, st) {
+		t.Fatalf("full STATS round trip:\n got %+v\nwant %+v", got.Stats, st)
+	}
+}
+
+// TestReplOffFramesUnchanged pins the replication-off wire layouts: with
+// Stats.Repl nil every existing frame shape is byte-identical to the
+// pre-replication protocol.
+func TestReplOffFramesUnchanged(t *testing.T) {
+	// Single store, no cache: ends at the aggregate block.
+	st := &StatsReply{Puts: 7, Gets: 8}
+	payload := roundTripPayload(t, AppendResponse(nil, &Response{ID: 3, Op: OpStats, Status: StatusOK, Stats: st}))
+	if want := respFixed + statsFields*8; len(payload) != want {
+		t.Fatalf("repl-off single-store STATS payload is %d bytes, want %d", len(payload), want)
+	}
+
+	// Sharded, no cache: ends after the shard rows.
+	st.Shards = []ShardStat{{Puts: 1}, {Gets: 2}}
+	payload = roundTripPayload(t, AppendResponse(nil, &Response{ID: 4, Op: OpStats, Status: StatusOK, Stats: st}))
+	if want := respFixed + statsFields*8 + 4 + 2*shardStatBytes; len(payload) != want {
+		t.Fatalf("repl-off sharded STATS payload is %d bytes, want %d", len(payload), want)
+	}
+
+	// Sharded with cache: ends after the cache rows.
+	st.Cache = &CacheReply{
+		CacheStat: CacheStat{Hits: 1, Capacity: 1 << 20},
+		Shards:    []CacheStat{{Capacity: 1 << 19}, {Capacity: 1 << 19}},
+	}
+	payload = roundTripPayload(t, AppendResponse(nil, &Response{ID: 5, Op: OpStats, Status: StatusOK, Stats: st}))
+	want := respFixed + statsFields*8 + 4 + 2*shardStatBytes + cacheStatFields*8 + 4 + 2*cacheStatBytes
+	if len(payload) != want {
+		t.Fatalf("repl-off cache STATS payload is %d bytes, want %d", len(payload), want)
+	}
+	got, err := DecodeResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.Repl != nil {
+		t.Fatalf("phantom repl section: %+v", got.Stats.Repl)
+	}
+}
+
+// Satellite: Op.String must never print a bare integer for defined opcodes
+// (dstore-inspect renders these), and the default case is pinned for
+// undefined ones.
+func TestOpStringPinned(t *testing.T) {
+	want := map[Op]string{
+		OpPut:        "PUT",
+		OpGet:        "GET",
+		OpDelete:     "DELETE",
+		OpScan:       "SCAN",
+		OpStats:      "STATS",
+		OpHealth:     "HEALTH",
+		OpCheckpoint: "CHECKPOINT",
+		OpReplicate:  "REPLICATE",
+		OpPromote:    "PROMOTE",
+	}
+	if len(want) != int(opMax)-1 {
+		t.Fatalf("string table covers %d ops, protocol defines %d", len(want), int(opMax)-1)
+	}
+	for op := Op(1); op < opMax; op++ {
+		s := op.String()
+		if s != want[op] {
+			t.Fatalf("Op(%d).String() = %q, want %q", op, s, want[op])
+		}
+		if s == fmt.Sprintf("op(%d)", uint8(op)) {
+			t.Fatalf("defined opcode %d prints as a bare integer", op)
+		}
+	}
+	// The default case is pinned: unknown opcodes print op(N).
+	for _, op := range []Op{0, opMax, opMax + 1, 200, 255} {
+		if got, want := op.String(), fmt.Sprintf("op(%d)", uint8(op)); got != want {
+			t.Fatalf("Op(%d).String() = %q, want pinned default %q", op, got, want)
+		}
+	}
+}
+
+func TestOpValidCoverage(t *testing.T) {
+	for op := Op(1); op < opMax; op++ {
+		if !op.Valid() {
+			t.Fatalf("defined opcode %s invalid", op)
+		}
+	}
+	if !OpReplicate.Valid() || !OpPromote.Valid() {
+		t.Fatal("replication opcodes not valid")
+	}
+	for _, op := range []Op{0, opMax, 255} {
+		if op.Valid() {
+			t.Fatalf("undefined opcode %d valid", op)
+		}
+	}
+}

@@ -60,6 +60,17 @@ const (
 	OpHealth
 	// OpCheckpoint runs one synchronous checkpoint.
 	OpCheckpoint
+	// OpReplicate subscribes the connection to the server's committed WAL
+	// records starting after the LSN carried in Value (8 bytes, little
+	// endian). The server answers once with its current last LSN in the
+	// response Value, then the connection leaves request/response mode: the
+	// server streams record frames (AppendRecordFrame) and the subscriber
+	// sends further OpReplicate requests as acks (Value = applied LSN),
+	// which get no response.
+	OpReplicate
+	// OpPromote asks a standby server to promote: finish applying, open for
+	// writes, and stop replicating.
+	OpPromote
 
 	opMax
 )
@@ -83,6 +94,10 @@ func (o Op) String() string {
 		return "HEALTH"
 	case OpCheckpoint:
 		return "CHECKPOINT"
+	case OpReplicate:
+		return "REPLICATE"
+	case OpPromote:
+		return "PROMOTE"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -113,6 +128,10 @@ const (
 	StatusBadRequest
 	// StatusInternal covers any other server-side failure; Msg has detail.
 	StatusInternal
+	// StatusReplGap rejects an OpReplicate subscription whose position
+	// predates the primary's log recycling horizon: the standby cannot be
+	// caught up record-by-record and must re-seed from scratch.
+	StatusReplGap
 
 	statusMax
 )
@@ -138,6 +157,8 @@ func (s Status) String() string {
 		return "BAD_REQUEST"
 	case StatusInternal:
 		return "INTERNAL"
+	case StatusReplGap:
+		return "REPL_GAP"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -212,7 +233,53 @@ type StatsReply struct {
 	// configured; nil otherwise. Cache-off frames carry no cache section and
 	// stay byte-identical to the pre-cache protocol.
 	Cache *CacheReply
+	// Repl holds replication counters when the server participates in
+	// replication (as primary with subscribers or as standby); nil
+	// otherwise. Replication-off frames carry no repl section and stay
+	// byte-identical to the pre-replication protocol.
+	Repl *ReplReply
 }
+
+// Replication roles carried in ReplReply.Role.
+const (
+	// ReplRolePrimary marks a server exporting its WAL to subscribers.
+	ReplRolePrimary uint64 = 1
+	// ReplRoleStandby marks a server applying a primary's WAL.
+	ReplRoleStandby uint64 = 2
+)
+
+// ReplReply is the optional STATS replication section. On the wire it
+// trails the cache section; emitting it forces the shard and cache
+// delimiters out (zeroed when those sections are otherwise absent) so the
+// positional decode stays unambiguous. Replication lag is
+// LastLSN − AckedLSN: the records the primary has committed but no
+// subscriber has applied yet.
+type ReplReply struct {
+	// Role is ReplRolePrimary or ReplRoleStandby.
+	Role uint64
+	// Subscribers counts live feed subscriptions (primary side).
+	Subscribers uint64
+	// Drops counts subscribers disconnected for lagging beyond the
+	// server's bound (primary side, monotonic).
+	Drops uint64
+	// LastLSN is the highest committed LSN (primary: its log; standby: the
+	// highest LSN the feed has announced).
+	LastLSN uint64
+	// AckedLSN is the lowest applied LSN across subscribers (primary
+	// side), or this standby's own applied LSN (standby side).
+	AckedLSN uint64
+}
+
+// fields lists the ReplReply counters in wire order.
+func (s *ReplReply) fields() []uint64 {
+	return []uint64{s.Role, s.Subscribers, s.Drops, s.LastLSN, s.AckedLSN}
+}
+
+func (s *ReplReply) setFields(v []uint64) {
+	s.Role, s.Subscribers, s.Drops, s.LastLSN, s.AckedLSN = v[0], v[1], v[2], v[3], v[4]
+}
+
+const replStatFields = 5
 
 // CacheStat is one block-cache counter row (the aggregate or one shard's).
 type CacheStat struct {
@@ -430,7 +497,7 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 	dst = append(dst, msg...)
 	if resp.Status == StatusOK {
 		switch resp.Op {
-		case OpGet:
+		case OpGet, OpReplicate:
 			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(resp.Value)))
 			dst = append(dst, resp.Value...)
 		case OpScan:
@@ -457,9 +524,13 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 			// single store, so those frames match the pre-sharding layout.
 			// A cache section trails the shard rows; since it needs the
 			// shard-count word as a delimiter, its presence forces the word
-			// out even on a single store (count zero). With neither, the
-			// payload ends at the aggregate block exactly as before.
-			if len(st.Shards) > 0 || st.Cache != nil {
+			// out even on a single store (count zero). A repl section
+			// trails the cache section and likewise forces a (zeroed)
+			// cache section out when one is not otherwise present. With
+			// none of them, the payload ends at the aggregate block exactly
+			// as before.
+			emitCache := st.Cache != nil || st.Repl != nil
+			if len(st.Shards) > 0 || emitCache {
 				dst = binary.LittleEndian.AppendUint32(dst, uint32(len(st.Shards)))
 				for i := range st.Shards {
 					for _, v := range st.Shards[i].fields() {
@@ -467,15 +538,24 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 					}
 				}
 			}
-			if st.Cache != nil {
-				for _, v := range st.Cache.fields() {
+			if emitCache {
+				var cache CacheReply
+				if st.Cache != nil {
+					cache = *st.Cache
+				}
+				for _, v := range cache.fields() {
 					dst = binary.LittleEndian.AppendUint64(dst, v)
 				}
-				dst = binary.LittleEndian.AppendUint32(dst, uint32(len(st.Cache.Shards)))
-				for i := range st.Cache.Shards {
-					for _, v := range st.Cache.Shards[i].fields() {
+				dst = binary.LittleEndian.AppendUint32(dst, uint32(len(cache.Shards)))
+				for i := range cache.Shards {
+					for _, v := range cache.Shards[i].fields() {
 						dst = binary.LittleEndian.AppendUint64(dst, v)
 					}
+				}
+			}
+			if st.Repl != nil {
+				for _, v := range st.Repl.fields() {
+					dst = binary.LittleEndian.AppendUint64(dst, v)
 				}
 			}
 		case OpHealth:
@@ -572,7 +652,7 @@ func DecodeResponse(payload []byte) (Response, error) {
 	}
 	if resp.Status == StatusOK {
 		switch resp.Op {
-		case OpGet:
+		case OpGet, OpReplicate:
 			resp.Value = d.bytes(int(d.u32()))
 		case OpScan:
 			n := int(d.u32())
@@ -644,7 +724,25 @@ func DecodeResponse(payload []byte) (Response, error) {
 					}
 				}
 				if d.err == nil {
-					resp.Stats.Cache = cr
+					// A zero-valued cache block with no rows is the forced
+					// delimiter a repl-only server emits (a configured cache
+					// always has Capacity > 0): decode it back to "no cache
+					// section" so encoding round-trips.
+					if cr.CacheStat != (CacheStat{}) || len(cr.Shards) > 0 {
+						resp.Stats.Cache = cr
+					}
+				}
+			}
+			// Optional replication section after the cache section: a fixed
+			// counter block, present only on replicating servers.
+			if d.err == nil && d.remaining() > 0 {
+				var rv [replStatFields]uint64
+				for i := range rv {
+					rv[i] = d.u64()
+				}
+				if d.err == nil {
+					resp.Stats.Repl = &ReplReply{}
+					resp.Stats.Repl.setFields(rv[:])
 				}
 			}
 		case OpHealth:

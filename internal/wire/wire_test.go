@@ -11,7 +11,7 @@ import (
 
 // randRequest draws a random but valid request covering every opcode.
 func randRequest(rng *rand.Rand) Request {
-	ops := []Op{OpPut, OpGet, OpDelete, OpScan, OpStats, OpHealth, OpCheckpoint}
+	ops := []Op{OpPut, OpGet, OpDelete, OpScan, OpStats, OpHealth, OpCheckpoint, OpReplicate, OpPromote}
 	req := Request{
 		ID: rng.Uint64(),
 		Op: ops[rng.Intn(len(ops))],
@@ -27,6 +27,9 @@ func randRequest(rng *rand.Rand) Request {
 	}
 	if req.Op == OpScan {
 		req.Limit = rng.Uint32()
+	}
+	if req.Op == OpReplicate {
+		req = ReplicateRequest(req.ID, rng.Uint64())
 	}
 	return req
 }
@@ -74,6 +77,15 @@ func randResponse(rng *rand.Rand, op Op) Response {
 				row.setFields(sv)
 				st.Shards = append(st.Shards, row)
 			}
+		}
+		// A third carry the replication trailing section.
+		if rng.Intn(3) == 0 {
+			rv := make([]uint64, replStatFields)
+			for i := range rv {
+				rv[i] = rng.Uint64()
+			}
+			st.Repl = &ReplReply{}
+			st.Repl.setFields(rv)
 		}
 		resp.Stats = st
 	case OpHealth:
@@ -150,7 +162,7 @@ func TestRequestRoundTrip(t *testing.T) {
 
 func TestResponseRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	ops := []Op{OpPut, OpGet, OpDelete, OpScan, OpStats, OpHealth, OpCheckpoint}
+	ops := []Op{OpPut, OpGet, OpDelete, OpScan, OpStats, OpHealth, OpCheckpoint, OpReplicate, OpPromote}
 	for i := 0; i < 500; i++ {
 		want := randResponse(rng, ops[i%len(ops)])
 		frame := AppendResponse(nil, &want)

@@ -71,14 +71,58 @@ type shardView interface {
 	Shard(i int) *Store
 }
 
+// replView is the optional replication surface an API may provide; *Store
+// (and *ReplicatedShard) do, *Sharded does not (each shard has its own WAL
+// and replicates independently).
+type replView interface {
+	ExportCommitted(from uint64, max int) ([]wire.Record, error)
+	LastLSN() uint64
+	AppliedLSN() uint64
+	IsStandby() bool
+	Promote() error
+}
+
 // netBackendFor adapts any API to the wire server, attaching per-shard
-// stats/health rows when the API exposes shards.
+// stats/health rows when the API exposes shards and the replication surface
+// (server.Replicator + server.Promoter) when the API supports it.
 func netBackendFor(api API) server.Backend {
 	b := &netBackend{api: api}
 	if v, ok := api.(shardView); ok && v.Shards() > 1 {
 		b.shards = v
 	}
+	if r, ok := api.(replView); ok {
+		return &replNetBackend{netBackend: b, r: r}
+	}
 	return b
+}
+
+// replNetBackend overlays the replication surface on netBackend, so the
+// server's Replicator/Promoter type assertions succeed exactly when the
+// underlying API replicates.
+type replNetBackend struct {
+	*netBackend
+	r replView
+}
+
+func (b *replNetBackend) ExportCommitted(from uint64, max int) ([]wire.Record, error) {
+	return b.r.ExportCommitted(from, max)
+}
+
+func (b *replNetBackend) LastLSN() uint64 { return b.r.LastLSN() }
+func (b *replNetBackend) Promote() error  { return b.r.Promote() }
+
+// Stats attaches the standby-role replication section; the primary-role
+// section is the server's to attach (it owns the subscriber bookkeeping).
+func (b *replNetBackend) Stats() wire.StatsReply {
+	st := b.netBackend.Stats()
+	if b.r.IsStandby() {
+		st.Repl = &wire.ReplReply{
+			Role:     wire.ReplRoleStandby,
+			LastLSN:  b.r.LastLSN(),
+			AckedLSN: b.r.AppliedLSN(),
+		}
+	}
+	return st
 }
 
 type netBackend struct {
@@ -234,6 +278,12 @@ func (b *netBackend) ErrorStatus(err error) (wire.Status, string) {
 		return wire.StatusCorrupt, err.Error()
 	case errors.Is(err, ErrDegraded):
 		return wire.StatusDegraded, err.Error()
+	case errors.Is(err, ErrStandby):
+		// A standby is read-only for clients exactly like a degraded
+		// primary; the message tells the two apart.
+		return wire.StatusDegraded, err.Error()
+	case errors.Is(err, ErrReplGap):
+		return wire.StatusReplGap, err.Error()
 	case errors.Is(err, ErrClosed):
 		return wire.StatusClosed, ""
 	default:

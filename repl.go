@@ -1,0 +1,276 @@
+package dstore
+
+// Phase-one replication, store side (see DESIGN.md §10). The WAL logs
+// metadata only — block ids and checksums, never block content — so the
+// exporter pairs every committed record with the SSD data it references and
+// the standby applies both: data to its own SSD first, then the record
+// through the same replay machinery recovery uses. The standby is a
+// byte-compatible mirror (same LSNs, slots, and block ids), which makes
+// promotion a local checkpoint plus pool rebuild: no state translation.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dstore/internal/wal"
+	"dstore/internal/wire"
+)
+
+// ErrStandby is returned for mutating operations on a store that is
+// applying a primary's WAL (BeginStandby). Reads are served; writes are
+// refused until Promote.
+var ErrStandby = errors.New("dstore: standby (replicating, read-only)")
+
+// ErrReplGap is returned by ExportCommitted when the subscriber's position
+// predates the log recycling horizon: the standby cannot be caught up
+// record-by-record and must re-seed from scratch.
+var ErrReplGap = errors.New("dstore: replication gap (subscriber too far behind)")
+
+// LastLSN returns the most recently assigned (primary) or applied
+// (standby) log sequence number.
+func (s *Store) LastLSN() uint64 { return s.eng.Pair().LastLSN() }
+
+// AppliedLSN is the standby's ack position: the highest LSN it has durably
+// applied. It equals LastLSN because replicated records are appended to the
+// standby's own WAL at the primary's LSNs — and therefore survives a
+// standby crash, which recovers the committed prefix and resubscribes from
+// here.
+func (s *Store) AppliedLSN() uint64 { return s.eng.Pair().LastLSN() }
+
+// exportSpanLen returns the logical length of block i of an object of the
+// given size.
+func (s *Store) exportSpanLen(size uint64, i int) uint64 {
+	lo := uint64(i) * s.cfg.BlockSize
+	hi := lo + s.cfg.BlockSize
+	if hi > size {
+		hi = size
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// ExportCommitted returns up to max committed WAL records with LSN > from,
+// each paired with the SSD block content it references (concatenated in
+// block order, logical spans only). Records whose data can no longer be
+// read back verifiably are skipped: when a block was freed and reused, a
+// newer committed record necessarily rewrote the object and ships the fresh
+// content, so the standby still converges. A short or empty result means
+// "caught up for now"; ErrReplGap means the subscriber must re-seed.
+func (s *Store) ExportCommitted(from uint64, max int) ([]wire.Record, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	recs, err := s.eng.Pair().ExportCommitted(from, max)
+	if err != nil {
+		if errors.Is(err, wal.ErrTruncated) {
+			return nil, fmt.Errorf("%w: %v", ErrReplGap, err)
+		}
+		return nil, err
+	}
+	out := make([]wire.Record, 0, len(recs))
+	for _, r := range recs {
+		w := wire.Record{LSN: r.LSN, Op: r.Op, Name: r.Name, Payload: r.Payload}
+		switch r.Op {
+		case opPut, opCreate, opExtend:
+			size, _, blocks, sums, err := decodeAllocPayload(r.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("dstore: export record %d: %w", r.LSN, err)
+			}
+			data := make([]byte, 0, size)
+			ok := true
+			for i, b := range blocks {
+				ln := s.exportSpanLen(size, i)
+				if ln == 0 {
+					continue
+				}
+				span := make([]byte, ln)
+				if err := s.readBlockVerified(b, span, sums[i], string(r.Name)); err != nil {
+					ok = false // superseded content (or at-rest fault): skip
+					break
+				}
+				data = append(data, span...)
+			}
+			if !ok {
+				continue
+			}
+			w.Data = data
+		case opRemap:
+			// The record does not carry the span length, so the full block
+			// ships unverified; bytes beyond the logical span are never read.
+			_, newBlock, _, err := decodeRemapPayload(r.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("dstore: export record %d: %w", r.LSN, err)
+			}
+			blk := make([]byte, s.cfg.BlockSize)
+			if err := s.ssdRead(s.dataOff(newBlock), blk); err != nil {
+				continue // standby keeps its intact pre-remap copy
+			}
+			w.Data = blk
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// BeginStandby puts the store into standby mode: mutating operations return
+// ErrStandby and ApplyReplicated is enabled. A standby is normally a fresh
+// Format (mirroring from LSN 0) or a reopened previous standby (resuming
+// from AppliedLSN).
+func (s *Store) BeginStandby() { s.standby.Store(true) }
+
+// IsStandby reports whether the store is in standby mode.
+func (s *Store) IsStandby() bool { return s.standby.Load() }
+
+// ApplyReplicated applies one shipped record to a standby: block data to
+// this store's own SSD first, then a directly-committed WAL record at the
+// primary's LSN, then the in-memory structures via the same replay path
+// recovery uses. A crash between the SSD write and the WAL append loses
+// nothing (the record was not acked); a crash after the WAL append is
+// repaired by recovery replay, which re-applies the committed record over
+// the already-durable data.
+func (s *Store) ApplyReplicated(rec wire.Record) error {
+	if !s.standby.Load() {
+		return fmt.Errorf("dstore: ApplyReplicated on non-standby store")
+	}
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if s.degraded.Load() {
+		return s.checkWritable()
+	}
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	if rec.LSN <= s.eng.Pair().LastLSN() {
+		return nil // duplicate delivery (resubscribe overlap): idempotent
+	}
+
+	var touched []uint64
+	switch rec.Op {
+	case opPut, opCreate, opExtend:
+		size, _, blocks, _, err := decodeAllocPayload(rec.Payload)
+		if err != nil {
+			return fmt.Errorf("dstore: apply record %d: %w", rec.LSN, err)
+		}
+		off := uint64(0)
+		for i, b := range blocks {
+			ln := s.exportSpanLen(size, i)
+			if ln == 0 {
+				continue
+			}
+			if off+ln > uint64(len(rec.Data)) {
+				return fmt.Errorf("dstore: apply record %d: data truncated (%d < %d)",
+					rec.LSN, len(rec.Data), off+ln)
+			}
+			if err := s.ssdWrite(s.dataOff(b), rec.Data[off:off+ln]); err != nil {
+				s.degrade(err)
+				return fmt.Errorf("%w: standby data write: %v", ErrDegraded, err)
+			}
+			off += ln
+			touched = append(touched, b)
+		}
+	case opRemap:
+		_, newBlock, _, err := decodeRemapPayload(rec.Payload)
+		if err != nil {
+			return fmt.Errorf("dstore: apply record %d: %w", rec.LSN, err)
+		}
+		if uint64(len(rec.Data)) != s.cfg.BlockSize {
+			return fmt.Errorf("dstore: apply record %d: remap data %d B, want %d",
+				rec.LSN, len(rec.Data), s.cfg.BlockSize)
+		}
+		if err := s.ssdWrite(s.dataOff(newBlock), rec.Data); err != nil {
+			s.degrade(err)
+			return fmt.Errorf("%w: standby data write: %v", ErrDegraded, err)
+		}
+		touched = append(touched, newBlock)
+	}
+
+	// Data durable; now the record. AppendCommitted publishes with the
+	// committed state already set, so the standby's recovery sees exactly
+	// the applied prefix.
+	if err := s.applyAppend(rec); err != nil {
+		return err
+	}
+
+	// In-memory apply under the writer locks (no frontend writers exist on
+	// a standby, but readers do; same nesting as Delete: tree, then zone).
+	name := string(rec.Name)
+	s.readers.awaitZero(name)
+	s.treeMu.Lock()
+	rv := wal.RecordView{
+		LSN:     rec.LSN,
+		Op:      rec.Op,
+		State:   wal.StateCommitted,
+		Name:    rec.Name,
+		Payload: rec.Payload,
+	}
+	slot, haveSlot := s.front.tree.Get(rec.Name)
+	var lk *sync.Mutex
+	if haveSlot {
+		lk = s.zoneLock(slot)
+		lk.Lock()
+	}
+	err := replayRecord(s.front, rv)
+	if lk != nil {
+		lk.Unlock()
+	}
+	s.treeMu.Unlock()
+	if err != nil {
+		s.degrade(err)
+		return fmt.Errorf("%w: standby apply: %v", ErrDegraded, err)
+	}
+	s.cacheInvalidate(touched)
+	return nil
+}
+
+// applyAppend appends rec to the standby's WAL as a committed record,
+// checkpointing once to reclaim log space when the active log is full.
+func (s *Store) applyAppend(rec wire.Record) error {
+	for attempt := 0; ; attempt++ {
+		err := s.eng.Pair().AppendCommitted(rec.LSN, rec.Op, rec.Name, rec.Payload)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, wal.ErrLogFull) && attempt == 0 {
+			if cerr := s.checkpointForSpace(); cerr != nil {
+				return cerr
+			}
+			continue
+		}
+		s.degrade(err)
+		return fmt.Errorf("%w: standby log append: %v", ErrDegraded, err)
+	}
+}
+
+// Promote opens a standby for writes: applies stop, the free pools are
+// rebuilt from the mirrored metadata (the standby never allocates, so they
+// are stale), a checkpoint makes the promoted state durable, and the
+// standby gate lifts. After Promote the store is an ordinary primary — it
+// can itself be replicated.
+func (s *Store) Promote() error {
+	if !s.standby.Load() {
+		return nil
+	}
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	s.poolMu.Lock()
+	err := rebuildPools(s.front, s.cfg.Blocks)
+	s.poolMu.Unlock()
+	if err != nil {
+		s.degrade(err)
+		return fmt.Errorf("%w: promote pool rebuild: %v", ErrDegraded, err)
+	}
+	if !s.cfg.DisableCheckpoints {
+		if err := s.eng.Checkpoint(); err != nil {
+			s.degrade(err)
+			return fmt.Errorf("%w: promote checkpoint: %v", ErrDegraded, err)
+		}
+	}
+	s.standby.Store(false)
+	return nil
+}

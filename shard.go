@@ -2,8 +2,10 @@ package dstore
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // This file implements the sharded store: N fully independent DStore
@@ -26,6 +28,34 @@ import (
 type Sharded struct {
 	shards []*Store
 	cfgs   []Config // per-shard configs; devices filled by Crash for reopening
+
+	// repl, when non-nil, pairs every shard with an in-process hot standby
+	// (FormatShardedReplicated): a shard whose persistence path fails no
+	// longer turns read-only — it fails over to its standby and stays
+	// writable. gen counts failovers; contexts use it to notice that a
+	// shard's active store changed.
+	repl []*ReplicatedShard
+	gen  atomic.Uint64
+}
+
+// store returns the store currently serving shard i (the promoted standby
+// after a failover).
+func (sh *Sharded) store(i int) *Store {
+	if sh.repl != nil {
+		return sh.repl[i].Active()
+	}
+	return sh.shards[i]
+}
+
+// failover reacts to err from an operation on shard i: when the shard is
+// replicated and the error is the degraded sentinel, it promotes the
+// standby (idempotent; concurrent callers serialize) and reports that the
+// operation should be retried on the new active store.
+func (sh *Sharded) failover(i int, err error) bool {
+	if sh.repl == nil || !errors.Is(err, ErrDegraded) {
+		return false
+	}
+	return sh.repl[i].Failover() == nil
 }
 
 // shardIndex routes a key to its shard with FNV-1a over the name. The
@@ -108,6 +138,42 @@ func FormatSharded(shards int, cfg Config) (*Sharded, error) {
 	return sh, nil
 }
 
+// FormatShardedReplicated creates a fresh sharded store in which every
+// shard is a primary/standby ReplicatedShard pair: N primaries plus N
+// in-process standbys, each standby tailing its primary's committed WAL.
+// The aggregate geometry doubles in memory and device footprint; the API
+// and key placement are identical to FormatSharded. A shard whose
+// persistence path fails is failed over transparently on the next write.
+func FormatShardedReplicated(shards int, cfg Config) (*Sharded, error) {
+	sh, err := FormatSharded(shards, cfg)
+	if err != nil {
+		return nil, err
+	}
+	standbys := make([]*Store, shards)
+	if err := sh.forEachShard(func(i int, _ *Store) error {
+		sb, err := Format(sh.cfgs[i])
+		if err != nil {
+			return fmt.Errorf("dstore: format standby %d: %w", i, err)
+		}
+		standbys[i] = sb
+		return nil
+	}); err != nil {
+		for _, sb := range standbys {
+			if sb != nil {
+				sb.CloseNoCheckpoint() //nolint:errcheck // best-effort teardown after a failed constructor
+			}
+		}
+		sh.closeOpened()
+		return nil, err
+	}
+	sh.repl = make([]*ReplicatedShard, shards)
+	onSwap := func() { sh.gen.Add(1) }
+	for i := range sh.repl {
+		sh.repl[i] = NewReplicatedShard(sh.shards[i], standbys[i], onSwap)
+	}
+	return sh, nil
+}
+
 // OpenSharded recovers a sharded store from per-shard configs (each must
 // carry its shard's PMEM and SSD devices, in shard order). Recovery runs in
 // parallel: every shard rebuilds its metadata and replays its own log
@@ -144,8 +210,8 @@ func (sh *Sharded) closeOpened() {
 	}
 }
 
-// forEachShard runs f on every shard concurrently and returns the error of
-// the lowest-indexed shard that failed.
+// forEachShard runs f on every shard's active store concurrently and
+// returns the error of the lowest-indexed shard that failed.
 func (sh *Sharded) forEachShard(f func(i int, s *Store) error) error {
 	errs := make([]error, len(sh.shards))
 	var wg sync.WaitGroup
@@ -153,7 +219,7 @@ func (sh *Sharded) forEachShard(f func(i int, s *Store) error) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = f(i, sh.shards[i])
+			errs[i] = f(i, sh.store(i))
 		}(i)
 	}
 	wg.Wait()
@@ -168,9 +234,19 @@ func (sh *Sharded) forEachShard(f func(i int, s *Store) error) error {
 // Shards returns the shard count.
 func (sh *Sharded) Shards() int { return len(sh.shards) }
 
-// Shard returns shard i (for per-shard inspection, fault injection, and
-// crash preparation in tests and tooling).
-func (sh *Sharded) Shard(i int) *Store { return sh.shards[i] }
+// Shard returns shard i's active store (for per-shard inspection, fault
+// injection, and crash preparation in tests and tooling). For a replicated
+// shard this is the promoted standby after a failover.
+func (sh *Sharded) Shard(i int) *Store { return sh.store(i) }
+
+// Replica returns shard i's replication pair, or nil when the store was not
+// created with FormatShardedReplicated.
+func (sh *Sharded) Replica(i int) *ReplicatedShard {
+	if sh.repl == nil {
+		return nil
+	}
+	return sh.repl[i]
+}
 
 // ShardFor returns the index of the shard that owns key.
 func (sh *Sharded) ShardFor(key string) int { return shardIndex(key, len(sh.shards)) }
@@ -183,9 +259,15 @@ func (sh *Sharded) ShardConfigs() []Config { return append([]Config(nil), sh.cfg
 // stateful surface (Open handles, Lock/Unlock, Finalize) is owned by a
 // single goroutine; Put/Get/Delete/Scan are safe to share.
 func (sh *Sharded) Init() *ShardedCtx {
-	c := &ShardedCtx{sh: sh, ctxs: make([]*Ctx, len(sh.shards))}
-	for i, s := range sh.shards {
-		c.ctxs[i] = s.Init()
+	c := &ShardedCtx{
+		sh:     sh,
+		ctxs:   make([]*Ctx, len(sh.shards)),
+		stores: make([]*Store, len(sh.shards)),
+		gen:    sh.gen.Load(),
+	}
+	for i := range sh.shards {
+		c.stores[i] = sh.store(i)
+		c.ctxs[i] = c.stores[i].Init()
 	}
 	return c
 }
@@ -233,14 +315,20 @@ func (sh *Sharded) Scrub(repair bool) (ScrubReport, error) {
 }
 
 // Close cleanly shuts down every shard in parallel (final checkpoints
-// included).
+// included; replicated shards stop their feeds and close both stores).
 func (sh *Sharded) Close() error {
+	if sh.repl != nil {
+		return sh.forEachShard(func(i int, _ *Store) error { return sh.repl[i].Close() })
+	}
 	return sh.forEachShard(func(_ int, s *Store) error { return s.Close() })
 }
 
 // CloseNoCheckpoint stops every shard without final checkpoints; reopening
 // replays each shard's active log.
 func (sh *Sharded) CloseNoCheckpoint() error {
+	if sh.repl != nil {
+		return sh.forEachShard(func(i int, _ *Store) error { return sh.repl[i].CloseNoCheckpoint() })
+	}
 	return sh.forEachShard(func(_ int, s *Store) error { return s.CloseNoCheckpoint() })
 }
 
@@ -264,8 +352,8 @@ func (sh *Sharded) Crash(seed int64) ([]Config, error) {
 // available via ShardStats.
 func (sh *Sharded) Stats() Stats {
 	var out Stats
-	for _, s := range sh.shards {
-		st := s.Stats()
+	for i := range sh.shards {
+		st := sh.store(i).Stats()
 		out.Puts += st.Puts
 		out.Gets += st.Gets
 		out.Deletes += st.Deletes
@@ -283,15 +371,15 @@ func (sh *Sharded) Stats() Stats {
 	return out
 }
 
-// ShardStats returns shard i's own counters.
-func (sh *Sharded) ShardStats(i int) Stats { return sh.shards[i].Stats() }
+// ShardStats returns shard i's own counters (active store).
+func (sh *Sharded) ShardStats(i int) Stats { return sh.store(i).Stats() }
 
 // CacheStats aggregates the block-cache counters across shards. Per-shard
 // snapshots are available via ShardCacheStats.
 func (sh *Sharded) CacheStats() CacheStats {
 	var out CacheStats
-	for _, s := range sh.shards {
-		cs := s.CacheStats()
+	for i := range sh.shards {
+		cs := sh.store(i).CacheStats()
 		out.Hits += cs.Hits
 		out.Misses += cs.Misses
 		out.Evictions += cs.Evictions
@@ -302,14 +390,14 @@ func (sh *Sharded) CacheStats() CacheStats {
 	return out
 }
 
-// ShardCacheStats returns shard i's own block-cache counters.
-func (sh *Sharded) ShardCacheStats(i int) CacheStats { return sh.shards[i].CacheStats() }
+// ShardCacheStats returns shard i's own block-cache counters (active store).
+func (sh *Sharded) ShardCacheStats(i int) CacheStats { return sh.store(i).CacheStats() }
 
 // Breakdown aggregates the per-stage write timing across shards.
 func (sh *Sharded) Breakdown() Breakdown {
 	var out Breakdown
-	for _, s := range sh.shards {
-		bd := s.Breakdown()
+	for i := range sh.shards {
+		bd := sh.store(i).Breakdown()
 		out.Count += bd.Count
 		out.LogNs += bd.LogNs
 		out.PoolNs += bd.PoolNs
@@ -324,8 +412,8 @@ func (sh *Sharded) Breakdown() Breakdown {
 // Footprint sums storage consumption across shards.
 func (sh *Sharded) Footprint() Footprint {
 	var out Footprint
-	for _, s := range sh.shards {
-		fp := s.Footprint()
+	for i := range sh.shards {
+		fp := sh.store(i).Footprint()
 		out.DRAMBytes += fp.DRAMBytes
 		out.PMEMBytes += fp.PMEMBytes
 		out.SSDBytes += fp.SSDBytes
@@ -334,15 +422,19 @@ func (sh *Sharded) Footprint() Footprint {
 }
 
 // Health aggregates fault status across shards: Degraded when any shard is
-// degraded (Reason names the first such shard), counters summed, and the
-// quarantine lists concatenated in shard order (block ids are shard-local;
-// use ShardHealth for an unambiguous per-shard view).
+// degraded (DegradedShard is that shard's index and Reason names it),
+// counters summed, and the quarantine lists concatenated in shard order
+// (block ids are shard-local; use ShardHealth for an unambiguous per-shard
+// view). Replicated shards report their active store: a failed-over shard
+// is healthy here — the degradation was absorbed by the failover.
 func (sh *Sharded) Health() Health {
 	var out Health
-	for i, s := range sh.shards {
-		h := s.Health()
+	out.DegradedShard = -1
+	for i := range sh.shards {
+		h := sh.store(i).Health()
 		if h.Degraded && !out.Degraded {
 			out.Degraded = true
+			out.DegradedShard = i
 			out.Reason = fmt.Sprintf("shard %d: %s", i, h.Reason)
 		}
 		out.IORetries += h.IORetries
@@ -354,24 +446,26 @@ func (sh *Sharded) Health() Health {
 	return out
 }
 
-// ShardHealth returns shard i's own fault status.
-func (sh *Sharded) ShardHealth(i int) Health { return sh.shards[i].Health() }
+// ShardHealth returns shard i's own fault status (active store).
+func (sh *Sharded) ShardHealth(i int) Health { return sh.store(i).Health() }
 
 // Count sums live objects across shards.
 func (sh *Sharded) Count() uint64 {
 	var n uint64
-	for _, s := range sh.shards {
-		n += s.Count()
+	for i := range sh.shards {
+		n += sh.store(i).Count()
 	}
 	return n
 }
 
 // Degraded reports whether any shard is in read-only degraded mode. Writes
 // to the other shards' keys keep succeeding — check per key via the error
-// returned by Put/Delete, or per shard via ShardHealth.
+// returned by Put/Delete, or per shard via ShardHealth. A replicated shard
+// that failed over is not degraded: its active store is the healthy
+// promoted standby.
 func (sh *Sharded) Degraded() bool {
-	for _, s := range sh.shards {
-		if s.Degraded() {
+	for i := range sh.shards {
+		if sh.store(i).Degraded() {
 			return true
 		}
 	}
@@ -384,23 +478,70 @@ var _ API = (*Sharded)(nil)
 
 // ShardedCtx is a request context over a sharded store: single-key
 // operations route to the owning shard's context; Scan k-way-merges the
-// shards' ordered streams.
+// shards' ordered streams. On a replicated store the context notices
+// failovers (via the store's generation counter) and rebinds the affected
+// shard's context to the promoted standby.
 type ShardedCtx struct {
-	sh   *Sharded
-	ctxs []*Ctx
+	sh *Sharded
+
+	// mu guards ctxs/stores/gen. Refresh happens only when the store's
+	// generation advanced past ours — i.e. only after a failover — so the
+	// fast path is one atomic load plus a read lock.
+	mu     sync.RWMutex
+	ctxs   []*Ctx
+	stores []*Store
+	gen    uint64
+}
+
+// ctx returns shard i's context, rebinding any contexts whose shard failed
+// over since the last call.
+func (c *ShardedCtx) ctx(i int) *Ctx {
+	if c.sh.repl == nil {
+		return c.ctxs[i]
+	}
+	g := c.sh.gen.Load()
+	c.mu.RLock()
+	if c.gen == g {
+		cx := c.ctxs[i]
+		c.mu.RUnlock()
+		return cx
+	}
+	c.mu.RUnlock()
+	c.mu.Lock()
+	if c.gen != g {
+		for j := range c.ctxs {
+			if s := c.sh.store(j); c.stores[j] != s {
+				// The old context belongs to the retired primary; locks it
+				// held there are moot (that store no longer takes writes).
+				c.stores[j] = s
+				c.ctxs[j] = s.Init()
+			}
+		}
+		c.gen = g
+	}
+	cx := c.ctxs[i]
+	c.mu.Unlock()
+	return cx
 }
 
 // shardCtx returns the context of the shard owning key.
 func (c *ShardedCtx) shardCtx(key string) *Ctx {
-	return c.ctxs[shardIndex(key, len(c.ctxs))]
+	return c.ctx(shardIndex(key, len(c.ctxs)))
 }
 
-// Put stores value under key on its shard.
+// Put stores value under key on its shard. On a replicated store a write
+// that finds its shard degraded triggers failover and retries once on the
+// promoted standby.
 func (c *ShardedCtx) Put(key string, value []byte) error {
 	if c.sh == nil {
 		return ErrClosed
 	}
-	return c.shardCtx(key).Put(key, value)
+	i := shardIndex(key, len(c.ctxs))
+	err := c.ctx(i).Put(key, value)
+	if err != nil && c.sh.failover(i, err) {
+		err = c.ctx(i).Put(key, value)
+	}
+	return err
 }
 
 // Get retrieves key's value from its shard, appending to buf.
@@ -411,21 +552,33 @@ func (c *ShardedCtx) Get(key string, buf []byte) ([]byte, error) {
 	return c.shardCtx(key).Get(key, buf)
 }
 
-// Delete removes key's object from its shard.
+// Delete removes key's object from its shard (failing over like Put).
 func (c *ShardedCtx) Delete(key string) error {
 	if c.sh == nil {
 		return ErrClosed
 	}
-	return c.shardCtx(key).Delete(key)
+	i := shardIndex(key, len(c.ctxs))
+	err := c.ctx(i).Delete(key)
+	if err != nil && c.sh.failover(i, err) {
+		err = c.ctx(i).Delete(key)
+	}
+	return err
 }
 
 // Open opens (or creates) an object on its shard; the returned handle's
-// ReadAt/WriteAt run entirely within that shard.
+// ReadAt/WriteAt run entirely within that shard. Creation fails over like
+// Put; an already-open handle does not (its WriteAt surfaces ErrDegraded —
+// reopen to land on the promoted standby).
 func (c *ShardedCtx) Open(name string, size uint64, flags OpenFlag) (*Object, error) {
 	if c.sh == nil {
 		return nil, ErrClosed
 	}
-	return c.shardCtx(name).Open(name, size, flags)
+	i := shardIndex(name, len(c.ctxs))
+	obj, err := c.ctx(i).Open(name, size, flags)
+	if err != nil && c.sh.failover(i, err) {
+		obj, err = c.ctx(i).Open(name, size, flags)
+	}
+	return obj, err
 }
 
 // Lock takes an exclusive application-level lock on name (held on name's
@@ -447,6 +600,8 @@ func (c *ShardedCtx) Unlock(name string) error {
 
 // Finalize releases every shard context (and any locks they still hold).
 func (c *ShardedCtx) Finalize() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, sc := range c.ctxs {
 		sc.Finalize()
 	}
@@ -505,7 +660,7 @@ func (sh *Sharded) mergeScan(prefix string, fn func(info ObjectInfo) bool) error
 			})
 			errs[i] = err
 			close(ch)
-		}(i, sh.shards[i])
+		}(i, sh.store(i))
 	}
 	// stop cancels the producers and waits them out; close(done) unblocks
 	// any producer parked on a channel send.
