@@ -8,6 +8,7 @@
 //
 //	go run ./cmd/dstore-vet ./...
 //	go run ./cmd/dstore-vet -json ./...
+//	go run ./cmd/dstore-vet -github ./...           # CI error annotations
 //	go run ./cmd/dstore-vet -write-baseline ./...   # ratchet current findings
 //
 // Package patterns are accepted for familiarity but the analyzer always
@@ -20,23 +21,25 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"dstore/internal/analysis"
 )
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	githubOut := flag.Bool("github", false, "also emit GitHub Actions ::error annotations")
 	baselinePath := flag.String("baseline", "", "baseline file (default <module>/analysis/baseline.json)")
 	writeBaseline := flag.Bool("write-baseline", false, "write current findings to the baseline file and exit 0")
 	flag.Parse()
 
-	if err := run(*jsonOut, *baselinePath, *writeBaseline); err != nil {
+	if err := run(*jsonOut, *githubOut, *baselinePath, *writeBaseline); err != nil {
 		fmt.Fprintln(os.Stderr, "dstore-vet:", err)
 		os.Exit(2)
 	}
 }
 
-func run(jsonOut bool, baselinePath string, writeBaseline bool) error {
+func run(jsonOut, githubOut bool, baselinePath string, writeBaseline bool) error {
 	wd, err := os.Getwd()
 	if err != nil {
 		return err
@@ -65,7 +68,8 @@ func run(jsonOut bool, baselinePath string, writeBaseline bool) error {
 	}
 	fresh := baseline.Filter(findings)
 
-	if jsonOut {
+	switch {
+	case jsonOut:
 		if fresh == nil {
 			fresh = []analysis.Finding{}
 		}
@@ -74,9 +78,14 @@ func run(jsonOut bool, baselinePath string, writeBaseline bool) error {
 		if err := enc.Encode(fresh); err != nil {
 			return err
 		}
-	} else {
+	default:
 		for _, f := range fresh {
 			fmt.Println(f)
+		}
+	}
+	if githubOut {
+		for _, f := range fresh {
+			fmt.Println(githubAnnotation(f))
 		}
 	}
 	if len(fresh) > 0 {
@@ -86,4 +95,13 @@ func run(jsonOut bool, baselinePath string, writeBaseline bool) error {
 		os.Exit(1)
 	}
 	return nil
+}
+
+// githubAnnotation formats one finding as a GitHub Actions workflow command
+// so CI runs surface findings inline on the PR diff. Message payloads must
+// %-escape the characters the command parser treats specially.
+func githubAnnotation(f analysis.Finding) string {
+	esc := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A").Replace
+	return fmt.Sprintf("::error file=%s,line=%d,title=dstore-vet %s::%s",
+		f.File, f.Line, f.Checker, esc(f.Message))
 }

@@ -51,8 +51,9 @@ type ReplicatedShard struct {
 	broken     atomic.Bool // feed hit a gap or the standby degraded
 	onSwap     func()      // optional; called after active swaps (gen bump)
 
-	stop chan struct{}
-	done chan struct{}
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
 }
 
 // NewReplicatedShard wires standby as a hot mirror of primary and starts
@@ -138,6 +139,16 @@ func (rs *ReplicatedShard) feed() {
 	}
 }
 
+// stopFeedAndWait signals the feed goroutine and blocks until it exits.
+// Idempotent. Callers must NOT hold rs.mu: the wait can last a full poll
+// interval, and holding the lock across it would stall every Standby/Lag/
+// FailedOver reader for that long (the exact class of blocking-under-lock
+// the lock-order checker flags).
+func (rs *ReplicatedShard) stopFeedAndWait() {
+	rs.stopOnce.Do(func() { close(rs.stop) })
+	<-rs.done
+}
+
 // feedOnce ships one batch and returns how many records were applied.
 func (rs *ReplicatedShard) feedOnce(batch int) (int, error) {
 	recs, err := rs.primary.ExportCommitted(rs.standby.AppliedLSN(), batch)
@@ -163,23 +174,30 @@ func (rs *ReplicatedShard) feedOnce(batch int) (int, error) {
 // standby exists.
 func (rs *ReplicatedShard) Failover() error {
 	rs.mu.Lock()
-	defer rs.mu.Unlock()
 	if rs.failedOver {
+		rs.mu.Unlock()
 		return nil
 	}
 	if !rs.primary.Degraded() {
+		rs.mu.Unlock()
 		return fmt.Errorf("%w: primary is healthy", ErrFailover)
 	}
 	if rs.broken.Load() {
+		rs.mu.Unlock()
 		return fmt.Errorf("%w: replication feed broke before the failure", ErrFailover)
 	}
-	// Stop the feed so the drain below is the only applier.
-	select {
-	case <-rs.stop:
-	default:
-		close(rs.stop)
+	rs.mu.Unlock()
+
+	// Stop the feed so the drain below is the only applier. Done without
+	// rs.mu held — waiting out the feed's poll interval must not block the
+	// read-only accessors.
+	rs.stopFeedAndWait()
+
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.failedOver {
+		return nil // lost the race to a concurrent Failover: observe its swap
 	}
-	<-rs.done
 	if rs.broken.Load() {
 		return fmt.Errorf("%w: replication feed broke before the failure", ErrFailover)
 	}
@@ -212,14 +230,9 @@ func (rs *ReplicatedShard) Failover() error {
 // Close stops the feed and closes both stores (the retired primary without
 // a checkpoint — its persistence path may be the reason for the failover).
 func (rs *ReplicatedShard) Close() error {
+	rs.stopFeedAndWait()
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
-	select {
-	case <-rs.stop:
-	default:
-		close(rs.stop)
-	}
-	<-rs.done
 	var first error
 	if rs.failedOver {
 		first = rs.standby.Close()
@@ -238,14 +251,9 @@ func (rs *ReplicatedShard) Close() error {
 // CloseNoCheckpoint stops the feed and closes both stores without final
 // checkpoints.
 func (rs *ReplicatedShard) CloseNoCheckpoint() error {
+	rs.stopFeedAndWait()
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
-	select {
-	case <-rs.stop:
-	default:
-		close(rs.stop)
-	}
-	<-rs.done
 	err := rs.primary.CloseNoCheckpoint()
 	if serr := rs.standby.CloseNoCheckpoint(); serr != nil && err == nil {
 		err = serr

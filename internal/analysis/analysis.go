@@ -95,8 +95,26 @@ func Run(m *Module) []Finding {
 	fs = append(fs, CheckWallclock(m, func(p *Package) bool {
 		return crashPathPkgs[p.Path]
 	})...)
+	fs = append(fs, CheckLockOrder(m, notTestdata)...)
+	fs = append(fs, CheckGoroutineLifecycle(m, func(p *Package) bool {
+		return goroutinePkgs[p.Path]
+	})...)
+	fs = append(fs, CheckChannelDiscipline(m, notTestdata)...)
+	fs = append(fs, CheckWireSymmetry(m, func(p *Package) bool {
+		return p.Path == "dstore/internal/wire"
+	})...)
 	sortFindings(fs)
 	return fs
+}
+
+// Library packages whose goroutines must have tracked lifecycles: the
+// concurrent network/replication surface, where a leaked goroutine pins a
+// connection, a subscriber slot, or a shard for the life of the process.
+var goroutinePkgs = map[string]bool{
+	"dstore":                  true, // shard.go, failover.go, repl.go
+	"dstore/internal/server":  true,
+	"dstore/internal/replica": true,
+	"dstore/internal/client":  true,
 }
 
 // ---------------------------------------------------------------- shared
@@ -214,6 +232,33 @@ func methodOn(info *types.Info, call *ast.CallExpr) (pkgPath, typeName, method s
 
 // errorType is the predeclared error interface type.
 var errorType = types.Universe.Lookup("error").Type()
+
+// FuncDecls indexes every function declaration in the module by its type
+// object, so checkers can resolve a call site to the callee's body (for
+// one-level-deep interprocedural reasoning). Built on first use.
+func (m *Module) FuncDecls() map[*types.Func]*ast.FuncDecl {
+	if m.funcDecls != nil {
+		return m.funcDecls
+	}
+	idx := map[*types.Func]*ast.FuncDecl{}
+	for _, pkg := range m.Pkgs {
+		eachFunc(pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+			if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				idx[obj] = fd
+			}
+		})
+	}
+	m.funcDecls = idx
+	return idx
+}
+
+// PackageOf returns the module package declaring fn, or nil.
+func (m *Module) PackageOf(fn *types.Func) *Package {
+	if fn.Pkg() == nil {
+		return nil
+	}
+	return m.Lookup(fn.Pkg().Path())
+}
 
 // eachFunc invokes fn for every function declaration with a body in pkg.
 func eachFunc(pkg *Package, fn func(file *ast.File, decl *ast.FuncDecl)) {

@@ -20,6 +20,8 @@ import (
 
 var goldenDirs = []string{
 	"persistordertest", "errchecktest", "nopanictest", "guardedbytest", "wallclocktest",
+	"lockordertest", "goroutinelifetest", "channeldisctest/chanown", "channeldisctest",
+	"wiresymtest",
 }
 
 var (
@@ -139,6 +141,15 @@ func TestGoldenErrcheck(t *testing.T)     { runGolden(t, "errchecktest", CheckEr
 func TestGoldenNoPanic(t *testing.T)      { runGolden(t, "nopanictest", CheckNoPanic) }
 func TestGoldenGuardedBy(t *testing.T)    { runGolden(t, "guardedbytest", CheckGuardedBy) }
 func TestGoldenWallclock(t *testing.T)    { runGolden(t, "wallclocktest", CheckWallclock) }
+
+func TestGoldenLockOrder(t *testing.T) { runGolden(t, "lockordertest", CheckLockOrder) }
+func TestGoldenGoroutineLifecycle(t *testing.T) {
+	runGolden(t, "goroutinelifetest", CheckGoroutineLifecycle)
+}
+func TestGoldenChannelDiscipline(t *testing.T) {
+	runGolden(t, "channeldisctest", CheckChannelDiscipline)
+}
+func TestGoldenWireSymmetry(t *testing.T) { runGolden(t, "wiresymtest", CheckWireSymmetry) }
 
 // TestRunCleanTree pins the steady state the baseline ratchet aims for: the
 // repository's own code produces zero findings (golden packages live under

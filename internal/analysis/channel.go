@@ -1,0 +1,427 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CheckChannelDiscipline enforces channel ownership rules (DESIGN.md §11):
+//
+//  1. Close only by the owning side. A function may close a channel it
+//     owns: a local it (or an enclosing function, for closures) created or
+//     declared, a field of its own receiver type, or a parameter typed
+//     send-only (`chan<- T` — the signature documents the transfer of
+//     ownership). Closing a bidirectional channel parameter or another
+//     type's field is reported: the closer cannot know the real owner has
+//     stopped sending, and a send on a closed channel panics the process.
+//
+//  2. No send or close after a reachable close of the same channel on the
+//     same path. Send-after-close is a guaranteed panic; double close is
+//     too. The walk is intra-procedural and path-approximate: branches
+//     join by union (closed on either side counts as closed), and
+//     re-making the channel clears the state.
+//
+// The companion rule — no blocking send while holding a lock — is owned by
+// the lock-order checker, which tracks the held-lock set.
+// Suppress with //nolint:channel-discipline on the offending line.
+func CheckChannelDiscipline(m *Module, target func(*Package) bool) []Finding {
+	var fs []Finding
+	for _, pkg := range m.Pkgs {
+		if !target(pkg) {
+			continue
+		}
+		recordParams(pkg)
+		eachFunc(pkg, func(file *ast.File, fd *ast.FuncDecl) {
+			nolint := nolintLines(m.Fset, file, "channel-discipline")
+			c := &chanChecker{m: m, pkg: pkg, nolint: nolint}
+			c.ownRecv = receiverTypeName(pkg, fd)
+			c.checkFunc(fd)
+			fs = append(fs, c.findings...)
+		})
+	}
+	sortFindings(fs)
+	return fs
+}
+
+// receiverTypeName returns the named receiver type of a method, or nil.
+func receiverTypeName(pkg *Package, fd *ast.FuncDecl) *types.TypeName {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	t := pkg.Info.TypeOf(fd.Recv.List[0].Type)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+type chanChecker struct {
+	m        *Module
+	pkg      *Package
+	nolint   map[int]bool
+	ownRecv  *types.TypeName
+	locals   map[*types.Var]bool // declared in this function (incl. closures)
+	findings []Finding
+}
+
+func (c *chanChecker) report(pos token.Pos, msg string) {
+	file, line := c.m.Rel(pos)
+	if c.nolint[line] {
+		return
+	}
+	c.findings = append(c.findings, Finding{
+		File: file, Line: line,
+		Checker: "channel-discipline",
+		Message: msg,
+	})
+}
+
+// checkFunc runs both rules over one function body.
+func (c *chanChecker) checkFunc(fd *ast.FuncDecl) {
+	body := fd.Body
+	// Collect every variable declared anywhere inside the function —
+	// parameters (from the signature) and locals, including inside
+	// closures: a closure closing its enclosing function's local is still
+	// the owning side.
+	c.locals = map[*types.Var]bool{}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, isVar := c.pkg.Info.Defs[id].(*types.Var); isVar {
+				c.locals[v] = true
+			}
+		}
+		return true
+	})
+
+	// Rule 1: ownership of every close site.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, isIdent := ast.Unparen(call.Fun).(*ast.Ident)
+		if !isIdent || id.Name != "close" || len(call.Args) != 1 {
+			return true
+		}
+		if _, isBuiltin := c.pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		c.checkCloseOwnership(call, call.Args[0])
+		return true
+	})
+
+	// Rule 2: use-after-close, per straight-line path.
+	c.walkClosed(body.List, map[*types.Var]token.Pos{})
+}
+
+// chanVar resolves e to the channel variable it names: a plain local/param
+// ident, or a field selector on the receiver/any struct.
+func (c *chanChecker) chanVar(e ast.Expr) *types.Var {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := c.pkg.Info.Uses[x].(*types.Var); ok {
+			return v
+		}
+		if v, ok := c.pkg.Info.Defs[x].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if s, ok := c.pkg.Info.Selections[x]; ok && s.Kind() == types.FieldVal {
+			if v, isVar := s.Obj().(*types.Var); isVar {
+				return v
+			}
+		}
+		if v, ok := c.pkg.Info.Uses[x.Sel].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+func (c *chanChecker) checkCloseOwnership(call *ast.CallExpr, arg ast.Expr) {
+	switch x := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		v, ok := c.pkg.Info.Uses[x].(*types.Var)
+		if !ok {
+			return
+		}
+		if c.locals[v] && !isParam(v, c.pkg) {
+			return // closing our own local: fine
+		}
+		// Parameter: allowed only if declared send-only.
+		if ch, isChan := v.Type().Underlying().(*types.Chan); isChan {
+			if ch.Dir() == types.SendOnly {
+				return
+			}
+		}
+		if c.locals[v] {
+			c.report(call.Pos(), "close of bidirectional channel parameter "+v.Name()+
+				" (ownership unclear; accept `chan<- T` to document that the callee closes it, or close at the creator)")
+			return
+		}
+		// Package-level or captured-from-elsewhere variable.
+		if v.Pkg() != nil && v.Pkg().Path() == c.pkg.Path {
+			return // package-level channel in the same package: owner by construction
+		}
+		c.report(call.Pos(), "close of channel "+v.Name()+" not owned by this function")
+	case *ast.SelectorExpr:
+		s, ok := c.pkg.Info.Selections[x]
+		if !ok || s.Kind() != types.FieldVal {
+			return
+		}
+		recvT := s.Recv()
+		if p, isPtr := recvT.(*types.Pointer); isPtr {
+			recvT = p.Elem()
+		}
+		named, isNamed := recvT.(*types.Named)
+		if !isNamed {
+			return
+		}
+		// Closing a field of the method's own receiver type is ownership;
+		// closing another type's channel field is not.
+		if c.ownRecv != nil && named.Obj() == c.ownRecv {
+			return
+		}
+		// Same-package type: the type's owner lives here; allow only when the
+		// value was constructed locally (conservatively: same package).
+		if named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == c.pkg.Path {
+			// A function in the declaring package may own instances it made;
+			// restrict to composite-literal locals is too brittle — allow.
+			return
+		}
+		c.report(call.Pos(), "close of "+named.Obj().Name()+"."+s.Obj().Name()+
+			" from outside its declaring package (only the owning side closes)")
+	}
+}
+
+func isParam(v *types.Var, pkg *Package) bool {
+	// A parameter is a *types.Var whose parent scope is a function scope and
+	// which appears in some signature. The cheap reliable signal: it is
+	// declared by an Ident in a FieldList of a FuncType. types doesn't
+	// expose that directly, so use Var.Kind-less heuristic: parameters are
+	// Vars with IsField()==false whose position is inside a func signature.
+	// Simpler: types.Var has no flag, but signatures hold the same object.
+	return varIsParameter[v]
+}
+
+// varIsParameter is populated lazily per load (small module; fine as global
+// keyed by object identity).
+var varIsParameter = map[*types.Var]bool{}
+
+// recordParams registers the parameter objects of every function in pkg.
+func recordParams(pkg *Package) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				ft = n.Type
+			case *ast.FuncLit:
+				ft = n.Type
+			default:
+				return true
+			}
+			if ft.Params != nil {
+				for _, field := range ft.Params.List {
+					for _, name := range field.Names {
+						if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+							varIsParameter[v] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// walkClosed threads the closed-set through a statement list (rule 2).
+func (c *chanChecker) walkClosed(list []ast.Stmt, closed map[*types.Var]token.Pos) map[*types.Var]token.Pos {
+	for _, s := range list {
+		closed = c.closedStmt(s, closed)
+	}
+	return closed
+}
+
+func cloneClosed(m map[*types.Var]token.Pos) map[*types.Var]token.Pos {
+	out := make(map[*types.Var]token.Pos, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func unionClosed(a, b map[*types.Var]token.Pos) map[*types.Var]token.Pos {
+	out := cloneClosed(a)
+	for k, v := range b {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func (c *chanChecker) closedStmt(s ast.Stmt, closed map[*types.Var]token.Pos) map[*types.Var]token.Pos {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return c.closedExpr(s.X, closed)
+	case *ast.SendStmt:
+		if v := c.chanVar(s.Chan); v != nil {
+			if pos, isClosed := closed[v]; isClosed {
+				_, cline := c.m.Rel(pos)
+				c.report(s.Arrow, "send on "+v.Name()+" after close at line "+itoa(cline)+" (send on closed channel panics)")
+			}
+		}
+		return closed
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			closed = c.closedExpr(rhs, closed)
+		}
+		// Re-making / reassigning the channel clears its closed state.
+		for _, lhs := range s.Lhs {
+			if v := c.chanVar(lhs); v != nil {
+				delete(closed, v)
+			}
+		}
+		return closed
+	case *ast.DeferStmt:
+		// Deferred closes run at function exit — they cannot precede any
+		// statement on this path, so don't fold them into the path state.
+		// Still check nested literal bodies independently.
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			c.walkClosed(lit.Body.List, map[*types.Var]token.Pos{})
+		}
+		return closed
+	case *ast.GoStmt:
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			c.walkClosed(lit.Body.List, map[*types.Var]token.Pos{})
+		}
+		return closed
+	case *ast.BlockStmt:
+		return c.walkClosed(s.List, cloneClosed(closed))
+	case *ast.IfStmt:
+		if s.Init != nil {
+			closed = c.closedStmt(s.Init, closed)
+		}
+		closed = c.closedExpr(s.Cond, closed)
+		thenOut := c.walkClosed(s.Body.List, cloneClosed(closed))
+		elseOut := closed
+		if s.Else != nil {
+			elseOut = c.closedStmt(s.Else, cloneClosed(closed))
+		}
+		if terminates(s.Body) {
+			return elseOut
+		}
+		if s.Else != nil && stmtTerminates(s.Else) {
+			return thenOut
+		}
+		return unionClosed(thenOut, elseOut)
+	case *ast.ForStmt:
+		c.walkClosed(s.Body.List, cloneClosed(closed))
+		return closed
+	case *ast.RangeStmt:
+		c.walkClosed(s.Body.List, cloneClosed(closed))
+		return closed
+	case *ast.SwitchStmt:
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				c.walkClosed(clause.Body, cloneClosed(closed))
+			}
+		}
+		return closed
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				c.walkClosed(clause.Body, cloneClosed(closed))
+			}
+		}
+		return closed
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CommClause); ok {
+				st := cloneClosed(closed)
+				if clause.Comm != nil {
+					st = c.closedStmt(clause.Comm, st)
+				}
+				c.walkClosed(clause.Body, st)
+			}
+		}
+		return closed
+	case *ast.LabeledStmt:
+		return c.closedStmt(s.Stmt, closed)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			closed = c.closedExpr(r, closed)
+		}
+		return closed
+	default:
+		return closed
+	}
+}
+
+// closedExpr folds close() calls inside e into the state and reports double
+// closes.
+func (c *chanChecker) closedExpr(e ast.Expr, closed map[*types.Var]token.Pos) map[*types.Var]token.Pos {
+	if e == nil {
+		return closed
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // closures get their own fresh path state
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, isIdent := ast.Unparen(call.Fun).(*ast.Ident)
+		if !isIdent || id.Name != "close" || len(call.Args) != 1 {
+			return true
+		}
+		if _, isBuiltin := c.pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		v := c.chanVar(call.Args[0])
+		if v == nil {
+			return true
+		}
+		if pos, already := closed[v]; already {
+			_, cline := c.m.Rel(pos)
+			c.report(call.Pos(), "second close of "+v.Name()+" on this path (first close at line "+itoa(cline)+"; close panics on closed channels)")
+		} else {
+			closed[v] = call.Pos()
+		}
+		return true
+	})
+	return closed
+}
+
+// terminates reports whether a block's last statement is a return or panic
+// (coarse: good enough for the early-return idiom).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	return stmtTerminates(b.List[len(b.List)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.BREAK || s.Tok == token.CONTINUE || s.Tok == token.GOTO
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(s)
+	}
+	return false
+}

@@ -1,0 +1,344 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CheckGoroutineLifecycle requires every `go` statement in the targeted
+// library packages to have a tracked termination path (DESIGN.md §11): the
+// caller must be able to learn that the goroutine exited, or the goroutine
+// must watch a cancellation signal. Untracked goroutines are how the server
+// and replica layers leak — a feed goroutine parked on a dead subscriber, a
+// read loop orphaned by an error return — and leaks only show up under
+// production churn, never in short tests.
+//
+// A goroutine is considered tracked if its body exhibits at least one of:
+//
+//   - a join marker that runs on EVERY exit path: (*sync.WaitGroup).Done,
+//     close(ch) of a channel visible to the spawner, or a send into such a
+//     channel. Deferred markers qualify unconditionally; non-deferred
+//     markers are flow-checked, and a path that returns without reaching
+//     one is reported ("leaks on error paths" — the marker exists, but an
+//     early return skips it);
+//   - a cancellation subscription: a receive or select case on a channel
+//     (or ctx.Done()) that the spawner can close/cancel, meaning the
+//     goroutine terminates when told even if nobody joins it.
+//
+// `go` statements whose callee cannot be resolved to a body in the module
+// are reported too: an unresolvable spawn is untracked by construction.
+// Suppress intentional fire-and-forget spawns with //nolint:goroutine-lifecycle
+// on the `go` line plus a justifying comment.
+func CheckGoroutineLifecycle(m *Module, target func(*Package) bool) []Finding {
+	decls := m.FuncDecls()
+	var fs []Finding
+	for _, pkg := range m.Pkgs {
+		if !target(pkg) {
+			continue
+		}
+		eachFunc(pkg, func(file *ast.File, fd *ast.FuncDecl) {
+			nolint := nolintLines(m.Fset, file, "goroutine-lifecycle")
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				file, line := m.Rel(gs.Pos())
+				if nolint[line] {
+					return true
+				}
+				g := &goroutineCheck{m: m, pkg: pkg}
+				var body *ast.BlockStmt
+				switch fun := ast.Unparen(gs.Call.Fun).(type) {
+				case *ast.FuncLit:
+					body = fun.Body
+				default:
+					callee := calleeFunc(pkg.Info, gs.Call)
+					if callee != nil {
+						if fd, found := decls[callee]; found {
+							body = fd.Body
+							if cp := m.PackageOf(callee); cp != nil {
+								g.pkg = cp
+							}
+						}
+					}
+				}
+				if body == nil {
+					fs = append(fs, Finding{
+						File: file, Line: line,
+						Checker: "goroutine-lifecycle",
+						Message: "go statement spawns a function whose body cannot be resolved; termination is untracked (add a WaitGroup/done channel, or //nolint:goroutine-lifecycle with a reason)",
+					})
+					return true
+				}
+				verdict := g.analyze(body)
+				switch {
+				case verdict.cancellable || verdict.allPathsMarked:
+					// tracked
+				case verdict.hasMarker:
+					for _, p := range verdict.unmarkedExits {
+						_, eline := m.Rel(p)
+						fs = append(fs, Finding{
+							File: file, Line: line,
+							Checker: "goroutine-lifecycle",
+							Message: fmtUnmarkedExit(verdict.markerDesc, eline),
+						})
+					}
+				default:
+					fs = append(fs, Finding{
+						File: file, Line: line,
+						Checker: "goroutine-lifecycle",
+						Message: "goroutine has no termination tracking: no WaitGroup.Done, no done-channel close/send, no cancellation receive (leaks if the peer never acts)",
+					})
+				}
+				return true
+			})
+		})
+	}
+	sortFindings(fs)
+	return fs
+}
+
+func fmtUnmarkedExit(marker string, line int) string {
+	return "goroutine signals termination via " + marker +
+		" but the exit path at line " + itoa(line) +
+		" returns without it (leaks on error paths; defer the marker)"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// goroutineVerdict summarizes one spawned body.
+type goroutineVerdict struct {
+	cancellable    bool        // receives/selects on an externally visible channel
+	hasMarker      bool        // some join marker appears in the body
+	allPathsMarked bool        // ... and every exit path reaches one (or it is deferred)
+	markerDesc     string      // e.g. "WaitGroup.Done" — for the message
+	unmarkedExits  []token.Pos // return statements that skip the marker
+}
+
+type goroutineCheck struct {
+	m   *Module
+	pkg *Package
+}
+
+// analyze classifies body per the rules in the checker doc comment.
+func (g *goroutineCheck) analyze(body *ast.BlockStmt) goroutineVerdict {
+	var v goroutineVerdict
+
+	// Pass 1: scan for cancellation receives and deferred markers. Nested
+	// FuncLits are included only when deferred or invoked inline — a nested
+	// `go` spawn is its own goroutine and does not track this one.
+	var scan func(n ast.Node)
+	scan = func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				return false
+			case *ast.FuncLit:
+				// Walked only via the DeferStmt case below.
+				return false
+			case *ast.DeferStmt:
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					scan(lit.Body)
+					return false
+				}
+				if desc, ok := g.joinMarkerCall(n.Call); ok {
+					v.hasMarker = true
+					v.allPathsMarked = true
+					if v.markerDesc == "" {
+						v.markerDesc = desc
+					}
+				}
+				return false
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					v.cancellable = true
+				}
+			case *ast.RangeStmt:
+				if t, ok := g.pkg.Info.Types[n.X]; ok {
+					if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+						v.cancellable = true
+					}
+				}
+			case *ast.CommClause:
+				if n.Comm != nil {
+					v.cancellable = true
+				}
+			case *ast.CallExpr:
+				if desc, ok := g.joinMarkerCall(n); ok {
+					v.hasMarker = true
+					if v.markerDesc == "" {
+						v.markerDesc = desc
+					}
+				}
+			case *ast.SendStmt:
+				v.hasMarker = true
+				if v.markerDesc == "" {
+					v.markerDesc = "channel send"
+				}
+			}
+			return true
+		})
+	}
+	scan(body)
+
+	if v.cancellable || v.allPathsMarked || !v.hasMarker {
+		return v
+	}
+
+	// Pass 2: the marker is non-deferred — flow-check that every exit path
+	// reaches one before returning.
+	marked, term := g.flow(body.List, false, &v)
+	if !term && !marked {
+		// Falling off the closing brace is an exit path too.
+		v.unmarkedExits = append(v.unmarkedExits, body.Rbrace)
+	}
+	v.allPathsMarked = (term || marked) && len(v.unmarkedExits) == 0
+	return v
+}
+
+// joinMarkerCall reports whether call is a join marker: WaitGroup.Done or
+// close(ch).
+func (g *goroutineCheck) joinMarkerCall(call *ast.CallExpr) (string, bool) {
+	if pkgPath, typeName, method, ok := methodOn(g.pkg.Info, call); ok {
+		if pkgPath == "sync" && typeName == "WaitGroup" && method == "Done" {
+			return "WaitGroup.Done", true
+		}
+		return "", false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" {
+		if _, isBuiltin := g.pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			return "close(done channel)", true
+		}
+	}
+	return "", false
+}
+
+// flow walks a statement list tracking whether a join marker has executed
+// on the current path. It returns (markedAtEnd, terminated). A return
+// reached with marked==false is recorded as an unmarked exit.
+func (g *goroutineCheck) flow(list []ast.Stmt, marked bool, v *goroutineVerdict) (bool, bool) {
+	for _, s := range list {
+		var term bool
+		marked, term = g.flowStmt(s, marked, v)
+		if term {
+			return marked, true
+		}
+	}
+	// Falling off the end of the body is an exit too, but only the top-level
+	// caller treats it as one; analyze() checks len(unmarkedExits) after.
+	return marked, false
+}
+
+func (g *goroutineCheck) flowStmt(s ast.Stmt, marked bool, v *goroutineVerdict) (bool, bool) {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		if !marked {
+			v.unmarkedExits = append(v.unmarkedExits, s.Pos())
+		}
+		return marked, true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if _, isMarker := g.joinMarkerCall(call); isMarker {
+				return true, false
+			}
+			if isPanicStmt(g.pkg.Info, s) {
+				return marked, true
+			}
+		}
+		return marked, false
+	case *ast.SendStmt:
+		return true, false
+	case *ast.BlockStmt:
+		return g.flow(s.List, marked, v)
+	case *ast.IfStmt:
+		thenM, thenT := g.flow(s.Body.List, marked, v)
+		elseM, elseT := marked, false
+		if s.Else != nil {
+			elseM, elseT = g.flowStmt(s.Else, marked, v)
+		}
+		switch {
+		case thenT && elseT:
+			return marked, true
+		case thenT:
+			return elseM, false
+		case elseT:
+			return thenM, false
+		default:
+			return thenM && elseM, false
+		}
+	case *ast.ForStmt:
+		bodyM, _ := g.flow(s.Body.List, marked, v)
+		// Loop may run zero times: marked only if it was already.
+		return marked && bodyM, false
+	case *ast.RangeStmt:
+		bodyM, _ := g.flow(s.Body.List, marked, v)
+		return marked && bodyM, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var clauses []ast.Stmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			clauses = sw.Body.List
+		case *ast.TypeSwitchStmt:
+			clauses = sw.Body.List
+		case *ast.SelectStmt:
+			clauses = sw.Body.List
+		}
+		allM, allT := true, len(clauses) > 0
+		for _, c := range clauses {
+			var body []ast.Stmt
+			switch cc := c.(type) {
+			case *ast.CaseClause:
+				body = cc.Body
+			case *ast.CommClause:
+				body = cc.Body
+			}
+			cm, ct := g.flow(body, marked, v)
+			if !ct {
+				allT = false
+				allM = allM && cm
+			}
+		}
+		if allT {
+			return marked, true
+		}
+		return marked || (allM && isExhaustiveSwitch(s)), false
+	case *ast.LabeledStmt:
+		return g.flowStmt(s.Stmt, marked, v)
+	default:
+		return marked, false
+	}
+}
+
+// isExhaustiveSwitch reports whether every execution takes some clause: a
+// switch with a default, or a select (which always takes a case).
+func isExhaustiveSwitch(s ast.Stmt) bool {
+	var clauses []ast.Stmt
+	switch sw := s.(type) {
+	case *ast.SelectStmt:
+		return true
+	case *ast.SwitchStmt:
+		clauses = sw.Body.List
+	case *ast.TypeSwitchStmt:
+		clauses = sw.Body.List
+	}
+	for _, c := range clauses {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -4,7 +4,7 @@
 // (go/parser, go/types, go/importer) so the module stays dependency-free.
 //
 // The analyzer loads every package of the module from source, type-checks it
-// against the real standard library, and runs five checkers:
+// against the real standard library, and runs nine checkers:
 //
 //   - persist-order: PMEM writes must be flushed and fenced on every path
 //     before a WAL commit or root publish (see persistorder.go);
@@ -15,7 +15,15 @@
 //   - guarded-by: fields annotated "guarded by <mu>" are only touched by
 //     functions that lock that mutex (guardedby.go);
 //   - no-wallclock-in-crashpath: recovery/replay packages must be
-//     deterministic — no time.Now, no seedless randomness (wallclock.go).
+//     deterministic — no time.Now, no seedless randomness (wallclock.go);
+//   - lock-order: no cyclic mutex acquisition orders, no locks held across
+//     blocking operations (lockorder.go);
+//   - goroutine-lifecycle: every go statement in the concurrent library
+//     packages has a tracked termination path (goroutine.go);
+//   - channel-discipline: channels are closed only by their owning side and
+//     never used after a close on the same path (channel.go);
+//   - wire-symmetry: every wire enum value is dense, stringered, validated,
+//     and has matching encode/decode arms (wiresym.go).
 //
 // Annotations are doc-comment directives: //dstore:volatile,
 // //dstore:invariant, //dstore:wallclock. See DESIGN.md "Static invariants".
@@ -51,6 +59,8 @@ type Module struct {
 	Fset    *token.FileSet
 	Pkgs    []*Package // dependency order (imports first)
 	byPath  map[string]*Package
+
+	funcDecls map[*types.Func]*ast.FuncDecl // lazy; see FuncDecls
 }
 
 // Lookup returns the package with the given import path, or nil.

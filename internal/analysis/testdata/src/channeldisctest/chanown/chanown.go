@@ -1,0 +1,16 @@
+// Package chanown declares a type with an exported channel field so the
+// channel-discipline golden package can demonstrate a cross-package close
+// of a channel it does not own.
+package chanown
+
+// Feed exposes its delivery channel; only this package's code should ever
+// close it.
+type Feed struct {
+	Ch chan int
+}
+
+// New returns a feed with a buffered delivery channel.
+func New() *Feed { return &Feed{Ch: make(chan int, 1)} }
+
+// Stop closes the feed from the owning side.
+func (f *Feed) Stop() { close(f.Ch) }

@@ -1,0 +1,180 @@
+// Package wiresymtest is golden-test input for the wire-symmetry checker:
+// mini wire enums with a stringer gap, an encode/decode asymmetry, a dead
+// value, a value-space gap, a misplaced sentinel, and a missing sentinel.
+package wiresymtest
+
+// Code is the well-formed enum except for two deliberate defects: CodeC is
+// missing from String, and DecodeMsg below has no CodeC arm.
+type Code uint8
+
+// Code values.
+const (
+	// CodeA is the first opcode.
+	CodeA Code = 1 + iota
+	// CodeB is the second opcode.
+	CodeB
+	// CodeC is encoded but not decodable — the half-wired case.
+	CodeC // want "no case in Code.String"
+
+	codeMax
+)
+
+// Valid reports whether c is a known code.
+func (c Code) Valid() bool { return c >= CodeA && c < codeMax }
+
+func (c Code) String() string {
+	switch c {
+	case CodeA:
+		return "a"
+	case CodeB:
+		return "b"
+	}
+	return "?"
+}
+
+// AppendMsg encodes every code.
+func AppendMsg(dst []byte, c Code) []byte {
+	switch c {
+	case CodeA:
+		dst = append(dst, 'a')
+	case CodeB:
+		dst = append(dst, 'b')
+	case CodeC:
+		dst = append(dst, 'c')
+	}
+	return append(dst, byte(c))
+}
+
+// DecodeMsg forgot the CodeC arm AppendMsg produces.
+func DecodeMsg(p []byte) Code { // want "no CodeC arm"
+	if len(p) == 0 {
+		return 0
+	}
+	c := Code(p[len(p)-1])
+	switch c {
+	case CodeA:
+		_ = p
+	case CodeB:
+		_ = p
+	}
+	return c
+}
+
+// Kind has a value that nothing encodes, decodes, stringers, or dispatches.
+type Kind uint8
+
+// Kind values.
+const (
+	// KindX is referenced below.
+	KindX Kind = iota
+	// KindY is declared and then forgotten everywhere.
+	KindY // want "KindY"
+
+	kindMax
+)
+
+// Valid reports whether k is a known kind.
+func (k Kind) Valid() bool { return k < kindMax }
+
+func (k Kind) String() string {
+	switch k {
+	case KindX:
+		return "x"
+	}
+	return "?"
+}
+
+func appendExtra(dst []byte, k Kind) []byte { // want "no KindX arm"
+	_ = k
+	return dst
+}
+
+// decodeExtra handles KindX, which appendExtra never emits.
+func decodeExtra(p []byte) Kind {
+	k := Kind(0)
+	switch Kind(p[0]) {
+	case KindX:
+		k = KindX
+	}
+	return k
+}
+
+var _ = appendExtra
+var _ = decodeExtra
+
+// Gap skips a value, so Valid's range check would accept the hole.
+type Gap uint8 // want "value 3 is unassigned"
+
+// Gap values.
+const (
+	// GapA is 1.
+	GapA Gap = 1
+	// GapB is 2.
+	GapB Gap = 2
+	// GapD is 4 — 3 is a hole in the wire value space.
+	GapD Gap = 4
+
+	gapMax Gap = 5
+)
+
+// Valid reports whether g is a known gap value.
+func (g Gap) Valid() bool { return g >= GapA && g < gapMax }
+
+func (g Gap) String() string {
+	switch g {
+	case GapA:
+		return "ga"
+	case GapB:
+		return "gb"
+	case GapD:
+		return "gd"
+	}
+	return "?"
+}
+
+// Off has a sentinel that drifted away from last+1.
+type Off uint8
+
+// Off values.
+const (
+	// OffA is 0.
+	OffA Off = iota
+	// OffB is 1.
+	OffB
+
+	offMax Off = 3 // want "expected 2"
+)
+
+// Valid reports whether o is a known off value.
+func (o Off) Valid() bool { return o < offMax }
+
+func (o Off) String() string {
+	switch o {
+	case OffA:
+		return "oa"
+	case OffB:
+		return "ob"
+	}
+	return "?"
+}
+
+// NoMax has no sentinel at all, so Valid cannot be range-checked.
+type NoMax uint8 // want "no unexported sentinel"
+
+// NoMax values.
+const (
+	// NoMaxA is 0.
+	NoMaxA NoMax = iota
+	// NoMaxB is 1.
+	NoMaxB
+)
+
+func (n NoMax) String() string {
+	switch n {
+	case NoMaxA:
+		return "na"
+	case NoMaxB:
+		return "nb"
+	}
+	return "?"
+}

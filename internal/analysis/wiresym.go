@@ -1,0 +1,339 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CheckWireSymmetry keeps the wire protocol's enum plumbing in sync so a
+// future opcode or status code cannot ship half-wired. For every "wire
+// enum" in a targeted package — a named integer type with exported typed
+// constants and an unexported sentinel constant named *Max — it checks:
+//
+//  1. density: the exported values are unique and contiguous, and the
+//     sentinel is exactly last+1, so Valid()'s range comparison is the
+//     whole truth;
+//  2. String(): every exported constant has a case in the type's String
+//     switch (a frame dump must never print "Op(7)");
+//  3. Valid(): the method exists and references the sentinel;
+//  4. encode/decode symmetry: for every Append<X>/Decode<X> (or
+//     append<x>/decode<x>) function pair in the package, the set of enum
+//     constants appearing in switch cases must be identical in both
+//     bodies — an opcode with an encode arm but no bounds-checked decode
+//     arm (or vice versa) is exactly the asymmetry that corrupts a peer;
+//  5. liveness: every exported constant is referenced somewhere in the
+//     module outside its own declaration — a constant nobody encodes,
+//     decodes, or dispatches on is either dead or, worse, half-wired.
+//
+// Findings anchor at the constant (or function) that is out of sync.
+// Suppress with //nolint:wire-symmetry on that line.
+func CheckWireSymmetry(m *Module, target func(*Package) bool) []Finding {
+	var fs []Finding
+	for _, pkg := range m.Pkgs {
+		if !target(pkg) {
+			continue
+		}
+		fs = append(fs, checkWirePackage(m, pkg)...)
+	}
+	sortFindings(fs)
+	return fs
+}
+
+// wireEnum is one discovered enum in a package.
+type wireEnum struct {
+	typ      *types.TypeName
+	consts   []*types.Const // exported, in declaration order
+	sentinel *types.Const   // unexported *Max constant, or nil
+}
+
+func checkWirePackage(m *Module, pkg *Package) []Finding {
+	nolint := map[int]bool{}
+	for _, f := range pkg.Files {
+		for line := range nolintLines(m.Fset, f, "wire-symmetry") {
+			nolint[line] = true
+		}
+	}
+	report := func(fs []Finding, pos token.Pos, msg string) []Finding {
+		file, line := m.Rel(pos)
+		if nolint[line] {
+			return fs
+		}
+		return append(fs, Finding{File: file, Line: line, Checker: "wire-symmetry", Message: msg})
+	}
+
+	enums := findWireEnums(pkg)
+	var fs []Finding
+	for _, e := range enums {
+		name := e.typ.Name()
+
+		// (1) density + sentinel placement.
+		seen := map[int64]*types.Const{}
+		min, max := int64(1<<62), int64(-1<<62)
+		for _, c := range e.consts {
+			v, _ := constant.Int64Val(c.Val())
+			if prev, dup := seen[v]; dup {
+				fs = report(fs, c.Pos(), "enum "+name+": "+c.Name()+" duplicates the value of "+prev.Name()+" (wire values must be unique)")
+				continue
+			}
+			seen[v] = c
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if len(seen) > 0 && max-min+1 != int64(len(seen)) {
+			for v := min; v <= max; v++ {
+				if _, ok := seen[v]; !ok {
+					fs = report(fs, e.typ.Pos(), "enum "+name+": value "+itoa(int(v))+" is unassigned (values must be dense so the sentinel range check covers them all)")
+				}
+			}
+		}
+		if e.sentinel == nil {
+			fs = report(fs, e.typ.Pos(), "enum "+name+": no unexported sentinel constant named "+lowerFirst(name)+"Max (Valid() needs an upper bound that grows with the enum)")
+		} else if sv, _ := constant.Int64Val(e.sentinel.Val()); len(seen) > 0 && sv != max+1 {
+			fs = report(fs, e.sentinel.Pos(), "enum "+name+": sentinel "+e.sentinel.Name()+" is "+itoa(int(sv))+", expected "+itoa(int(max+1))+" (last value + 1); Valid() is checking the wrong range")
+		}
+
+		// (2) String coverage.
+		if stringCases, ok := methodSwitchConsts(pkg, e.typ, "String"); !ok {
+			fs = report(fs, e.typ.Pos(), "enum "+name+": no String method (debugging a frame dump needs names, not numbers)")
+		} else {
+			for _, c := range e.consts {
+				if !stringCases[c] {
+					fs = report(fs, c.Pos(), "enum "+name+": "+c.Name()+" has no case in "+name+".String (stringer out of sync)")
+				}
+			}
+		}
+
+		// (3) Valid references the sentinel.
+		if e.sentinel != nil {
+			if !methodUsesObject(pkg, e.typ, "Valid", e.sentinel) {
+				fs = report(fs, e.typ.Pos(), "enum "+name+": Valid method missing or not comparing against sentinel "+e.sentinel.Name())
+			}
+		}
+
+		// (5) liveness across the module.
+		for _, c := range e.consts {
+			if !constReferenced(m, c) {
+				fs = report(fs, c.Pos(), "enum "+name+": "+c.Name()+" is never referenced outside its declaration (dead value, or encode/decode/dispatch wiring missing)")
+			}
+		}
+	}
+
+	// (4) Append*/Decode* pair symmetry, per enum type.
+	fs = append(fs, checkCodecPairs(m, pkg, enums, report)...)
+	sortFindings(fs)
+	return fs
+}
+
+func lowerFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToLower(s[:1]) + s[1:]
+}
+
+// findWireEnums discovers enum types in pkg: named integer types with at
+// least two exported typed constants.
+func findWireEnums(pkg *Package) []*wireEnum {
+	byType := map[*types.TypeName]*wireEnum{}
+	var order []*types.TypeName
+	scope := pkg.Pkg.Scope()
+	for _, n := range scope.Names() {
+		c, isConst := scope.Lookup(n).(*types.Const)
+		if !isConst {
+			continue
+		}
+		named, isNamed := c.Type().(*types.Named)
+		if !isNamed {
+			continue
+		}
+		tn := named.Obj()
+		if tn.Pkg() != pkg.Pkg {
+			continue
+		}
+		if b, isBasic := named.Underlying().(*types.Basic); !isBasic || b.Info()&types.IsInteger == 0 {
+			continue
+		}
+		e := byType[tn]
+		if e == nil {
+			e = &wireEnum{typ: tn}
+			byType[tn] = e
+			order = append(order, tn)
+		}
+		if c.Exported() {
+			e.consts = append(e.consts, c)
+		} else if strings.HasSuffix(c.Name(), "Max") {
+			e.sentinel = c
+		}
+	}
+	var enums []*wireEnum
+	sort.Slice(order, func(i, j int) bool { return order[i].Pos() < order[j].Pos() })
+	for _, tn := range order {
+		e := byType[tn]
+		if len(e.consts) >= 2 {
+			sort.Slice(e.consts, func(i, j int) bool { return e.consts[i].Pos() < e.consts[j].Pos() })
+			enums = append(enums, e)
+		}
+	}
+	return enums
+}
+
+// methodSwitchConsts returns the set of enum constants used as switch cases
+// in the named method of typ; ok is false if the method does not exist.
+func methodSwitchConsts(pkg *Package, typ *types.TypeName, method string) (map[*types.Const]bool, bool) {
+	fd := findMethodDecl(pkg, typ, method)
+	if fd == nil {
+		return nil, false
+	}
+	set := map[*types.Const]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		for _, e := range cc.List {
+			if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+				if c, isConst := pkg.Info.Uses[id].(*types.Const); isConst {
+					set[c] = true
+				}
+			}
+		}
+		return true
+	})
+	return set, true
+}
+
+// methodUsesObject reports whether typ's method references obj.
+func methodUsesObject(pkg *Package, typ *types.TypeName, method string, obj types.Object) bool {
+	fd := findMethodDecl(pkg, typ, method)
+	if fd == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func findMethodDecl(pkg *Package, typ *types.TypeName, method string) *ast.FuncDecl {
+	var out *ast.FuncDecl
+	eachFunc(pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+		if out != nil || fd.Recv == nil || fd.Name.Name != method {
+			return
+		}
+		t := pkg.Info.TypeOf(fd.Recv.List[0].Type)
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj() == typ {
+			out = fd
+		}
+	})
+	return out
+}
+
+// constReferenced reports whether c is used anywhere in the module (Uses,
+// not Defs — the declaration itself does not count).
+func constReferenced(m *Module, c *types.Const) bool {
+	for _, pkg := range m.Pkgs {
+		for _, obj := range pkg.Info.Uses {
+			if obj == c {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkCodecPairs matches Append<X>/Decode<X> function pairs and compares
+// the enum constants their switches handle.
+func checkCodecPairs(m *Module, pkg *Package, enums []*wireEnum,
+	report func([]Finding, token.Pos, string) []Finding) []Finding {
+
+	type fn struct {
+		decl *ast.FuncDecl
+		// consts per enum type used in case clauses
+		cases map[*types.TypeName]map[*types.Const]bool
+	}
+	collect := func(fd *ast.FuncDecl) *fn {
+		f := &fn{decl: fd, cases: map[*types.TypeName]map[*types.Const]bool{}}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			cc, ok := n.(*ast.CaseClause)
+			if !ok {
+				return true
+			}
+			for _, e := range cc.List {
+				id, ok := ast.Unparen(e).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				c, isConst := pkg.Info.Uses[id].(*types.Const)
+				if !isConst {
+					continue
+				}
+				named, isNamed := c.Type().(*types.Named)
+				if !isNamed {
+					continue
+				}
+				tn := named.Obj()
+				if f.cases[tn] == nil {
+					f.cases[tn] = map[*types.Const]bool{}
+				}
+				f.cases[tn][c] = true
+			}
+			return true
+		})
+		return f
+	}
+
+	appends := map[string]*fn{}
+	decodes := map[string]*fn{}
+	eachFunc(pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+		if fd.Recv != nil {
+			return
+		}
+		name := fd.Name.Name
+		lower := strings.ToLower(name)
+		if rest, ok := strings.CutPrefix(lower, "append"); ok && rest != "" {
+			appends[rest] = collect(fd)
+		} else if rest, ok := strings.CutPrefix(lower, "decode"); ok && rest != "" {
+			decodes[rest] = collect(fd)
+		}
+	})
+
+	var fs []Finding
+	keys := make([]string, 0, len(appends))
+	for k := range appends {
+		if _, paired := decodes[k]; paired {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		enc, dec := appends[k], decodes[k]
+		for _, e := range enums {
+			encSet := enc.cases[e.typ]
+			decSet := dec.cases[e.typ]
+			for _, c := range e.consts {
+				switch {
+				case encSet[c] && !decSet[c]:
+					fs = report(fs, dec.decl.Pos(), dec.decl.Name.Name+" has no "+c.Name()+" arm but "+enc.decl.Name.Name+" encodes it (half-wired "+e.typ.Name()+": peers cannot decode what we send)")
+				case decSet[c] && !encSet[c]:
+					fs = report(fs, enc.decl.Pos(), enc.decl.Name.Name+" has no "+c.Name()+" arm but "+dec.decl.Name.Name+" decodes it (half-wired "+e.typ.Name()+": we accept frames we can never produce)")
+				}
+			}
+		}
+	}
+	return fs
+}

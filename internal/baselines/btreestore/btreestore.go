@@ -511,7 +511,10 @@ func (s *Store) Recover() (metadataNs, replayNs int64, err error) {
 		}
 		off += 8 + kl + vl
 		// Journal replay re-executes the update path through the stack.
-		latency.Spin(s.cfg.SoftwareNs)
+		// Recovery runs before the store opens for traffic, so holding
+		// stateMu across the simulated replay latency is the point: nothing
+		// else may observe the half-replayed state.
+		latency.Spin(s.cfg.SoftwareNs) //nolint:lock-order // exclusive recovery section
 	}
 	replayNs = time.Since(t1).Nanoseconds()
 	s.closed = false

@@ -65,8 +65,12 @@ const (
 	hdrKey    = 8
 	keyCap    = 120 - 8
 
-	// Undo region: one in-flight transaction slot per lock stripe.
-	undoSlot = 8 + cellSize // state u64 + saved image
+	// Undo region: one in-flight transaction slot per lock stripe. The
+	// stride is padded to a cache-line multiple: the device requires
+	// same-line writers to synchronize (as on real hardware), and the
+	// per-stripe locks only guarantee that when no two slots share a line.
+	undoSlotRaw = 8 + cellSize // state u64 + saved image
+	undoSlot    = (undoSlotRaw + pmem.LineSize - 1) / pmem.LineSize * pmem.LineSize
 
 	stripes = 64
 )

@@ -137,15 +137,26 @@ func Dial(cfg Config) (*Client, error) {
 // Close tears down every pooled connection. In-flight calls fail.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
+	conns := make([]*conn, 0, len(c.pool))
 	for _, cn := range c.pool {
 		if cn != nil {
-			cn.fail(ErrClientClosed)
+			conns = append(conns, cn)
 		}
+	}
+	c.mu.Unlock()
+	// Fail (and thereby close) every conn, then join the read loops, both
+	// outside c.mu: failing a conn closes its socket, which unblocks its
+	// readLoop, so the joins are bounded.
+	for _, cn := range conns {
+		cn.fail(ErrClientClosed)
+	}
+	for _, cn := range conns {
+		<-cn.readerDone
 	}
 	return nil
 }
@@ -346,9 +357,10 @@ func (c *Client) dial() (*conn, error) {
 		return nil, transientf("dial %s", c.cfg.Addr, err)
 	}
 	cn := &conn{
-		cfg:     &c.cfg,
-		nc:      nc,
-		pending: make(map[uint64]chan wire.Response),
+		cfg:        &c.cfg,
+		nc:         nc,
+		pending:    make(map[uint64]chan wire.Response),
+		readerDone: make(chan struct{}),
 	}
 	go cn.readLoop()
 	return cn, nil
@@ -370,6 +382,8 @@ type conn struct {
 
 	wmu sync.Mutex // serializes frame writes
 
+	readerDone chan struct{} // closed when readLoop exits
+
 	mu      sync.Mutex
 	pending map[uint64]chan wire.Response // guarded by mu
 	err     error                         // guarded by mu; set once when the conn dies
@@ -383,18 +397,26 @@ func (cn *conn) broken() bool {
 	return cn.err != nil
 }
 
-// fail marks the connection dead and fails every in-flight call.
+// fail marks the connection dead and fails every in-flight call. The
+// victim channels are collected under mu but notified after it is released:
+// once cn.err is set, register refuses new entries, so this caller owns the
+// collected set exclusively and the sends need no lock.
 func (cn *conn) fail(err error) {
 	cn.mu.Lock()
+	var victims []chan wire.Response
 	if cn.err == nil {
 		cn.err = err
+		victims = make([]chan wire.Response, 0, len(cn.pending))
 		for id, ch := range cn.pending {
 			delete(cn.pending, id)
-			ch <- wire.Response{} // cap-1 channel; never blocks
-			close(ch)
+			victims = append(victims, ch)
 		}
 	}
 	cn.mu.Unlock()
+	for _, ch := range victims {
+		ch <- wire.Response{} // cap-1 channel; never blocks
+		close(ch)
+	}
 	cn.nc.Close() //nolint:errcheck // teardown of a dead conn
 }
 
@@ -443,7 +465,10 @@ func (cn *conn) roundTrip(ctx context.Context, req *wire.Request) (wire.Response
 
 	cn.wmu.Lock()
 	cn.nc.SetWriteDeadline(time.Now().Add(cn.cfg.WriteTimeout)) //nolint:errcheck // enforced by the Write below
-	_, werr := cn.nc.Write(frame)
+	// wmu exists to serialize exactly this write: interleaved frames would
+	// corrupt the stream for every pipelined caller. The hold is bounded by
+	// the write deadline set above, never by a peer.
+	_, werr := cn.nc.Write(frame) //nolint:lock-order // wmu's sole purpose; deadline-bounded
 	cn.wmu.Unlock()
 	if werr != nil {
 		cn.deregister(id)
@@ -470,7 +495,10 @@ func (cn *conn) roundTrip(ctx context.Context, req *wire.Request) (wire.Response
 }
 
 // readLoop routes responses to their callers until the stream dies.
+// readerDone is the goroutine's termination marker: Close joins on it so a
+// closed client leaves no reader behind.
 func (cn *conn) readLoop() {
+	defer close(cn.readerDone)
 	br := bufio.NewReaderSize(cn.nc, 32<<10)
 	for {
 		payload, err := wire.ReadFrame(br, cn.cfg.MaxFrame)
