@@ -33,8 +33,33 @@ type Context interface {
 	Lock(name string) error
 	// Unlock releases a lock taken with Lock (ounlock).
 	Unlock(name string) error
+	// Begin starts a multi-key optimistic transaction (DESIGN.md §12).
+	Begin() (Txn, error)
 	// Finalize releases the context and any locks it still holds.
 	Finalize()
+}
+
+// Txn is a multi-key optimistic transaction: reads record per-key commit
+// versions, writes buffer in DRAM, and Commit validates the read set and
+// applies the write set atomically — durable through a single commit record
+// per shard, so a crash at any point leaves all of the transaction's writes
+// or none. Commit returns ErrTxnConflict (and applies nothing) when a
+// concurrent commit invalidated a read; callers retry the whole transaction.
+// A Txn is owned by a single goroutine and is finished by the first Commit
+// or Abort; it does not see writes committed after its reads (first-read
+// versions win), and its own buffered writes shadow the store
+// (read-your-writes).
+type Txn interface {
+	// Get reads key, observing the transaction's buffered writes first.
+	Get(key string, buf []byte) ([]byte, error)
+	// Put buffers a write; nothing is visible or durable until Commit.
+	Put(key string, value []byte) error
+	// Delete buffers a deletion (of an absent key: a no-op at commit).
+	Delete(key string) error
+	// Commit validates and atomically applies the buffered writes.
+	Commit() error
+	// Abort discards the transaction.
+	Abort() error
 }
 
 // API is the store-level surface shared by *Store and *Sharded: context

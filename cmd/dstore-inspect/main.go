@@ -62,6 +62,10 @@ func inspectRemote(addr string, promote bool) {
 		fmt.Printf("cache: hits=%d misses=%d ratio=%.1f%% evict=%d bytes=%dKiB/%dKiB\n",
 			c.Hits, c.Misses, hitRatio(c.Hits, c.Misses), c.Evictions, c.Bytes>>10, c.Capacity>>10)
 	}
+	if x := st.Txn; x != nil {
+		fmt.Printf("txn:  commits=%d aborts=%d conflicts=%d conflictRate=%.1f%%\n",
+			x.Commits, x.Aborts, x.Conflicts, conflictRate(x.Commits, x.Conflicts))
+	}
 	if r := st.Repl; r != nil {
 		role := "primary"
 		if r.Role == wire.ReplRoleStandby {
@@ -117,6 +121,25 @@ func hitRatio(hits, misses uint64) float64 {
 	return 100 * float64(hits) / float64(hits+misses)
 }
 
+// conflictRate returns conflicts as a percentage of all commit attempts
+// (0 when no transactions ran).
+func conflictRate(commits, conflicts uint64) float64 {
+	if commits+conflicts == 0 {
+		return 0
+	}
+	return 100 * float64(conflicts) / float64(commits+conflicts)
+}
+
+// txnLine prints the transaction counters when any transaction has run.
+func txnLine(st dstore.Stats) {
+	if st.TxnCommits+st.TxnAborts+st.TxnConflicts == 0 {
+		return
+	}
+	fmt.Printf("txn:  commits=%d aborts=%d conflicts=%d conflictRate=%.1f%%\n",
+		st.TxnCommits, st.TxnAborts, st.TxnConflicts,
+		conflictRate(st.TxnCommits, st.TxnConflicts))
+}
+
 // inspectSharded builds a local sharded store, exercises it, prints the
 // aggregate and per-shard views, then crashes every shard and recovers them
 // in parallel — the sharded analogue of the single-store tour.
@@ -147,6 +170,7 @@ func inspectSharded(shards, objects, cacheMB int) {
 				agg.Hits, agg.Misses, hitRatio(agg.Hits, agg.Misses),
 				agg.Evictions, agg.Invalidations, agg.Bytes>>10, agg.Capacity>>10)
 		}
+		txnLine(st)
 		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(tw, "shard\tputs\tobjs\tckpts\treplayed\tpmemKiB\tssdKiB\tcacheHit%\thealth")
 		for i := 0; i < sh.Shards(); i++ {
@@ -346,6 +370,7 @@ func main() {
 				cs.Hits, cs.Misses, hitRatio(cs.Hits, cs.Misses),
 				cs.Evictions, cs.Invalidations, cs.Bytes>>10, cs.Capacity>>10)
 		}
+		txnLine(st.Stats())
 		fmt.Println()
 	}
 
@@ -357,6 +382,52 @@ func main() {
 		}
 	}
 	dump(fmt.Sprintf("after %d puts", *objects))
+
+	// Exercise the transaction path so the txn counters below are live: a
+	// committed two-key swap, then an induced commit-time conflict (a plain
+	// Put lands between a transaction's read and its commit).
+	if *objects >= 2 {
+		a, b := "object-000000", "object-000001"
+		txn, err := ctx.Begin()
+		if err != nil {
+			log.Fatal(err)
+		}
+		va, err := txn.Get(a, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vb, err := txn.Get(b, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := txn.Put(a, vb); err != nil {
+			log.Fatal(err)
+		}
+		if err := txn.Put(b, va); err != nil {
+			log.Fatal(err)
+		}
+		if err := txn.Commit(); err != nil {
+			log.Fatal(err)
+		}
+		txn2, err := ctx.Begin()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := txn2.Get(a, nil); err != nil {
+			log.Fatal(err)
+		}
+		if err := txn2.Put(a, va); err != nil {
+			log.Fatal(err)
+		}
+		if err := ctx.Put(a, vb); err != nil {
+			log.Fatal(err)
+		}
+		if err := txn2.Commit(); !errors.Is(err, dstore.ErrTxnConflict) {
+			log.Fatalf("expected txn conflict, got %v", err)
+		}
+		fmt.Println("ran one committed swap transaction and one induced OCC conflict")
+		fmt.Println()
+	}
 	if *cacheMB > 0 {
 		// Two read passes: the first warms the cache, the second hits it.
 		for pass := 0; pass < 2; pass++ {

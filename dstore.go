@@ -264,8 +264,14 @@ type Store struct {
 
 	health healthStats
 
-	ops opStats
-	bd  breakdown
+	// vers is the OCC per-key commit-version table (txn.go): every committed
+	// mutation bumps its key's counter before the record commits, and
+	// transaction validation compares the counters captured at read time.
+	vers verTable
+
+	ops  opStats
+	txns txnStats
+	bd   breakdown
 }
 
 // healthStats counts fault-handling events.
@@ -306,6 +312,15 @@ var ErrCorrupt = errors.New("dstore: data corruption detected")
 // ErrDegraded is returned for mutating operations while the store is in
 // read-only degraded mode (see Health). Reads are still served.
 var ErrDegraded = errors.New("dstore: store degraded (read-only)")
+
+// ErrTxnConflict is returned by Txn.Commit when optimistic validation fails:
+// another committed mutation overlapped the transaction's read or write set.
+// The transaction is rolled back; callers retry the whole transaction.
+var ErrTxnConflict = errors.New("dstore: transaction conflict")
+
+// ErrTxnTooLarge is returned by Txn.Commit when the buffered write set does
+// not fit one WAL commit record (or, cross-shard, one prepare object).
+var ErrTxnTooLarge = errors.New("dstore: transaction write set too large")
 
 // Format creates a fresh store per cfg, formatting its devices.
 func Format(cfg Config) (*Store, error) {
@@ -528,8 +543,12 @@ func (s *Store) Engine() *dipper.Engine { return s.eng }
 // Stats reports operation counts and engine statistics.
 type Stats struct {
 	Puts, Gets, Deletes, Reads, Writes, Opens uint64
-	Engine                                    dipper.Stats
-	CowPagesCopied, CowFaultCopies            uint64
+	// TxnCommits/TxnAborts/TxnConflicts count transaction outcomes:
+	// successful commits, explicit aborts, and commits rejected by OCC
+	// validation (ErrTxnConflict).
+	TxnCommits, TxnAborts, TxnConflicts uint64
+	Engine                              dipper.Stats
+	CowPagesCopied, CowFaultCopies      uint64
 }
 
 // Stats returns a snapshot of store counters.
@@ -541,7 +560,12 @@ func (s *Store) Stats() Stats {
 		Reads:   s.ops.reads.Load(),
 		Writes:  s.ops.writes.Load(),
 		Opens:   s.ops.opens.Load(),
-		Engine:  s.eng.Stats(),
+
+		TxnCommits:   s.txns.commits.Load(),
+		TxnAborts:    s.txns.aborts.Load(),
+		TxnConflicts: s.txns.conflicts.Load(),
+
+		Engine: s.eng.Stats(),
 	}
 	if s.cow != nil {
 		st.CowPagesCopied = s.cow.pagesCopied.Load()

@@ -72,6 +72,9 @@ type Options struct {
 	// CacheJSON, when non-empty, makes the cache experiment write its
 	// hit-ratio/speedup snapshot to this path as JSON.
 	CacheJSON string
+	// TxnJSON, when non-empty, makes the txn experiment write its
+	// throughput/abort-ratio snapshot to this path as JSON.
+	TxnJSON string
 }
 
 func (o *Options) setDefaults() {

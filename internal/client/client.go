@@ -116,7 +116,8 @@ type Client struct {
 	pool   []*conn // guarded by mu; nil slots dial lazily
 	closed bool    // guarded by mu
 
-	next atomic.Uint64
+	next   atomic.Uint64
+	txnSeq atomic.Uint32 // transaction session id source (scoped per connection)
 }
 
 // Dial creates a client for cfg and verifies connectivity by establishing
@@ -236,6 +237,104 @@ func (c *Client) Promote(ctx context.Context) error {
 	return err
 }
 
+// ------------------------------------------------------------ transactions
+
+// ErrTxnFinished is returned by operations on a transaction session that has
+// committed, aborted, or been poisoned by a transport failure.
+var ErrTxnFinished = errors.New("client: transaction already finished")
+
+// Txn is a client-side transaction session: optimistic reads and buffered
+// writes on the server, made atomic by Commit. A session is pinned to one
+// pooled connection and is not safe for concurrent use.
+//
+// Unlike the plain operations, every transaction request runs single-attempt
+// with no connection-level retry: a retried commit whose first response was
+// lost could apply twice. Any transport failure therefore poisons the session
+// (the server aborts it when the connection dies) and surfaces to the caller,
+// who retries the whole transaction — the same contract as a commit-time
+// dstore.ErrTxnConflict.
+type Txn struct {
+	cn   *conn
+	id   uint32
+	done bool
+}
+
+// BeginTxn opens a transaction session on the server.
+func (c *Client) BeginTxn(ctx context.Context) (*Txn, error) {
+	cn, err := c.acquire()
+	if err != nil {
+		return nil, err
+	}
+	t := &Txn{cn: cn, id: c.txnSeq.Add(1)}
+	resp, err := cn.roundTrip(ctx, &wire.Request{Op: wire.OpTxnBegin, Limit: t.id})
+	if err != nil {
+		return nil, err
+	}
+	if serr := statusErr(&resp); serr != nil {
+		return nil, serr
+	}
+	return t, nil
+}
+
+// call runs one single-attempt request on the pinned connection. Transport
+// errors poison the session; server status errors do not (a Get that returns
+// ErrNotFound leaves the transaction usable).
+func (t *Txn) call(ctx context.Context, req *wire.Request) (wire.Response, error) {
+	if t.done {
+		return wire.Response{}, ErrTxnFinished
+	}
+	req.Limit = t.id
+	resp, err := t.cn.roundTrip(ctx, req)
+	if err != nil {
+		t.done = true
+		return wire.Response{}, err
+	}
+	return resp, statusErr(&resp)
+}
+
+// Get reads key inside the transaction (read-your-writes; the read joins the
+// commit-time validation set).
+func (t *Txn) Get(ctx context.Context, key string) ([]byte, error) {
+	resp, err := t.call(ctx, &wire.Request{Op: wire.OpTxnGet, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Value, nil
+}
+
+// Put buffers a write of value under key.
+func (t *Txn) Put(ctx context.Context, key string, value []byte) error {
+	_, err := t.call(ctx, &wire.Request{Op: wire.OpTxnPut, Key: key, Value: value})
+	return err
+}
+
+// Delete buffers a deletion of key.
+func (t *Txn) Delete(ctx context.Context, key string) error {
+	_, err := t.call(ctx, &wire.Request{Op: wire.OpTxnDelete, Key: key})
+	return err
+}
+
+// Commit atomically applies the transaction. dstore.ErrTxnConflict means
+// validation failed and nothing was applied; retry the whole transaction.
+func (t *Txn) Commit(ctx context.Context) error {
+	if t.done {
+		return ErrTxnFinished
+	}
+	_, err := t.call(ctx, &wire.Request{Op: wire.OpTxnCommit})
+	t.done = true
+	return err
+}
+
+// Abort discards the transaction. Aborting a finished session is a no-op.
+func (t *Txn) Abort(ctx context.Context) error {
+	if t.done {
+		return nil
+	}
+	_, err := t.call(ctx, &wire.Request{Op: wire.OpTxnAbort})
+	t.done = true
+	return err
+}
+
 // ------------------------------------------------------------ retry engine
 
 // do executes one request with bounded retry on transient transport
@@ -299,6 +398,10 @@ func statusErr(resp *wire.Response) error {
 		return dstore.ErrDegraded
 	case wire.StatusClosed:
 		return dstore.ErrClosed
+	case wire.StatusTxnConflict:
+		// Deliberately NOT transient: retrying the commit frame could apply
+		// the write set twice. The caller retries the whole transaction.
+		return dstore.ErrTxnConflict
 	default:
 		return &ServerError{Status: resp.Status, Msg: resp.Msg}
 	}

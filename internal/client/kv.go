@@ -60,3 +60,70 @@ func (k *KV) Delete(key string) error {
 
 // Close releases the underlying client's connections.
 func (k *KV) Close() error { return k.c.Close() }
+
+// Begin implements kvapi.Transactor: one wire transaction session, pinned to
+// a pooled connection for its lifetime.
+func (k *KV) Begin() (kvapi.Txn, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), k.timeout)
+	defer cancel()
+	t, err := k.c.BeginTxn(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return netKVTxn{t: t, timeout: k.timeout}, nil
+}
+
+// netKVTxn adapts a wire transaction to kvapi.Txn, mapping the sentinels the
+// harness matches on.
+type netKVTxn struct {
+	t       *Txn
+	timeout time.Duration
+}
+
+func (x netKVTxn) ctx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), x.timeout)
+}
+
+func (x netKVTxn) Get(key string, buf []byte) ([]byte, error) {
+	ctx, cancel := x.ctx()
+	defer cancel()
+	v, err := x.t.Get(ctx, key)
+	if err != nil {
+		if errors.Is(err, dstore.ErrNotFound) {
+			return buf, kvapi.ErrNotFound
+		}
+		return buf, err
+	}
+	return append(buf, v...), nil
+}
+
+func (x netKVTxn) Put(key string, value []byte) error {
+	ctx, cancel := x.ctx()
+	defer cancel()
+	return x.t.Put(ctx, key, value)
+}
+
+func (x netKVTxn) Delete(key string) error {
+	ctx, cancel := x.ctx()
+	defer cancel()
+	return x.t.Delete(ctx, key)
+}
+
+func (x netKVTxn) Commit() error {
+	ctx, cancel := x.ctx()
+	defer cancel()
+	err := x.t.Commit(ctx)
+	if errors.Is(err, dstore.ErrTxnConflict) {
+		return kvapi.ErrTxnConflict
+	}
+	return err
+}
+
+func (x netKVTxn) Abort() error {
+	ctx, cancel := x.ctx()
+	defer cancel()
+	return x.t.Abort(ctx)
+}
+
+var _ kvapi.Store = (*KV)(nil)
+var _ kvapi.Transactor = (*KV)(nil)

@@ -24,6 +24,28 @@ type Store interface {
 	Close() error
 }
 
+// ErrTxnConflict reports a failed transaction commit validation: nothing was
+// applied, and the harness retries the whole transaction.
+var ErrTxnConflict = errors.New("kvapi: transaction conflict")
+
+// Txn is one transaction session on a Transactor: reads observe the session's
+// own buffered writes, writes stay invisible until Commit applies them
+// atomically (or reports ErrTxnConflict and applies nothing).
+type Txn interface {
+	Get(key string, buf []byte) ([]byte, error)
+	Put(key string, value []byte) error
+	Delete(key string) error
+	Commit() error
+	Abort() error
+}
+
+// Transactor is implemented by systems that support multi-key atomic
+// transactions (the transactional YCSB-F experiment).
+type Transactor interface {
+	// Begin opens one transaction session, owned by a single goroutine.
+	Begin() (Txn, error)
+}
+
 // FootprintReporter is implemented by systems that can report storage
 // consumption for the Fig. 10 experiment.
 type FootprintReporter interface {

@@ -86,6 +86,28 @@ type Promoter interface {
 	Promote() error
 }
 
+// TxnBackend is the optional backend surface behind the OpTxn* opcodes. A
+// backend that does not implement it rejects transaction requests with
+// StatusBadRequest.
+type TxnBackend interface {
+	// BeginTxn opens one transaction session.
+	BeginTxn() (Txn, error)
+}
+
+// Txn is one server-side transaction session. The server serializes calls on
+// a session (clients address sessions by id, and concurrent requests for the
+// same id queue on a per-session mutex), so implementations need not be
+// goroutine-safe. Put's value is only valid for the duration of the call —
+// the server recycles the frame buffer it aliases — so implementations that
+// buffer it must copy.
+type Txn interface {
+	Get(key string) ([]byte, error)
+	Put(key string, value []byte) error
+	Delete(key string) error
+	Commit() error
+	Abort() error
+}
+
 // Config tunes a Server. The zero value is usable.
 type Config struct {
 	// MaxConns bounds concurrent connections; further accepts are closed
@@ -391,6 +413,18 @@ type conn struct {
 	// and acked tracks the highest LSN the subscriber confirmed applying.
 	replOn atomic.Bool
 	acked  atomic.Uint64
+
+	txnMu sync.Mutex
+	txns  map[uint32]*connTxn // open transaction sessions; guarded by txnMu
+}
+
+// connTxn is one client transaction session. mu serializes operations on the
+// session: handlers run concurrently, and a (misbehaving) client pipelining
+// requests for the same transaction id must queue, not race the backend
+// session, which is single-goroutine by contract.
+type connTxn struct {
+	mu  sync.Mutex
+	txn Txn
 }
 
 // close aborts the connection immediately.
@@ -421,6 +455,7 @@ func (c *conn) run() {
 	close(c.readerDone)
 
 	c.handlers.Wait()
+	c.abortTxns()
 	close(c.out)
 	<-writerDone
 	c.close()
@@ -568,6 +603,9 @@ func (c *conn) execute(req wire.Request) *wire.Response {
 		err = c.srv.b.Checkpoint()
 	case wire.OpReplicate:
 		return c.executeReplicate(req, resp)
+	case wire.OpTxnBegin, wire.OpTxnGet, wire.OpTxnPut, wire.OpTxnDelete,
+		wire.OpTxnCommit, wire.OpTxnAbort:
+		return c.executeTxn(req, resp)
 	case wire.OpPromote:
 		p, ok := c.srv.b.(Promoter)
 		if !ok {
@@ -587,6 +625,98 @@ func (c *conn) execute(req wire.Request) *wire.Response {
 func badRequest(resp *wire.Response, msg string) *wire.Response {
 	resp.Status, resp.Msg = wire.StatusBadRequest, msg
 	return resp
+}
+
+// ------------------------------------------------------------- transactions
+
+// executeTxn handles the six OpTxn* opcodes against the connection's session
+// table. The client chooses the session id (carried in Limit); commit and
+// abort retire the session from the table before running, so a late
+// pipelined operation on a finished transaction gets StatusBadRequest rather
+// than a use-after-finish.
+func (c *conn) executeTxn(req wire.Request, resp *wire.Response) *wire.Response {
+	tb, ok := c.srv.b.(TxnBackend)
+	if !ok {
+		return badRequest(resp, "txn: backend does not support transactions")
+	}
+	id := req.Limit
+	if req.Op == wire.OpTxnBegin {
+		txn, err := tb.BeginTxn()
+		if err != nil {
+			resp.Status, resp.Msg = c.srv.b.ErrorStatus(err)
+			return resp
+		}
+		c.txnMu.Lock()
+		if c.txns == nil {
+			c.txns = make(map[uint32]*connTxn)
+		}
+		_, dup := c.txns[id]
+		if !dup {
+			c.txns[id] = &connTxn{txn: txn}
+		}
+		c.txnMu.Unlock()
+		if dup {
+			txn.Abort() //nolint:errcheck // the duplicate session never held state
+			return badRequest(resp, fmt.Sprintf("txn begin: id %d already open", id))
+		}
+		return resp
+	}
+	c.txnMu.Lock()
+	ct := c.txns[id]
+	if ct != nil && (req.Op == wire.OpTxnCommit || req.Op == wire.OpTxnAbort) {
+		delete(c.txns, id)
+	}
+	c.txnMu.Unlock()
+	if ct == nil {
+		return badRequest(resp, fmt.Sprintf("txn: unknown transaction id %d", id))
+	}
+	ct.mu.Lock()
+	var err error
+	switch req.Op {
+	case wire.OpTxnGet:
+		if req.Key == "" {
+			ct.mu.Unlock()
+			return badRequest(resp, "txn get: empty key")
+		}
+		resp.Value, err = ct.txn.Get(req.Key)
+	case wire.OpTxnPut:
+		if req.Key == "" {
+			ct.mu.Unlock()
+			return badRequest(resp, "txn put: empty key")
+		}
+		err = ct.txn.Put(req.Key, req.Value)
+	case wire.OpTxnDelete:
+		if req.Key == "" {
+			ct.mu.Unlock()
+			return badRequest(resp, "txn delete: empty key")
+		}
+		err = ct.txn.Delete(req.Key)
+	case wire.OpTxnCommit:
+		err = ct.txn.Commit()
+	case wire.OpTxnAbort:
+		err = ct.txn.Abort()
+	}
+	ct.mu.Unlock()
+	if err != nil {
+		resp.Status, resp.Msg = c.srv.b.ErrorStatus(err)
+		resp.Value = nil
+	}
+	return resp
+}
+
+// abortTxns discards every transaction session still open on the connection:
+// a client that disconnected (or was drained by a graceful shutdown) mid
+// transaction must not leak buffered write sets or version pins. It runs from
+// run's epilogue after the handlers drain, so no session is concurrently in
+// use.
+func (c *conn) abortTxns() {
+	c.txnMu.Lock()
+	txns := c.txns
+	c.txns = nil
+	c.txnMu.Unlock()
+	for _, ct := range txns {
+		ct.txn.Abort() //nolint:errcheck // best-effort cleanup of an abandoned session
+	}
 }
 
 // ------------------------------------------------------------- replication

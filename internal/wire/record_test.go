@@ -259,6 +259,12 @@ func TestOpStringPinned(t *testing.T) {
 		OpCheckpoint: "CHECKPOINT",
 		OpReplicate:  "REPLICATE",
 		OpPromote:    "PROMOTE",
+		OpTxnBegin:   "TXN_BEGIN",
+		OpTxnGet:     "TXN_GET",
+		OpTxnPut:     "TXN_PUT",
+		OpTxnDelete:  "TXN_DELETE",
+		OpTxnCommit:  "TXN_COMMIT",
+		OpTxnAbort:   "TXN_ABORT",
 	}
 	if len(want) != int(opMax)-1 {
 		t.Fatalf("string table covers %d ops, protocol defines %d", len(want), int(opMax)-1)

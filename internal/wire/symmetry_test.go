@@ -18,7 +18,7 @@ import (
 // opcodes are Valid, every valid opcode has a real name, and every invalid
 // value stringers to the numeric fallback.
 func TestOpValueSpace(t *testing.T) {
-	const declaredOps = 9 // OpPut..OpPromote; grows with the protocol
+	const declaredOps = 15 // OpPut..OpTxnAbort; grows with the protocol
 	valid := 0
 	for v := 0; v < 256; v++ {
 		op := Op(v)
@@ -42,7 +42,7 @@ func TestOpValueSpace(t *testing.T) {
 
 // TestStatusValueSpace is the same sweep for Status.
 func TestStatusValueSpace(t *testing.T) {
-	const declaredStatuses = 9 // StatusOK..StatusReplGap
+	const declaredStatuses = 10 // StatusOK..StatusTxnConflict
 	valid := 0
 	for v := 0; v < 256; v++ {
 		s := Status(v)
@@ -109,6 +109,7 @@ func TestStatsFieldsExhaustive(t *testing.T) {
 		Shards: make([]ShardStat, 2),
 		Cache:  &CacheReply{Shards: make([]CacheStat, 2)},
 		Repl:   &ReplReply{},
+		Txn:    &TxnReply{},
 	}
 	fillUnique(reflect.ValueOf(stats).Elem(), 1)
 
@@ -125,6 +126,9 @@ func TestStatsFieldsExhaustive(t *testing.T) {
 	// the author here to extend fields()/setFields() and these constants.
 	if n := len((&ReplReply{}).fields()); n != replStatFields {
 		t.Errorf("ReplReply.fields() returns %d counters, replStatFields = %d", n, replStatFields)
+	}
+	if n := len((&TxnReply{}).fields()); n != txnStatFields {
+		t.Errorf("TxnReply.fields() returns %d counters, txnStatFields = %d", n, txnStatFields)
 	}
 	if n := len((&CacheStat{}).fields()); n != cacheStatFields {
 		t.Errorf("CacheStat.fields() returns %d counters, cacheStatFields = %d", n, cacheStatFields)
@@ -160,6 +164,12 @@ func TestEveryOpRoundTrips(t *testing.T) {
 			req.Key, req.Limit = "prefix", 10
 		case OpReplicate:
 			req.Value = []byte{1, 0, 0, 0, 0, 0, 0, 0}
+		case OpTxnGet, OpTxnDelete:
+			req.Key, req.Limit = "k", 3
+		case OpTxnPut:
+			req.Key, req.Value, req.Limit = "k", []byte("v"), 3
+		case OpTxnBegin, OpTxnCommit, OpTxnAbort:
+			req.Limit = 3
 		}
 		enc, err := AppendRequest(nil, &req)
 		if err != nil {
@@ -175,7 +185,7 @@ func TestEveryOpRoundTrips(t *testing.T) {
 
 		resp := Response{ID: uint64(op), Op: op, Status: StatusOK}
 		switch op {
-		case OpGet, OpReplicate:
+		case OpGet, OpReplicate, OpTxnGet:
 			resp.Value = []byte("payload")
 		case OpScan:
 			resp.Objects = []Object{{Name: "a", Size: 3, Blocks: 1}}

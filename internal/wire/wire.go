@@ -71,12 +71,32 @@ const (
 	// OpPromote asks a standby server to promote: finish applying, open for
 	// writes, and stop replicating.
 	OpPromote
+	// OpTxnBegin opens a transaction session on this connection. The client
+	// assigns the transaction id (carried in Limit, like every OpTxn*
+	// request) so the request needs no response payload.
+	OpTxnBegin
+	// OpTxnGet reads Key inside the transaction (read-your-writes; the read
+	// joins the transaction's validation set).
+	OpTxnGet
+	// OpTxnPut buffers a write of Value under Key inside the transaction.
+	OpTxnPut
+	// OpTxnDelete buffers a deletion of Key inside the transaction.
+	OpTxnDelete
+	// OpTxnCommit validates and atomically applies the transaction;
+	// StatusTxnConflict reports a validation failure (nothing applied).
+	OpTxnCommit
+	// OpTxnAbort discards the transaction.
+	OpTxnAbort
 
 	opMax
 )
 
 // Valid reports whether o is a defined opcode.
 func (o Op) Valid() bool { return o >= OpPut && o < opMax }
+
+// Txn reports whether o is one of the transaction-session opcodes. Every
+// such request carries the client-chosen transaction id in Limit.
+func (o Op) Txn() bool { return o >= OpTxnBegin && o <= OpTxnAbort }
 
 func (o Op) String() string {
 	switch o {
@@ -98,6 +118,18 @@ func (o Op) String() string {
 		return "REPLICATE"
 	case OpPromote:
 		return "PROMOTE"
+	case OpTxnBegin:
+		return "TXN_BEGIN"
+	case OpTxnGet:
+		return "TXN_GET"
+	case OpTxnPut:
+		return "TXN_PUT"
+	case OpTxnDelete:
+		return "TXN_DELETE"
+	case OpTxnCommit:
+		return "TXN_COMMIT"
+	case OpTxnAbort:
+		return "TXN_ABORT"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -132,6 +164,11 @@ const (
 	// predates the primary's log recycling horizon: the standby cannot be
 	// caught up record-by-record and must re-seed from scratch.
 	StatusReplGap
+	// StatusTxnConflict round-trips dstore.ErrTxnConflict: transaction
+	// validation failed and nothing was applied. Deliberately non-transient —
+	// a connection-level retry of the commit could double-apply; the caller
+	// must retry the whole transaction.
+	StatusTxnConflict
 
 	statusMax
 )
@@ -159,6 +196,8 @@ func (s Status) String() string {
 		return "INTERNAL"
 	case StatusReplGap:
 		return "REPL_GAP"
+	case StatusTxnConflict:
+		return "TXN_CONFLICT"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -238,6 +277,10 @@ type StatsReply struct {
 	// otherwise. Replication-off frames carry no repl section and stay
 	// byte-identical to the pre-replication protocol.
 	Repl *ReplReply
+	// Txn holds transaction counters once the server has seen transaction
+	// activity; nil otherwise. Txn-free frames carry no txn section and stay
+	// byte-identical to the pre-transaction protocol.
+	Txn *TxnReply
 }
 
 // Replication roles carried in ReplReply.Role.
@@ -280,6 +323,30 @@ func (s *ReplReply) setFields(v []uint64) {
 }
 
 const replStatFields = 5
+
+// TxnReply is the optional STATS transaction section. On the wire it trails
+// the repl section; emitting it forces the earlier delimiters out (a zeroed
+// repl block when the server does not replicate) so the positional decode
+// stays unambiguous — a real repl block always has a nonzero Role.
+type TxnReply struct {
+	// Commits counts transactions that validated and applied.
+	Commits uint64
+	// Aborts counts transactions explicitly abandoned by clients.
+	Aborts uint64
+	// Conflicts counts commit attempts rejected by OCC validation.
+	Conflicts uint64
+}
+
+// fields lists the TxnReply counters in wire order.
+func (s *TxnReply) fields() []uint64 {
+	return []uint64{s.Commits, s.Aborts, s.Conflicts}
+}
+
+func (s *TxnReply) setFields(v []uint64) {
+	s.Commits, s.Aborts, s.Conflicts = v[0], v[1], v[2]
+}
+
+const txnStatFields = 3
 
 // CacheStat is one block-cache counter row (the aggregate or one shard's).
 type CacheStat struct {
@@ -497,7 +564,7 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 	dst = append(dst, msg...)
 	if resp.Status == StatusOK {
 		switch resp.Op {
-		case OpGet, OpReplicate:
+		case OpGet, OpReplicate, OpTxnGet:
 			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(resp.Value)))
 			dst = append(dst, resp.Value...)
 		case OpScan:
@@ -526,10 +593,12 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 			// shard-count word as a delimiter, its presence forces the word
 			// out even on a single store (count zero). A repl section
 			// trails the cache section and likewise forces a (zeroed)
-			// cache section out when one is not otherwise present. With
+			// cache section out when one is not otherwise present, and a
+			// txn section trails the repl section the same way. With
 			// none of them, the payload ends at the aggregate block exactly
 			// as before.
-			emitCache := st.Cache != nil || st.Repl != nil
+			emitRepl := st.Repl != nil || st.Txn != nil
+			emitCache := st.Cache != nil || emitRepl
 			if len(st.Shards) > 0 || emitCache {
 				dst = binary.LittleEndian.AppendUint32(dst, uint32(len(st.Shards)))
 				for i := range st.Shards {
@@ -553,8 +622,17 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 					}
 				}
 			}
-			if st.Repl != nil {
-				for _, v := range st.Repl.fields() {
+			if emitRepl {
+				var repl ReplReply
+				if st.Repl != nil {
+					repl = *st.Repl
+				}
+				for _, v := range repl.fields() {
+					dst = binary.LittleEndian.AppendUint64(dst, v)
+				}
+			}
+			if st.Txn != nil {
+				for _, v := range st.Txn.fields() {
 					dst = binary.LittleEndian.AppendUint64(dst, v)
 				}
 			}
@@ -652,7 +730,7 @@ func DecodeResponse(payload []byte) (Response, error) {
 	}
 	if resp.Status == StatusOK {
 		switch resp.Op {
-		case OpGet, OpReplicate:
+		case OpGet, OpReplicate, OpTxnGet:
 			resp.Value = d.bytes(int(d.u32()))
 		case OpScan:
 			n := int(d.u32())
@@ -741,8 +819,28 @@ func DecodeResponse(payload []byte) (Response, error) {
 					rv[i] = d.u64()
 				}
 				if d.err == nil {
-					resp.Stats.Repl = &ReplReply{}
-					resp.Stats.Repl.setFields(rv[:])
+					rr := &ReplReply{}
+					rr.setFields(rv[:])
+					// An all-zero repl block is the forced delimiter a
+					// txn-only server emits (a replicating server always has
+					// a nonzero Role): decode it back to "no repl section" so
+					// encoding round-trips.
+					if *rr != (ReplReply{}) {
+						resp.Stats.Repl = rr
+					}
+				}
+			}
+			// Optional transaction section after the repl block: a fixed
+			// counter block, present once the server has transaction
+			// activity.
+			if d.err == nil && d.remaining() > 0 {
+				var tv [txnStatFields]uint64
+				for i := range tv {
+					tv[i] = d.u64()
+				}
+				if d.err == nil {
+					resp.Stats.Txn = &TxnReply{}
+					resp.Stats.Txn.setFields(tv[:])
 				}
 			}
 		case OpHealth:

@@ -11,7 +11,8 @@ import (
 
 // randRequest draws a random but valid request covering every opcode.
 func randRequest(rng *rand.Rand) Request {
-	ops := []Op{OpPut, OpGet, OpDelete, OpScan, OpStats, OpHealth, OpCheckpoint, OpReplicate, OpPromote}
+	ops := []Op{OpPut, OpGet, OpDelete, OpScan, OpStats, OpHealth, OpCheckpoint, OpReplicate, OpPromote,
+		OpTxnBegin, OpTxnGet, OpTxnPut, OpTxnDelete, OpTxnCommit, OpTxnAbort}
 	req := Request{
 		ID: rng.Uint64(),
 		Op: ops[rng.Intn(len(ops))],
@@ -21,11 +22,11 @@ func randRequest(rng *rand.Rand) Request {
 		rng.Read(key)
 		req.Key = string(key)
 	}
-	if req.Op == OpPut {
+	if req.Op == OpPut || req.Op == OpTxnPut {
 		req.Value = make([]byte, rng.Intn(16<<10))
 		rng.Read(req.Value)
 	}
-	if req.Op == OpScan {
+	if req.Op == OpScan || req.Op.Txn() {
 		req.Limit = rng.Uint32()
 	}
 	if req.Op == OpReplicate {
@@ -46,7 +47,7 @@ func randResponse(rng *rand.Rand, op Op) Response {
 		return resp
 	}
 	switch op {
-	case OpGet:
+	case OpGet, OpTxnGet:
 		resp.Value = make([]byte, rng.Intn(16<<10))
 		rng.Read(resp.Value)
 	case OpScan:
@@ -86,6 +87,15 @@ func randResponse(rng *rand.Rand, op Op) Response {
 			}
 			st.Repl = &ReplReply{}
 			st.Repl.setFields(rv)
+		}
+		// And a third the transaction trailing section.
+		if rng.Intn(3) == 0 {
+			tv := make([]uint64, txnStatFields)
+			for i := range tv {
+				tv[i] = 1 + rng.Uint64()%1000
+			}
+			st.Txn = &TxnReply{}
+			st.Txn.setFields(tv)
 		}
 		resp.Stats = st
 	case OpHealth:
@@ -346,7 +356,7 @@ func FuzzDecodeRequest(f *testing.F) {
 
 func FuzzDecodeResponse(f *testing.F) {
 	rng := rand.New(rand.NewSource(7))
-	for _, op := range []Op{OpPut, OpGet, OpScan, OpStats, OpHealth} {
+	for _, op := range []Op{OpPut, OpGet, OpScan, OpStats, OpHealth, OpTxnGet, OpTxnCommit} {
 		resp := randResponse(rng, op)
 		frame := AppendResponse(nil, &resp)
 		f.Add(frame[FrameHeader:])
@@ -511,5 +521,83 @@ func TestCacheOffFramesUnchanged(t *testing.T) {
 	}
 	if got.Stats.Cache != nil || len(got.Stats.Shards) != 3 {
 		t.Fatalf("cache-off sharded STATS decode: %+v", got.Stats)
+	}
+}
+
+// TestTxnSectionRoundTrip covers the optional STATS transaction section: a
+// txn-only server forces a zeroed repl delimiter block out (which must decode
+// back to a nil Repl), and a server with both sections keeps them distinct.
+func TestTxnSectionRoundTrip(t *testing.T) {
+	// Txn section without replication: the zeroed repl block is a pure
+	// delimiter and must not materialize a ReplReply on decode.
+	st := &StatsReply{
+		Puts: 1, Gets: 2,
+		Txn: &TxnReply{Commits: 10, Aborts: 2, Conflicts: 3},
+	}
+	frame := AppendResponse(nil, &Response{ID: 1, Op: OpStats, Status: StatusOK, Stats: st})
+	payload := roundTripPayload(t, frame)
+	want := respFixed + statsFields*8 + 4 + cacheStatFields*8 + 4 + replStatFields*8 + txnStatFields*8
+	if len(payload) != want {
+		t.Fatalf("txn-only STATS payload is %d bytes, want %d", len(payload), want)
+	}
+	got, err := DecodeResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Stats, st) {
+		t.Fatalf("txn STATS round trip: got %+v want %+v", got.Stats, st)
+	}
+	if got.Stats.Repl != nil || got.Stats.Cache != nil {
+		t.Fatalf("delimiter blocks materialized: %+v", got.Stats)
+	}
+
+	// Replication and transactions together: both sections survive.
+	st.Repl = &ReplReply{Role: ReplRolePrimary, Subscribers: 1, LastLSN: 99, AckedLSN: 98}
+	payload = roundTripPayload(t, AppendResponse(nil, &Response{ID: 2, Op: OpStats, Status: StatusOK, Stats: st}))
+	got, err = DecodeResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Stats, st) {
+		t.Fatalf("repl+txn STATS round trip: got %+v want %+v", got.Stats, st)
+	}
+
+	// Truncating the txn section mid-block must fail, not decode partially.
+	if _, err := DecodeResponse(payload[:len(payload)-4]); err == nil {
+		t.Fatal("truncated txn section decoded")
+	}
+}
+
+// TestTxnStatsOffFramesUnchanged pins the txn-off wire layouts: with
+// Stats.Txn nil the frames must be byte-identical to the pre-transaction
+// protocol for every prior shape (plain, sharded, cached, replicating).
+func TestTxnStatsOffFramesUnchanged(t *testing.T) {
+	cases := []struct {
+		name string
+		st   StatsReply
+		want int
+	}{
+		{"plain", StatsReply{Puts: 7},
+			respFixed + statsFields*8},
+		{"sharded", StatsReply{Puts: 7, Shards: []ShardStat{{Puts: 1}, {Gets: 2}}},
+			respFixed + statsFields*8 + 4 + 2*shardStatBytes},
+		{"cached", StatsReply{Puts: 7, Cache: &CacheReply{CacheStat: CacheStat{Hits: 1, Capacity: 8}}},
+			respFixed + statsFields*8 + 4 + cacheStatFields*8 + 4},
+		{"replicating", StatsReply{Puts: 7, Repl: &ReplReply{Role: ReplRoleStandby, AckedLSN: 5}},
+			respFixed + statsFields*8 + 4 + cacheStatFields*8 + 4 + replStatFields*8},
+	}
+	for _, tc := range cases {
+		st := tc.st
+		payload := roundTripPayload(t, AppendResponse(nil, &Response{ID: 5, Op: OpStats, Status: StatusOK, Stats: &st}))
+		if len(payload) != tc.want {
+			t.Errorf("%s: txn-off STATS payload is %d bytes, want pre-txn %d", tc.name, len(payload), tc.want)
+		}
+		got, err := DecodeResponse(payload)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got.Stats.Txn != nil {
+			t.Errorf("%s: phantom txn section: %+v", tc.name, got.Stats.Txn)
+		}
 	}
 }

@@ -119,10 +119,44 @@ func (k *KV) IOBytes() (pmemBytes, ssdBytes uint64) {
 	return ps.BytesRead + ps.BytesWritten, ds.BytesRead + ds.BytesWritten
 }
 
+// Begin implements kvapi.Transactor.
+func (k *KV) Begin() (kvapi.Txn, error) {
+	t, err := k.ctx.Begin()
+	if err != nil {
+		return nil, err
+	}
+	return kvTxn{t: t}, nil
+}
+
+// kvTxn adapts a store transaction to kvapi.Txn, mapping the sentinels the
+// harness matches on.
+type kvTxn struct{ t Txn }
+
+func (x kvTxn) Get(key string, buf []byte) ([]byte, error) {
+	out, err := x.t.Get(key, buf)
+	if errors.Is(err, ErrNotFound) {
+		return nil, kvapi.ErrNotFound
+	}
+	return out, err
+}
+
+func (x kvTxn) Put(key string, value []byte) error { return x.t.Put(key, value) }
+func (x kvTxn) Delete(key string) error            { return x.t.Delete(key) }
+func (x kvTxn) Abort() error                       { return x.t.Abort() }
+
+func (x kvTxn) Commit() error {
+	err := x.t.Commit()
+	if errors.Is(err, ErrTxnConflict) {
+		return kvapi.ErrTxnConflict
+	}
+	return err
+}
+
 var _ kvapi.IOStatsReporter = (*KV)(nil)
 var _ kvapi.Store = (*KV)(nil)
 var _ kvapi.FootprintReporter = (*KV)(nil)
 var _ kvapi.Crasher = (*KV)(nil)
+var _ kvapi.Transactor = (*KV)(nil)
 
 // ShardedKV adapts a Sharded store to kvapi.Store, so the benchmark harness
 // measures shard scaling through the exact adapter it uses for one store.
@@ -223,7 +257,18 @@ func (k *ShardedKV) Recover() (metadataNs, replayNs int64, err error) {
 	return metadataNs, replayNs, nil
 }
 
+// Begin implements kvapi.Transactor; the transaction spans the sharded
+// namespace (cross-shard write sets run two-phase commit).
+func (k *ShardedKV) Begin() (kvapi.Txn, error) {
+	t, err := k.ctx.Begin()
+	if err != nil {
+		return nil, err
+	}
+	return kvTxn{t: t}, nil
+}
+
 var _ kvapi.IOStatsReporter = (*ShardedKV)(nil)
 var _ kvapi.Store = (*ShardedKV)(nil)
 var _ kvapi.FootprintReporter = (*ShardedKV)(nil)
 var _ kvapi.Crasher = (*ShardedKV)(nil)
+var _ kvapi.Transactor = (*ShardedKV)(nil)

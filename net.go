@@ -148,6 +148,40 @@ func (b *netBackend) Delete(key string) error {
 	return c.Delete(key)
 }
 
+// BeginTxn exposes transactions to the wire server. The session pins its own
+// context for the transaction's lifetime; the server serializes calls on it.
+func (b *netBackend) BeginTxn() (server.Txn, error) {
+	c := b.api.NewContext()
+	txn, err := c.Begin()
+	if err != nil {
+		c.Finalize()
+		return nil, err
+	}
+	return &netTxn{c: c, txn: txn}, nil
+}
+
+// netTxn adapts a store transaction to the server's session surface.
+type netTxn struct {
+	c   Context
+	txn Txn
+}
+
+func (t *netTxn) Get(key string) ([]byte, error) { return t.txn.Get(key, nil) }
+func (t *netTxn) Put(key string, v []byte) error { return t.txn.Put(key, v) }
+func (t *netTxn) Delete(key string) error        { return t.txn.Delete(key) }
+
+func (t *netTxn) Commit() error {
+	err := t.txn.Commit()
+	t.c.Finalize()
+	return err
+}
+
+func (t *netTxn) Abort() error {
+	err := t.txn.Abort()
+	t.c.Finalize()
+	return err
+}
+
 func (b *netBackend) Scan(prefix string, limit int) ([]wire.Object, error) {
 	c := b.api.NewContext()
 	defer c.Finalize()
@@ -183,7 +217,8 @@ func statsReplyFor(st Stats, fp Footprint, objects uint64) wire.ShardStat {
 }
 
 func (b *netBackend) Stats() wire.StatsReply {
-	agg := statsReplyFor(b.api.Stats(), b.api.Footprint(), b.api.Count())
+	apiStats := b.api.Stats()
+	agg := statsReplyFor(apiStats, b.api.Footprint(), b.api.Count())
 	reply := wire.StatsReply{
 		Puts:            agg.Puts,
 		Gets:            agg.Gets,
@@ -217,6 +252,16 @@ func (b *netBackend) Stats() wire.StatsReply {
 			}
 		}
 		reply.Cache = cr
+	}
+	// Attach the transaction section only once transactions have been used,
+	// so txn-free deployments emit frames byte-identical to the pre-txn
+	// protocol.
+	if apiStats.TxnCommits+apiStats.TxnAborts+apiStats.TxnConflicts > 0 {
+		reply.Txn = &wire.TxnReply{
+			Commits:   apiStats.TxnCommits,
+			Aborts:    apiStats.TxnAborts,
+			Conflicts: apiStats.TxnConflicts,
+		}
 	}
 	return reply
 }
@@ -282,6 +327,8 @@ func (b *netBackend) ErrorStatus(err error) (wire.Status, string) {
 		// A standby is read-only for clients exactly like a degraded
 		// primary; the message tells the two apart.
 		return wire.StatusDegraded, err.Error()
+	case errors.Is(err, ErrTxnConflict):
+		return wire.StatusTxnConflict, err.Error()
 	case errors.Is(err, ErrReplGap):
 		return wire.StatusReplGap, err.Error()
 	case errors.Is(err, ErrClosed):

@@ -228,7 +228,7 @@ func (s *Store) allocAndAppend(op uint16, name []byte, size uint64, sums []uint3
 			s.poolMu.Unlock()
 			return nil, putAlloc{}, perr
 		}
-		if op == opPut {
+		if op == opPut || op == opTxnBegin {
 			a.sums = sums
 		}
 		var t1 int64
@@ -339,7 +339,22 @@ func grow(buf []byte, n int) []byte {
 	return nb
 }
 
+// validateName checks a user-supplied object name. Names starting with
+// '\x00' are reserved for the transaction machinery (prepare/decision
+// objects and commit-record names, txn.go) and rejected at the API surface.
 func (s *Store) validateName(name string) error {
+	if err := s.validateNameAny(name); err != nil {
+		return err
+	}
+	if name[0] == 0 {
+		return fmt.Errorf("dstore: name %q uses the reserved \\x00 prefix", name)
+	}
+	return nil
+}
+
+// validateNameAny checks only the structural bounds, admitting the reserved
+// namespace; internal writers (putReserved/deleteReserved) use it.
+func (s *Store) validateNameAny(name string) error {
 	if name == "" {
 		return fmt.Errorf("dstore: empty object name")
 	}
@@ -347,6 +362,17 @@ func (s *Store) validateName(name string) error {
 		return fmt.Errorf("dstore: name %q exceeds %d bytes", name, s.cfg.MaxNameLen)
 	}
 	return nil
+}
+
+// isTransientRetry reports whether err is a transient device error with
+// retry budget left, consuming one attempt and sleeping its backoff.
+func isTransientRetry(err error, devRetries *int) bool {
+	if fault.IsTransient(err) && *devRetries < ioAttempts {
+		*devRetries++
+		time.Sleep(time.Duration(*devRetries) * 10 * time.Microsecond)
+		return true
+	}
+	return false
 }
 
 func (s *Store) maxObjectBytes() uint64 {
@@ -379,16 +405,27 @@ func (c *Ctx) Put(key string, value []byte) error {
 	if s == nil || s.closed.Load() {
 		return ErrClosed
 	}
+	if err := s.validateName(key); err != nil {
+		return err
+	}
+	s.ops.puts.Add(1)
+	return c.putOp(opPut, key, value)
+}
+
+// putOp is the put pipeline parameterized by record opcode: opPut for the
+// public API, opTxnBegin for reserved cross-shard prepare objects (replay
+// treats both identically; the opcode distinguishes them in the log).
+func (c *Ctx) putOp(op uint16, key string, value []byte) error {
+	s := c.s
 	if err := s.checkWritable(); err != nil {
 		return err
 	}
-	if err := s.validateName(key); err != nil {
+	if err := s.validateNameAny(key); err != nil {
 		return err
 	}
 	if uint64(len(value)) > s.maxObjectBytes() {
 		return fmt.Errorf("dstore: value of %d bytes exceeds max object size %d", len(value), s.maxObjectBytes())
 	}
-	s.ops.puts.Add(1)
 	name := []byte(key)
 	size := uint64(len(value))
 	sums := blockSums(value, s.cfg.BlockSize)
@@ -410,7 +447,7 @@ func (c *Ctx) Put(key string, value []byte) error {
 	var a putAlloc
 	for attempt := 0; ; attempt++ {
 		var err error
-		h, a, err = s.allocAndAppend(opPut, name, size, sums, c.heldLSN(key))
+		h, a, err = s.allocAndAppend(op, name, size, sums, c.heldLSN(key))
 		if err != nil {
 			if s.cfg.DisableOE {
 				s.globalMu.Unlock()
@@ -494,6 +531,11 @@ func (c *Ctx) Put(key string, value []byte) error {
 		t4 = nowNs()
 	}
 
+	// OCC version: bumped after the structures changed and before the record
+	// commits, so a transaction that validated this key either sees the bump
+	// or finds our record in its conflict window (txn.go).
+	s.vers.bump(key)
+
 	// Step ⑨: commit — only now is the operation durable.
 	if err := s.commit(h); err != nil {
 		// Degraded: durability is indeterminate; keep the old blocks out of
@@ -568,6 +610,12 @@ func (c *Ctx) Get(key string, buf []byte) ([]byte, error) {
 	})
 	defer s.readers.exit(ctr)
 
+	return s.readObject(key, buf)
+}
+
+// readObject is Get's lookup-and-read body. The caller holds a CC reader
+// section on key (transactional reads share it, txn.go).
+func (s *Store) readObject(key string, buf []byte) ([]byte, error) {
 	s.treeMu.RLock()
 	slot, ok := s.front.tree.Get([]byte(key))
 	s.treeMu.RUnlock()
@@ -607,20 +655,31 @@ func (c *Ctx) Delete(key string) error {
 	if s == nil || s.closed.Load() {
 		return ErrClosed
 	}
-	if err := s.checkWritable(); err != nil {
-		return err
-	}
 	if err := s.validateName(key); err != nil {
 		return err
 	}
 	s.ops.deletes.Add(1)
+	return c.deleteOp(opDelete, key)
+}
+
+// deleteOp is the delete pipeline parameterized by record opcode: opDelete
+// for the public API, opTxnAbort for reserved prepare/decision-object
+// cleanup (both replay as a tolerant delete).
+func (c *Ctx) deleteOp(op uint16, key string) error {
+	s := c.s
+	if err := s.checkWritable(); err != nil {
+		return err
+	}
+	if err := s.validateNameAny(key); err != nil {
+		return err
+	}
 	name := []byte(key)
 
 	if s.cfg.DisableOE {
 		s.globalMu.Lock()
 		defer s.globalMu.Unlock()
 	}
-	h, err := s.appendPooled(opDelete, name, nil, c.heldLSN(key))
+	h, err := s.appendPooled(op, name, nil, c.heldLSN(key))
 	if err != nil {
 		return err
 	}
@@ -656,6 +715,7 @@ func (c *Ctx) Delete(key string) error {
 	s.front.deleteStructPhase(name, slot)
 	zlk.Unlock()
 	s.treeMu.Unlock()
+	s.vers.bump(key)
 	if err := s.commit(h); err != nil {
 		return err
 	}
@@ -739,6 +799,7 @@ func (s *Store) create(name string, size uint64, ignore uint64) error {
 		s.abort(h)
 		return terr
 	}
+	s.vers.bump(name)
 	if err := s.commit(h); err != nil {
 		return err
 	}
@@ -1006,6 +1067,7 @@ func (s *Store) invalidateSums(o *Object, e entrySnapshot, lo, hi uint64) error 
 	}
 	// Commit before the data write starts: the invalidation must be durable
 	// before any new byte lands under the old checksum.
+	s.vers.bump(o.name)
 	return s.commit(h)
 }
 
@@ -1034,6 +1096,7 @@ func (s *Store) extend(name string, newSize uint64, ignore uint64) error {
 		s.abort(h)
 		return serr
 	}
+	s.vers.bump(name)
 	return s.commit(h)
 }
 

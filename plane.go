@@ -26,6 +26,17 @@ const (
 	opNoop   uint16 = 5
 	opInval  uint16 = 6
 	opRemap  uint16 = 7
+	// Transaction records (DESIGN.md §12). opTxnCommit is the atomic point of
+	// a multi-key commit: its payload carries the whole write set as put and
+	// delete sub-operations and replay applies them all or — when the record
+	// never committed — none. opTxnBegin durably stores a cross-shard prepare
+	// object and replays exactly like opPut; opTxnAbort deletes one and
+	// replays exactly like opDelete. A transaction without a committed
+	// opTxnCommit record leaves no durable trace: buffered writes are
+	// DRAM-only and its olock records are opNoop.
+	opTxnBegin  uint16 = 8
+	opTxnCommit uint16 = 9
+	opTxnAbort  uint16 = 10
 )
 
 // Allocator root slots holding the control-plane structure offsets.
@@ -276,6 +287,121 @@ func decodeRemapPayload(p []byte) (idx int, newBlock uint64, sum uint32, err err
 		binary.LittleEndian.Uint32(p[12:]), nil
 }
 
+// opTxnCommit payload: the transaction id followed by the write set as
+// sub-operations. Each put sub-op carries the same allocation decisions an
+// opPut payload would (slot, block ids, per-block sums), so replay is
+// deterministic; delete sub-ops carry only the name.
+const (
+	txnSubPut    uint8 = 1
+	txnSubDelete uint8 = 2
+)
+
+// txnSub is one sub-operation of an opTxnCommit record.
+type txnSub struct {
+	kind   uint8
+	name   []byte
+	size   uint64   // put only
+	slot   uint64   // put only
+	blocks []uint64 // put only
+	sums   []uint32 // put only
+}
+
+func (t txnSub) encodedLen() int {
+	n := 1 + 2 + len(t.name)
+	if t.kind == txnSubPut {
+		n += 8 + 8 + 4 + 12*len(t.blocks)
+	}
+	return n
+}
+
+func encodeTxnPayload(txnid uint64, subs []txnSub) []byte {
+	n := 12
+	for _, s := range subs {
+		n += s.encodedLen()
+	}
+	b := make([]byte, n)
+	binary.LittleEndian.PutUint64(b[0:], txnid)
+	binary.LittleEndian.PutUint32(b[8:], uint32(len(subs)))
+	off := 12
+	for _, s := range subs {
+		b[off] = s.kind
+		binary.LittleEndian.PutUint16(b[off+1:], uint16(len(s.name)))
+		off += 3
+		off += copy(b[off:], s.name)
+		if s.kind == txnSubPut {
+			binary.LittleEndian.PutUint64(b[off:], s.size)
+			binary.LittleEndian.PutUint64(b[off+8:], s.slot)
+			binary.LittleEndian.PutUint32(b[off+16:], uint32(len(s.blocks)))
+			off += 20
+			for i, blk := range s.blocks {
+				binary.LittleEndian.PutUint64(b[off+8*i:], blk)
+			}
+			off += 8 * len(s.blocks)
+			for i := range s.blocks {
+				var sum uint32
+				if s.sums != nil {
+					sum = s.sums[i]
+				}
+				binary.LittleEndian.PutUint32(b[off+4*i:], sum)
+			}
+			off += 4 * len(s.blocks)
+		}
+	}
+	return b
+}
+
+func decodeTxnPayload(p []byte) (txnid uint64, subs []txnSub, err error) {
+	if len(p) < 12 {
+		return 0, nil, fmt.Errorf("dstore: short txn payload (%d bytes)", len(p))
+	}
+	txnid = binary.LittleEndian.Uint64(p[0:])
+	n := binary.LittleEndian.Uint32(p[8:])
+	off := 12
+	subs = make([]txnSub, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(p) < off+3 {
+			return 0, nil, fmt.Errorf("dstore: txn payload truncated at sub %d", i)
+		}
+		var s txnSub
+		s.kind = p[off]
+		nameLen := int(binary.LittleEndian.Uint16(p[off+1:]))
+		off += 3
+		if len(p) < off+nameLen {
+			return 0, nil, fmt.Errorf("dstore: txn payload truncated in name of sub %d", i)
+		}
+		s.name = p[off : off+nameLen]
+		off += nameLen
+		switch s.kind {
+		case txnSubPut:
+			if len(p) < off+20 {
+				return 0, nil, fmt.Errorf("dstore: txn payload truncated in put header of sub %d", i)
+			}
+			s.size = binary.LittleEndian.Uint64(p[off:])
+			s.slot = binary.LittleEndian.Uint64(p[off+8:])
+			nb := int(binary.LittleEndian.Uint32(p[off+16:]))
+			off += 20
+			if len(p) < off+12*nb {
+				return 0, nil, fmt.Errorf("dstore: txn payload truncated in blocks of sub %d", i)
+			}
+			s.blocks = make([]uint64, nb)
+			s.sums = make([]uint32, nb)
+			for j := range s.blocks {
+				s.blocks[j] = binary.LittleEndian.Uint64(p[off+8*j:])
+			}
+			so := off + 8*nb
+			for j := range s.sums {
+				s.sums[j] = binary.LittleEndian.Uint32(p[so+4*j:])
+			}
+			off += 12 * nb
+		case txnSubDelete:
+		default:
+			return 0, nil, fmt.Errorf("dstore: unknown txn sub kind %d", s.kind)
+		}
+		subs = append(subs, s)
+	}
+	return txnid, subs, nil
+}
+
 // replayRecord applies one logged operation to a plane using the explicit
 // slot/block ids in the record's parameters — the statically-defined
 // op→functions mapping of §3.2, used both by checkpoint replay (onto PMEM
@@ -284,28 +410,30 @@ func decodeRemapPayload(p []byte) (idx int, newBlock uint64, sum uint32, err err
 // when the batch ends (rebuildPools).
 func replayRecord(p *plane, rv wal.RecordView) error {
 	switch rv.Op {
-	case opPut, opCreate, opExtend:
+	case opPut, opCreate, opExtend, opTxnBegin:
 		size, slot, blocks, sums, err := decodeAllocPayload(rv.Payload)
 		if err != nil {
 			return err
 		}
-		if err := p.zone.Write(slot, rv.Name, size, blocks, sums); err != nil {
+		return p.replayPutLike(rv.Name, size, slot, blocks, sums)
+	case opDelete, opTxnAbort:
+		return p.replayDeleteLike(rv.Name)
+	case opTxnCommit:
+		_, subs, err := decodeTxnPayload(rv.Payload)
+		if err != nil {
 			return err
 		}
-		if existing, ok := p.tree.Get(rv.Name); ok {
-			if existing != slot {
-				return fmt.Errorf("dstore: replay: %q maps to slot %d, record says %d", rv.Name, existing, slot)
+		for _, s := range subs {
+			switch s.kind {
+			case txnSubPut:
+				if err := p.replayPutLike(s.name, s.size, s.slot, s.blocks, s.sums); err != nil {
+					return err
+				}
+			case txnSubDelete:
+				if err := p.replayDeleteLike(s.name); err != nil {
+					return err
+				}
 			}
-			return nil
-		}
-		_, _, err = p.tree.Insert(rv.Name, slot)
-		return err
-	case opDelete:
-		if slot, ok := p.tree.Get(rv.Name); ok {
-			if _, _, err := p.tree.Delete(rv.Name); err != nil {
-				return err
-			}
-			return p.zone.Clear(slot)
 		}
 		return nil
 	case opInval:
@@ -365,6 +493,35 @@ func replayRecord(p *plane, rv wal.RecordView) error {
 	default:
 		return fmt.Errorf("dstore: unknown op %d in log", rv.Op)
 	}
+}
+
+// replayPutLike applies one put-shaped structure update: the shared replay
+// body of opPut/opCreate/opExtend/opTxnBegin records and of opTxnCommit put
+// sub-operations.
+func (p *plane) replayPutLike(name []byte, size, slot uint64, blocks []uint64, sums []uint32) error {
+	if err := p.zone.Write(slot, name, size, blocks, sums); err != nil {
+		return err
+	}
+	if existing, ok := p.tree.Get(name); ok {
+		if existing != slot {
+			return fmt.Errorf("dstore: replay: %q maps to slot %d, record says %d", name, existing, slot)
+		}
+		return nil
+	}
+	_, _, err := p.tree.Insert(name, slot)
+	return err
+}
+
+// replayDeleteLike applies one delete-shaped structure update, tolerant of
+// the name being already gone (a later committed delete/rewrite supersedes).
+func (p *plane) replayDeleteLike(name []byte) error {
+	if slot, ok := p.tree.Get(name); ok {
+		if _, _, err := p.tree.Delete(name); err != nil {
+			return err
+		}
+		return p.zone.Clear(slot)
+	}
+	return nil
 }
 
 // rebuildPools reconstitutes the free slot and block pools from the

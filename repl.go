@@ -9,6 +9,7 @@ package dstore
 // promotion a local checkpoint plus pool rebuild: no state translation.
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -37,6 +38,25 @@ func (s *Store) LastLSN() uint64 { return s.eng.Pair().LastLSN() }
 // standby crash, which recovers the committed prefix and resubscribes from
 // here.
 func (s *Store) AppliedLSN() uint64 { return s.eng.Pair().LastLSN() }
+
+// exportSubData reads one transaction put sub-op's object content back
+// verifiably; ok=false means a block was superseded (or faulted) and the
+// sub-op must ship as not-present.
+func (s *Store) exportSubData(sub txnSub) ([]byte, bool) {
+	data := make([]byte, 0, sub.size)
+	for i, b := range sub.blocks {
+		ln := s.exportSpanLen(sub.size, i)
+		if ln == 0 {
+			continue
+		}
+		span := make([]byte, ln)
+		if err := s.readBlockVerified(b, span, sub.sums[i], string(sub.name)); err != nil {
+			return nil, false
+		}
+		data = append(data, span...)
+	}
+	return data, true
+}
 
 // exportSpanLen returns the logical length of block i of an object of the
 // given size.
@@ -74,7 +94,39 @@ func (s *Store) ExportCommitted(from uint64, max int) ([]wire.Record, error) {
 	for _, r := range recs {
 		w := wire.Record{LSN: r.LSN, Op: r.Op, Name: r.Name, Payload: r.Payload}
 		switch r.Op {
-		case opPut, opCreate, opExtend:
+		case opTxnCommit:
+			// A transaction record references several objects' data. Skipping
+			// the whole record when one sub-op's blocks were superseded would
+			// permanently diverge the standby on the others, so each put
+			// sub-op ships with a present flag:
+			//
+			//	u8 present | u32 len | data   (per put sub-op, record order)
+			//
+			// A non-present sub-op's content was rewritten by a later
+			// committed record that follows in the stream; the standby strips
+			// that sub-op on apply and the later record repairs the key.
+			_, subs, err := decodeTxnPayload(r.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("dstore: export record %d: %w", r.LSN, err)
+			}
+			var data []byte
+			for _, sub := range subs {
+				if sub.kind != txnSubPut {
+					continue
+				}
+				span, ok := s.exportSubData(sub)
+				if !ok {
+					data = append(data, 0, 0, 0, 0, 0)
+					continue
+				}
+				data = append(data, 1)
+				var ln [4]byte
+				binary.LittleEndian.PutUint32(ln[:], uint32(len(span)))
+				data = append(data, ln[:]...)
+				data = append(data, span...)
+			}
+			w.Data = data
+		case opPut, opCreate, opExtend, opTxnBegin:
 			size, _, blocks, sums, err := decodeAllocPayload(r.Payload)
 			if err != nil {
 				return nil, fmt.Errorf("dstore: export record %d: %w", r.LSN, err)
@@ -149,7 +201,9 @@ func (s *Store) ApplyReplicated(rec wire.Record) error {
 
 	var touched []uint64
 	switch rec.Op {
-	case opPut, opCreate, opExtend:
+	case opTxnCommit:
+		return s.applyReplicatedTxn(rec)
+	case opPut, opCreate, opExtend, opTxnBegin:
 		size, _, blocks, _, err := decodeAllocPayload(rec.Payload)
 		if err != nil {
 			return fmt.Errorf("dstore: apply record %d: %w", rec.LSN, err)
@@ -220,6 +274,112 @@ func (s *Store) ApplyReplicated(rec wire.Record) error {
 	if err != nil {
 		s.degrade(err)
 		return fmt.Errorf("%w: standby apply: %v", ErrDegraded, err)
+	}
+	s.vers.bump(name)
+	s.cacheInvalidate(touched)
+	return nil
+}
+
+// applyReplicatedTxn applies a shipped opTxnCommit record: the present put
+// sub-ops' data to this store's SSD, then — with the not-present sub-ops
+// STRIPPED from the payload, so the standby's own recovery replay stays
+// self-consistent — the record and the in-memory structures for every
+// remaining sub-op. A not-present sub-op's key is repaired by the later
+// committed record that superseded it, which follows in the stream.
+// Caller holds applyMu and has checked mode, health, and LSN.
+func (s *Store) applyReplicatedTxn(rec wire.Record) error {
+	txnid, subs, err := decodeTxnPayload(rec.Payload)
+	if err != nil {
+		return fmt.Errorf("dstore: apply record %d: %w", rec.LSN, err)
+	}
+	truncated := func() error {
+		return fmt.Errorf("dstore: apply record %d: transaction data truncated", rec.LSN)
+	}
+	var touched []uint64
+	kept := make([]txnSub, 0, len(subs))
+	data := rec.Data
+	for _, sub := range subs {
+		if sub.kind != txnSubPut {
+			kept = append(kept, sub)
+			continue
+		}
+		if len(data) < 5 {
+			return truncated()
+		}
+		present := data[0]
+		ln := binary.LittleEndian.Uint32(data[1:5])
+		data = data[5:]
+		if present == 0 {
+			continue
+		}
+		if uint64(len(data)) < uint64(ln) {
+			return truncated()
+		}
+		span := data[:ln]
+		data = data[ln:]
+		off := uint64(0)
+		for i, b := range sub.blocks {
+			l := s.exportSpanLen(sub.size, i)
+			if l == 0 {
+				continue
+			}
+			if off+l > uint64(len(span)) {
+				return truncated()
+			}
+			if err := s.ssdWrite(s.dataOff(b), span[off:off+l]); err != nil {
+				s.degrade(err)
+				return fmt.Errorf("%w: standby data write: %v", ErrDegraded, err)
+			}
+			off += l
+			touched = append(touched, b)
+		}
+		kept = append(kept, sub)
+	}
+	stripped := rec.Payload
+	if len(kept) != len(subs) {
+		stripped = encodeTxnPayload(txnid, kept)
+	}
+
+	wrec := rec
+	wrec.Payload = stripped
+	if err := s.applyAppend(wrec); err != nil {
+		return err
+	}
+
+	// In-memory apply: drain readers of every sub-op name, then replay the
+	// stripped record under the writer locks (zone stripes deduped — several
+	// slots can share one).
+	for _, sub := range kept {
+		s.readers.awaitZero(string(sub.name))
+	}
+	s.treeMu.Lock()
+	locked := make(map[*sync.Mutex]bool)
+	for _, sub := range kept {
+		if slot, ok := s.front.tree.Get(sub.name); ok {
+			if lk := s.zoneLock(slot); !locked[lk] {
+				lk.Lock()
+				locked[lk] = true
+			}
+		}
+	}
+	rv := wal.RecordView{
+		LSN:     rec.LSN,
+		Op:      rec.Op,
+		State:   wal.StateCommitted,
+		Name:    rec.Name,
+		Payload: stripped,
+	}
+	rerr := replayRecord(s.front, rv)
+	for lk := range locked {
+		lk.Unlock()
+	}
+	s.treeMu.Unlock()
+	if rerr != nil {
+		s.degrade(rerr)
+		return fmt.Errorf("%w: standby apply: %v", ErrDegraded, rerr)
+	}
+	for _, sub := range kept {
+		s.vers.bump(string(sub.name))
 	}
 	s.cacheInvalidate(touched)
 	return nil

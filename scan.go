@@ -38,6 +38,9 @@ func (c *Ctx) Scan(prefix string, fn func(info ObjectInfo) bool) error {
 		if !strings.HasPrefix(string(key), prefix) {
 			return stop // keys are ordered: past the prefix range
 		}
+		if len(key) > 0 && key[0] == 0 {
+			return nil // reserved transaction objects are not user-visible
+		}
 		e, used, err := s.zoneRead(slot)
 		if err != nil {
 			return err
@@ -54,6 +57,26 @@ func (c *Ctx) Scan(prefix string, fn func(info ObjectInfo) bool) error {
 		return nil
 	}
 	return err
+}
+
+// reservedNames lists the reserved-namespace ('\x00'-prefixed) objects whose
+// name starts with prefix, in ascending order. OpenSharded's transaction
+// resolution uses it (txnshard.go); the public Scan never shows these.
+func (s *Store) reservedNames(prefix string) ([]string, error) {
+	s.treeMu.RLock()
+	defer s.treeMu.RUnlock()
+	var names []string
+	err := s.front.tree.IterateFrom([]byte(prefix), func(key []byte, slot uint64) error {
+		if !strings.HasPrefix(string(key), prefix) {
+			return errStopScan
+		}
+		names = append(names, string(key))
+		return nil
+	})
+	if err == errStopScan { //nolint:errorlint // sentinel identity
+		err = nil
+	}
+	return names, err
 }
 
 // Count returns the number of live objects.

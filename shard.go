@@ -36,6 +36,10 @@ type Sharded struct {
 	// shard's active store changed.
 	repl []*ReplicatedShard
 	gen  atomic.Uint64
+
+	// txnSeq issues cross-shard transaction ids (txnshard.go). The high bit
+	// keeps them disjoint from the per-store single-shard id space.
+	txnSeq atomic.Uint64
 }
 
 // store returns the store currently serving shard i (the promoted standby
@@ -196,6 +200,13 @@ func OpenSharded(cfgs []Config) (*Sharded, error) {
 	}); err != nil {
 		sh.closeOpened()
 		return nil, err
+	}
+	// Resolve cross-shard transactions that were mid-commit at the crash
+	// before serving: roll forward prepared writes whose coordinator decided,
+	// abort the rest (txnshard.go).
+	if err := sh.resolveTxns(); err != nil {
+		sh.closeOpened()
+		return nil, fmt.Errorf("dstore: transaction resolution: %w", err)
 	}
 	return sh, nil
 }
@@ -367,6 +378,9 @@ func (sh *Sharded) Stats() Stats {
 		out.Engine.RecordsRecovered += st.Engine.RecordsRecovered
 		out.CowPagesCopied += st.CowPagesCopied
 		out.CowFaultCopies += st.CowFaultCopies
+		out.TxnCommits += st.TxnCommits
+		out.TxnAborts += st.TxnAborts
+		out.TxnConflicts += st.TxnConflicts
 	}
 	return out
 }

@@ -1,0 +1,254 @@
+package dstore_test
+
+// End-to-end transaction tests over the wire: session semantics through the
+// pooled client, the pinned conflict schedule (StatusTxnConflict maps to the
+// typed sentinel, is NOT retried at the connection level, and the loser's
+// write never double-applies), per-connection abort on client disconnect,
+// graceful shutdown draining open sessions, and TXN stats surfaced in the
+// STATS frame only after transactions ran.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"dstore"
+	"dstore/internal/client"
+)
+
+// TestNetTxnEndToEnd drives one full transaction session over loopback TCP:
+// read-your-writes through the wire, invisibility before commit, atomic
+// visibility after, and remote TXN stats appearing once used.
+func TestNetTxnEndToEnd(t *testing.T) {
+	st, err := dstore.Format(netTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	addr, srv := serveStore(t, st, dstore.ServeOptions{})
+	defer shutdownServer(t, srv)
+
+	c, err := client.Dial(client.Config{Addr: addr, Conns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if err := c.Put(ctx, "a", []byte("old-a")); err != nil {
+		t.Fatal(err)
+	}
+
+	// TXN stats absent before any transaction.
+	if pre, err := c.Stats(ctx); err != nil || pre.Txn != nil {
+		t.Fatalf("Stats before txns: Txn=%v err=%v, want absent section", pre.Txn, err)
+	}
+
+	txn, err := c.BeginTxn(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Put(ctx, "a", []byte("new-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Put(ctx, "b", []byte("new-b")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := txn.Get(ctx, "a"); err != nil || !bytes.Equal(v, []byte("new-a")) {
+		t.Fatalf("txn Get(a) = %q, %v", v, err)
+	}
+	if v, err := c.Get(ctx, "a"); err != nil || !bytes.Equal(v, []byte("old-a")) {
+		t.Fatalf("outside Get(a) = %q, %v before commit", v, err)
+	}
+	if _, err := c.Get(ctx, "b"); !errors.Is(err, dstore.ErrNotFound) {
+		t.Fatalf("outside Get(b) before commit: %v", err)
+	}
+	if err := txn.Commit(ctx); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if v, err := c.Get(ctx, "a"); err != nil || !bytes.Equal(v, []byte("new-a")) {
+		t.Fatalf("Get(a) after commit = %q, %v", v, err)
+	}
+	if v, err := c.Get(ctx, "b"); err != nil || !bytes.Equal(v, []byte("new-b")) {
+		t.Fatalf("Get(b) after commit = %q, %v", v, err)
+	}
+	// The finished session rejects further ops with the typed sentinel.
+	if err := txn.Put(ctx, "c", []byte("late")); !errors.Is(err, client.ErrTxnFinished) {
+		t.Fatalf("Put on finished session: %v, want ErrTxnFinished", err)
+	}
+	st2, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Txn == nil || st2.Txn.Commits != 1 {
+		t.Fatalf("Stats after commit: %+v, want Txn.Commits=1", st2.Txn)
+	}
+}
+
+// TestNetTxnConflictPinnedSchedule is the required pinned-schedule conflict
+// test. Schedule: both sessions read k, A commits its write first, then B
+// commits. B must observe dstore.ErrTxnConflict — surfaced through the
+// non-retrying single-attempt path, so the conflict can never double-apply —
+// and k must hold exactly A's value. The conflict is non-transient: B's
+// session is finished, not retried in place.
+func TestNetTxnConflictPinnedSchedule(t *testing.T) {
+	st, err := dstore.Format(netTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	addr, srv := serveStore(t, st, dstore.ServeOptions{})
+	defer shutdownServer(t, srv)
+
+	c, err := client.Dial(client.Config{Addr: addr, Conns: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if err := c.Put(ctx, "k", []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+
+	txnA, err := c.BeginTxn(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txnB, err := c.BeginTxn(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txnA.Get(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txnB.Get(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := txnA.Put(ctx, "k", []byte("from-A")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txnB.Put(ctx, "k", []byte("from-B")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txnA.Commit(ctx); err != nil {
+		t.Fatalf("A commit: %v", err)
+	}
+	if err := txnB.Commit(ctx); !errors.Is(err, dstore.ErrTxnConflict) {
+		t.Fatalf("B commit: %v, want dstore.ErrTxnConflict", err)
+	}
+	// Exactly A's write landed; B applied nothing anywhere.
+	if v, err := c.Get(ctx, "k"); err != nil || !bytes.Equal(v, []byte("from-A")) {
+		t.Fatalf("Get(k) = %q, %v, want from-A exactly once", v, err)
+	}
+	// Non-transient: the session is dead, not silently retried.
+	if err := txnB.Commit(ctx); !errors.Is(err, client.ErrTxnFinished) {
+		t.Fatalf("B re-commit: %v, want ErrTxnFinished", err)
+	}
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Txn == nil || stats.Txn.Commits != 1 || stats.Txn.Conflicts != 1 {
+		t.Fatalf("Stats = %+v, want Commits=1 Conflicts=1", stats.Txn)
+	}
+}
+
+// TestNetTxnDisconnectAborts pins per-connection session cleanup: a client
+// that vanishes mid-transaction leaves nothing visible, the server's abort
+// path runs (TXN aborts counter), and the key space stays writable.
+func TestNetTxnDisconnectAborts(t *testing.T) {
+	st, err := dstore.Format(netTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	addr, srv := serveStore(t, st, dstore.ServeOptions{})
+	defer shutdownServer(t, srv)
+	ctx := context.Background()
+
+	doomed, err := client.Dial(client.Config{Addr: addr, Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn, err := doomed.BeginTxn(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Put(ctx, "ghost", []byte("never")); err != nil {
+		t.Fatal(err)
+	}
+	// Abrupt disconnect: the pooled conn closes without Commit or Abort.
+	if err := doomed.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := client.Dial(client.Config{Addr: addr, Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// The server aborts the orphaned session; poll until the abort counter
+	// shows it (conn teardown is asynchronous).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		stats, err := c.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Txn != nil && stats.Txn.Aborts >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never aborted the orphaned session: %+v", stats.Txn)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := c.Get(ctx, "ghost"); !errors.Is(err, dstore.ErrNotFound) {
+		t.Fatalf("Get(ghost) after disconnect: %v, want ErrNotFound", err)
+	}
+	if err := c.Put(ctx, "ghost", []byte("alive")); err != nil {
+		t.Fatalf("Put after orphaned txn: %v", err)
+	}
+}
+
+// TestNetTxnShutdownDrains pins graceful shutdown with open sessions: the
+// server aborts them and Shutdown completes instead of hanging on the
+// session's connection.
+func TestNetTxnShutdownDrains(t *testing.T) {
+	st, err := dstore.Format(netTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	addr, srv := serveStore(t, st, dstore.ServeOptions{})
+
+	c, err := client.Dial(client.Config{Addr: addr, Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	txn, err := c.BeginTxn(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Put(ctx, "k", []byte("buffered")); err != nil {
+		t.Fatal(err)
+	}
+
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("Shutdown with open txn session: %v", err)
+	}
+	// The buffered write was aborted with the session, not applied.
+	ictx := st.Init()
+	if _, err := ictx.Get("k", nil); !errors.Is(err, dstore.ErrNotFound) {
+		t.Fatalf("Get(k) after drained shutdown: %v, want ErrNotFound", err)
+	}
+	stats := st.Stats()
+	if stats.TxnAborts != 1 {
+		t.Fatalf("TxnAborts = %d, want 1 (session aborted at shutdown)", stats.TxnAborts)
+	}
+}

@@ -1,0 +1,220 @@
+package dstore
+
+// Replication interplay for transactions: the committed stream carries
+// opTxnCommit records whole (one record per shard-local transaction), a
+// standby applies them atomically, and a standby crashed at any PMEM
+// mutation point mid-apply and then PROMOTED — the failover path, with no
+// chance to resume the stream — never exposes a partial transaction: its
+// key space always equals the state after some whole-transaction prefix.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"dstore/internal/pmem"
+	"dstore/internal/ssd"
+)
+
+// buildTxnPrimary makes a primary whose committed stream interleaves plain
+// puts, deletes, and multi-key transactions (the txn_crash_test workload:
+// preload of 8 keys, then 40 three-key RMW transactions).
+func buildTxnPrimary(t *testing.T) *Store {
+	t.Helper()
+	primary, err := Format(replTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txnCrashPreload(primary); err != nil {
+		t.Fatal(err)
+	}
+	if err := txnCrashWorkload(primary, func(int) {}); err != nil {
+		t.Fatal(err)
+	}
+	return primary
+}
+
+// TestStandbyTxnStreamConverges pins the easy half: a clean full apply of a
+// transaction-heavy stream converges the standby to the primary byte for
+// byte, and the standby's counters see the applied transactions.
+func TestStandbyTxnStreamConverges(t *testing.T) {
+	primary := buildTxnPrimary(t)
+	defer primary.Close()
+	sb, err := Format(replTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sb.Close()
+	sb.BeginStandby()
+	if err := pumpAll(primary, sb); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if err := sb.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	want := txnCrashModelAt(40)
+	sctx := sb.Init()
+	for k, v := range want {
+		got, err := sctx.Get(k, nil)
+		if err != nil {
+			t.Fatalf("standby Get(%s): %v", k, err)
+		}
+		if !bytes.Equal(got, v) {
+			t.Fatalf("standby Get(%s): wrong bytes", k)
+		}
+	}
+	if got, wantN := sb.Count(), uint64(len(want)); got != wantN {
+		t.Fatalf("standby has %d objects, want %d", got, wantN)
+	}
+}
+
+// TestStandbyTxnCrashPromote is the required standby crash-point test: crash
+// the standby at a swept set of PMEM mutation points mid-apply, reopen, and
+// promote IMMEDIATELY (a failover has no stream to resume). The promoted
+// store must pass fsck and match the state after some whole number of
+// transactions — any mixed state is a partial transaction escaping through
+// failover.
+func TestStandbyTxnCrashPromote(t *testing.T) {
+	primary := buildTxnPrimary(t)
+	defer primary.Close()
+
+	total := countApplyMutations(t, primary)
+	if total < 200 {
+		t.Fatalf("apply performed only %d standby PMEM mutations", total)
+	}
+	stride := total / 29
+	if stride == 0 {
+		stride = 1
+	}
+	points := 0
+	for k := uint64(1); k < total; k += stride {
+		points++
+		runStandbyTxnCrashPoint(t, primary, k)
+	}
+	t.Logf("verified %d standby txn crash points across %d PMEM mutations", points, total)
+}
+
+func runStandbyTxnCrashPoint(t *testing.T, primary *Store, crashAt uint64) {
+	t.Helper()
+	cfg := replTestConfig()
+	sb, err := Format(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.BeginStandby()
+	pm, _ := sb.Devices()
+
+	var count uint64
+	armed := true
+	pm.SetMutationHook(func() {
+		if !armed {
+			return
+		}
+		count++
+		if count == crashAt {
+			armed = false
+			panic(crashSentinel)
+		}
+	})
+
+	crashed := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if r != crashSentinel {
+					panic(r)
+				}
+				crashed = true
+			}
+		}()
+		if err := pumpAll(primary, sb); err != nil {
+			t.Fatalf("standby txn crash point %d: apply: %v", crashAt, err)
+		}
+	}()
+	pm.SetMutationHook(nil)
+	if !crashed {
+		sb.Close() //nolint:errcheck // crash point beyond this run's mutations
+		return
+	}
+
+	cfg.PMEM, cfg.SSD = pm, func() *ssd.Device { _, d := sb.Devices(); return d }()
+	pm.Crash(pmem.CrashDropDirty, int64(crashAt))
+	sb2, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("standby txn crash point %d: recovery failed: %v", crashAt, err)
+	}
+	defer sb2.Close()
+	if err := sb2.Check(); err != nil {
+		t.Fatalf("standby txn crash point %d: fsck: %v", crashAt, err)
+	}
+	// Promote with no stream resume: the failover case.
+	sb2.BeginStandby()
+	if err := sb2.Promote(); err != nil {
+		t.Fatalf("standby txn crash point %d: promote: %v", crashAt, err)
+	}
+
+	// The promoted key space must equal the state after some whole number of
+	// transactions (possibly mid-preload: a prefix of the preload puts).
+	sctx := sb2.Init()
+	state := map[string][]byte{}
+	for k := 0; k < txnCrashKeys; k++ {
+		key := fmt.Sprintf("k%d", k)
+		v, err := sctx.Get(key, nil)
+		if err == ErrNotFound {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("standby txn crash point %d: Get(%s): %v", crashAt, key, err)
+		}
+		state[key] = v
+	}
+	if matchesPreloadPrefix(state) {
+		return
+	}
+	for n := 0; n <= 40; n++ {
+		if txnStateEquals(state, txnCrashModelAt(n)) {
+			// Promoted standby writable at that consistent state.
+			if err := sctx.Put("post-failover", []byte("writable")); err != nil {
+				t.Fatalf("standby txn crash point %d: post-promote write: %v", crashAt, err)
+			}
+			return
+		}
+	}
+	t.Fatalf("standby txn crash point %d: promoted state matches no whole-transaction prefix — partial transaction exposed: %d keys",
+		crashAt, len(state))
+}
+
+// matchesPreloadPrefix reports whether state is a prefix of the preload
+// (keys k0..k_{n-1} at tag 0, the rest absent) — a crash before the first
+// transaction's record.
+func matchesPreloadPrefix(state map[string][]byte) bool {
+	for n := 0; n < txnCrashKeys; n++ {
+		key := fmt.Sprintf("k%d", n)
+		if _, ok := state[key]; !ok {
+			// Keys n.. must all be absent, keys 0..n-1 already matched.
+			for m := n; m < txnCrashKeys; m++ {
+				if _, ok := state[fmt.Sprintf("k%d", m)]; ok {
+					return false
+				}
+			}
+			return true
+		}
+		if !bytes.Equal(state[key], txnCrashTag(key, 0)) {
+			return false
+		}
+	}
+	return false // full preload present: defer to the txn models (n=0)
+}
+
+// txnStateEquals compares a read-back state with a model exactly.
+func txnStateEquals(state, model map[string][]byte) bool {
+	if len(state) != len(model) {
+		return false
+	}
+	for k, v := range model {
+		if !bytes.Equal(state[k], v) {
+			return false
+		}
+	}
+	return true
+}

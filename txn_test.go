@@ -1,0 +1,484 @@
+package dstore
+
+// Unit tests for the OCC transaction layer on a single store: buffered-write
+// visibility (read-your-writes inside, invisible outside until Commit),
+// commit-time validation (version bumps and racing writers force
+// ErrTxnConflict with nothing applied), session lifecycle, reserved-name and
+// size limits, stats counters, recovery replay of commit records, and a
+// concurrent conflicting-RMW soak meant to run under -race (the CI txn
+// smoke).
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func txnTestConfig() Config {
+	return Config{
+		Blocks:           4096,
+		MaxObjects:       1024,
+		LogBytes:         1 << 18,
+		TrackPersistence: true,
+	}
+}
+
+func newTxnTestStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Format(txnTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() }) //nolint:errcheck // test teardown
+	return s
+}
+
+// TestTxnReadYourWrites pins session visibility: buffered writes are visible
+// to the session's own reads (including deletes masking committed state) and
+// invisible to other contexts until Commit applies them all at once.
+func TestTxnReadYourWrites(t *testing.T) {
+	s := newTxnTestStore(t)
+	ctx := s.Init()
+	if err := ctx.Put("a", []byte("old-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Put("b", []byte("old-b")); err != nil {
+		t.Fatal(err)
+	}
+
+	txn, err := ctx.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Put("a", []byte("new-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Put("c", []byte("new-c")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Inside: the session sees its own buffer.
+	if v, err := txn.Get("a", nil); err != nil || !bytes.Equal(v, []byte("new-a")) {
+		t.Fatalf("txn Get(a) = %q, %v", v, err)
+	}
+	if _, err := txn.Get("b", nil); err != ErrNotFound {
+		t.Fatalf("txn Get(b) after buffered delete: %v, want ErrNotFound", err)
+	}
+	if v, err := txn.Get("c", nil); err != nil || !bytes.Equal(v, []byte("new-c")) {
+		t.Fatalf("txn Get(c) = %q, %v", v, err)
+	}
+
+	// Outside: nothing applied yet.
+	other := s.Init()
+	if v, err := other.Get("a", nil); err != nil || !bytes.Equal(v, []byte("old-a")) {
+		t.Fatalf("outside Get(a) = %q, %v before commit", v, err)
+	}
+	if _, err := other.Get("c", nil); err != ErrNotFound {
+		t.Fatalf("outside Get(c) before commit: %v, want ErrNotFound", err)
+	}
+
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	// After: all three effects at once.
+	if v, err := other.Get("a", nil); err != nil || !bytes.Equal(v, []byte("new-a")) {
+		t.Fatalf("Get(a) after commit = %q, %v", v, err)
+	}
+	if _, err := other.Get("b", nil); err != ErrNotFound {
+		t.Fatalf("Get(b) after commit: %v, want ErrNotFound", err)
+	}
+	if v, err := other.Get("c", nil); err != nil || !bytes.Equal(v, []byte("new-c")) {
+		t.Fatalf("Get(c) after commit = %q, %v", v, err)
+	}
+}
+
+// TestTxnPutCopiesValue pins the buffering contract: mutating the caller's
+// slice after Put must not leak into the committed value.
+func TestTxnPutCopiesValue(t *testing.T) {
+	s := newTxnTestStore(t)
+	ctx := s.Init()
+	txn, err := ctx.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := []byte("stable")
+	if err := txn.Put("k", val); err != nil {
+		t.Fatal(err)
+	}
+	copy(val, "MUTATE")
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := ctx.Get("k", nil); err != nil || !bytes.Equal(v, []byte("stable")) {
+		t.Fatalf("Get(k) = %q, %v; buffered value aliased caller slice", v, err)
+	}
+}
+
+// TestTxnConflict pins the OCC validation matrix: a racing overwrite, a
+// racing delete, and a racing create of a key the transaction read as absent
+// all fail the commit with ErrTxnConflict and apply nothing.
+func TestTxnConflict(t *testing.T) {
+	cases := []struct {
+		name string
+		race func(ctx *Ctx) error
+		read string // key the victim transaction reads first
+	}{
+		{"overwrite", func(ctx *Ctx) error { return ctx.Put("k", []byte("racer")) }, "k"},
+		{"delete", func(ctx *Ctx) error { return ctx.Delete("k") }, "k"},
+		{"create-absent", func(ctx *Ctx) error { return ctx.Put("ghost", []byte("racer")) }, "ghost"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newTxnTestStore(t)
+			ctx := s.Init()
+			if err := ctx.Put("k", []byte("base")); err != nil {
+				t.Fatal(err)
+			}
+			txn, err := ctx.Begin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := txn.Get(tc.read, nil); err != nil && err != ErrNotFound {
+				t.Fatal(err)
+			}
+			if err := txn.Put("out", []byte("victim")); err != nil {
+				t.Fatal(err)
+			}
+			if err := tc.race(ctx); err != nil {
+				t.Fatal(err)
+			}
+			if err := txn.Commit(); !errors.Is(err, ErrTxnConflict) {
+				t.Fatalf("Commit after racing %s: %v, want ErrTxnConflict", tc.name, err)
+			}
+			// Nothing applied.
+			if _, err := ctx.Get("out", nil); err != ErrNotFound {
+				t.Fatalf("Get(out) after conflict: %v, want ErrNotFound", err)
+			}
+			// The session is finished; the conflict is not retryable in place.
+			if err := txn.Put("out", []byte("late")); err == nil {
+				t.Fatal("Put on conflicted session succeeded")
+			}
+			st := s.Stats()
+			if st.TxnConflicts != 1 || st.TxnCommits != 0 {
+				t.Fatalf("stats after conflict: commits=%d conflicts=%d", st.TxnCommits, st.TxnConflicts)
+			}
+		})
+	}
+}
+
+// TestTxnNoFalseConflict pins the other half of validation: disjoint
+// transactions and blind writes never abort each other.
+func TestTxnNoFalseConflict(t *testing.T) {
+	s := newTxnTestStore(t)
+	ctx := s.Init()
+	if err := ctx.Put("k", []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	// Blind write (no reads) races with an overwrite of the same key: last
+	// writer wins, no conflict.
+	txn, err := ctx.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Put("k", []byte("blind")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Put("k", []byte("racer")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("blind-write commit: %v", err)
+	}
+	if v, _ := ctx.Get("k", nil); !bytes.Equal(v, []byte("blind")) {
+		t.Fatalf("Get(k) = %q, want committed blind write", v)
+	}
+	// A read of one key does not conflict with a racing write to another.
+	txn2, err := ctx.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txn2.Get("k", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Put("unrelated", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn2.Put("k2", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn2.Commit(); err != nil {
+		t.Fatalf("disjoint commit: %v", err)
+	}
+}
+
+// TestTxnAbortAndLifecycle pins the session state machine: Abort applies
+// nothing, double-finish is rejected, a read-only commit is free, and an
+// empty transaction commits cleanly.
+func TestTxnAbortAndLifecycle(t *testing.T) {
+	s := newTxnTestStore(t)
+	ctx := s.Init()
+	if err := ctx.Put("k", []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	txn, err := ctx.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Put("k", []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Abort(); err != nil {
+		t.Fatalf("Abort: %v", err)
+	}
+	if v, _ := ctx.Get("k", nil); !bytes.Equal(v, []byte("base")) {
+		t.Fatalf("Get(k) after abort = %q", v)
+	}
+	if err := txn.Commit(); err == nil {
+		t.Fatal("Commit after Abort succeeded")
+	}
+	if _, err := txn.Get("k", nil); err == nil {
+		t.Fatal("Get on finished session succeeded")
+	}
+
+	// Read-only and empty transactions commit without conflict or records.
+	ro, err := ctx.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ro.Get("k", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ro.Commit(); err != nil {
+		t.Fatalf("read-only commit: %v", err)
+	}
+	empty, err := ctx.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := empty.Commit(); err != nil {
+		t.Fatalf("empty commit: %v", err)
+	}
+	st := s.Stats()
+	if st.TxnAborts != 1 {
+		t.Fatalf("TxnAborts = %d, want 1", st.TxnAborts)
+	}
+}
+
+// TestTxnLimits pins the guard rails: reserved names are rejected at Put,
+// and a write set whose commit record would exceed the WAL payload cap
+// fails with ErrTxnTooLarge before anything is appended.
+func TestTxnLimits(t *testing.T) {
+	s := newTxnTestStore(t)
+	ctx := s.Init()
+	txn, err := ctx.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Put("\x00sneaky", []byte("v")); err == nil {
+		t.Fatal("Put of reserved name succeeded")
+	}
+	if err := txn.Put("", []byte("v")); err == nil {
+		t.Fatal("Put of empty name succeeded")
+	}
+	if err := txn.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	big, err := ctx.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough sub-ops that the encoded commit record cannot fit in one WAL
+	// payload, whatever the per-sub overhead.
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("big-%03d-%s", i, string(bytes.Repeat([]byte{'x'}, 40)))
+		if err := big.Put(key, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := big.Commit(); !errors.Is(err, ErrTxnTooLarge) {
+		t.Fatalf("oversized commit: %v, want ErrTxnTooLarge", err)
+	}
+	if _, err := ctx.Get("big-000-"+string(bytes.Repeat([]byte{'x'}, 40)), nil); err != ErrNotFound {
+		t.Fatalf("oversized txn leaked a key: %v", err)
+	}
+}
+
+// TestTxnScanHidesReservedNames pins the namespace split: transaction
+// bookkeeping objects (prepare/decision markers) never appear in user scans.
+func TestTxnScanHidesReservedNames(t *testing.T) {
+	s := newTxnTestStore(t)
+	ctx := s.Init()
+	if err := ctx.Put("user-key", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Plant a reserved object through the internal path (what a crashed 2PC
+	// leaves behind before resolution).
+	if err := s.putReserved("\x00txnprep\x00deadbeef00000000", []byte("prep")); err != nil {
+		t.Fatal(err)
+	}
+	var seen []string
+	if err := ctx.Scan("", func(info ObjectInfo) bool {
+		seen = append(seen, info.Name)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 || seen[0] != "user-key" {
+		t.Fatalf("Scan saw %v, want only user-key", seen)
+	}
+	if _, err := ctx.Get("\x00txnprep\x00deadbeef00000000", nil); err == nil {
+		t.Fatal("user Get of reserved name succeeded")
+	}
+}
+
+// TestTxnRecoveryReplay pins durability: committed transactions survive a
+// replay-only reopen (no final checkpoint), atomically.
+func TestTxnRecoveryReplay(t *testing.T) {
+	cfg := txnTestConfig()
+	s, err := Format(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := s.Init()
+	if err := ctx.Put("seed", []byte("v0")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		txn, err := ctx.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 3; j++ {
+			k := fmt.Sprintf("t%d-%d", i, j)
+			if err := txn.Put(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i == 2 {
+			if err := txn.Delete("seed"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.CloseNoCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	cfg.PMEM, cfg.SSD = s.Devices()
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.Check(); err != nil {
+		t.Fatalf("fsck after replay: %v", err)
+	}
+	ctx2 := s2.Init()
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 3; j++ {
+			k := fmt.Sprintf("t%d-%d", i, j)
+			if v, err := ctx2.Get(k, nil); err != nil || !bytes.Equal(v, []byte(fmt.Sprintf("v%d", i))) {
+				t.Fatalf("Get(%s) after replay = %q, %v", k, v, err)
+			}
+		}
+	}
+	if _, err := ctx2.Get("seed", nil); err != ErrNotFound {
+		t.Fatalf("Get(seed) after replayed txn delete: %v, want ErrNotFound", err)
+	}
+}
+
+// TestTxnConcurrentRMW is the CI txn race smoke: goroutines hammer a small
+// set of counters with conflicting read-modify-write transactions, retrying
+// on ErrTxnConflict. Every committed increment must land exactly once — lost
+// updates or double-applies change the final sums.
+func TestTxnConcurrentRMW(t *testing.T) {
+	s := newTxnTestStore(t)
+	init := s.Init()
+	const counters = 4
+	for i := 0; i < counters; i++ {
+		if err := init.Put(fmt.Sprintf("ctr%d", i), make([]byte, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const workers = 8
+	const perWorker = 40
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := s.Init()
+			for n := 0; n < perWorker; n++ {
+				// Each iteration atomically increments two counters.
+				a := fmt.Sprintf("ctr%d", (w+n)%counters)
+				b := fmt.Sprintf("ctr%d", (w+n+1)%counters)
+				for {
+					txn, err := ctx.Begin()
+					if err != nil {
+						errCh <- err
+						return
+					}
+					ok := true
+					for _, k := range []string{a, b} {
+						v, err := txn.Get(k, nil)
+						if err != nil {
+							errCh <- err
+							return
+						}
+						binary.LittleEndian.PutUint64(v, binary.LittleEndian.Uint64(v)+1)
+						if err := txn.Put(k, v); err != nil {
+							errCh <- err
+							return
+						}
+					}
+					err = txn.Commit()
+					if errors.Is(err, ErrTxnConflict) {
+						ok = false
+					} else if err != nil {
+						errCh <- err
+						return
+					}
+					if ok {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	var sum uint64
+	for i := 0; i < counters; i++ {
+		v, err := init.Get(fmt.Sprintf("ctr%d", i), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += binary.LittleEndian.Uint64(v)
+	}
+	if want := uint64(workers * perWorker * 2); sum != want {
+		t.Fatalf("counter sum = %d, want %d (lost or double-applied increments)", sum, want)
+	}
+	st := s.Stats()
+	if st.TxnCommits != workers*perWorker {
+		t.Fatalf("TxnCommits = %d, want %d", st.TxnCommits, workers*perWorker)
+	}
+	if err := s.Check(); err != nil {
+		t.Fatalf("fsck after concurrent RMW: %v", err)
+	}
+}
