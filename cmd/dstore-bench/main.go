@@ -9,7 +9,7 @@
 //	dstore-bench -net 127.0.0.1:7421
 //
 // Experiment ids: fig1 fig5 fig6 table3 fig7 fig8 fig9 table4 fig10 table5
-// ycsbfull shards cache txn.
+// ycsbfull shards cache txn reshard.
 // Defaults are laptop-scaled; raise -records/-objects/-duration/-threads to
 // approach the paper's 2M-object, 28-thread, 60-second runs.
 //
@@ -47,6 +47,7 @@ func main() {
 		cacheMB  = flag.Int("cache-mb", 0, "DRAM block cache MiB on DStore instances; the cache experiment adds it to its 0,8,64 sweep when outside")
 		cacheJS  = flag.String("cache-json", "", "write the cache experiment snapshot to this JSON file")
 		txnJS    = flag.String("txn-json", "", "write the txn experiment snapshot to this JSON file")
+		reshJS   = flag.String("reshard-json", "", "write the reshard experiment snapshot to this JSON file")
 	)
 	flag.Parse()
 
@@ -66,6 +67,7 @@ func main() {
 		CacheMB:        *cacheMB,
 		CacheJSON:      *cacheJS,
 		TxnJSON:        *txnJS,
+		ReshardJSON:    *reshJS,
 	}
 
 	if *netAddr != "" {

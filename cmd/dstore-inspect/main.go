@@ -19,9 +19,15 @@ import (
 
 	"dstore"
 	"dstore/internal/client"
+	"dstore/internal/ring"
 	"dstore/internal/wal"
 	"dstore/internal/wire"
 )
+
+// ringLine formats the routing ring for both the local and remote views.
+func ringLine(r *ring.Ring) string {
+	return fmt.Sprintf("ring: epoch=%d mode=%s members=%d", r.Epoch(), r.Mode(), r.Len())
+}
 
 // inspectRemote fetches and prints a live server's counters and health;
 // with promote it first asks the server to promote its standby backend for
@@ -46,6 +52,13 @@ func inspectRemote(addr string, promote bool) {
 	if err != nil {
 		log.Fatalf("stats: %v", err)
 	}
+	// Sharded servers also expose their routing ring; single-store servers
+	// refuse OpRing with BAD_REQUEST, which just means there is no ring to
+	// print.
+	var rg *ring.Ring
+	if r, rerr := c.Ring(ctx); rerr == nil {
+		rg = r
+	}
 	h, err := c.Health(ctx)
 	if err != nil {
 		log.Fatalf("health: %v", err)
@@ -55,6 +68,9 @@ func inspectRemote(addr string, promote bool) {
 		st.Puts, st.Gets, st.Deletes, st.Reads, st.Writes, st.Opens)
 	fmt.Printf("objs: live=%d ckpts=%d replayed=%d\n",
 		st.Objects, st.Checkpoints, st.RecordsReplayed)
+	if rg != nil {
+		fmt.Println(ringLine(rg))
+	}
 	fmt.Printf("foot: dram=%dKiB pmem=%dKiB ssd=%dKiB\n",
 		st.DRAMBytes>>10, st.PMEMBytes>>10, st.SSDBytes>>10)
 	fmt.Printf("srv:  conns=%d requests=%d\n", st.ServerConns, st.ServerRequests)
@@ -161,6 +177,9 @@ func inspectSharded(shards, objects, cacheMB int) {
 		st := sh.Stats()
 		fmt.Printf("aggregate: puts=%d gets=%d objs=%d ckpts=%d replayed=%d\n",
 			st.Puts, st.Gets, sh.Count(), st.Engine.Checkpoints, st.Engine.RecordsReplayed)
+		if r, err := ring.Decode(sh.RingData()); err == nil {
+			fmt.Println(ringLine(r))
+		}
 		if hh := sh.Health(); hh.Degraded {
 			fmt.Printf("health: DEGRADED shard=%d (%s)\n", hh.DegradedShard, hh.Reason)
 		}
@@ -171,8 +190,12 @@ func inspectSharded(shards, objects, cacheMB int) {
 				agg.Evictions, agg.Invalidations, agg.Bytes>>10, agg.Capacity>>10)
 		}
 		txnLine(st)
+		// The keys column is ShardKeyCounts, not per-shard Count(): the raw
+		// count includes the reserved ring object on shard 0 and would be
+		// off by one there.
+		keys := sh.ShardKeyCounts()
 		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "shard\tputs\tobjs\tckpts\treplayed\tpmemKiB\tssdKiB\tcacheHit%\thealth")
+		fmt.Fprintln(tw, "shard\tputs\tkeys\tckpts\treplayed\tpmemKiB\tssdKiB\tcacheHit%\thealth")
 		for i := 0; i < sh.Shards(); i++ {
 			ss := sh.ShardStats(i)
 			fp := sh.Shard(i).Footprint()
@@ -186,7 +209,7 @@ func inspectSharded(shards, objects, cacheMB int) {
 				ch = fmt.Sprintf("%.1f", hitRatio(cs.Hits, cs.Misses))
 			}
 			fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
-				i, ss.Puts, sh.Shard(i).Count(), ss.Engine.Checkpoints,
+				i, ss.Puts, keys[i], ss.Engine.Checkpoints,
 				ss.Engine.RecordsReplayed, fp.PMEMBytes>>10, fp.SSDBytes>>10, ch, hs)
 		}
 		tw.Flush()
@@ -209,6 +232,20 @@ func inspectSharded(shards, objects, cacheMB int) {
 		log.Fatal(err)
 	}
 	dumpShards("after parallel checkpoint")
+
+	// Live reshard: add a shard while the store is serving. The migration
+	// streams moving keys to the new member and flips the routing epoch; the
+	// table after it shows the redistributed key counts, and the crash below
+	// then proves the flipped ring is what recovery restores.
+	fmt.Println("adding a shard live (consistent-hash migration)...")
+	start0 := time.Now()
+	idx, err := sh.AddShard()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shard %d joined in %.2fms (ring epoch %d)\n", idx,
+		float64(time.Since(start0).Nanoseconds())/1e6, sh.RingEpoch())
+	dumpShards("after live AddShard")
 
 	fmt.Println("simulating power loss across all shards (shard 0 mid-checkpoint)...")
 	sh.Shard(0).PrepareWorstCaseCrash()

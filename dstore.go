@@ -318,6 +318,12 @@ var ErrDegraded = errors.New("dstore: store degraded (read-only)")
 // The transaction is rolled back; callers retry the whole transaction.
 var ErrTxnConflict = errors.New("dstore: transaction conflict")
 
+// ErrNotMine is the remote-routing sentinel behind wire.StatusNotMine: the
+// request carried a ring epoch that does not match the server's, so the
+// client's cached shard map is stale. Nothing was applied; the repair is a
+// ring re-fetch (which the pooled client does transparently), not a resend.
+var ErrNotMine = errors.New("dstore: stale ring epoch")
+
 // ErrTxnTooLarge is returned by Txn.Commit when the buffered write set does
 // not fit one WAL commit record (or, cross-shard, one prepare object).
 var ErrTxnTooLarge = errors.New("dstore: transaction write set too large")
@@ -597,6 +603,13 @@ func (s *Store) CacheStats() CacheStats {
 		Bytes:         st.Bytes,
 		Capacity:      st.Capacity,
 	}
+}
+
+// resizeCache rebudgets the DRAM block cache. No-op on a store created with
+// CacheBytes == 0 (nil cache). The sharded store calls it after a reshard so
+// the caller's aggregate cache budget re-divides across the live members.
+func (s *Store) resizeCache(bytes uint64) {
+	s.bcache.Resize(bytes)
 }
 
 // Breakdown returns the accumulated write-path timing (Table 3); zero unless

@@ -75,6 +75,9 @@ type Options struct {
 	// TxnJSON, when non-empty, makes the txn experiment write its
 	// throughput/abort-ratio snapshot to this path as JSON.
 	TxnJSON string
+	// ReshardJSON, when non-empty, makes the reshard experiment write its
+	// before/during/after throughput snapshot to this path as JSON.
+	ReshardJSON string
 }
 
 func (o *Options) setDefaults() {

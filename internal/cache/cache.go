@@ -230,6 +230,33 @@ func (c *Cache) Reset() {
 	}
 }
 
+// Resize changes the total byte capacity, split evenly across the existing
+// shards (the shard count is fixed at New). Shrinking evicts immediately via
+// CLOCK so the cache never holds more than the new budget; growing takes
+// effect lazily as inserts arrive. A zero capacity clamps each shard to one
+// byte (effectively empty) rather than tearing the cache down — callers that
+// want no cache at all use a nil *Cache. The store's shard rebalance uses
+// Resize after AddShard/RemoveShard so the aggregate DRAM budget tracks the
+// live member count instead of the Format-time split.
+func (c *Cache) Resize(capacity uint64) {
+	if c == nil {
+		return
+	}
+	per := capacity / uint64(len(c.shards))
+	if per == 0 {
+		per = 1
+	}
+	for s := range c.shards {
+		sh := &c.shards[s]
+		sh.mu.Lock()
+		sh.capacity = per
+		for sh.bytes > sh.capacity {
+			sh.evictOne()
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // Stats aggregates counters across shards.
 func (c *Cache) Stats() Stats {
 	var st Stats

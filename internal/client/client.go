@@ -32,6 +32,7 @@ import (
 
 	"dstore"
 	"dstore/internal/fault"
+	"dstore/internal/ring"
 	"dstore/internal/wire"
 )
 
@@ -118,6 +119,16 @@ type Client struct {
 
 	next   atomic.Uint64
 	txnSeq atomic.Uint32 // transaction session id source (scoped per connection)
+
+	// Pool-wide routing-ring cache. ringEpoch is read on every data call
+	// (lock-free) to stamp requests; the rest is the single-flight refresh
+	// machinery: however many callers hit StatusNotMine at once, the pool
+	// fetches the ring exactly once and everyone else waits on ringWait.
+	ringEpoch  atomic.Uint64
+	ringMu     sync.Mutex
+	ringVal    *ring.Ring    // guarded by ringMu; last fetched ring
+	refreshing bool          // guarded by ringMu
+	ringWait   chan struct{} // guarded by ringMu; closed when a refresh ends
 }
 
 // Dial creates a client for cfg and verifies connectivity by establishing
@@ -254,6 +265,7 @@ var ErrTxnFinished = errors.New("client: transaction already finished")
 // who retries the whole transaction — the same contract as a commit-time
 // dstore.ErrTxnConflict.
 type Txn struct {
+	c    *Client
 	cn   *conn
 	id   uint32
 	done bool
@@ -265,7 +277,7 @@ func (c *Client) BeginTxn(ctx context.Context) (*Txn, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Txn{cn: cn, id: c.txnSeq.Add(1)}
+	t := &Txn{c: c, cn: cn, id: c.txnSeq.Add(1)}
 	resp, err := cn.roundTrip(ctx, &wire.Request{Op: wire.OpTxnBegin, Limit: t.id})
 	if err != nil {
 		return nil, err
@@ -284,12 +296,23 @@ func (t *Txn) call(ctx context.Context, req *wire.Request) (wire.Response, error
 		return wire.Response{}, ErrTxnFinished
 	}
 	req.Limit = t.id
+	if e := t.c.ringEpoch.Load(); e != 0 {
+		req.Epoch = e
+	}
 	resp, err := t.cn.roundTrip(ctx, req)
 	if err != nil {
 		t.done = true
 		return wire.Response{}, err
 	}
-	return resp, statusErr(&resp)
+	serr := statusErr(&resp)
+	if errors.Is(serr, dstore.ErrNotMine) {
+		// The session cannot be replayed mid-flight (a resent commit could
+		// apply twice), but refreshing the pool ring here means the caller's
+		// whole-transaction retry starts at the new epoch instead of
+		// rediscovering the reshard one op at a time.
+		t.c.refreshRing(ctx) //nolint:errcheck // best effort; the retry refreshes again
+	}
+	return resp, serr
 }
 
 // Get reads key inside the transaction (read-your-writes; the read joins the
@@ -337,11 +360,44 @@ func (t *Txn) Abort(ctx context.Context) error {
 
 // ------------------------------------------------------------ retry engine
 
-// do executes one request with bounded retry on transient transport
-// errors: the same shape as the store's device-IO retries (ioAttempts ×
-// linear backoff over the fault package's transient class). Server status
-// errors are never retried here — the caller owns semantic retries.
+// do executes one request with bounded retry on transient transport errors
+// (the inner loop, mirroring the store's device-IO retry shape) and bounded
+// ring-refresh-and-retry on StatusNotMine (the outer loop): a stale cached
+// shard map is repaired by re-fetching the ring, not by resending the frame.
+// Other server status errors are never retried — the caller owns semantic
+// retries.
 func (c *Client) do(ctx context.Context, req *wire.Request) (wire.Response, error) {
+	for stale := 0; ; stale++ {
+		if e := c.ringEpoch.Load(); e != 0 && epochStamped(req.Op) {
+			req.Epoch = e
+		}
+		resp, err := c.doTransport(ctx, req)
+		if errors.Is(err, dstore.ErrNotMine) && stale < c.cfg.Attempts {
+			if rerr := c.refreshRing(ctx); rerr != nil {
+				return resp, err
+			}
+			continue
+		}
+		return resp, err
+	}
+}
+
+// epochStamped reports whether op is routed by the ring and so carries the
+// cached epoch. Mirrors the server's fence: control-plane ops are exempt so
+// they keep working across a reshard.
+func epochStamped(op wire.Op) bool {
+	switch op {
+	case wire.OpPut, wire.OpGet, wire.OpDelete, wire.OpScan:
+		return true
+	default:
+		return op.Txn()
+	}
+}
+
+// doTransport runs the bounded transient-transport retry loop for one
+// request: the same shape as the store's device-IO retries (ioAttempts ×
+// linear backoff over the fault package's transient class).
+func (c *Client) doTransport(ctx context.Context, req *wire.Request) (wire.Response, error) {
 	var err error
 	for attempt := 0; attempt < c.cfg.Attempts; attempt++ {
 		if attempt > 0 {
@@ -361,6 +417,93 @@ func (c *Client) do(ctx context.Context, req *wire.Request) (wire.Response, erro
 		}
 	}
 	return wire.Response{}, err
+}
+
+// ------------------------------------------------------------- ring cache
+
+// Ring fetches the server's current routing ring (OpRing), refreshing the
+// pool-wide cache: subsequent data calls are stamped with its epoch. Servers
+// without a resharding backend refuse with StatusBadRequest.
+func (c *Client) Ring(ctx context.Context) (*ring.Ring, error) {
+	if err := c.fetchRing(ctx); err != nil {
+		return nil, err
+	}
+	c.ringMu.Lock()
+	defer c.ringMu.Unlock()
+	return c.ringVal, nil
+}
+
+// RingEpoch is the cached ring epoch stamped onto data requests (0 until a
+// ring has been fetched).
+func (c *Client) RingEpoch() uint64 { return c.ringEpoch.Load() }
+
+// refreshRing re-fetches the ring with single-flight coalescing: the first
+// caller performs the fetch (with jittered backoff on failures — many
+// clients discover a reshard simultaneously, and the jitter decorrelates
+// their refresh storm); everyone else waits for it to finish and reuses the
+// result. Waiters return nil even when the flight failed — their next
+// attempt re-enters here and starts a fresh flight.
+func (c *Client) refreshRing(ctx context.Context) error {
+	c.ringMu.Lock()
+	if c.refreshing {
+		wait := c.ringWait
+		c.ringMu.Unlock()
+		select {
+		case <-wait:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	c.refreshing = true
+	c.ringWait = make(chan struct{})
+	wait := c.ringWait
+	c.ringMu.Unlock()
+
+	var err error
+	for attempt := 0; attempt < c.cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(jittered(c.cfg.backoffDelay(attempt, rand.Float64))):
+			case <-ctx.Done():
+				err = ctx.Err()
+				break
+			}
+		}
+		if err = c.fetchRing(ctx); err == nil {
+			break
+		}
+	}
+
+	c.ringMu.Lock()
+	c.refreshing = false
+	close(wait)
+	c.ringMu.Unlock()
+	return err
+}
+
+// jittered adds up to +50% uniform random delay, guaranteeing decorrelation
+// even when the client is configured with BackoffJitter 0 (whose zero
+// default preserves the exact legacy schedule for transport retries).
+func jittered(d time.Duration) time.Duration {
+	return d + time.Duration(rand.Float64()*0.5*float64(d))
+}
+
+// fetchRing performs one OpRing round trip and installs the result.
+func (c *Client) fetchRing(ctx context.Context) error {
+	resp, err := c.doTransport(ctx, &wire.Request{Op: wire.OpRing})
+	if err != nil {
+		return err
+	}
+	r, err := ring.Decode(resp.Value)
+	if err != nil {
+		return fmt.Errorf("client: ring payload: %w", err)
+	}
+	c.ringMu.Lock()
+	c.ringVal = r
+	c.ringMu.Unlock()
+	c.ringEpoch.Store(r.Epoch())
+	return nil
 }
 
 // backoffDelay computes the sleep before the given retry attempt: linear in
@@ -402,6 +545,13 @@ func statusErr(resp *wire.Response) error {
 		// Deliberately NOT transient: retrying the commit frame could apply
 		// the write set twice. The caller retries the whole transaction.
 		return dstore.ErrTxnConflict
+	case wire.StatusNotMine:
+		// Not transient at the transport level either: the repair is a ring
+		// refresh (do's outer loop performs it), not a resend.
+		if resp.Msg != "" {
+			return fmt.Errorf("%w: %s", dstore.ErrNotMine, resp.Msg)
+		}
+		return dstore.ErrNotMine
 	default:
 		return &ServerError{Status: resp.Status, Msg: resp.Msg}
 	}

@@ -86,6 +86,19 @@ type Promoter interface {
 	Promote() error
 }
 
+// Ringer is the optional backend surface behind OpRing and the request
+// epoch check. A resharding-capable backend exposes its routing ring
+// (internal/ring encoding) and current epoch; the server then rejects data
+// requests carrying a mismatched epoch with StatusNotMine so stale clients
+// re-fetch the ring instead of writing through a stale shard map. Backends
+// without it ignore request epochs and reject OpRing with StatusBadRequest.
+type Ringer interface {
+	// RingEpoch is the backend's current ring epoch.
+	RingEpoch() uint64
+	// RingData is the ring's deterministic serialization (OpRing's payload).
+	RingData() []byte
+}
+
 // TxnBackend is the optional backend surface behind the OpTxn* opcodes. A
 // backend that does not implement it rejects transaction requests with
 // StatusBadRequest.
@@ -546,9 +559,37 @@ func (c *conn) respond(resp *wire.Response) {
 	}
 }
 
+// epochChecked reports whether op carries keys routed by the ring and so
+// participates in the stale-epoch check. Control-plane ops (stats, health,
+// checkpoint, replication, promote, ring fetch) are exempt: they must keep
+// working for a client whose shard map is stale — OpRing especially, since
+// it is the repair path.
+func epochChecked(op wire.Op) bool {
+	switch op {
+	case wire.OpPut, wire.OpGet, wire.OpDelete, wire.OpScan:
+		return true
+	default:
+		return op.Txn()
+	}
+}
+
 // execute runs one decoded request against the backend.
 func (c *conn) execute(req wire.Request) *wire.Response {
 	resp := &wire.Response{ID: req.ID, Op: req.Op}
+	// Stale-epoch fence: a data request stamped with a ring epoch other than
+	// the backend's is refused before touching any key. Requests without an
+	// epoch (legacy clients, clients that never fetched a ring) pass — the
+	// backend routes them correctly itself; the epoch exists so clients that
+	// DO route can detect staleness.
+	if req.Epoch != 0 && epochChecked(req.Op) {
+		if rg, ok := c.srv.b.(Ringer); ok {
+			if se := rg.RingEpoch(); se != req.Epoch {
+				resp.Status = wire.StatusNotMine
+				resp.Msg = fmt.Sprintf("ring epoch %d, server at %d", req.Epoch, se)
+				return resp
+			}
+		}
+	}
 	var err error
 	switch req.Op {
 	case wire.OpPut:
@@ -612,6 +653,12 @@ func (c *conn) execute(req wire.Request) *wire.Response {
 			return badRequest(resp, "promote: backend does not replicate")
 		}
 		err = p.Promote()
+	case wire.OpRing:
+		rg, ok := c.srv.b.(Ringer)
+		if !ok {
+			return badRequest(resp, "ring: backend does not reshard")
+		}
+		resp.Value = rg.RingData()
 	default:
 		return badRequest(resp, fmt.Sprintf("unknown opcode %d", uint8(req.Op)))
 	}

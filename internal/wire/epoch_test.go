@@ -1,0 +1,147 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// legacyRequestPayload builds the pre-ring request layout by hand:
+// u64 id | u8 op | u16 keyLen | key | u32 valueLen | value | u32 limit.
+// The epoch-0 encoder must emit exactly these bytes — stale fixed-shard
+// deployments and new ones share the wire format until the first reshard.
+func legacyRequestPayload(req Request) []byte {
+	p := binary.LittleEndian.AppendUint64(nil, req.ID)
+	p = append(p, byte(req.Op))
+	p = binary.LittleEndian.AppendUint16(p, uint16(len(req.Key)))
+	p = append(p, req.Key...)
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(req.Value)))
+	p = append(p, req.Value...)
+	return binary.LittleEndian.AppendUint32(p, req.Limit)
+}
+
+// TestEpochZeroFramesByteIdentical pins the backward-compat contract: a
+// request with Epoch == 0 encodes byte-identically to the pre-ring protocol
+// (no trailing word, exact legacy length), and a nonzero epoch appends
+// exactly 8 bytes.
+func TestEpochZeroFramesByteIdentical(t *testing.T) {
+	cases := []Request{
+		{ID: 1, Op: OpPut, Key: "user/1", Value: []byte("hello")},
+		{ID: 2, Op: OpGet, Key: "user/1"},
+		{ID: 3, Op: OpDelete, Key: "user/1"},
+		{ID: 4, Op: OpScan, Key: "user/", Limit: 100},
+		{ID: 5, Op: OpTxnPut, Key: "k", Value: []byte("v"), Limit: 3},
+		{ID: 6, Op: OpStats},
+	}
+	for _, req := range cases {
+		frame, err := AppendRequest(nil, &req)
+		if err != nil {
+			t.Fatalf("%s: AppendRequest: %v", req.Op, err)
+		}
+		legacy := legacyRequestPayload(req)
+		wantLen := FrameHeader + 8 + 1 + 2 + len(req.Key) + 4 + len(req.Value) + 4
+		if len(frame) != wantLen {
+			t.Errorf("%s: epoch-0 frame is %d bytes, want exactly %d", req.Op, len(frame), wantLen)
+		}
+		if !bytes.Equal(frame[FrameHeader:], legacy) {
+			t.Errorf("%s: epoch-0 payload differs from the pre-ring layout:\n got %x\nwant %x",
+				req.Op, frame[FrameHeader:], legacy)
+		}
+
+		withEpoch := req
+		withEpoch.Epoch = 42
+		ef, err := AppendRequest(nil, &withEpoch)
+		if err != nil {
+			t.Fatalf("%s: AppendRequest(epoch): %v", req.Op, err)
+		}
+		if len(ef) != len(frame)+8 {
+			t.Errorf("%s: epoch word added %d bytes, want exactly 8", req.Op, len(ef)-len(frame))
+		}
+		if !bytes.Equal(ef[FrameHeader:FrameHeader+len(legacy)], legacy) {
+			t.Errorf("%s: epoch-carrying frame changed the legacy prefix", req.Op)
+		}
+		if got := binary.LittleEndian.Uint64(ef[len(ef)-8:]); got != 42 {
+			t.Errorf("%s: trailing epoch word = %d, want 42", req.Op, got)
+		}
+	}
+}
+
+// TestEpochRoundTrip covers both decode paths: a legacy payload decodes to
+// Epoch 0, and an epoch-carrying payload round-trips its value.
+func TestEpochRoundTrip(t *testing.T) {
+	req := Request{ID: 7, Op: OpGet, Key: "k", Epoch: 12345}
+	frame, err := AppendRequest(nil, &req)
+	if err != nil {
+		t.Fatalf("AppendRequest: %v", err)
+	}
+	got, err := DecodeRequest(frame[FrameHeader:])
+	if err != nil {
+		t.Fatalf("DecodeRequest: %v", err)
+	}
+	if got.Epoch != 12345 {
+		t.Fatalf("Epoch = %d, want 12345", got.Epoch)
+	}
+
+	legacy := legacyRequestPayload(Request{ID: 8, Op: OpGet, Key: "k"})
+	got, err = DecodeRequest(legacy)
+	if err != nil {
+		t.Fatalf("DecodeRequest(legacy): %v", err)
+	}
+	if got.Epoch != 0 {
+		t.Fatalf("legacy payload decoded Epoch = %d, want 0", got.Epoch)
+	}
+}
+
+// TestEpochTrailingJunkRejected: the optional word is exactly 8 bytes; any
+// other trailing length is malformed, same as before the epoch existed.
+func TestEpochTrailingJunkRejected(t *testing.T) {
+	legacy := legacyRequestPayload(Request{ID: 9, Op: OpGet, Key: "k"})
+	for _, extra := range []int{1, 4, 7, 9, 16} {
+		p := append(append([]byte{}, legacy...), make([]byte, extra)...)
+		if _, err := DecodeRequest(p); err == nil {
+			t.Errorf("payload with %d trailing bytes decoded, want ErrMalformed", extra)
+		}
+	}
+}
+
+// TestRingFetchRoundTrip pins the OpRing exchange: the request carries no
+// key or value, the OK response carries the ring encoding in Value.
+func TestRingFetchRoundTrip(t *testing.T) {
+	req := Request{ID: 11, Op: OpRing}
+	frame, err := AppendRequest(nil, &req)
+	if err != nil {
+		t.Fatalf("AppendRequest: %v", err)
+	}
+	got, err := DecodeRequest(frame[FrameHeader:])
+	if err != nil {
+		t.Fatalf("DecodeRequest: %v", err)
+	}
+	if got.Op != OpRing || got.ID != 11 {
+		t.Fatalf("round trip: %+v", got)
+	}
+
+	ringBytes := []byte{1, 1, 7, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0}
+	resp := Response{ID: 11, Op: OpRing, Status: StatusOK, Value: ringBytes}
+	rp := AppendResponse(nil, &resp)
+	back, err := DecodeResponse(rp[FrameHeader:])
+	if err != nil {
+		t.Fatalf("DecodeResponse: %v", err)
+	}
+	if !bytes.Equal(back.Value, ringBytes) {
+		t.Fatalf("ring bytes did not round-trip: %x vs %x", back.Value, ringBytes)
+	}
+}
+
+// TestNotMineRoundTrip: StatusNotMine responses round-trip with their
+// message and carry no section.
+func TestNotMineRoundTrip(t *testing.T) {
+	resp := Response{ID: 12, Op: OpPut, Status: StatusNotMine, Msg: "ring epoch 3, server at 4"}
+	frame := AppendResponse(nil, &resp)
+	got, err := DecodeResponse(frame[FrameHeader:])
+	if err != nil {
+		t.Fatalf("DecodeResponse: %v", err)
+	}
+	if got.Status != StatusNotMine || got.Msg != resp.Msg {
+		t.Fatalf("round trip: %+v", got)
+	}
+}

@@ -265,6 +265,7 @@ func TestOpStringPinned(t *testing.T) {
 		OpTxnDelete:  "TXN_DELETE",
 		OpTxnCommit:  "TXN_COMMIT",
 		OpTxnAbort:   "TXN_ABORT",
+		OpRing:       "RING",
 	}
 	if len(want) != int(opMax)-1 {
 		t.Fatalf("string table covers %d ops, protocol defines %d", len(want), int(opMax)-1)

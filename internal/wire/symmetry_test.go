@@ -18,7 +18,7 @@ import (
 // opcodes are Valid, every valid opcode has a real name, and every invalid
 // value stringers to the numeric fallback.
 func TestOpValueSpace(t *testing.T) {
-	const declaredOps = 15 // OpPut..OpTxnAbort; grows with the protocol
+	const declaredOps = 16 // OpPut..OpRing; grows with the protocol
 	valid := 0
 	for v := 0; v < 256; v++ {
 		op := Op(v)
@@ -42,7 +42,7 @@ func TestOpValueSpace(t *testing.T) {
 
 // TestStatusValueSpace is the same sweep for Status.
 func TestStatusValueSpace(t *testing.T) {
-	const declaredStatuses = 10 // StatusOK..StatusTxnConflict
+	const declaredStatuses = 11 // StatusOK..StatusNotMine
 	valid := 0
 	for v := 0; v < 256; v++ {
 		s := Status(v)
@@ -185,7 +185,7 @@ func TestEveryOpRoundTrips(t *testing.T) {
 
 		resp := Response{ID: uint64(op), Op: op, Status: StatusOK}
 		switch op {
-		case OpGet, OpReplicate, OpTxnGet:
+		case OpGet, OpReplicate, OpTxnGet, OpRing:
 			resp.Value = []byte("payload")
 		case OpScan:
 			resp.Objects = []Object{{Name: "a", Size: 3, Blocks: 1}}

@@ -87,6 +87,11 @@ const (
 	OpTxnCommit
 	// OpTxnAbort discards the transaction.
 	OpTxnAbort
+	// OpRing fetches the server's routing ring: the response Value is the
+	// internal/ring encoding (mode, epoch, weighted membership). Clients of
+	// resharding-capable servers cache it pool-wide and attach its epoch to
+	// data requests; a StatusNotMine reply tells them to re-fetch here.
+	OpRing
 
 	opMax
 )
@@ -130,6 +135,8 @@ func (o Op) String() string {
 		return "TXN_COMMIT"
 	case OpTxnAbort:
 		return "TXN_ABORT"
+	case OpRing:
+		return "RING"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -169,6 +176,13 @@ const (
 	// a connection-level retry of the commit could double-apply; the caller
 	// must retry the whole transaction.
 	StatusTxnConflict
+	// StatusNotMine rejects a data request whose ring epoch (the optional
+	// trailing request word) does not match the server's: the client's
+	// cached shard map is stale. Nothing was applied; the client should
+	// fetch the current ring with OpRing and retry. Deliberately
+	// non-transient at the connection level — the repair is a ring refresh,
+	// not a resend.
+	StatusNotMine
 
 	statusMax
 )
@@ -198,6 +212,8 @@ func (s Status) String() string {
 		return "REPL_GAP"
 	case StatusTxnConflict:
 		return "TXN_CONFLICT"
+	case StatusNotMine:
+		return "NOT_MINE"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -244,6 +260,13 @@ type Request struct {
 	Value []byte
 	// Limit bounds OpScan results; 0 means the server's cap.
 	Limit uint32
+	// Epoch is the client's cached ring epoch, carried as an optional
+	// trailing word: encoded only when nonzero, so clients of
+	// never-resharded stores (epoch 0) emit frames byte-identical to the
+	// pre-ring protocol and old servers keep parsing them. A
+	// resharding-capable server compares a nonzero Epoch on data requests
+	// against its own and answers StatusNotMine on mismatch.
+	Epoch uint64
 }
 
 // Object is one SCAN result row.
@@ -528,6 +551,11 @@ func AppendRequest(dst []byte, req *Request) ([]byte, error) {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(req.Value)))
 	dst = append(dst, req.Value...)
 	dst = binary.LittleEndian.AppendUint32(dst, req.Limit)
+	// Optional trailing epoch word (see Request.Epoch): zero epochs are
+	// omitted so the frame stays byte-identical to the pre-ring encoding.
+	if req.Epoch != 0 {
+		dst = binary.LittleEndian.AppendUint64(dst, req.Epoch)
+	}
 	return finishFrame(dst, off), nil
 }
 
@@ -541,6 +569,10 @@ func DecodeRequest(payload []byte) (Request, error) {
 	req.Key = string(d.bytes(int(d.u16())))
 	req.Value = d.bytes(int(d.u32()))
 	req.Limit = d.u32()
+	// Optional trailing epoch word: exactly 8 further bytes or nothing.
+	if d.err == nil && d.remaining() == 8 {
+		req.Epoch = d.u64()
+	}
 	if !d.done() {
 		return Request{}, d.fail("request")
 	}
@@ -564,7 +596,7 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 	dst = append(dst, msg...)
 	if resp.Status == StatusOK {
 		switch resp.Op {
-		case OpGet, OpReplicate, OpTxnGet:
+		case OpGet, OpReplicate, OpTxnGet, OpRing:
 			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(resp.Value)))
 			dst = append(dst, resp.Value...)
 		case OpScan:
@@ -730,7 +762,7 @@ func DecodeResponse(payload []byte) (Response, error) {
 	}
 	if resp.Status == StatusOK {
 		switch resp.Op {
-		case OpGet, OpReplicate, OpTxnGet:
+		case OpGet, OpReplicate, OpTxnGet, OpRing:
 			resp.Value = d.bytes(int(d.u32()))
 		case OpScan:
 			n := int(d.u32())

@@ -12,7 +12,7 @@ import (
 // randRequest draws a random but valid request covering every opcode.
 func randRequest(rng *rand.Rand) Request {
 	ops := []Op{OpPut, OpGet, OpDelete, OpScan, OpStats, OpHealth, OpCheckpoint, OpReplicate, OpPromote,
-		OpTxnBegin, OpTxnGet, OpTxnPut, OpTxnDelete, OpTxnCommit, OpTxnAbort}
+		OpTxnBegin, OpTxnGet, OpTxnPut, OpTxnDelete, OpTxnCommit, OpTxnAbort, OpRing}
 	req := Request{
 		ID: rng.Uint64(),
 		Op: ops[rng.Intn(len(ops))],
@@ -31,6 +31,9 @@ func randRequest(rng *rand.Rand) Request {
 	}
 	if req.Op == OpReplicate {
 		req = ReplicateRequest(req.ID, rng.Uint64())
+	}
+	if rng.Intn(3) == 0 {
+		req.Epoch = rng.Uint64()
 	}
 	return req
 }
@@ -164,7 +167,8 @@ func TestRequestRoundTrip(t *testing.T) {
 			got.Value = []byte{}
 		}
 		if got.ID != want.ID || got.Op != want.Op || got.Key != want.Key ||
-			!bytes.Equal(got.Value, want.Value) || got.Limit != want.Limit {
+			!bytes.Equal(got.Value, want.Value) || got.Limit != want.Limit ||
+			got.Epoch != want.Epoch {
 			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
 		}
 	}
@@ -329,6 +333,12 @@ func FuzzDecodeRequest(f *testing.F) {
 			f.Add(frame[FrameHeader:])
 		}
 	}
+	ringReq := Request{ID: 9, Op: OpRing}
+	rf, _ := AppendRequest(nil, &ringReq) //nolint:errcheck
+	f.Add(rf[FrameHeader:])
+	epochReq := Request{ID: 10, Op: OpGet, Key: "k", Epoch: 7}
+	ef, _ := AppendRequest(nil, &epochReq) //nolint:errcheck
+	f.Add(ef[FrameHeader:])
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		req, err := DecodeRequest(payload)
 		if err != nil {
@@ -348,7 +358,8 @@ func FuzzDecodeRequest(f *testing.F) {
 			t.Fatalf("re-decode: %v", err)
 		}
 		if req2.ID != req.ID || req2.Op != req.Op || req2.Key != req.Key ||
-			!bytes.Equal(req2.Value, req.Value) || req2.Limit != req.Limit {
+			!bytes.Equal(req2.Value, req.Value) || req2.Limit != req.Limit ||
+			req2.Epoch != req.Epoch {
 			t.Fatalf("re-decode mismatch: %+v vs %+v", req2, req)
 		}
 	})
@@ -361,6 +372,10 @@ func FuzzDecodeResponse(f *testing.F) {
 		frame := AppendResponse(nil, &resp)
 		f.Add(frame[FrameHeader:])
 	}
+	ringOK := Response{ID: 9, Op: OpRing, Status: StatusOK, Value: []byte{1, 1, 7, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0}}
+	f.Add(AppendResponse(nil, &ringOK)[FrameHeader:])
+	notMine := Response{ID: 10, Op: OpPut, Status: StatusNotMine, Msg: "epoch 3 != 4"}
+	f.Add(AppendResponse(nil, &notMine)[FrameHeader:])
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		_, _ = DecodeResponse(payload) //nolint:errcheck
 	})

@@ -82,9 +82,18 @@ type replView interface {
 	Promote() error
 }
 
+// ringView is the optional resharding surface an API may provide; *Sharded
+// does, *Store does not. It feeds the server's OpRing opcode and the
+// stale-epoch fence (server.Ringer).
+type ringView interface {
+	RingEpoch() uint64
+	RingData() []byte
+}
+
 // netBackendFor adapts any API to the wire server, attaching per-shard
-// stats/health rows when the API exposes shards and the replication surface
-// (server.Replicator + server.Promoter) when the API supports it.
+// stats/health rows when the API exposes shards, the replication surface
+// (server.Replicator + server.Promoter) when the API supports it, and the
+// ring surface (server.Ringer) when the API reshards.
 func netBackendFor(api API) server.Backend {
 	b := &netBackend{api: api}
 	if v, ok := api.(shardView); ok && v.Shards() > 1 {
@@ -93,8 +102,23 @@ func netBackendFor(api API) server.Backend {
 	if r, ok := api.(replView); ok {
 		return &replNetBackend{netBackend: b, r: r}
 	}
+	if rg, ok := api.(ringView); ok {
+		return &ringNetBackend{netBackend: b, rg: rg}
+	}
 	return b
 }
+
+// ringNetBackend overlays the ring surface on netBackend, so the server's
+// Ringer type assertion succeeds exactly when the underlying API reshards.
+// (*Sharded never implements replView — each shard replicates independently
+// — so the ring and replication overlays never need to compose.)
+type ringNetBackend struct {
+	*netBackend
+	rg ringView
+}
+
+func (b *ringNetBackend) RingEpoch() uint64 { return b.rg.RingEpoch() }
+func (b *ringNetBackend) RingData() []byte  { return b.rg.RingData() }
 
 // replNetBackend overlays the replication surface on netBackend, so the
 // server's Replicator/Promoter type assertions succeed exactly when the
@@ -237,7 +261,9 @@ func (b *netBackend) Stats() wire.StatsReply {
 		reply.Shards = make([]wire.ShardStat, b.shards.Shards())
 		for i := range reply.Shards {
 			s := b.shards.Shard(i)
-			reply.Shards[i] = statsReplyFor(s.Stats(), s.Footprint(), s.Count())
+			// Per-shard rows count user-visible keys (userCount), matching
+			// the aggregate: ring metadata and txn bookkeeping are invisible.
+			reply.Shards[i] = statsReplyFor(s.Stats(), s.Footprint(), s.userCount())
 		}
 	}
 	// Attach the cache section only when a cache is configured, so
@@ -329,6 +355,8 @@ func (b *netBackend) ErrorStatus(err error) (wire.Status, string) {
 		return wire.StatusDegraded, err.Error()
 	case errors.Is(err, ErrTxnConflict):
 		return wire.StatusTxnConflict, err.Error()
+	case errors.Is(err, ErrNotMine):
+		return wire.StatusNotMine, err.Error()
 	case errors.Is(err, ErrReplGap):
 		return wire.StatusReplGap, err.Error()
 	case errors.Is(err, ErrClosed):

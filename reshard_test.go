@@ -1,0 +1,442 @@
+package dstore
+
+// Tests of live resharding: membership changes on a serving store
+// (scan-equivalence against a shadow model, count convergence, ring
+// persistence across a crash), a crashpoint sweep freezing the migration at
+// every protocol phase before killing the store (donor-authoritative before
+// the flip, fully moved after it, never a lost or duplicated key), and a
+// race-enabled soak that reshardes under a concurrent YCSB-A-style workload
+// with seeded device write faults.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"dstore/internal/fault"
+	"dstore/internal/ring"
+)
+
+// reshardKeyspace loads n deterministic keys through ctx and returns the
+// shadow model.
+func reshardKeyspace(t *testing.T, c Context, n int) map[string][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	shadow := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("rs/%04d", i)
+		v := make([]byte, 16+rng.Intn(200))
+		rng.Read(v)
+		if err := c.Put(k, v); err != nil {
+			t.Fatalf("Put(%s): %v", k, err)
+		}
+		shadow[k] = v
+	}
+	return shadow
+}
+
+// reshardVerify asserts the sharded store holds exactly the shadow
+// model: aggregate count, merge-scan key set, per-key bytes, and — the
+// no-duplicate invariant — every user key resident on exactly one shard
+// (migration residue would show up here even though routing hides it).
+func reshardVerify(t *testing.T, sh *Sharded, shadow map[string][]byte) {
+	t.Helper()
+	if got, want := sh.Count(), uint64(len(shadow)); got != want {
+		t.Errorf("Count = %d, want %d", got, want)
+	}
+
+	c := sh.Init()
+	defer c.Finalize()
+	var scanned []string
+	if err := c.Scan("", func(info ObjectInfo) bool {
+		scanned = append(scanned, info.Name)
+		return true
+	}); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	want := make([]string, 0, len(shadow))
+	for k := range shadow {
+		want = append(want, k)
+	}
+	sort.Strings(want)
+	if len(scanned) != len(want) {
+		t.Fatalf("Scan returned %d keys, want %d", len(scanned), len(want))
+	}
+	for i := range want {
+		if scanned[i] != want[i] {
+			t.Fatalf("Scan[%d] = %q, want %q", i, scanned[i], want[i])
+		}
+	}
+
+	for k, v := range shadow {
+		got, err := c.Get(k, nil)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", k, err)
+		}
+		if !bytes.Equal(got, v) {
+			t.Fatalf("Get(%s): wrong bytes (%d vs %d)", k, len(got), len(v))
+		}
+	}
+
+	// Raw per-shard scans: residue on a non-owning shard is invisible to the
+	// routed API but must not exist after cleanup.
+	res := make(map[string]int)
+	for i := 0; i < sh.Shards(); i++ {
+		if err := sh.Shard(i).Init().Scan("", func(info ObjectInfo) bool {
+			res[info.Name]++
+			return true
+		}); err != nil {
+			t.Fatalf("shard %d raw scan: %v", i, err)
+		}
+	}
+	for k, n := range res {
+		if n != 1 {
+			t.Errorf("key %q resident on %d shards, want exactly 1", k, n)
+		}
+		if _, ok := shadow[k]; !ok {
+			t.Errorf("key %q resident but not in shadow", k)
+		}
+	}
+}
+
+// TestAddShardBasic grows a loaded 3-shard store to 4, checks equivalence
+// and placement, then crashes and reopens to prove the flipped ring (not
+// the mod-N default) is what recovery trusts.
+func TestAddShardBasic(t *testing.T) {
+	sh, err := FormatSharded(3, shardTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := reshardKeyspace(t, sh.Init(), 200)
+
+	idx, err := sh.AddShard()
+	if err != nil {
+		t.Fatalf("AddShard: %v", err)
+	}
+	if idx != 3 {
+		t.Fatalf("AddShard index = %d, want 3", idx)
+	}
+	if got := sh.RingEpoch(); got != 1 {
+		t.Fatalf("ring epoch = %d, want 1 after first membership change", got)
+	}
+	reshardVerify(t, sh, shadow)
+	counts := sh.ShardKeyCounts()
+	if len(counts) != 4 || counts[3] == 0 {
+		t.Fatalf("new shard holds no keys: counts = %v", counts)
+	}
+
+	cfgs, err := sh.Crash(1)
+	if err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	sh2, err := OpenSharded(cfgs)
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+	defer sh2.Close()
+	if got := sh2.RingEpoch(); got != 1 {
+		t.Fatalf("recovered ring epoch = %d, want 1", got)
+	}
+	reshardVerify(t, sh2, shadow)
+}
+
+// TestRemoveShardBasic drains a member out of a grown store and checks the
+// survivors absorb every key.
+func TestRemoveShardBasic(t *testing.T) {
+	sh, err := FormatSharded(3, shardTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	shadow := reshardKeyspace(t, sh.Init(), 150)
+
+	if err := sh.RemoveShard(1); err != nil {
+		t.Fatalf("RemoveShard: %v", err)
+	}
+	reshardVerify(t, sh, shadow)
+	counts := sh.ShardKeyCounts()
+	if counts[1] != 0 {
+		t.Fatalf("drained shard still holds %d keys", counts[1])
+	}
+	for k := range shadow {
+		if sh.ShardFor(k) == 1 {
+			t.Fatalf("ring still routes %q to the drained shard", k)
+		}
+	}
+	// Removing a non-member (again, or out of range) is a typed refusal.
+	if err := sh.RemoveShard(1); err == nil {
+		t.Fatal("second RemoveShard(1) succeeded, want error")
+	}
+	if err := sh.RemoveShard(9); err == nil {
+		t.Fatal("RemoveShard(9) succeeded, want error")
+	}
+}
+
+// errFrozen is the crashpoint sweep's freeze signal: the hook returns it to
+// stop the migration dead (no teardown), simulating the process dying at
+// that exact instant.
+var errFrozen = errors.New("frozen for crash")
+
+// TestReshardCrashpointSweep freezes a migration at every protocol phase —
+// before the copy, at several points mid-stream, just before the flip, and
+// just after it — then power-fails the store and reopens. Before the flip's
+// persisted-ring commit point the donor layout must recover authoritative
+// (epoch unchanged, partial copies gone); after it the new layout must.
+// Either way every key exists exactly once.
+func TestReshardCrashpointSweep(t *testing.T) {
+	type freeze struct {
+		phase  string
+		copies int // for phase "copy": freeze at the n-th copied key
+	}
+	sweeps := []struct {
+		name      string
+		change    func(sh *Sharded) error
+		preEpoch  uint64 // recovered epoch when frozen before the flip
+		postEpoch uint64 // recovered epoch when frozen after it
+	}{
+		{
+			name: "add",
+			change: func(sh *Sharded) error {
+				_, err := sh.AddShard()
+				return err
+			},
+			preEpoch:  0,
+			postEpoch: 1,
+		},
+		{
+			name:      "remove",
+			change:    func(sh *Sharded) error { return sh.RemoveShard(1) },
+			preEpoch:  0,
+			postEpoch: 1,
+		},
+	}
+	points := []freeze{
+		{phase: "pre-copy"},
+		{phase: "copy", copies: 1},
+		{phase: "copy", copies: 17},
+		{phase: "copy", copies: 60},
+		{phase: "pre-flip"},
+		{phase: "post-flip"},
+	}
+	for si, sweep := range sweeps {
+		for pi, pt := range points {
+			name := fmt.Sprintf("%s/%s", sweep.name, pt.phase)
+			if pt.phase == "copy" {
+				name = fmt.Sprintf("%s@%d", name, pt.copies)
+			}
+			t.Run(name, func(t *testing.T) {
+				sh, err := FormatSharded(3, shardTestConfig())
+				if err != nil {
+					t.Fatal(err)
+				}
+				shadow := reshardKeyspace(t, sh.Init(), 120)
+
+				copies := 0
+				sh.reshardHook = func(phase, key string) error {
+					if phase != pt.phase {
+						return nil
+					}
+					if pt.phase == "copy" {
+						copies++
+						if copies < pt.copies {
+							return nil
+						}
+					}
+					return errFrozen
+				}
+				if err := sweep.change(sh); !errors.Is(err, errFrozen) {
+					t.Fatalf("membership change: %v, want frozen", err)
+				}
+
+				cfgs, _ := sh.Crash(int64(100*si + pi)) //nolint:errcheck // surviving-device configs are the point
+				sh2, err := OpenSharded(cfgs)
+				if err != nil {
+					t.Fatalf("OpenSharded after %s crash: %v", pt.phase, err)
+				}
+				defer sh2.Close()
+
+				wantEpoch := sweep.preEpoch
+				if pt.phase == "post-flip" {
+					wantEpoch = sweep.postEpoch
+				}
+				if got := sh2.RingEpoch(); got != wantEpoch {
+					t.Fatalf("recovered epoch = %d, want %d", got, wantEpoch)
+				}
+				if pt.phase != "post-flip" {
+					// Donor-authoritative: the added shard (slot 3 exists only
+					// in the add sweep) must recover empty.
+					if sweep.name == "add" && len(cfgs) == 4 {
+						if c := sh2.ShardKeyCounts()[3]; c != 0 {
+							t.Fatalf("pre-flip crash left %d keys on the recipient", c)
+						}
+					}
+				}
+				reshardVerify(t, sh2, shadow)
+			})
+		}
+	}
+}
+
+// TestAddShardLiveSoak reshardes under fire: writer goroutines run a
+// YCSB-A-style 50/50 read/update mix (with occasional deletes) against a
+// 3-shard store with seeded transient device faults on the SSD tier, while the main
+// goroutine grows the store by one shard. The migration hook stretches the
+// copy phase so the workload genuinely overlaps it. Afterwards the store
+// must hold exactly the shadow — zero lost, zero duplicated keys. Run with
+// -race in CI.
+func TestAddShardLiveSoak(t *testing.T) {
+	cfg := shardTestConfig()
+	// Transient SSD faults ride the store's device-retry path (PMEM WAL
+	// faults would degrade the store instead — a different test's subject).
+	cfg.SSDFaults = fault.NewPlan(fault.Config{Seed: 7, ReadErrRate: 0.002, WriteErrRate: 0.002})
+	sh, err := FormatSharded(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+
+	const keys = 192
+	key := func(i int) string { return fmt.Sprintf("soak/%04d", i) }
+
+	// Shadow model: per-key locks make store-op + shadow-record atomic.
+	type slot struct {
+		mu  sync.Mutex
+		val []byte // nil = absent
+	}
+	shadow := make([]slot, keys)
+
+	c := sh.Init()
+	for i := 0; i < keys; i++ {
+		v := []byte(fmt.Sprintf("init-%04d", i))
+		if err := c.Put(key(i), v); err != nil {
+			t.Fatalf("seed Put: %v", err)
+		}
+		shadow[i].val = v
+	}
+
+	// Stretch the copy phase so writers overlap the migration window.
+	sh.reshardHook = func(phase, _ string) error {
+		if phase == "copy" {
+			time.Sleep(200 * time.Microsecond)
+		}
+		return nil
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			ctx := sh.Init()
+			defer ctx.Finalize()
+			for seq := 0; ; seq++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i := rng.Intn(keys)
+				switch op := rng.Intn(100); {
+				case op < 50: // read
+					s := &shadow[i]
+					s.mu.Lock()
+					got, err := ctx.Get(key(i), nil)
+					switch {
+					case s.val == nil:
+						if !errors.Is(err, ErrNotFound) {
+							t.Errorf("Get(%s) = %v, want NotFound", key(i), err)
+						}
+					case err != nil:
+						t.Errorf("Get(%s): %v", key(i), err)
+					case !bytes.Equal(got, s.val):
+						t.Errorf("Get(%s): stale/wrong bytes", key(i))
+					}
+					s.mu.Unlock()
+				case op < 95: // update
+					v := []byte(fmt.Sprintf("w%d-s%d-k%04d", w, seq, i))
+					s := &shadow[i]
+					s.mu.Lock()
+					if err := ctx.Put(key(i), v); err != nil {
+						t.Errorf("Put(%s): %v", key(i), err)
+					} else {
+						s.val = append([]byte(nil), v...)
+					}
+					s.mu.Unlock()
+				default: // delete
+					s := &shadow[i]
+					s.mu.Lock()
+					err := ctx.Delete(key(i))
+					switch {
+					case err == nil:
+						s.val = nil
+					case errors.Is(err, ErrNotFound) && s.val == nil:
+						// agreed
+					default:
+						t.Errorf("Delete(%s): %v (shadow present=%v)", key(i), err, s.val != nil)
+					}
+					s.mu.Unlock()
+				}
+			}
+		}(w)
+	}
+
+	idx, err := sh.AddShard()
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("AddShard under load: %v", err)
+	}
+	if idx != 3 {
+		t.Fatalf("AddShard index = %d, want 3", idx)
+	}
+
+	final := make(map[string][]byte)
+	for i := range shadow {
+		if shadow[i].val != nil {
+			final[key(i)] = shadow[i].val
+		}
+	}
+	reshardVerify(t, sh, final)
+}
+
+// TestReshardRingRoundTrip pins that the persisted ring object is invisible
+// to user-facing surfaces: counts, scans, and per-shard key counts all
+// exclude the reserved namespace.
+func TestReshardRingSurfacesHidden(t *testing.T) {
+	sh, err := FormatSharded(2, shardTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	if got := sh.Count(); got != 0 {
+		t.Fatalf("fresh store Count = %d, want 0 (ring object hidden)", got)
+	}
+	c := sh.Init()
+	defer c.Finalize()
+	if err := c.Scan("", func(info ObjectInfo) bool {
+		t.Errorf("fresh store scan yielded %q", info.Name)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range sh.ShardKeyCounts() {
+		if n != 0 {
+			t.Fatalf("fresh store ShardKeyCounts = %v, want zeros", sh.ShardKeyCounts())
+		}
+	}
+	// The ring data itself round-trips through the decode path clients use.
+	r, err := ring.Decode(sh.RingData())
+	if err != nil {
+		t.Fatalf("RingData does not decode: %v", err)
+	}
+	if r.Epoch() != 0 || r.Mode() != ring.ModeModN || r.Len() != 2 {
+		t.Fatalf("fresh ring = epoch %d mode %v len %d, want 0/modN/2", r.Epoch(), r.Mode(), r.Len())
+	}
+}

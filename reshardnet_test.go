@@ -1,0 +1,192 @@
+package dstore_test
+
+// End-to-end tests of epoch-routed resharding over the wire: clients that
+// never fetched a ring keep working across membership changes (their frames
+// carry no epoch and are byte-identical to the legacy protocol), clients
+// with a cached ring are fenced with NOT_MINE when it goes stale and
+// converge transparently via the pooled single-flight ring refresh, and
+// servers without a resharding backend refuse OpRing.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"dstore"
+	"dstore/internal/client"
+	"dstore/internal/ring"
+	"dstore/internal/server"
+	"dstore/internal/wire"
+)
+
+// TestNetReshardStaleEpoch drives the full convergence loop: fetch ring →
+// reshard behind the client's back → stale-stamped request → NOT_MINE →
+// transparent refresh and retry → success at the new epoch.
+func TestNetReshardStaleEpoch(t *testing.T) {
+	sh, addr, srv := serveSharded(t, 2)
+	defer sh.Close()
+	defer shutdownServer(t, srv)
+
+	c, err := client.Dial(client.Config{Addr: addr, Conns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	committed := map[string][]byte{}
+	for i := 0; i < 40; i++ {
+		k := fmt.Sprintf("reshard/%03d", i)
+		v := bytes.Repeat([]byte{byte(i + 1)}, 32+i)
+		if err := c.Put(ctx, k, v); err != nil {
+			t.Fatal(err)
+		}
+		committed[k] = v
+	}
+
+	// An epoch-naive client keeps working across a reshard: its frames carry
+	// no epoch, so the server routes for it.
+	if _, err := sh.AddShard(); err != nil {
+		t.Fatalf("AddShard: %v", err)
+	}
+	for k, v := range committed {
+		got, err := c.Get(ctx, k)
+		if err != nil || !bytes.Equal(got, v) {
+			t.Fatalf("Get(%s) after reshard (no epoch): %v", k, err)
+		}
+	}
+
+	// Fetch the ring: subsequent requests are stamped with epoch 1 and the
+	// server accepts them.
+	r, err := c.Ring(ctx)
+	if err != nil {
+		t.Fatalf("Ring: %v", err)
+	}
+	if r.Epoch() != 1 || r.Mode() != ring.ModeHashed {
+		t.Fatalf("fetched ring = epoch %d mode %v, want 1/hashed", r.Epoch(), r.Mode())
+	}
+	if c.RingEpoch() != 1 {
+		t.Fatalf("cached epoch = %d, want 1", c.RingEpoch())
+	}
+	if err := c.Put(ctx, "reshard/stamped", []byte("ok")); err != nil {
+		t.Fatalf("stamped Put at current epoch: %v", err)
+	}
+
+	// Reshard again behind the client's back. Its next stamped request is
+	// rejected NOT_MINE and must converge transparently: the call succeeds
+	// and the cached epoch advances without an explicit Ring call.
+	if _, err := sh.AddShard(); err != nil {
+		t.Fatalf("second AddShard: %v", err)
+	}
+	if got := sh.RingEpoch(); got != 2 {
+		t.Fatalf("server epoch = %d, want 2", got)
+	}
+	for k, v := range committed {
+		got, err := c.Get(ctx, k)
+		if err != nil {
+			t.Fatalf("Get(%s) with stale epoch did not converge: %v", k, err)
+		}
+		if !bytes.Equal(got, v) {
+			t.Fatalf("Get(%s): wrong bytes after convergence", k)
+		}
+	}
+	if c.RingEpoch() != 2 {
+		t.Fatalf("cached epoch = %d after convergence, want 2", c.RingEpoch())
+	}
+}
+
+// TestNetReshardTxnStaleEpoch pins the transaction-path contract: a session
+// op stamped with a stale epoch surfaces dstore.ErrNotMine (sessions cannot
+// be transparently replayed — a resent commit could double-apply), the
+// pooled ring refreshes as a side effect, and the caller's whole-transaction
+// retry succeeds at the new epoch.
+func TestNetReshardTxnStaleEpoch(t *testing.T) {
+	sh, addr, srv := serveSharded(t, 2)
+	defer sh.Close()
+	defer shutdownServer(t, srv)
+
+	c, err := client.Dial(client.Config{Addr: addr, Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	if _, err := c.Ring(ctx); err != nil {
+		t.Fatalf("Ring: %v", err)
+	}
+	if c.RingEpoch() != 0 {
+		t.Fatalf("fresh sharded store epoch = %d, want 0 (mod-N)", c.RingEpoch())
+	}
+	if _, err := sh.AddShard(); err != nil {
+		t.Fatalf("AddShard: %v", err)
+	}
+	// Cache epoch 1, then go stale again.
+	if _, err := c.Ring(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.AddShard(); err != nil {
+		t.Fatalf("second AddShard: %v", err)
+	}
+
+	txn, err := c.BeginTxn(ctx)
+	if err != nil {
+		t.Fatalf("BeginTxn: %v", err)
+	}
+	err = txn.Put(ctx, "txn/a", []byte("v1"))
+	if !errors.Is(err, dstore.ErrNotMine) {
+		t.Fatalf("stale txn Put = %v, want ErrNotMine", err)
+	}
+	txn.Abort(ctx) //nolint:errcheck // session is stale; the retry below is the subject
+	if c.RingEpoch() != 2 {
+		t.Fatalf("epoch = %d after NOT_MINE, want 2 (refreshed as a side effect)", c.RingEpoch())
+	}
+
+	// The whole-transaction retry — the documented contract — succeeds.
+	txn, err = c.BeginTxn(ctx)
+	if err != nil {
+		t.Fatalf("retry BeginTxn: %v", err)
+	}
+	if err := txn.Put(ctx, "txn/a", []byte("v2")); err != nil {
+		t.Fatalf("retry Put: %v", err)
+	}
+	if err := txn.Commit(ctx); err != nil {
+		t.Fatalf("retry Commit: %v", err)
+	}
+	got, err := c.Get(ctx, "txn/a")
+	if err != nil || string(got) != "v2" {
+		t.Fatalf("Get(txn/a) = %q, %v", got, err)
+	}
+}
+
+// TestNetRingUnsupported pins the single-store refusal: a server whose
+// backend does not reshard answers OpRing with StatusBadRequest, and a
+// stamped request against it passes the (absent) fence untouched.
+func TestNetRingUnsupported(t *testing.T) {
+	s, err := dstore.Format(netTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	addr, srv := serveBackend(t, s.NetBackend(), server.Config{})
+	defer shutdownServer(t, srv)
+
+	c, err := client.Dial(client.Config{Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	_, err = c.Ring(ctx)
+	var serr *client.ServerError
+	if !errors.As(err, &serr) || serr.Status != wire.StatusBadRequest {
+		t.Fatalf("Ring on single-store server = %v, want ServerError(BAD_REQUEST)", err)
+	}
+	// The refusal must not poison plain operations.
+	if err := c.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatalf("Put after refused Ring: %v", err)
+	}
+}

@@ -86,6 +86,29 @@ func (s *Store) Count() uint64 {
 	return s.front.tree.Len()
 }
 
+// userCount returns the number of live user-visible objects: Count minus the
+// reserved ('\x00'-prefixed) namespace. Sharded aggregates use it so ring
+// metadata and transaction bookkeeping never show up as stored keys.
+// Reserved names sort before every valid user name, so the subtraction walks
+// only the reserved prefix.
+func (s *Store) userCount() uint64 {
+	s.treeMu.RLock()
+	defer s.treeMu.RUnlock()
+	n := s.front.tree.Len()
+	var reserved uint64
+	err := s.front.tree.IterateFrom([]byte{0}, func(key []byte, _ uint64) error {
+		if len(key) == 0 || key[0] != 0 {
+			return errStopScan
+		}
+		reserved++
+		return nil
+	})
+	if err != nil && err != errStopScan { //nolint:errorlint // sentinel identity
+		return n
+	}
+	return n - reserved
+}
+
 var (
 	errStopScan = &scanSentinel{"stop"}
 	// errCorruptIndex wraps ErrCorrupt so callers can classify an index that

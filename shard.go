@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"dstore/internal/ring"
 )
 
 // This file implements the sharded store: N fully independent DStore
@@ -22,25 +24,67 @@ import (
 // fsck'd independently; a shard whose persistence path fails turns
 // read-only and surfaces ErrDegraded for its keys only, while every other
 // shard keeps accepting writes.
+//
+// Key placement is a versioned consistent-hash ring (internal/ring),
+// persisted crash-atomically in a reserved object on shard 0 and recovered
+// by OpenSharded. Stores formatted before the ring existed carry no ring
+// object and are routed by a synthesized legacy mod-N ring; fresh stores
+// persist that same placement at epoch 0, so wire frames and key placement
+// are bit-identical until the first membership change. AddShard and
+// RemoveShard mutate membership on a live store via the migration engine in
+// reshard.go.
+
+// ringObjName is the reserved object holding the serialized routing ring on
+// shard 0. The '\x00' prefix keeps it invisible to Scan and distinct from
+// every valid user name.
+const ringObjName = "\x00ring\x00"
 
 // Sharded is a hash-partitioned store over N independent *Store instances.
 // It implements API; all methods are safe for concurrent use.
 type Sharded struct {
-	shards []*Store
-	cfgs   []Config // per-shard configs; devices filled by Crash for reopening
+	// shardsP and cfgsP hold the shard slices behind atomic pointers:
+	// AddShard publishes grown copies while readers keep iterating their
+	// snapshots. Slices are append-only — a shard, once published at index
+	// i, stays at index i for the life of the process (RemoveShard drains a
+	// shard but never compacts the slice, so shard IDs are stable).
+	shardsP atomic.Pointer[[]*Store]
+	cfgsP   atomic.Pointer[[]Config]
 
 	// repl, when non-nil, pairs every shard with an in-process hot standby
 	// (FormatShardedReplicated): a shard whose persistence path fails no
 	// longer turns read-only — it fails over to its standby and stays
-	// writable. gen counts failovers; contexts use it to notice that a
-	// shard's active store changed.
+	// writable. gen counts failovers and ring flips; contexts use it to
+	// notice that a shard's active store (or the shard count) changed.
 	repl []*ReplicatedShard
 	gen  atomic.Uint64
+
+	// ringP is the authoritative routing ring. migrP, when non-nil, is the
+	// in-flight membership change (reshard.go). opMu orders every routed
+	// operation against migration installs and the epoch flip: routed ops
+	// hold it shared for route+apply, the flip takes it exclusively so no
+	// operation straddles the epoch boundary.
+	ringP     atomic.Pointer[ring.Ring]
+	migrP     atomic.Pointer[migration]
+	opMu      sync.RWMutex
+	reshardMu sync.Mutex // serializes AddShard/RemoveShard
+
+	// reshardHook, when non-nil, is called at migration phase boundaries
+	// ("pre-copy", "copy" per key, "pre-flip", "post-flip"). A non-nil
+	// return abandons the migration exactly where it stands — the crashpoint
+	// tests use it to freeze each phase and then power-fail the store.
+	reshardHook func(phase, key string) error
 
 	// txnSeq issues cross-shard transaction ids (txnshard.go). The high bit
 	// keeps them disjoint from the per-store single-shard id space.
 	txnSeq atomic.Uint64
 }
+
+// stores returns the current shard slice snapshot. The slice is immutable;
+// AddShard publishes a new one.
+func (sh *Sharded) stores() []*Store { return *sh.shardsP.Load() }
+
+// configs returns the current per-shard config slice snapshot.
+func (sh *Sharded) configs() []Config { return *sh.cfgsP.Load() }
 
 // store returns the store currently serving shard i (the promoted standby
 // after a failover).
@@ -48,7 +92,51 @@ func (sh *Sharded) store(i int) *Store {
 	if sh.repl != nil {
 		return sh.repl[i].Active()
 	}
-	return sh.shards[i]
+	return sh.stores()[i]
+}
+
+// ringNow returns the current routing ring.
+func (sh *Sharded) ringNow() *ring.Ring { return sh.ringP.Load() }
+
+// owner returns the shard index owning key under the current ring.
+func (sh *Sharded) owner(key string) int { return int(sh.ringNow().Owner(key)) }
+
+// RingEpoch returns the current routing epoch. Epoch 0 is the initial
+// placement; every AddShard/RemoveShard flip advances it.
+func (sh *Sharded) RingEpoch() uint64 { return sh.ringNow().Epoch() }
+
+// RingData returns the serialized routing ring (internal/ring encoding) —
+// the payload served to clients through the ring-fetch opcode.
+func (sh *Sharded) RingData() []byte { return sh.ringNow().Encode() }
+
+// persistRing writes r crash-atomically to the reserved ring object on
+// shard 0 through the normal WAL'd put pipeline: the write is durable when
+// putReserved returns, and a crash before it leaves the previous ring.
+func (sh *Sharded) persistRing(r *ring.Ring) error {
+	data := r.Encode()
+	err := sh.store(0).putReserved(ringObjName, data)
+	if err != nil && sh.failover(0, err) {
+		err = sh.store(0).putReserved(ringObjName, data)
+	}
+	return err
+}
+
+// loadRing reads the persisted ring from shard 0; (nil, nil) means the
+// store predates rings and the caller should synthesize the legacy mod-N
+// placement.
+func (sh *Sharded) loadRing() (*ring.Ring, error) {
+	val, _, err := sh.store(0).getVersioned(ringObjName, nil)
+	if errors.Is(err, ErrNotFound) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dstore: read ring object: %w", err)
+	}
+	r, derr := ring.Decode(val)
+	if derr != nil {
+		return nil, fmt.Errorf("dstore: %w: ring object: %v", ErrCorrupt, derr)
+	}
+	return r, nil
 }
 
 // failover reacts to err from an operation on shard i: when the shard is
@@ -62,10 +150,10 @@ func (sh *Sharded) failover(i int, err error) bool {
 	return sh.repl[i].Failover() == nil
 }
 
-// shardIndex routes a key to its shard with FNV-1a over the name. The
-// function is part of the persistent contract of a sharded deployment: the
-// same shard count must be used across reopen, or keys become unreachable
-// (they live on the shard the hash chose at write time).
+// shardIndex routes a key to its shard with FNV-1a over the name. This is
+// the legacy static placement, kept as ring.ModeModN: stores without a
+// persisted ring object route exactly this way, so their keys stay
+// reachable across the upgrade.
 func shardIndex(key string, n int) int {
 	const (
 		offset64 = 14695981039346656037
@@ -108,6 +196,12 @@ func shardConfig(cfg Config, n int) Config {
 	return cfg
 }
 
+// setShards publishes new shard/config slices (constructor or AddShard).
+func (sh *Sharded) setShards(stores []*Store, cfgs []Config) {
+	sh.shardsP.Store(&stores)
+	sh.cfgsP.Store(&cfgs)
+}
+
 // FormatSharded creates a fresh sharded store: shards independent instances
 // formatted in parallel, each on its own devices. cfg describes the
 // aggregate geometry (see shardConfig); cfg.PMEM and cfg.SSD must be nil —
@@ -120,24 +214,34 @@ func FormatSharded(shards int, cfg Config) (*Sharded, error) {
 	if cfg.PMEM != nil || cfg.SSD != nil {
 		return nil, fmt.Errorf("dstore: FormatSharded cannot split injected devices; use OpenSharded with per-shard configs")
 	}
-	sh := &Sharded{
-		shards: make([]*Store, shards),
-		cfgs:   make([]Config, shards),
-	}
+	sh := &Sharded{}
+	stores := make([]*Store, shards)
+	cfgs := make([]Config, shards)
 	per := shardConfig(cfg, shards)
-	for i := range sh.cfgs {
-		sh.cfgs[i] = per
+	for i := range cfgs {
+		cfgs[i] = per
 	}
+	sh.setShards(stores, cfgs)
 	if err := sh.forEachShard(func(i int, _ *Store) error {
-		s, err := Format(sh.cfgs[i])
+		s, err := Format(cfgs[i])
 		if err != nil {
 			return fmt.Errorf("dstore: format shard %d: %w", i, err)
 		}
-		sh.shards[i] = s
+		stores[i] = s
 		return nil
 	}); err != nil {
 		sh.closeOpened()
 		return nil, err
+	}
+	// Persist the initial placement at epoch 0. Mod-N is bit-identical to
+	// the pre-ring routing, so formatting with the ring changes neither key
+	// placement nor wire behavior; the first AddShard/RemoveShard converts
+	// to consistent hashing.
+	r := ring.NewModN(shards)
+	sh.ringP.Store(r)
+	if err := sh.persistRing(r); err != nil {
+		sh.closeOpened()
+		return nil, fmt.Errorf("dstore: persist ring: %w", err)
 	}
 	return sh, nil
 }
@@ -153,9 +257,11 @@ func FormatShardedReplicated(shards int, cfg Config) (*Sharded, error) {
 	if err != nil {
 		return nil, err
 	}
+	stores := sh.stores()
+	cfgs := sh.configs()
 	standbys := make([]*Store, shards)
 	if err := sh.forEachShard(func(i int, _ *Store) error {
-		sb, err := Format(sh.cfgs[i])
+		sb, err := Format(cfgs[i])
 		if err != nil {
 			return fmt.Errorf("dstore: format standby %d: %w", i, err)
 		}
@@ -173,7 +279,7 @@ func FormatShardedReplicated(shards int, cfg Config) (*Sharded, error) {
 	sh.repl = make([]*ReplicatedShard, shards)
 	onSwap := func() { sh.gen.Add(1) }
 	for i := range sh.repl {
-		sh.repl[i] = NewReplicatedShard(sh.shards[i], standbys[i], onSwap)
+		sh.repl[i] = NewReplicatedShard(stores[i], standbys[i], onSwap)
 	}
 	return sh, nil
 }
@@ -182,20 +288,25 @@ func FormatShardedReplicated(shards int, cfg Config) (*Sharded, error) {
 // carry its shard's PMEM and SSD devices, in shard order). Recovery runs in
 // parallel: every shard rebuilds its metadata and replays its own log
 // concurrently, so wall-clock recovery is the slowest shard, not the sum.
+// After per-shard recovery it resolves in-doubt cross-shard transactions,
+// recovers the authoritative routing ring from shard 0 (synthesizing the
+// legacy mod-N placement for pre-ring stores), and deletes migration
+// residue — copies of keys on shards the recovered ring does not route to
+// them — so a crash at any point of a live reshard leaves exactly one
+// authoritative replica of every key.
 func OpenSharded(cfgs []Config) (*Sharded, error) {
 	if len(cfgs) == 0 {
 		return nil, fmt.Errorf("dstore: OpenSharded needs >= 1 shard config")
 	}
-	sh := &Sharded{
-		shards: make([]*Store, len(cfgs)),
-		cfgs:   append([]Config(nil), cfgs...),
-	}
+	sh := &Sharded{}
+	stores := make([]*Store, len(cfgs))
+	sh.setShards(stores, append([]Config(nil), cfgs...))
 	if err := sh.forEachShard(func(i int, _ *Store) error {
-		s, err := Open(sh.cfgs[i])
+		s, err := Open(sh.configs()[i])
 		if err != nil {
 			return fmt.Errorf("dstore: open shard %d: %w", i, err)
 		}
-		sh.shards[i] = s
+		stores[i] = s
 		return nil
 	}); err != nil {
 		sh.closeOpened()
@@ -208,13 +319,34 @@ func OpenSharded(cfgs []Config) (*Sharded, error) {
 		sh.closeOpened()
 		return nil, fmt.Errorf("dstore: transaction resolution: %w", err)
 	}
+	r, err := sh.loadRing()
+	if err != nil {
+		sh.closeOpened()
+		return nil, err
+	}
+	if r == nil {
+		// Pre-ring store: synthesize the legacy placement. Resharded stores
+		// always persist their ring before moving a single key, so this
+		// branch only sees stores whose placement has never changed.
+		r = ring.NewModN(len(cfgs))
+	}
+	if r.MaxID() >= len(cfgs) {
+		sh.closeOpened()
+		return nil, fmt.Errorf("dstore: %w: ring routes to shard %d but only %d shards configured",
+			ErrCorrupt, r.MaxID(), len(cfgs))
+	}
+	sh.ringP.Store(r)
+	if err := sh.cleanupResidue(); err != nil {
+		sh.closeOpened()
+		return nil, fmt.Errorf("dstore: migration residue cleanup: %w", err)
+	}
 	return sh, nil
 }
 
 // closeOpened tears down the shards a failed parallel constructor managed
 // to open.
 func (sh *Sharded) closeOpened() {
-	for _, s := range sh.shards {
+	for _, s := range sh.stores() {
 		if s != nil {
 			s.CloseNoCheckpoint() //nolint:errcheck // best-effort teardown after a failed constructor
 		}
@@ -224,9 +356,10 @@ func (sh *Sharded) closeOpened() {
 // forEachShard runs f on every shard's active store concurrently and
 // returns the error of the lowest-indexed shard that failed.
 func (sh *Sharded) forEachShard(f func(i int, s *Store) error) error {
-	errs := make([]error, len(sh.shards))
+	n := len(sh.stores())
+	errs := make([]error, n)
 	var wg sync.WaitGroup
-	for i := range sh.shards {
+	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -242,8 +375,9 @@ func (sh *Sharded) forEachShard(f func(i int, s *Store) error) error {
 	return nil
 }
 
-// Shards returns the shard count.
-func (sh *Sharded) Shards() int { return len(sh.shards) }
+// Shards returns the shard count, drained members included (a shard removed
+// from the ring keeps its slot so shard IDs stay stable).
+func (sh *Sharded) Shards() int { return len(sh.stores()) }
 
 // Shard returns shard i's active store (for per-shard inspection, fault
 // injection, and crash preparation in tests and tooling). For a replicated
@@ -259,24 +393,39 @@ func (sh *Sharded) Replica(i int) *ReplicatedShard {
 	return sh.repl[i]
 }
 
-// ShardFor returns the index of the shard that owns key.
-func (sh *Sharded) ShardFor(key string) int { return shardIndex(key, len(sh.shards)) }
+// ShardFor returns the index of the shard that owns key under the current
+// routing ring.
+func (sh *Sharded) ShardFor(key string) int { return sh.owner(key) }
 
 // ShardConfigs returns a copy of the per-shard configs (after Crash they
 // carry the surviving devices, ready for OpenSharded).
-func (sh *Sharded) ShardConfigs() []Config { return append([]Config(nil), sh.cfgs...) }
+func (sh *Sharded) ShardConfigs() []Config { return append([]Config(nil), sh.configs()...) }
+
+// ShardKeyCounts returns the number of user-visible keys currently resident
+// on each shard (reserved bookkeeping excluded). During a migration the sum
+// can transiently exceed Count — moving keys exist on donor and recipient
+// until the post-flip cleanup.
+func (sh *Sharded) ShardKeyCounts() []uint64 {
+	n := sh.Shards()
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = sh.store(i).userCount()
+	}
+	return out
+}
 
 // Init creates a request context spanning every shard. Like *Ctx, the
 // stateful surface (Open handles, Lock/Unlock, Finalize) is owned by a
 // single goroutine; Put/Get/Delete/Scan are safe to share.
 func (sh *Sharded) Init() *ShardedCtx {
+	stores := sh.stores()
 	c := &ShardedCtx{
 		sh:     sh,
-		ctxs:   make([]*Ctx, len(sh.shards)),
-		stores: make([]*Store, len(sh.shards)),
+		ctxs:   make([]*Ctx, len(stores)),
+		stores: make([]*Store, len(stores)),
 		gen:    sh.gen.Load(),
 	}
-	for i := range sh.shards {
+	for i := range stores {
 		c.stores[i] = sh.store(i)
 		c.ctxs[i] = c.stores[i].Init()
 	}
@@ -309,7 +458,7 @@ func (sh *Sharded) Check() error {
 // order. Block ids in the findings are shard-local; object names identify
 // the owner uniquely.
 func (sh *Sharded) Scrub(repair bool) (ScrubReport, error) {
-	reps := make([]ScrubReport, len(sh.shards))
+	reps := make([]ScrubReport, len(sh.stores()))
 	err := sh.forEachShard(func(i int, s *Store) error {
 		var serr error
 		reps[i], serr = s.Scrub(repair)
@@ -349,13 +498,16 @@ func (sh *Sharded) CloseNoCheckpoint() error {
 // OpenSharded. Requires Config.TrackPersistence.
 func (sh *Sharded) Crash(seed int64) ([]Config, error) {
 	var firstErr error
-	for i, s := range sh.shards {
+	stores := sh.stores()
+	cfgs := append([]Config(nil), sh.configs()...)
+	for i, s := range stores {
 		pm, data, err := s.Crash(seed + int64(i))
-		sh.cfgs[i].PMEM, sh.cfgs[i].SSD = pm, data
+		cfgs[i].PMEM, cfgs[i].SSD = pm, data
 		if err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("dstore: crash shard %d: %w", i, err)
 		}
 	}
+	sh.cfgsP.Store(&cfgs)
 	return sh.ShardConfigs(), firstErr
 }
 
@@ -363,7 +515,7 @@ func (sh *Sharded) Crash(seed int64) ([]Config, error) {
 // available via ShardStats.
 func (sh *Sharded) Stats() Stats {
 	var out Stats
-	for i := range sh.shards {
+	for i := range sh.stores() {
 		st := sh.store(i).Stats()
 		out.Puts += st.Puts
 		out.Gets += st.Gets
@@ -392,7 +544,7 @@ func (sh *Sharded) ShardStats(i int) Stats { return sh.store(i).Stats() }
 // snapshots are available via ShardCacheStats.
 func (sh *Sharded) CacheStats() CacheStats {
 	var out CacheStats
-	for i := range sh.shards {
+	for i := range sh.stores() {
 		cs := sh.store(i).CacheStats()
 		out.Hits += cs.Hits
 		out.Misses += cs.Misses
@@ -410,7 +562,7 @@ func (sh *Sharded) ShardCacheStats(i int) CacheStats { return sh.store(i).CacheS
 // Breakdown aggregates the per-stage write timing across shards.
 func (sh *Sharded) Breakdown() Breakdown {
 	var out Breakdown
-	for i := range sh.shards {
+	for i := range sh.stores() {
 		bd := sh.store(i).Breakdown()
 		out.Count += bd.Count
 		out.LogNs += bd.LogNs
@@ -426,7 +578,7 @@ func (sh *Sharded) Breakdown() Breakdown {
 // Footprint sums storage consumption across shards.
 func (sh *Sharded) Footprint() Footprint {
 	var out Footprint
-	for i := range sh.shards {
+	for i := range sh.stores() {
 		fp := sh.store(i).Footprint()
 		out.DRAMBytes += fp.DRAMBytes
 		out.PMEMBytes += fp.PMEMBytes
@@ -444,7 +596,7 @@ func (sh *Sharded) Footprint() Footprint {
 func (sh *Sharded) Health() Health {
 	var out Health
 	out.DegradedShard = -1
-	for i := range sh.shards {
+	for i := range sh.stores() {
 		h := sh.store(i).Health()
 		if h.Degraded && !out.Degraded {
 			out.Degraded = true
@@ -463,11 +615,13 @@ func (sh *Sharded) Health() Health {
 // ShardHealth returns shard i's own fault status (active store).
 func (sh *Sharded) ShardHealth(i int) Health { return sh.store(i).Health() }
 
-// Count sums live objects across shards.
+// Count sums live user-visible objects across shards. Reserved bookkeeping
+// (the ring object, transaction prepares) is excluded; keys mid-migration
+// can be double-counted transiently until the post-flip cleanup.
 func (sh *Sharded) Count() uint64 {
 	var n uint64
-	for i := range sh.shards {
-		n += sh.store(i).Count()
+	for i := range sh.stores() {
+		n += sh.store(i).userCount()
 	}
 	return n
 }
@@ -478,7 +632,7 @@ func (sh *Sharded) Count() uint64 {
 // that failed over is not degraded: its active store is the healthy
 // promoted standby.
 func (sh *Sharded) Degraded() bool {
-	for i := range sh.shards {
+	for i := range sh.stores() {
 		if sh.store(i).Degraded() {
 			return true
 		}
@@ -491,38 +645,46 @@ var _ API = (*Sharded)(nil)
 // --------------------------------------------------------------- contexts
 
 // ShardedCtx is a request context over a sharded store: single-key
-// operations route to the owning shard's context; Scan k-way-merges the
-// shards' ordered streams. On a replicated store the context notices
-// failovers (via the store's generation counter) and rebinds the affected
-// shard's context to the promoted standby.
+// operations route through the ring to the owning shard's context; Scan
+// k-way-merges the shards' ordered streams. The context notices failovers
+// and ring flips (via the store's generation counter) and rebinds to the
+// promoted standby or the grown shard set.
 type ShardedCtx struct {
 	sh *Sharded
 
 	// mu guards ctxs/stores/gen. Refresh happens only when the store's
-	// generation advanced past ours — i.e. only after a failover — so the
-	// fast path is one atomic load plus a read lock.
+	// generation advanced past ours — i.e. only after a failover or a ring
+	// flip — so the fast path is one atomic load plus a read lock.
 	mu     sync.RWMutex
 	ctxs   []*Ctx
 	stores []*Store
 	gen    uint64
+
+	// locked remembers which shard holds each application-level lock taken
+	// through this context, so Unlock releases where Lock acquired even if
+	// the ring flipped in between. Stateful surface: single-goroutine per
+	// the Context contract, so no extra locking.
+	locked map[string]int
 }
 
 // ctx returns shard i's context, rebinding any contexts whose shard failed
-// over since the last call.
+// over — and growing the context set — when the generation advanced.
 func (c *ShardedCtx) ctx(i int) *Ctx {
-	if c.sh.repl == nil {
-		return c.ctxs[i]
-	}
 	g := c.sh.gen.Load()
 	c.mu.RLock()
-	if c.gen == g {
+	if c.gen == g && i < len(c.ctxs) {
 		cx := c.ctxs[i]
 		c.mu.RUnlock()
 		return cx
 	}
 	c.mu.RUnlock()
 	c.mu.Lock()
-	if c.gen != g {
+	if c.gen != g || i >= len(c.ctxs) {
+		n := c.sh.Shards()
+		for len(c.ctxs) < n {
+			c.ctxs = append(c.ctxs, nil)
+			c.stores = append(c.stores, nil)
+		}
 		for j := range c.ctxs {
 			if s := c.sh.store(j); c.stores[j] != s {
 				// The old context belongs to the retired primary; locks it
@@ -540,17 +702,12 @@ func (c *ShardedCtx) ctx(i int) *Ctx {
 
 // shardCtx returns the context of the shard owning key.
 func (c *ShardedCtx) shardCtx(key string) *Ctx {
-	return c.ctx(shardIndex(key, len(c.ctxs)))
+	return c.ctx(c.sh.owner(key))
 }
 
-// Put stores value under key on its shard. On a replicated store a write
-// that finds its shard degraded triggers failover and retries once on the
-// promoted standby.
-func (c *ShardedCtx) Put(key string, value []byte) error {
-	if c.sh == nil {
-		return ErrClosed
-	}
-	i := shardIndex(key, len(c.ctxs))
+// putAt applies a put on shard i, failing over and retrying once on a
+// replicated store whose shard degraded.
+func (c *ShardedCtx) putAt(i int, key string, value []byte) error {
 	err := c.ctx(i).Put(key, value)
 	if err != nil && c.sh.failover(i, err) {
 		err = c.ctx(i).Put(key, value)
@@ -558,20 +715,8 @@ func (c *ShardedCtx) Put(key string, value []byte) error {
 	return err
 }
 
-// Get retrieves key's value from its shard, appending to buf.
-func (c *ShardedCtx) Get(key string, buf []byte) ([]byte, error) {
-	if c.sh == nil {
-		return nil, ErrClosed
-	}
-	return c.shardCtx(key).Get(key, buf)
-}
-
-// Delete removes key's object from its shard (failing over like Put).
-func (c *ShardedCtx) Delete(key string) error {
-	if c.sh == nil {
-		return ErrClosed
-	}
-	i := shardIndex(key, len(c.ctxs))
+// deleteAt applies a delete on shard i with the same failover retry.
+func (c *ShardedCtx) deleteAt(i int, key string) error {
 	err := c.ctx(i).Delete(key)
 	if err != nil && c.sh.failover(i, err) {
 		err = c.ctx(i).Delete(key)
@@ -579,17 +724,95 @@ func (c *ShardedCtx) Delete(key string) error {
 	return err
 }
 
+// Put stores value under key on its shard. On a replicated store a write
+// that finds its shard degraded triggers failover and retries once on the
+// promoted standby. During a live migration a put to a moving key is
+// double-applied: donor first (authoritative until the flip), then the
+// recipient, under the key's migration stripe so copier and writers agree
+// on order.
+func (c *ShardedCtx) Put(key string, value []byte) error {
+	if c.sh == nil {
+		return ErrClosed
+	}
+	sh := c.sh
+	sh.opMu.RLock() //nolint:lock-order // held shared across the routed apply so the epoch cannot flip mid-op; the flip is the only writer
+	defer sh.opMu.RUnlock()
+	i := sh.owner(key)
+	if m := sh.migrP.Load(); m != nil {
+		if to, moving := m.dest(key, i); moving {
+			st := m.stripe(key)
+			st.Lock() //nolint:lock-order // per-key stripe held across donor+recipient applies; ordered after opMu everywhere
+			defer st.Unlock()
+			err := c.putAt(i, key, value)
+			if err == nil {
+				m.mirrorPut(to, key, value)
+			}
+			return err
+		}
+	}
+	return c.putAt(i, key, value)
+}
+
+// Get retrieves key's value from its shard, appending to buf. The donor
+// stays authoritative for moving keys until the epoch flip, so reads never
+// consult the recipient mid-migration.
+func (c *ShardedCtx) Get(key string, buf []byte) ([]byte, error) {
+	if c.sh == nil {
+		return nil, ErrClosed
+	}
+	c.sh.opMu.RLock() //nolint:lock-order // see Put
+	defer c.sh.opMu.RUnlock()
+	return c.shardCtx(key).Get(key, buf)
+}
+
+// Delete removes key's object from its shard (failing over like Put and
+// double-applying to the recipient during a migration).
+func (c *ShardedCtx) Delete(key string) error {
+	if c.sh == nil {
+		return ErrClosed
+	}
+	sh := c.sh
+	sh.opMu.RLock() //nolint:lock-order // see Put
+	defer sh.opMu.RUnlock()
+	i := sh.owner(key)
+	if m := sh.migrP.Load(); m != nil {
+		if to, moving := m.dest(key, i); moving {
+			st := m.stripe(key)
+			st.Lock() //nolint:lock-order // see Put
+			defer st.Unlock()
+			err := c.deleteAt(i, key)
+			if err == nil {
+				m.mirrorDelete(to, key)
+			}
+			return err
+		}
+	}
+	return c.deleteAt(i, key)
+}
+
 // Open opens (or creates) an object on its shard; the returned handle's
 // ReadAt/WriteAt run entirely within that shard. Creation fails over like
 // Put; an already-open handle does not (its WriteAt surfaces ErrDegraded —
-// reopen to land on the promoted standby).
+// reopen to land on the promoted standby). A handle opened during a live
+// migration is noted: the flip re-copies such objects under the barrier so
+// writes through the handle are not lost. Handles opened before AddShard
+// was called write the donor after the flip — reopen after a reshard, the
+// same contract as after a failover.
 func (c *ShardedCtx) Open(name string, size uint64, flags OpenFlag) (*Object, error) {
 	if c.sh == nil {
 		return nil, ErrClosed
 	}
-	i := shardIndex(name, len(c.ctxs))
+	sh := c.sh
+	sh.opMu.RLock() //nolint:lock-order // see Put
+	defer sh.opMu.RUnlock()
+	i := sh.owner(name)
+	if m := sh.migrP.Load(); m != nil {
+		if _, moving := m.dest(name, i); moving {
+			m.noteOpened(name)
+		}
+	}
 	obj, err := c.ctx(i).Open(name, size, flags)
-	if err != nil && c.sh.failover(i, err) {
+	if err != nil && sh.failover(i, err) {
 		obj, err = c.ctx(i).Open(name, size, flags)
 	}
 	return obj, err
@@ -601,15 +824,34 @@ func (c *ShardedCtx) Lock(name string) error {
 	if c.sh == nil {
 		return ErrClosed
 	}
-	return c.shardCtx(name).Lock(name)
+	c.sh.opMu.RLock() //nolint:lock-order // see Put
+	i := c.sh.owner(name)
+	err := c.ctx(i).Lock(name)
+	c.sh.opMu.RUnlock()
+	if err == nil {
+		if c.locked == nil {
+			c.locked = make(map[string]int)
+		}
+		c.locked[name] = i
+	}
+	return err
 }
 
-// Unlock releases a lock taken with Lock.
+// Unlock releases a lock taken with Lock — on the shard where it was
+// acquired, even if a reshard moved the name's ownership since.
 func (c *ShardedCtx) Unlock(name string) error {
 	if c.sh == nil {
 		return ErrClosed
 	}
-	return c.shardCtx(name).Unlock(name)
+	i, ok := c.locked[name]
+	if !ok {
+		i = c.sh.owner(name)
+	}
+	err := c.ctx(i).Unlock(name)
+	if err == nil && ok {
+		delete(c.locked, name)
+	}
+	return err
 }
 
 // Finalize releases every shard context (and any locks they still hold).
@@ -638,8 +880,8 @@ func (c *ShardedCtx) Scan(prefix string, fn func(info ObjectInfo) bool) error {
 	if c.sh == nil {
 		return ErrClosed
 	}
-	if len(c.ctxs) == 1 {
-		return c.ctxs[0].Scan(prefix, fn)
+	if c.sh.Shards() == 1 {
+		return c.ctx(0).Scan(prefix, fn)
 	}
 	return c.sh.mergeScan(prefix, fn)
 }
@@ -647,11 +889,16 @@ func (c *ShardedCtx) Scan(prefix string, fn func(info ObjectInfo) bool) error {
 // mergeScan streams each shard's ordered scan through a bounded channel and
 // merges the heads with a min-heap. fn runs on the caller's goroutine.
 // Early stop (fn returning false) or a shard error cancels the remaining
-// producers. Keys are unique across shards (each name hashes to exactly one
-// shard), so the merge never sees duplicates; ties break by shard index for
-// determinism anyway.
+// producers. The ring captured at entry filters each shard's stream to the
+// keys it owns, so migration residue (a moving key resident on donor and
+// recipient) never yields duplicates; ties break by shard index for
+// determinism anyway. The merge intentionally does not hold opMu: Scan has
+// snapshot-free iterator semantics, and an epoch flip mid-scan reads like
+// any other concurrent mutation.
 func (sh *Sharded) mergeScan(prefix string, fn func(info ObjectInfo) bool) error {
-	n := len(sh.shards)
+	stores := sh.stores()
+	rg := sh.ringNow()
+	n := len(stores)
 	done := make(chan struct{})
 	chans := make([]chan ObjectInfo, n)
 	errs := make([]error, n)
@@ -665,6 +912,9 @@ func (sh *Sharded) mergeScan(prefix string, fn func(info ObjectInfo) bool) error
 			// A fresh per-shard context: Scan keeps no context state, and the
 			// producer goroutine must not share the caller's contexts.
 			err := s.Init().Scan(prefix, func(info ObjectInfo) bool {
+				if int(rg.Owner(info.Name)) != i {
+					return true // residue copy; the owning shard streams it
+				}
 				select {
 				case ch <- info:
 					return true

@@ -180,7 +180,7 @@ func (c *ShardedCtx) Begin() (Txn, error) {
 	if c.sh == nil {
 		return nil, ErrClosed
 	}
-	if len(c.ctxs) == 1 {
+	if c.sh.Shards() == 1 {
 		return c.ctx(0).Begin()
 	}
 	return &shardedTxn{
@@ -191,7 +191,7 @@ func (c *ShardedCtx) Begin() (Txn, error) {
 }
 
 func (t *shardedTxn) store(key string) *Store {
-	return t.c.sh.store(shardIndex(key, t.c.sh.Shards()))
+	return t.c.sh.store(t.c.sh.owner(key))
 }
 
 // Get reads key from its owning shard (read-your-writes over the buffer,
@@ -259,18 +259,23 @@ func (t *shardedTxn) Abort() error {
 }
 
 // Commit validates and atomically applies the buffered writes across their
-// owning shards.
+// owning shards. The whole commit holds opMu shared so the ring cannot flip
+// between routing the write set and applying it; writes to keys mid-
+// migration are double-applied to their recipients after the donor-side
+// commit, under the keys' migration stripes (DESIGN.md §13).
 func (t *shardedTxn) Commit() error {
 	if t.done {
 		return errTxnDone
 	}
 	t.done = true
 	sh := t.c.sh
-	n := sh.Shards()
+
+	sh.opMu.RLock() //nolint:lock-order // held shared across route+apply; see ShardedCtx.Put
+	defer sh.opMu.RUnlock()
 
 	readsBy := make(map[int]map[string]uint64)
 	for k, v := range t.reads {
-		i := shardIndex(k, n)
+		i := sh.owner(k)
 		if readsBy[i] == nil {
 			readsBy[i] = make(map[string]uint64)
 		}
@@ -278,7 +283,7 @@ func (t *shardedTxn) Commit() error {
 	}
 	writesBy := make(map[int][]txnOp)
 	for k, w := range t.writes {
-		i := shardIndex(k, n)
+		i := sh.owner(k)
 		writesBy[i] = append(writesBy[i], txnOp{key: k, del: w.del, value: w.value})
 	}
 	wshards := make([]int, 0, len(writesBy))
@@ -286,6 +291,37 @@ func (t *shardedTxn) Commit() error {
 		wshards = append(wshards, i)
 	}
 	sort.Ints(wshards)
+
+	// Moving write keys: lock their stripes (deduped, index order — the
+	// global stripe order) across commit + mirror so the copier can't
+	// interleave between the donor commit and the recipient apply.
+	m := sh.migrP.Load()
+	var movers map[string]int
+	if m != nil {
+		for k := range t.writes {
+			if to, moving := m.dest(k, sh.owner(k)); moving {
+				if movers == nil {
+					movers = make(map[string]int)
+				}
+				movers[k] = to
+			}
+		}
+		if movers != nil {
+			keys := make([]string, 0, len(movers))
+			for k := range movers {
+				keys = append(keys, k)
+			}
+			stripes := m.stripesFor(keys)
+			for _, st := range stripes {
+				st.Lock() //nolint:lock-order // stripe order is global (sorted by index); always after opMu
+			}
+			defer func() {
+				for _, st := range stripes {
+					st.Unlock()
+				}
+			}()
+		}
+	}
 
 	statShard := 0
 	if len(wshards) > 0 {
@@ -297,6 +333,20 @@ func (t *shardedTxn) Commit() error {
 		sh.store(statShard).txns.commits.Add(1)
 	case errors.Is(err, ErrTxnConflict):
 		sh.store(statShard).txns.conflicts.Add(1)
+	}
+	if err == nil && movers != nil {
+		// Donor commit is durable and authoritative; mirror the moving
+		// writes to their recipients. A crash in between is safe pre-flip
+		// (the donor rules; residue is collected at open), and the flip
+		// cannot intervene while we hold opMu shared.
+		for k, to := range movers {
+			w := t.writes[k]
+			if w.del {
+				m.mirrorDelete(to, k)
+			} else {
+				m.mirrorPut(to, k, w.value)
+			}
+		}
 	}
 	return err
 }
@@ -487,7 +537,7 @@ func sortedShardKeys(m map[int]map[string]uint64) []int {
 // otherwise; decision objects whose participants are all clean are
 // collected. Runs single-threaded on freshly recovered shards.
 func (sh *Sharded) resolveTxns() error {
-	n := len(sh.shards)
+	n := sh.Shards()
 	for i := 0; i < n; i++ {
 		preps, err := sh.store(i).reservedNames(txnPrepPrefix)
 		if err != nil {
