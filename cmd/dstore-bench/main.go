@@ -9,7 +9,7 @@
 //	dstore-bench -net 127.0.0.1:7421
 //
 // Experiment ids: fig1 fig5 fig6 table3 fig7 fig8 fig9 table4 fig10 table5
-// ycsbfull shards cache txn reshard.
+// ycsbfull shards cache txn reshard batch.
 // Defaults are laptop-scaled; raise -records/-objects/-duration/-threads to
 // approach the paper's 2M-object, 28-thread, 60-second runs.
 //
@@ -48,6 +48,8 @@ func main() {
 		cacheJS  = flag.String("cache-json", "", "write the cache experiment snapshot to this JSON file")
 		txnJS    = flag.String("txn-json", "", "write the txn experiment snapshot to this JSON file")
 		reshJS   = flag.String("reshard-json", "", "write the reshard experiment snapshot to this JSON file")
+		batch    = flag.Bool("batch", false, "with -net, coalesce concurrent threads' ops into MPUT/MGET frames")
+		batchJS  = flag.String("batch-json", "", "write the batch experiment snapshot to this JSON file")
 	)
 	flag.Parse()
 
@@ -68,6 +70,8 @@ func main() {
 		CacheJSON:      *cacheJS,
 		TxnJSON:        *txnJS,
 		ReshardJSON:    *reshJS,
+		NetBatch:       *batch,
+		BatchJSON:      *batchJS,
 	}
 
 	if *netAddr != "" {

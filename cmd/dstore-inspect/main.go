@@ -19,6 +19,7 @@ import (
 
 	"dstore"
 	"dstore/internal/client"
+	"dstore/internal/dipper"
 	"dstore/internal/ring"
 	"dstore/internal/wal"
 	"dstore/internal/wire"
@@ -81,6 +82,10 @@ func inspectRemote(addr string, promote bool) {
 	if x := st.Txn; x != nil {
 		fmt.Printf("txn:  commits=%d aborts=%d conflicts=%d conflictRate=%.1f%%\n",
 			x.Commits, x.Aborts, x.Conflicts, conflictRate(x.Commits, x.Conflicts))
+	}
+	if b := st.Batch; b != nil {
+		fmt.Printf("gc:   batches=%d records=%d parked=%d avg=%.1f recs/fence\n",
+			b.Batches, b.Records, b.Parked, float64(b.Records)/float64(b.Batches))
 	}
 	if r := st.Repl; r != nil {
 		role := "primary"
@@ -146,6 +151,38 @@ func conflictRate(commits, conflicts uint64) float64 {
 	return 100 * float64(conflicts) / float64(commits+conflicts)
 }
 
+// gcLine prints the WAL group-commit counters when any record has settled
+// through a shared fence (DESIGN.md §14); silent otherwise, mirroring the
+// wire protocol's omit-when-zero batch section.
+func gcLine(es dipper.Stats) {
+	if es.GCBatches == 0 {
+		return
+	}
+	fmt.Printf("gc:   batches=%d records=%d parked=%d avg=%.1f recs/fence\n",
+		es.GCBatches, es.GCRecords, es.GCParked,
+		float64(es.GCRecords)/float64(es.GCBatches))
+}
+
+// mputTour applies one batched MPut so the gc: counters in the surrounding
+// dumps are live: the sub-ops fan out across appliers and their records
+// settle through shared group-commit fences.
+func mputTour(bs interface {
+	MPut(epoch uint64, keys []string, values [][]byte) []error
+}, val []byte) {
+	keys := make([]string, 64)
+	vals := make([][]byte, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("batch-%06d", i)
+		vals[i] = val
+	}
+	for _, e := range bs.MPut(0, keys, vals) {
+		if e != nil {
+			log.Fatal(e)
+		}
+	}
+	fmt.Printf("applied one %d-key MPut batch (sub-ops share group-commit fences)\n", len(keys))
+}
+
 // txnLine prints the transaction counters when any transaction has run.
 func txnLine(st dstore.Stats) {
 	if st.TxnCommits+st.TxnAborts+st.TxnConflicts == 0 {
@@ -177,6 +214,7 @@ func inspectSharded(shards, objects, cacheMB int) {
 		st := sh.Stats()
 		fmt.Printf("aggregate: puts=%d gets=%d objs=%d ckpts=%d replayed=%d\n",
 			st.Puts, st.Gets, sh.Count(), st.Engine.Checkpoints, st.Engine.RecordsReplayed)
+		gcLine(st.Engine)
 		if r, err := ring.Decode(sh.RingData()); err == nil {
 			fmt.Println(ringLine(r))
 		}
@@ -215,6 +253,7 @@ func inspectSharded(shards, objects, cacheMB int) {
 		tw.Flush()
 		fmt.Println()
 	}
+	mputTour(sh, val)
 	dumpShards(fmt.Sprintf("after %d puts", objects))
 	if cacheMB > 0 {
 		// Two read passes: the first warms the cache, the second hits it, so
@@ -393,6 +432,7 @@ func main() {
 			100*st.Engine().Pair().FreeFraction())
 		fmt.Printf("ckpt: count=%d replayed=%d shadowCloned=%dB\n",
 			es.Checkpoints, es.RecordsReplayed, es.ShadowBytesCloned)
+		gcLine(es)
 		fmt.Printf("foot: dram=%dKiB pmem=%dKiB ssd=%dKiB\n",
 			fp.DRAMBytes>>10, fp.PMEMBytes>>10, fp.SSDBytes>>10)
 		h := st.Health()
@@ -418,6 +458,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	mputTour(st, val)
 	dump(fmt.Sprintf("after %d puts", *objects))
 
 	// Exercise the transaction path so the txn counters below are live: a

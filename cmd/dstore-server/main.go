@@ -50,6 +50,8 @@ func main() {
 		cacheMB  = flag.Int("cache-mb", 0, "DRAM block cache size in MiB, split across shards (0 disables)")
 		replFrom = flag.String("replicate-from", "", "run as a hot standby tailing the primary dstore-server at this address (requires -shards 1)")
 		replHot  = flag.Bool("replicated", false, "pair every shard with an in-process hot standby that is promoted transparently when the shard degrades")
+		batch    = flag.Bool("batch", true, "WAL group commit: concurrent commits share one flush+fence (false reverts to a fence per record)")
+		batchMax = flag.Int("batch-max", 0, "records per group-commit batch cap (default 64)")
 	)
 	flag.Parse()
 
@@ -57,10 +59,12 @@ func main() {
 		latency.Enable()
 	}
 	cfg := dstore.Config{
-		Blocks:     *blocks,
-		MaxObjects: *objects,
-		LogBytes:   *logBytes,
-		CacheBytes: uint64(*cacheMB) << 20,
+		Blocks:              *blocks,
+		MaxObjects:          *objects,
+		LogBytes:            *logBytes,
+		CacheBytes:          uint64(*cacheMB) << 20,
+		DisableGroupCommit:  !*batch,
+		GroupCommitMaxBatch: *batchMax,
 	}
 	var st dstore.API
 	var single *dstore.Store
@@ -133,7 +137,7 @@ func main() {
 	} else if *replHot {
 		role = "replicated"
 	}
-	log.Printf("dstore-server listening on %s (%s shards=%d blocks=%d objects=%d cacheMB=%d)", ln.Addr(), role, *shards, *blocks, *objects, *cacheMB)
+	log.Printf("dstore-server listening on %s (%s shards=%d blocks=%d objects=%d cacheMB=%d groupcommit=%v)", ln.Addr(), role, *shards, *blocks, *objects, *cacheMB, *batch)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -87,6 +87,15 @@ type Config struct {
 	// DisableCheckpoints turns off all checkpointing (Fig. 1's
 	// "no checkpoint" series). The log must be sized for the full run.
 	DisableCheckpoints bool
+	// DisableGroupCommit turns off WAL group commit (on by default):
+	// concurrent committers normally settle behind one shared flush+fence,
+	// amortizing the per-record persistence cost (ISSUE 10).
+	DisableGroupCommit bool
+	// GroupCommitMaxBatch caps records per shared fence (default 64).
+	GroupCommitMaxBatch int
+	// GroupCommitMaxWait bounds the batch leader's device-scale linger for
+	// stragglers, injected via latency.Spin (default 3µs).
+	GroupCommitMaxWait time.Duration
 	// PhysicalImageBytes pads each log record's payload in ModePhysical.
 	// Default 512 (a before/after image of the touched metadata).
 	PhysicalImageBytes int
@@ -190,6 +199,9 @@ func (c Config) dipperConfig() dipper.Config {
 		ArenaBytes:          c.ArenaBytes,
 		CheckpointThreshold: c.CheckpointThreshold,
 		AutoCheckpoint:      !c.DisableCheckpoints,
+		GroupCommit:         !c.DisableGroupCommit,
+		GroupCommitMaxBatch: c.GroupCommitMaxBatch,
+		GroupCommitMaxWait:  c.GroupCommitMaxWait,
 	}
 }
 
@@ -220,6 +232,10 @@ type Store struct {
 	// (a nil *cache.Cache is a valid always-miss cache). Volatile by
 	// design: it is rebuilt empty on every Format/Open, never persisted.
 	bcache *cache.Cache
+
+	// mops fans batched MPut/MGet/MDelete sub-ops across persistent
+	// workers (batch.go); lazily started, retired on Close.
+	mops mopPool
 
 	// Fig. 4 locks. With OE enabled, poolMu covers only log append + pool
 	// mutation (steps ①–⑤) and treeMu only the B-tree touch (step ⑦); the
@@ -500,6 +516,7 @@ func (s *Store) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
+	s.mops.stop()
 	var err error
 	if !s.cfg.DisableCheckpoints {
 		err = s.eng.Checkpoint()
@@ -516,6 +533,7 @@ func (s *Store) CloseNoCheckpoint() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
+	s.mops.stop()
 	s.eng.Close()
 	return nil
 }
@@ -526,6 +544,7 @@ func (s *Store) CloseNoCheckpoint() error {
 // Config.TrackPersistence (an error is returned when it is off).
 func (s *Store) Crash(seed int64) (pm *pmem.Device, data *ssd.Device, err error) {
 	s.closed.Store(true)
+	s.mops.stop()
 	s.eng.Close()
 	if cerr := s.pm.Crash(pmem.CrashRandom, seed); cerr != nil {
 		return s.pm, s.data, cerr

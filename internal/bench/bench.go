@@ -78,6 +78,12 @@ type Options struct {
 	// ReshardJSON, when non-empty, makes the reshard experiment write its
 	// before/during/after throughput snapshot to this path as JSON.
 	ReshardJSON string
+	// NetBatch makes RunNet drive the workload through the client's
+	// auto-coalescing Batcher (MPUT/MGET frames) instead of singleton ops.
+	NetBatch bool
+	// BatchJSON, when non-empty, makes the batch experiment write its
+	// clients × batching sweep snapshot to this path as JSON.
+	BatchJSON string
 }
 
 func (o *Options) setDefaults() {

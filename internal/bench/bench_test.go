@@ -70,8 +70,8 @@ func TestAllExperimentsRun(t *testing.T) {
 }
 
 func TestExperimentRegistryComplete(t *testing.T) {
-	if len(ExperimentIDs) != 15 {
-		t.Fatalf("expected 15 experiments (every table and figure + the YCSB, shard-scaling, block-cache, transaction, and resharding extensions), got %d", len(ExperimentIDs))
+	if len(ExperimentIDs) != 16 {
+		t.Fatalf("expected 16 experiments (every table and figure + the YCSB, shard-scaling, block-cache, transaction, resharding, and batching extensions), got %d", len(ExperimentIDs))
 	}
 	for _, id := range ExperimentIDs {
 		if Experiments[id] == nil {

@@ -29,13 +29,14 @@ var Experiments = map[string]func(o Options, w io.Writer) error{
 	"cache":    Cache,
 	"txn":      Txns,
 	"reshard":  Reshard,
+	"batch":    Batch,
 }
 
 // ExperimentIDs lists the experiment ids in paper order.
 var ExperimentIDs = []string{
 	"fig1", "fig5", "fig6", "table3", "fig7", "fig8", "fig9",
 	"table4", "fig10", "table5", "ycsbfull", "shards", "cache", "txn",
-	"reshard",
+	"reshard", "batch",
 }
 
 // Fig1 regenerates Figure 1: the tail-latency overhead of checkpoints.

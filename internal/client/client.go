@@ -390,7 +390,10 @@ func epochStamped(op wire.Op) bool {
 	case wire.OpPut, wire.OpGet, wire.OpDelete, wire.OpScan:
 		return true
 	default:
-		return op.Txn()
+		// Batched data ops are ring-routed like their singleton forms; the
+		// server additionally re-checks the epoch per sub-op (a reshard can
+		// land mid-batch).
+		return op.Txn() || op.Multi()
 	}
 }
 

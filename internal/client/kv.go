@@ -17,6 +17,7 @@ import (
 type KV struct {
 	c       *Client
 	timeout time.Duration
+	b       *Batcher // nil: singleton frames (NewKV); set by NewBatchedKV
 }
 
 // NewKV wraps c. timeout bounds each call (default 30s).
@@ -27,6 +28,16 @@ func NewKV(c *Client, timeout time.Duration) *KV {
 	return &KV{c: c, timeout: timeout}
 }
 
+// NewBatchedKV wraps c like NewKV but routes Put/Get/Delete through an
+// auto-coalescing Batcher, so concurrent workload threads share
+// MPUT/MGET/MDELETE frames. Latencies recorded around its calls include the
+// coalescing window — what a caller of the batched path actually observes.
+func NewBatchedKV(c *Client, timeout time.Duration, bc BatcherConfig) *KV {
+	kv := NewKV(c, timeout)
+	kv.b = NewBatcher(c, bc)
+	return kv
+}
+
 // Label identifies the engine in benchmark tables.
 func (k *KV) Label() string { return "DStore (net)" }
 
@@ -34,6 +45,9 @@ func (k *KV) Label() string { return "DStore (net)" }
 func (k *KV) Put(key string, value []byte) error {
 	ctx, cancel := context.WithTimeout(context.Background(), k.timeout)
 	defer cancel()
+	if k.b != nil {
+		return k.b.Put(ctx, key, value)
+	}
 	return k.c.Put(ctx, key, value)
 }
 
@@ -41,7 +55,13 @@ func (k *KV) Put(key string, value []byte) error {
 func (k *KV) Get(key string, buf []byte) ([]byte, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), k.timeout)
 	defer cancel()
-	v, err := k.c.Get(ctx, key)
+	var v []byte
+	var err error
+	if k.b != nil {
+		v, err = k.b.Get(ctx, key)
+	} else {
+		v, err = k.c.Get(ctx, key)
+	}
 	if err != nil {
 		if errors.Is(err, dstore.ErrNotFound) {
 			return buf, kvapi.ErrNotFound
@@ -55,11 +75,43 @@ func (k *KV) Get(key string, buf []byte) ([]byte, error) {
 func (k *KV) Delete(key string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), k.timeout)
 	defer cancel()
+	if k.b != nil {
+		return k.b.Delete(ctx, key)
+	}
 	return k.c.Delete(ctx, key)
 }
 
 // Close releases the underlying client's connections.
 func (k *KV) Close() error { return k.c.Close() }
+
+// MPut implements kvapi.BulkStore over MPUT frames; errors map per slot
+// exactly like Put's.
+func (k *KV) MPut(keys []string, values [][]byte) []error {
+	ctx, cancel := context.WithTimeout(context.Background(), k.timeout)
+	defer cancel()
+	return k.c.MPut(ctx, keys, values)
+}
+
+// MGet implements kvapi.BulkStore; absent keys yield kvapi.ErrNotFound in
+// their own slots.
+func (k *KV) MGet(keys []string) ([][]byte, []error) {
+	ctx, cancel := context.WithTimeout(context.Background(), k.timeout)
+	defer cancel()
+	vals, errs := k.c.MGet(ctx, keys)
+	for i, err := range errs {
+		if errors.Is(err, dstore.ErrNotFound) {
+			errs[i] = kvapi.ErrNotFound
+		}
+	}
+	return vals, errs
+}
+
+// MDelete implements kvapi.BulkStore.
+func (k *KV) MDelete(keys []string) []error {
+	ctx, cancel := context.WithTimeout(context.Background(), k.timeout)
+	defer cancel()
+	return k.c.MDelete(ctx, keys)
+}
 
 // Begin implements kvapi.Transactor: one wire transaction session, pinned to
 // a pooled connection for its lifetime.
@@ -127,3 +179,4 @@ func (x netKVTxn) Abort() error {
 
 var _ kvapi.Store = (*KV)(nil)
 var _ kvapi.Transactor = (*KV)(nil)
+var _ kvapi.BulkStore = (*KV)(nil)

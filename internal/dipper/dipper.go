@@ -79,6 +79,13 @@ type Config struct {
 	// OnCheckpointDone, if set, runs at the end of every successful
 	// foreground checkpoint, before Checkpoint returns.
 	OnCheckpointDone func()
+	// GroupCommit enables WAL group commit: concurrent committers settle
+	// behind one shared flush+fence (ISSUE 10). MaxBatch/MaxWait below tune
+	// the leader's batch cap and device-scale linger; zero values take the
+	// wal package defaults.
+	GroupCommit         bool
+	GroupCommitMaxBatch int
+	GroupCommitMaxWait  time.Duration
 }
 
 func (c *Config) frontendSpace() space.Space {
@@ -116,6 +123,12 @@ type Stats struct {
 	// RecordsRecovered counts active-log records replayed by the last Open
 	// to rebuild the volatile space (the replay half of RecoveryBreakdown).
 	RecordsRecovered uint64
+	// Group-commit counters (zero when group commit is disabled): settle
+	// batches led, records settled through batches, and committers that
+	// parked behind another leader's fence.
+	GCBatches uint64
+	GCRecords uint64
+	GCParked  uint64
 }
 
 // Engine is a DIPPER instance bound to one PMEM device.
@@ -201,6 +214,7 @@ func Format(dev *pmem.Device, cfg Config, replayer Replayer, bootstrap func(al *
 		return nil, err
 	}
 	e.pair = wal.NewPair(log0, log1, 1)
+	e.applyGroupCommit()
 	e.mu.Lock()
 	e.rootSeq = 1
 	e.mu.Unlock()
@@ -260,6 +274,7 @@ func Open(dev *pmem.Device, cfg Config, replayer Replayer) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.applyGroupCommit()
 
 	// Step 1 (§3.6): if the crash interrupted a checkpoint, redo it against
 	// the old shadow copies so the next step sees a consistent image.
@@ -359,13 +374,30 @@ func (e *Engine) RootState() (RootState, error) { return readRoot(e.dev) }
 
 // Stats returns a snapshot of engine counters.
 func (e *Engine) Stats() Stats {
+	gc := e.pair.GroupCommitStats()
 	return Stats{
 		Checkpoints:       e.checkpoints.Load(),
 		CheckpointNanos:   e.checkpointNanos.Load(),
 		RecordsReplayed:   e.recordsReplayed.Load(),
 		ShadowBytesCloned: e.shadowCloned.Load(),
 		RecordsRecovered:  e.recordsRecovered.Load(),
+		GCBatches:         gc.Batches,
+		GCRecords:         gc.Records,
+		GCParked:          gc.Parked,
 	}
+}
+
+// applyGroupCommit installs the configured group-commit mode on the
+// freshly built WAL pair (Format and Open call it before any appends).
+func (e *Engine) applyGroupCommit() {
+	if !e.cfg.GroupCommit {
+		return
+	}
+	e.pair.SetGroupCommit(wal.GroupCommitConfig{
+		Enabled:  true,
+		MaxBatch: e.cfg.GroupCommitMaxBatch,
+		MaxWait:  e.cfg.GroupCommitMaxWait,
+	})
 }
 
 // MaybeTrigger requests a background checkpoint if the active log is below

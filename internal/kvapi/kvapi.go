@@ -24,6 +24,16 @@ type Store interface {
 	Close() error
 }
 
+// BulkStore is implemented by systems that accept batched operations
+// (amortizing per-op framing and fencing: DESIGN.md §14). Sub-ops are
+// independent; each slot gets its own verdict, and errs[i] == nil means
+// sub-op i succeeded. MGet's vals[i] is valid iff errs[i] is nil.
+type BulkStore interface {
+	MPut(keys []string, values [][]byte) []error
+	MGet(keys []string) ([][]byte, []error)
+	MDelete(keys []string) []error
+}
+
 // ErrTxnConflict reports a failed transaction commit validation: nothing was
 // applied, and the harness retries the whole transaction.
 var ErrTxnConflict = errors.New("kvapi: transaction conflict")

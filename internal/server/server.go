@@ -99,6 +99,25 @@ type Ringer interface {
 	RingData() []byte
 }
 
+// BatchBackend is the optional backend surface behind the batched OpM*
+// opcodes. Implementations fan the sub-ops out however suits them (the
+// sharded backend groups them by ring owner, one backend call per shard);
+// each result slot is nil for success or the sub-op's error. The request's
+// ring epoch is passed through so a resharding backend can re-check it per
+// sub-op: the frame-level fence runs once before dispatch, but a reshard
+// can land mid-batch, and the epoch a sub-op is applied under must be the
+// one the client routed with. Backends without it get a per-key fallback
+// loop over the plain Backend methods.
+type BatchBackend interface {
+	// MPut stores values[i] under keys[i]. Like Backend.Put, values are
+	// only valid for the duration of the call.
+	MPut(epoch uint64, keys []string, values [][]byte) []error
+	// MGet retrieves keys; vals[i] is meaningful where errs[i] is nil.
+	MGet(epoch uint64, keys []string) (vals [][]byte, errs []error)
+	// MDelete removes keys.
+	MDelete(epoch uint64, keys []string) []error
+}
+
 // TxnBackend is the optional backend surface behind the OpTxn* opcodes. A
 // backend that does not implement it rejects transaction requests with
 // StatusBadRequest.
@@ -566,7 +585,8 @@ func (c *conn) respond(resp *wire.Response) {
 // it is the repair path.
 func epochChecked(op wire.Op) bool {
 	switch op {
-	case wire.OpPut, wire.OpGet, wire.OpDelete, wire.OpScan:
+	case wire.OpPut, wire.OpGet, wire.OpDelete, wire.OpScan,
+		wire.OpMPut, wire.OpMGet, wire.OpMDelete:
 		return true
 	default:
 		return op.Txn()
@@ -647,6 +667,8 @@ func (c *conn) execute(req wire.Request) *wire.Response {
 	case wire.OpTxnBegin, wire.OpTxnGet, wire.OpTxnPut, wire.OpTxnDelete,
 		wire.OpTxnCommit, wire.OpTxnAbort:
 		return c.executeTxn(req, resp)
+	case wire.OpMPut, wire.OpMGet, wire.OpMDelete:
+		return c.executeBatch(req, resp)
 	case wire.OpPromote:
 		p, ok := c.srv.b.(Promoter)
 		if !ok {
@@ -671,6 +693,82 @@ func (c *conn) execute(req wire.Request) *wire.Response {
 
 func badRequest(resp *wire.Response, msg string) *wire.Response {
 	resp.Status, resp.Msg = wire.StatusBadRequest, msg
+	return resp
+}
+
+// executeBatch handles the batched OpM* opcodes: fan the sub-ops out
+// through the BatchBackend when the backend has one (a sharded backend
+// groups them by ring owner), else a per-key loop over the plain Backend
+// methods. Every sub-op gets its own verdict row; the top status is OK only
+// when all succeeded, StatusPartial otherwise — a failed sub-op fails only
+// its caller, never the frame.
+func (c *conn) executeBatch(req wire.Request, resp *wire.Response) *wire.Response {
+	n := len(req.Subs)
+	if n == 0 {
+		return badRequest(resp, "batch: no sub-ops")
+	}
+	keys := make([]string, n)
+	var values [][]byte
+	if req.Op == wire.OpMPut {
+		values = make([][]byte, n)
+	}
+	for i := range req.Subs {
+		if req.Subs[i].Key == "" {
+			return badRequest(resp, "batch: empty key")
+		}
+		keys[i] = req.Subs[i].Key
+		if values != nil {
+			values[i] = req.Subs[i].Value
+		}
+	}
+	var vals [][]byte
+	var errs []error
+	if bb, ok := c.srv.b.(BatchBackend); ok {
+		switch req.Op {
+		case wire.OpMPut:
+			errs = bb.MPut(req.Epoch, keys, values)
+		case wire.OpMGet:
+			vals, errs = bb.MGet(req.Epoch, keys)
+		case wire.OpMDelete:
+			errs = bb.MDelete(req.Epoch, keys)
+		}
+	} else {
+		errs = make([]error, n)
+		if req.Op == wire.OpMGet {
+			vals = make([][]byte, n)
+		}
+		for i, k := range keys {
+			switch req.Op {
+			case wire.OpMPut:
+				errs[i] = c.srv.b.Put(k, values[i])
+			case wire.OpMGet:
+				vals[i], errs[i] = c.srv.b.Get(k)
+			case wire.OpMDelete:
+				errs[i] = c.srv.b.Delete(k)
+			}
+		}
+	}
+	if len(errs) != n || (req.Op == wire.OpMGet && len(vals) != n) {
+		resp.Status, resp.Msg = wire.StatusInternal, "batch: backend result arity mismatch"
+		return resp
+	}
+	resp.Batch = make([]wire.BatchResult, n)
+	failed := 0
+	for i := 0; i < n; i++ {
+		switch {
+		case errs[i] != nil:
+			failed++
+			st, msg := c.srv.b.ErrorStatus(errs[i])
+			resp.Batch[i] = wire.BatchResult{Status: st, Msg: msg}
+		case req.Op == wire.OpMGet:
+			resp.Batch[i] = wire.BatchResult{Status: wire.StatusOK, Value: vals[i]}
+		default:
+			resp.Batch[i] = wire.BatchResult{Status: wire.StatusOK}
+		}
+	}
+	if failed > 0 {
+		resp.Status = wire.StatusPartial
+	}
 	return resp
 }
 

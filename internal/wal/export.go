@@ -135,6 +135,12 @@ func (p *Pair) AppendCommitted(lsn uint64, op uint16, name, payload []byte) erro
 	l := p.logs[p.active]
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	// A standby applying a grouped feed may race local appends (promotion
+	// windows); publish any pending suffix so the LSN-order scan below and
+	// the full write protocol see only published records.
+	if err := l.publishPendingLocked(); err != nil {
+		return fmt.Errorf("wal: replicated append publish: %w", err)
+	}
 	if last := p.lsn.Load(); lsn <= last {
 		return fmt.Errorf("wal: replicated LSN %d does not extend %d", lsn, last)
 	}

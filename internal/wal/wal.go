@@ -35,9 +35,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"dstore/internal/latency"
 	"dstore/internal/pmem"
 	"dstore/internal/space"
 )
@@ -83,6 +86,15 @@ type Handle struct {
 	// log and off are guarded by the Pair's swap lock.
 	log *Log
 	off uint64
+
+	// settleState and settleErr carry a parked committer's requested record
+	// state and settle outcome through a group-commit leader round.
+	// settleState is written by the committer before the handle is enqueued
+	// and read only by the leader; settleErr is written by the leader before
+	// committed is set (the release point the committer spins on), so both
+	// are ordered by the queue handoff and the committed flag.
+	settleState uint8
+	settleErr   error
 }
 
 // LSN returns the record's log sequence number.
@@ -111,12 +123,31 @@ type RecordView struct {
 	Payload []byte
 }
 
+// pendingRec is one appended-but-unpublished record (group commit): its
+// body and guard are stored in the buffer but no flush, fence, or LSN write
+// has happened, so readRecord cannot see it yet.
+type pendingRec struct {
+	lsn   uint64
+	off   uint64
+	total uint64
+}
+
 // Log is a single log region. All mutation goes through its Pair.
 type Log struct {
 	sp   *space.PMEM
 	mu   sync.Mutex // serializes appends and window scans
 	tail uint64     // next append offset; guarded by mu
 	cur  uint64     // firstUncommitted cursor (lazily advanced); guarded by mu
+
+	// pending lists records appended under group commit but not yet
+	// published. Invariant: the log is a published prefix followed by the
+	// pending suffix, and publishes happen strictly in offset (= LSN)
+	// order, so a scan stopping at the first invalid LSN sees exactly the
+	// published prefix. Guarded by mu.
+	pending []pendingRec
+	// lsnLines is publish scratch (deduped LSN cache-line indices), retained
+	// to keep the publish path allocation-free. Guarded by mu.
+	lsnLines []uint64
 
 	// archiveMax is the highest LSN in this log's genuine archived prefix,
 	// set when the log is archived by a swap and consumed (folded into the
@@ -144,6 +175,7 @@ func (l *Log) reset() {
 	defer l.mu.Unlock()
 	l.tail = logHeader
 	l.cur = logHeader
+	l.pending = l.pending[:0]
 	l.sp.PutU64(logHeader, 0) // zero guard
 	l.sp.Persist(logHeader, 8)
 }
@@ -203,12 +235,26 @@ func (l *Log) findConflictLocked(name []byte, ignore uint64) (uint64, bool) {
 	for off < l.tail {
 		rv, next, ok := l.readRecord(off)
 		if !ok {
-			return 0, false
+			break // the unpublished (pending) suffix begins here
 		}
 		if rv.State == StateUncommitted && rv.LSN != ignore && string(rv.Name) == string(name) {
 			return rv.LSN, true
 		}
 		off = next
+	}
+	// Pending records are invisible to readRecord (their LSN words are still
+	// zero) but are real in-flight operations: scan them straight from the
+	// buffer. Their stores are visible here because appends and this scan
+	// serialize on l.mu.
+	for i := range l.pending {
+		pr := &l.pending[i]
+		if pr.lsn == ignore || l.sp.GetU8(pr.off+recState) != StateUncommitted {
+			continue
+		}
+		nl := uint64(l.sp.GetU16(pr.off + recNameLen))
+		if string(l.sp.Slice(pr.off+recHeader, nl)) == string(name) {
+			return pr.lsn, true
+		}
 	}
 	return 0, false
 }
@@ -271,6 +317,86 @@ type Pair struct {
 
 	regMu    sync.Mutex
 	registry map[uint64]*Handle // LSN -> in-flight handle; guarded by regMu
+
+	// gc is the group-commit combining state; see SetGroupCommit.
+	gc groupCommit
+}
+
+// GroupCommitConfig configures WAL group commit (SetGroupCommit).
+type GroupCommitConfig struct {
+	// Enabled turns the combining settle path on. Off, every Append and
+	// settle pays its own flush+fence sequence exactly as before.
+	Enabled bool
+	// MaxBatch bounds how many committers one leader round settles.
+	// Default 64.
+	MaxBatch int
+	// MaxWait is the leader's linger: with more records in flight than the
+	// drained batch holds, the leader waits this long for them before
+	// fencing. Device-scale (a few µs); it is injected via latency.Spin, so
+	// it is a no-op unless latency injection is enabled. Default 3µs.
+	MaxWait time.Duration
+}
+
+// groupCommit is the settle-combining state: committers enqueue their
+// handles and whichever of them takes mu becomes the leader, publishing all
+// pending records and settling the whole queue behind shared fences.
+type groupCommit struct {
+	// enabled/maxBatch/maxWait are set by SetGroupCommit before concurrent
+	// use and never change afterwards.
+	enabled  bool
+	maxBatch int
+	maxWait  time.Duration
+
+	// mu is leadership: held by the one active leader round. Committers
+	// only TryLock it — nobody blocks on it.
+	mu sync.Mutex
+
+	qmu   sync.Mutex
+	queue []*Handle // parked committers; guarded by qmu
+
+	// scratch is the leader's drained-batch buffer and stateLines its
+	// flush-line scratch; both guarded by mu.
+	scratch    []*Handle
+	stateLines []uint64
+
+	batches atomic.Uint64 // leader rounds that settled at least one record
+	records atomic.Uint64 // records settled through group commit
+	parked  atomic.Uint64 // committers settled by another goroutine's round
+}
+
+// SetGroupCommit installs the group-commit configuration. Install before
+// concurrent use of the pair (the fields are read without synchronization).
+func (p *Pair) SetGroupCommit(cfg GroupCommitConfig) {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = 3 * time.Microsecond
+	}
+	p.gc.enabled = cfg.Enabled
+	p.gc.maxBatch = cfg.MaxBatch
+	p.gc.maxWait = cfg.MaxWait
+}
+
+// GroupCommitStats is a snapshot of the group-commit counters. Mean records
+// per batch is Records/Batches.
+type GroupCommitStats struct {
+	// Batches counts leader rounds that settled at least one record.
+	Batches uint64
+	// Records counts records settled through the group-commit path.
+	Records uint64
+	// Parked counts committers whose record was settled by another
+	// goroutine's leader round (they waited instead of fencing themselves).
+	Parked uint64
+}
+
+// GroupCommitStats returns a snapshot of the group-commit counters.
+func (p *Pair) GroupCommitStats() GroupCommitStats {
+	return GroupCommitStats{
+		Batches: p.gc.batches.Load(),
+		Records: p.gc.records.Load(),
+		Parked:  p.gc.parked.Load(),
+	}
 }
 
 // NewPair formats a fresh pair over two equally-sized PMEM windows; log a is
@@ -420,7 +546,18 @@ func (p *Pair) AppendIgnore(op uint16, name, payload []byte, ignore uint64) (*Ha
 		return nil, nil, ErrLogFull
 	}
 	lsn := p.lsn.Add(1)
-	if err := l.writeRecordLocked(off, lsn, op, StateUncommitted, name, payload, total); err != nil {
+	if p.gc.enabled {
+		// Group commit: lay the record down without flush, fence, or LSN
+		// write. It stays invisible (and volatile) until a settle leader
+		// publishes the whole pending suffix behind one shared fence — the
+		// caller has not been acked, so losing it to a crash is exactly the
+		// no-record guarantee a torn append has.
+		if err := l.storeRecordLocked(off, op, StateUncommitted, name, payload, total); err != nil {
+			l.mu.Unlock()
+			return nil, nil, fmt.Errorf("wal: append failed: %w", err)
+		}
+		l.pending = append(l.pending, pendingRec{lsn: lsn, off: off, total: total})
+	} else if err := l.writeRecordLocked(off, lsn, op, StateUncommitted, name, payload, total); err != nil {
 		// The device rejected the append. The LSN word at off was never
 		// written (it is still the previous append's zero guard), so the log
 		// is unchanged: no torn record, tail stays. The burned LSN is
@@ -444,12 +581,15 @@ var errRetry = errors.New("wal: retry append")
 // IsRetry reports whether err asks the caller to simply retry Append.
 func IsRetry(err error) bool { return errors.Is(err, errRetry) }
 
-// writeRecordLocked performs the paper's §3.4 append protocol at off.
-// Caller holds l.mu and the record fits. The whole protocol counts as one
-// fallible media operation: on error nothing was made valid — the LSN word
-// at off still holds the previous append's zero guard, so a scan sees no
-// record (the same guarantee a torn append has).
-func (l *Log) writeRecordLocked(off, lsn uint64, op uint16, state uint8, name, payload []byte, total uint64) error {
+// storeRecordLocked lays down the record body and guard at off with no
+// flush, fence, or LSN write — the store-only half of the §3.4 protocol.
+// The record stays invisible (its LSN word is still the previous guard's
+// zero) and volatile until a publish flushes the bytes and writes the LSN;
+// losing an unpublished record to a crash is by design — its caller was
+// never acknowledged, so recovery seeing no record is correct.
+//
+//dstore:volatile
+func (l *Log) storeRecordLocked(off uint64, op uint16, state uint8, name, payload []byte, total uint64) error {
 	sp := l.sp
 	if err := sp.CheckFault(off, total+8); err != nil {
 		return err
@@ -471,6 +611,19 @@ func (l *Log) writeRecordLocked(off, lsn uint64, op uint16, state uint8, name, p
 	}
 	// Extend the guard: zero the next record's LSN slot.
 	sp.PutU64(off+total, 0)
+	return nil
+}
+
+// writeRecordLocked performs the paper's §3.4 append protocol at off.
+// Caller holds l.mu and the record fits. The whole protocol counts as one
+// fallible media operation: on error nothing was made valid — the LSN word
+// at off still holds the previous append's zero guard, so a scan sees no
+// record (the same guarantee a torn append has).
+func (l *Log) writeRecordLocked(off, lsn uint64, op uint16, state uint8, name, payload []byte, total uint64) error {
+	sp := l.sp
+	if err := l.storeRecordLocked(off, op, state, name, payload, total); err != nil {
+		return err
+	}
 
 	// Flush the record body and guard, cache line by cache line in reverse
 	// order, then fence (§3.4). The last line's flush is hoisted out of the
@@ -495,6 +648,49 @@ func (l *Log) writeRecordLocked(off, lsn uint64, op uint16, state uint8, name, p
 	// The record becomes valid only now: write and persist the LSN.
 	sp.PutU64(off+recLSN, lsn)
 	sp.Persist(off+recLSN, 8)
+	return nil
+}
+
+// publishPendingLocked publishes the whole pending suffix: one span flush
+// plus one fence make every pending body and guard durable, then — and only
+// then — the LSN words are written in offset order and persisted behind a
+// second fence. Strict-order hook and durability contract are the same as
+// the single-record protocol: an LSN is never written before every byte of
+// its record is persistent, so a crash anywhere in here recovers a
+// committed-prefix of the published records and nothing torn. Caller holds
+// l.mu. On error (a strict-mode violation) no LSN was written and the
+// records stay pending.
+func (l *Log) publishPendingLocked() error {
+	n := len(l.pending)
+	if n == 0 {
+		return nil
+	}
+	sp := l.sp
+	lo := l.pending[0].off
+	hi := l.pending[n-1].off + l.pending[n-1].total + 8
+	sp.Flush(lo, hi-lo)
+	sp.Fence()
+	if err := sp.CheckPersisted(lo, hi-lo); err != nil {
+		return fmt.Errorf("wal: batch publish at %d: %w", lo, err)
+	}
+	// LSN stores, then their (deduped — offsets ascend) cache lines flushed
+	// and fenced. The first line's flush is hoisted so the persist-order
+	// checker sees a flush on every path to the fence.
+	ll := l.lsnLines[:0]
+	for i := range l.pending {
+		pr := &l.pending[i]
+		sp.PutU64(pr.off+recLSN, pr.lsn)
+		if line := (pr.off + recLSN) / pmem.LineSize; len(ll) == 0 || ll[len(ll)-1] != line {
+			ll = append(ll, line)
+		}
+	}
+	sp.Flush(ll[0]*pmem.LineSize, pmem.LineSize)
+	for _, line := range ll[1:] {
+		sp.Flush(line*pmem.LineSize, pmem.LineSize)
+	}
+	sp.Fence()
+	l.pending = l.pending[:0]
+	l.lsnLines = ll[:0]
 	return nil
 }
 
@@ -553,6 +749,9 @@ func (p *Pair) Abort(h *Handle) error {
 //
 //dstore:volatile
 func (p *Pair) settle(h *Handle, state uint8) error {
+	if p.gc.enabled {
+		return p.settleGrouped(h, state)
+	}
 	p.swapMu.RLock()
 	// The state byte is spun on by CC scans and shares cache lines with
 	// neighbouring records; serialize the store and its flush with other
@@ -578,6 +777,141 @@ func (p *Pair) settle(h *Handle, state uint8) error {
 		return fmt.Errorf("wal: settle record %d: %w", h.lsn, err)
 	}
 	return nil
+}
+
+// settleGrouped parks the committer on the group-commit queue: whichever
+// committer takes the leadership mutex drains the queue and settles the
+// whole batch behind shared fences; everyone else spins on their handle's
+// committed flag exactly like a CC waiter. TryLock (never Lock) keeps the
+// scheme free of lock-ordering hazards — no committer ever blocks holding
+// anything.
+func (p *Pair) settleGrouped(h *Handle, state uint8) error {
+	h.settleState = state
+	gc := &p.gc
+	gc.qmu.Lock()
+	gc.queue = append(gc.queue, h)
+	gc.qmu.Unlock()
+	parked := false
+	for !h.committed.Load() {
+		if gc.mu.TryLock() {
+			p.runLeaderLocked()
+			gc.mu.Unlock()
+			continue
+		}
+		parked = true
+		runtime.Gosched()
+	}
+	if parked {
+		gc.parked.Add(1)
+	}
+	if err := h.settleErr; err != nil {
+		return fmt.Errorf("wal: settle record %d: %w", h.lsn, err)
+	}
+	return nil
+}
+
+// runLeaderLocked executes one leader round: drain the queue, optionally linger
+// for committers still in flight, publish the pending suffix, and settle
+// the batch. Caller holds gc.mu.
+func (p *Pair) runLeaderLocked() {
+	gc := &p.gc
+	batch := p.drainQueue(gc.scratch[:0])
+	if len(batch) == 0 {
+		gc.scratch = batch
+		return
+	}
+	// Linger only when records beyond this batch are in flight: their
+	// committers may arrive within a device-scale wait and share the fence.
+	// latency.Spin is a no-op unless latency injection is enabled, so unit
+	// tests pay nothing here.
+	if gc.maxWait > 0 && len(batch) < gc.maxBatch && p.InFlight() > len(batch) {
+		latency.Spin(gc.maxWait) //nolint:lock-order — bounded device-scale linger; holding leadership while more committers coalesce is the point of group commit
+		batch = p.drainQueue(batch)
+	}
+	if len(batch) > gc.maxBatch {
+		gc.qmu.Lock()
+		gc.queue = append(gc.queue, batch[gc.maxBatch:]...)
+		gc.qmu.Unlock()
+		batch = batch[:gc.maxBatch]
+	}
+	p.publishAndSettleLocked(batch)
+	gc.batches.Add(1)
+	gc.records.Add(uint64(len(batch)))
+	for _, h := range batch {
+		h.committed.Store(true) // release point: settleErr is visible now
+	}
+	p.regMu.Lock()
+	for _, h := range batch {
+		delete(p.registry, h.lsn)
+	}
+	p.regMu.Unlock()
+	for i := range batch {
+		batch[i] = nil // keep settled handles collectable
+	}
+	gc.scratch = batch[:0]
+}
+
+// drainQueue moves every parked committer into batch.
+func (p *Pair) drainQueue(batch []*Handle) []*Handle {
+	gc := &p.gc
+	gc.qmu.Lock()
+	batch = append(batch, gc.queue...)
+	for i := range gc.queue {
+		gc.queue[i] = nil
+	}
+	gc.queue = gc.queue[:0]
+	gc.qmu.Unlock()
+	return batch
+}
+
+// publishAndSettleLocked publishes the pending suffix and then settles every
+// batch handle's state byte, flushing the (deduped) touched cache lines
+// behind one shared fence. Like settle, it is exempt from the persist-order
+// checker: on a device-fault or failed-publish path a state byte stays
+// volatile by design — the store is applied so conflict-window scans see
+// the record settled, durability is refused, and recovery resolves the
+// record to dead, consistent with the error the committer returns.
+//
+//dstore:volatile
+func (p *Pair) publishAndSettleLocked(batch []*Handle) {
+	p.swapMu.RLock()
+	defer p.swapMu.RUnlock()
+	// Every batch handle is uncommitted, and uncommitted records always
+	// live on the active log (Swap migrates them and publishes first), so
+	// one log covers the whole batch.
+	l := p.logs[p.active]
+	sp := l.sp
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	pubErr := l.publishPendingLocked()
+	lines := p.gc.stateLines[:0]
+	for _, h := range batch {
+		// The volatile store is applied unconditionally so conflict-window
+		// scans see the record settled even when durability is refused.
+		sp.PutU8(h.off+recState, h.settleState)
+		if pubErr != nil {
+			h.settleErr = pubErr
+			continue
+		}
+		if err := sp.CheckFault(h.off+recState, 1); err != nil {
+			h.settleErr = err
+			continue
+		}
+		lines = append(lines, (h.off+recState)/pmem.LineSize)
+	}
+	if len(lines) > 0 {
+		sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+		prev := ^uint64(0)
+		for _, line := range lines {
+			if line == prev {
+				continue
+			}
+			prev = line
+			sp.Flush(line*pmem.LineSize, pmem.LineSize)
+		}
+		sp.Fence()
+	}
+	p.gc.stateLines = lines[:0]
 }
 
 // SwapResult describes the archived log produced by a Swap.
@@ -619,6 +953,13 @@ func (p *Pair) Swap(persistRoot func(newActive, archived int, replayEnd uint64))
 	nl := p.logs[newIdx]
 
 	old.mu.Lock()
+	// Publish any group-commit pending suffix first: the migration scan
+	// below walks published records only, so an unpublished record would
+	// silently vanish from the new log.
+	if err := old.publishPendingLocked(); err != nil {
+		old.mu.Unlock()
+		return SwapResult{}, fmt.Errorf("wal: swap publish: %w", err)
+	}
 	old.advanceCursorLocked()
 	cut := old.cur
 	tail := old.tail

@@ -266,6 +266,9 @@ func TestOpStringPinned(t *testing.T) {
 		OpTxnCommit:  "TXN_COMMIT",
 		OpTxnAbort:   "TXN_ABORT",
 		OpRing:       "RING",
+		OpMPut:       "MPUT",
+		OpMGet:       "MGET",
+		OpMDelete:    "MDELETE",
 	}
 	if len(want) != int(opMax)-1 {
 		t.Fatalf("string table covers %d ops, protocol defines %d", len(want), int(opMax)-1)

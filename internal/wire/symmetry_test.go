@@ -18,7 +18,7 @@ import (
 // opcodes are Valid, every valid opcode has a real name, and every invalid
 // value stringers to the numeric fallback.
 func TestOpValueSpace(t *testing.T) {
-	const declaredOps = 16 // OpPut..OpRing; grows with the protocol
+	const declaredOps = 19 // OpPut..OpMDelete; grows with the protocol
 	valid := 0
 	for v := 0; v < 256; v++ {
 		op := Op(v)
@@ -42,7 +42,7 @@ func TestOpValueSpace(t *testing.T) {
 
 // TestStatusValueSpace is the same sweep for Status.
 func TestStatusValueSpace(t *testing.T) {
-	const declaredStatuses = 11 // StatusOK..StatusNotMine
+	const declaredStatuses = 12 // StatusOK..StatusPartial
 	valid := 0
 	for v := 0; v < 256; v++ {
 		s := Status(v)
@@ -170,6 +170,14 @@ func TestEveryOpRoundTrips(t *testing.T) {
 			req.Key, req.Value, req.Limit = "k", []byte("v"), 3
 		case OpTxnBegin, OpTxnCommit, OpTxnAbort:
 			req.Limit = 3
+		case OpMPut:
+			// Batched requests carry Subs, not Key/Value: the decoder
+			// leaves Value nil (the blob is consumed into Subs).
+			req.Value = nil
+			req.Subs = []BatchSub{{Key: "a", Value: []byte("v1")}, {Key: "b", Value: []byte{}}}
+		case OpMGet, OpMDelete:
+			req.Value = nil
+			req.Subs = []BatchSub{{Key: "a"}, {Key: "b"}}
 		}
 		enc, err := AppendRequest(nil, &req)
 		if err != nil {
@@ -194,6 +202,10 @@ func TestEveryOpRoundTrips(t *testing.T) {
 		case OpHealth:
 			resp.Health = &HealthReply{Degraded: true, Reason: "why",
 				QuarantinedBlocks: []uint64{4}}
+		case OpMPut, OpMDelete:
+			resp.Batch = []BatchResult{{Status: StatusOK}, {Status: StatusOK}}
+		case OpMGet:
+			resp.Batch = []BatchResult{{Status: StatusOK, Value: []byte("v")}, {Status: StatusOK, Value: []byte{}}}
 		}
 		gotResp, err := DecodeResponse(framePayload(t, AppendResponse(nil, &resp)))
 		if err != nil {

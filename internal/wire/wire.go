@@ -92,6 +92,18 @@ const (
 	// resharding-capable servers cache it pool-wide and attach its epoch to
 	// data requests; a StatusNotMine reply tells them to re-fetch here.
 	OpRing
+	// OpMPut stores N key/value pairs in one frame (Request.Subs). The
+	// response carries one BatchResult per sub-op, in request order; the top
+	// status is StatusOK when every sub-op succeeded and StatusPartial for
+	// mixed results. Sub-ops are independent: there is no cross-key
+	// atomicity (that is what transactions are for) — batching here
+	// amortizes the frame and the server's WAL fence, nothing else.
+	OpMPut
+	// OpMGet retrieves N keys in one frame; each OK BatchResult carries
+	// that sub-op's value.
+	OpMGet
+	// OpMDelete removes N keys in one frame.
+	OpMDelete
 
 	opMax
 )
@@ -102,6 +114,10 @@ func (o Op) Valid() bool { return o >= OpPut && o < opMax }
 // Txn reports whether o is one of the transaction-session opcodes. Every
 // such request carries the client-chosen transaction id in Limit.
 func (o Op) Txn() bool { return o >= OpTxnBegin && o <= OpTxnAbort }
+
+// Multi reports whether o is one of the batched opcodes, whose requests
+// carry Subs and whose responses carry per-sub-op BatchResults.
+func (o Op) Multi() bool { return o == OpMPut || o == OpMGet || o == OpMDelete }
 
 func (o Op) String() string {
 	switch o {
@@ -137,6 +153,12 @@ func (o Op) String() string {
 		return "TXN_ABORT"
 	case OpRing:
 		return "RING"
+	case OpMPut:
+		return "MPUT"
+	case OpMGet:
+		return "MGET"
+	case OpMDelete:
+		return "MDELETE"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -183,6 +205,10 @@ const (
 	// non-transient at the connection level — the repair is a ring refresh,
 	// not a resend.
 	StatusNotMine
+	// StatusPartial is the top-level status of a batched (OpM*) response in
+	// which some sub-ops succeeded and some failed: the per-sub-op verdicts
+	// are in the response's BatchResults. Never used for single ops.
+	StatusPartial
 
 	statusMax
 )
@@ -214,6 +240,8 @@ func (s Status) String() string {
 		return "TXN_CONFLICT"
 	case StatusNotMine:
 		return "NOT_MINE"
+	case StatusPartial:
+		return "PARTIAL"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -243,6 +271,10 @@ const (
 
 	reqFixed  = 8 + 1 + 2 + 4 + 4 // id op keyLen valueLen limit
 	respFixed = 8 + 1 + 1 + 2     // id op status msgLen
+
+	// MaxBatch bounds sub-ops per batched (OpM*) frame. Callers split
+	// larger batches; decoders reject larger counts as malformed.
+	MaxBatch = 256
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -267,6 +299,26 @@ type Request struct {
 	// resharding-capable server compares a nonzero Epoch on data requests
 	// against its own and answers StatusNotMine on mismatch.
 	Epoch uint64
+	// Subs carries the sub-ops of a batched (OpM*) request, at most
+	// MaxBatch of them. On the wire they ride inside the value slot (the
+	// key slot stays empty), so the frame keeps the universal request
+	// shape and non-batched frames are byte-identical to before.
+	Subs []BatchSub
+}
+
+// BatchSub is one sub-op of a batched request. Value is meaningful only
+// for OpMPut.
+type BatchSub struct {
+	Key   string
+	Value []byte
+}
+
+// BatchResult is one sub-op's verdict inside a batched response, in
+// request order. Value is meaningful only for OpMGet with StatusOK.
+type BatchResult struct {
+	Status Status
+	Msg    string
+	Value  []byte
 }
 
 // Object is one SCAN result row.
@@ -304,6 +356,10 @@ type StatsReply struct {
 	// activity; nil otherwise. Txn-free frames carry no txn section and stay
 	// byte-identical to the pre-transaction protocol.
 	Txn *TxnReply
+	// Batch holds WAL group-commit counters once the store has settled
+	// records through batches; nil otherwise. Batch-free frames carry no
+	// batch section and stay byte-identical to the pre-batching protocol.
+	Batch *BatchReply
 }
 
 // Replication roles carried in ReplReply.Role.
@@ -370,6 +426,33 @@ func (s *TxnReply) setFields(v []uint64) {
 }
 
 const txnStatFields = 3
+
+// BatchReply is the optional STATS group-commit section. On the wire it
+// trails the txn section; emitting it forces the earlier delimiters out (a
+// zeroed txn block when the server has no transaction activity) so the
+// positional decode stays unambiguous — a real batch block always has a
+// nonzero Batches count.
+type BatchReply struct {
+	// Batches counts settle batches led (each one shared flush+fence).
+	Batches uint64
+	// Records counts records settled through those batches; Records/Batches
+	// is the mean batch size.
+	Records uint64
+	// Parked counts committers that waited behind another leader's fence
+	// instead of fencing themselves.
+	Parked uint64
+}
+
+// fields lists the BatchReply counters in wire order.
+func (s *BatchReply) fields() []uint64 {
+	return []uint64{s.Batches, s.Records, s.Parked}
+}
+
+func (s *BatchReply) setFields(v []uint64) {
+	s.Batches, s.Records, s.Parked = v[0], v[1], v[2]
+}
+
+const batchStatFields = 3
 
 // CacheStat is one block-cache counter row (the aggregate or one shard's).
 type CacheStat struct {
@@ -460,6 +543,9 @@ type Response struct {
 	Stats *StatsReply
 	// Health is the HEALTH result.
 	Health *HealthReply
+	// Batch holds the per-sub-op verdicts of a batched (OpM*) response,
+	// present when Status is StatusOK or StatusPartial.
+	Batch []BatchResult
 }
 
 // ------------------------------------------------------------------ frames
@@ -548,8 +634,33 @@ func AppendRequest(dst []byte, req *Request) ([]byte, error) {
 	dst = append(dst, byte(req.Op))
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(req.Key)))
 	dst = append(dst, req.Key...)
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(req.Value)))
-	dst = append(dst, req.Value...)
+	if req.Op.Multi() {
+		// Batched sub-ops ride in the value slot as a counted blob, so the
+		// frame keeps the universal shape (and the trailing-epoch heuristic
+		// stays unambiguous: the blob's length word is explicit).
+		if len(req.Subs) > MaxBatch {
+			return dst[:off], fmt.Errorf("%w: batch of %d > %d", ErrMalformed, len(req.Subs), MaxBatch)
+		}
+		lenOff := len(dst)
+		dst = append(dst, 0, 0, 0, 0) // blob length, backfilled below
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(req.Subs)))
+		for i := range req.Subs {
+			sub := &req.Subs[i]
+			if len(sub.Key) > MaxKeyLen {
+				return dst[:off], fmt.Errorf("%w: sub-op key length %d > %d", ErrMalformed, len(sub.Key), MaxKeyLen)
+			}
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(len(sub.Key)))
+			dst = append(dst, sub.Key...)
+			if req.Op == OpMPut {
+				dst = binary.LittleEndian.AppendUint32(dst, uint32(len(sub.Value)))
+				dst = append(dst, sub.Value...)
+			}
+		}
+		binary.LittleEndian.PutUint32(dst[lenOff:], uint32(len(dst)-lenOff-4))
+	} else {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(req.Value)))
+		dst = append(dst, req.Value...)
+	}
 	dst = binary.LittleEndian.AppendUint32(dst, req.Limit)
 	// Optional trailing epoch word (see Request.Epoch): zero epochs are
 	// omitted so the frame stays byte-identical to the pre-ring encoding.
@@ -567,7 +678,35 @@ func DecodeRequest(payload []byte) (Request, error) {
 	req.ID = d.u64()
 	req.Op = Op(d.u8())
 	req.Key = string(d.bytes(int(d.u16())))
-	req.Value = d.bytes(int(d.u32()))
+	if req.Op.Multi() {
+		// The value slot carries the counted sub-op blob; parse it with a
+		// sub-decoder so its lengths cannot reach past the blob.
+		sub := decoder{p: d.bytes(int(d.u32()))}
+		n := int(sub.u32())
+		minSub := 2 // u16 keyLen
+		if req.Op == OpMPut {
+			minSub = 6 // + u32 valueLen
+		}
+		if sub.err == nil && (n > MaxBatch || n > sub.remaining()/minSub) {
+			return Request{}, fmt.Errorf("%w: batch count %d", ErrMalformed, n)
+		}
+		if sub.err == nil && n > 0 {
+			req.Subs = make([]BatchSub, 0, n)
+			for i := 0; i < n && sub.err == nil; i++ {
+				var s BatchSub
+				s.Key = string(sub.bytes(int(sub.u16())))
+				if req.Op == OpMPut {
+					s.Value = sub.bytes(int(sub.u32()))
+				}
+				req.Subs = append(req.Subs, s)
+			}
+		}
+		if !sub.done() {
+			return Request{}, sub.fail("batch request")
+		}
+	} else {
+		req.Value = d.bytes(int(d.u32()))
+	}
 	req.Limit = d.u32()
 	// Optional trailing epoch word: exactly 8 further bytes or nothing.
 	if d.err == nil && d.remaining() == 8 {
@@ -594,6 +733,27 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 	dst = append(dst, byte(resp.Op), byte(resp.Status))
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(msg)))
 	dst = append(dst, msg...)
+	if resp.Op.Multi() && (resp.Status == StatusOK || resp.Status == StatusPartial) {
+		// Batched verdicts: one row per sub-op, in request order. Present
+		// for OK (all sub-ops succeeded) and PARTIAL (mixed); frame-level
+		// failures use the plain statuses and carry no section.
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(resp.Batch)))
+		for i := range resp.Batch {
+			b := &resp.Batch[i]
+			bmsg := b.Msg
+			if len(bmsg) > MaxKeyLen {
+				bmsg = bmsg[:MaxKeyLen]
+			}
+			dst = append(dst, byte(b.Status))
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(len(bmsg)))
+			dst = append(dst, bmsg...)
+			if resp.Op == OpMGet && b.Status == StatusOK {
+				dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.Value)))
+				dst = append(dst, b.Value...)
+			}
+		}
+		return finishFrame(dst, off)
+	}
 	if resp.Status == StatusOK {
 		switch resp.Op {
 		case OpGet, OpReplicate, OpTxnGet, OpRing:
@@ -626,10 +786,11 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 			// out even on a single store (count zero). A repl section
 			// trails the cache section and likewise forces a (zeroed)
 			// cache section out when one is not otherwise present, and a
-			// txn section trails the repl section the same way. With
-			// none of them, the payload ends at the aggregate block exactly
-			// as before.
-			emitRepl := st.Repl != nil || st.Txn != nil
+			// txn section trails the repl section the same way, and a
+			// batch section trails the txn section. With none of them,
+			// the payload ends at the aggregate block exactly as before.
+			emitTxn := st.Txn != nil || st.Batch != nil
+			emitRepl := st.Repl != nil || emitTxn
 			emitCache := st.Cache != nil || emitRepl
 			if len(st.Shards) > 0 || emitCache {
 				dst = binary.LittleEndian.AppendUint32(dst, uint32(len(st.Shards)))
@@ -663,8 +824,17 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 					dst = binary.LittleEndian.AppendUint64(dst, v)
 				}
 			}
-			if st.Txn != nil {
-				for _, v := range st.Txn.fields() {
+			if emitTxn {
+				var txn TxnReply
+				if st.Txn != nil {
+					txn = *st.Txn
+				}
+				for _, v := range txn.fields() {
+					dst = binary.LittleEndian.AppendUint64(dst, v)
+				}
+			}
+			if st.Batch != nil {
+				for _, v := range st.Batch.fields() {
 					dst = binary.LittleEndian.AppendUint64(dst, v)
 				}
 			}
@@ -759,6 +929,32 @@ func DecodeResponse(payload []byte) (Response, error) {
 	resp.Msg = string(d.bytes(int(d.u16())))
 	if d.err == nil && !resp.Status.Valid() {
 		return Response{}, fmt.Errorf("%w: response status %d", ErrMalformed, resp.Status)
+	}
+	if resp.Op.Multi() && (resp.Status == StatusOK || resp.Status == StatusPartial) {
+		n := int(d.u32())
+		// Each row is at least 3 bytes (status + msgLen).
+		if d.err == nil && (n > MaxBatch || n > d.remaining()/3) {
+			return Response{}, fmt.Errorf("%w: batch result count %d", ErrMalformed, n)
+		}
+		if d.err == nil && n > 0 {
+			resp.Batch = make([]BatchResult, 0, n)
+			for i := 0; i < n && d.err == nil; i++ {
+				var b BatchResult
+				b.Status = Status(d.u8())
+				if d.err == nil && !b.Status.Valid() {
+					return Response{}, fmt.Errorf("%w: batch result status %d", ErrMalformed, b.Status)
+				}
+				b.Msg = string(d.bytes(int(d.u16())))
+				if resp.Op == OpMGet && b.Status == StatusOK {
+					b.Value = d.bytes(int(d.u32()))
+				}
+				resp.Batch = append(resp.Batch, b)
+			}
+		}
+		if !d.done() {
+			return Response{}, d.fail("batch response")
+		}
+		return resp, nil
 	}
 	if resp.Status == StatusOK {
 		switch resp.Op {
@@ -871,8 +1067,31 @@ func DecodeResponse(payload []byte) (Response, error) {
 					tv[i] = d.u64()
 				}
 				if d.err == nil {
-					resp.Stats.Txn = &TxnReply{}
-					resp.Stats.Txn.setFields(tv[:])
+					tr := &TxnReply{}
+					tr.setFields(tv[:])
+					// An all-zero txn block is the forced delimiter a
+					// batch-only server emits (servers gate the txn section
+					// on nonzero counts): decode it back to "no txn section"
+					// so encoding round-trips.
+					if *tr != (TxnReply{}) {
+						resp.Stats.Txn = tr
+					}
+				}
+			}
+			// Optional group-commit section after the txn block: a fixed
+			// counter block, present once the store has settled records
+			// through batches.
+			if d.err == nil && d.remaining() > 0 {
+				var bv [batchStatFields]uint64
+				for i := range bv {
+					bv[i] = d.u64()
+				}
+				if d.err == nil {
+					br := &BatchReply{}
+					br.setFields(bv[:])
+					if *br != (BatchReply{}) {
+						resp.Stats.Batch = br
+					}
 				}
 			}
 		case OpHealth:

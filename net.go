@@ -172,6 +172,60 @@ func (b *netBackend) Delete(key string) error {
 	return c.Delete(key)
 }
 
+// bulkView is the batched-operation surface both *Store and *Sharded
+// provide (batch.go); the adapter requires it rather than type-asserting so
+// a future API implementation cannot silently lose server-side batching.
+type bulkView interface {
+	MPut(epoch uint64, keys []string, values [][]byte) []error
+	MGet(epoch uint64, keys []string) ([][]byte, []error)
+	MDelete(epoch uint64, keys []string) []error
+}
+
+// MPut implements server.BatchBackend: one fan-out call per frame, so the
+// store can feed all sub-ops to WAL group commit instead of the server
+// looping per key.
+func (b *netBackend) MPut(epoch uint64, keys []string, values [][]byte) []error {
+	if bv, ok := b.api.(bulkView); ok {
+		return bv.MPut(epoch, keys, values)
+	}
+	errs := make([]error, len(keys))
+	c := b.api.NewContext()
+	defer c.Finalize()
+	for i := range keys {
+		errs[i] = c.Put(keys[i], values[i])
+	}
+	return errs
+}
+
+// MGet implements server.BatchBackend.
+func (b *netBackend) MGet(epoch uint64, keys []string) ([][]byte, []error) {
+	if bv, ok := b.api.(bulkView); ok {
+		return bv.MGet(epoch, keys)
+	}
+	vals := make([][]byte, len(keys))
+	errs := make([]error, len(keys))
+	c := b.api.NewContext()
+	defer c.Finalize()
+	for i := range keys {
+		vals[i], errs[i] = c.Get(keys[i], nil)
+	}
+	return vals, errs
+}
+
+// MDelete implements server.BatchBackend.
+func (b *netBackend) MDelete(epoch uint64, keys []string) []error {
+	if bv, ok := b.api.(bulkView); ok {
+		return bv.MDelete(epoch, keys)
+	}
+	errs := make([]error, len(keys))
+	c := b.api.NewContext()
+	defer c.Finalize()
+	for i := range keys {
+		errs[i] = c.Delete(keys[i])
+	}
+	return errs
+}
+
 // BeginTxn exposes transactions to the wire server. The session pins its own
 // context for the transaction's lifetime; the server serializes calls on it.
 func (b *netBackend) BeginTxn() (server.Txn, error) {
@@ -287,6 +341,16 @@ func (b *netBackend) Stats() wire.StatsReply {
 			Commits:   apiStats.TxnCommits,
 			Aborts:    apiStats.TxnAborts,
 			Conflicts: apiStats.TxnConflicts,
+		}
+	}
+	// Attach the group-commit section only once a batch has formed, so
+	// group-commit-off deployments (and idle stores) emit frames
+	// byte-identical to the pre-batching protocol.
+	if apiStats.Engine.GCBatches > 0 {
+		reply.Batch = &wire.BatchReply{
+			Batches: apiStats.Engine.GCBatches,
+			Records: apiStats.Engine.GCRecords,
+			Parked:  apiStats.Engine.GCParked,
 		}
 	}
 	return reply

@@ -58,6 +58,10 @@ type Sharded struct {
 	repl []*ReplicatedShard
 	gen  atomic.Uint64
 
+	// mops fans batched sub-ops across persistent workers (batch.go);
+	// lazily started, retired on Close.
+	mops mopPool
+
 	// ringP is the authoritative routing ring. migrP, when non-nil, is the
 	// in-flight membership change (reshard.go). opMu orders every routed
 	// operation against migration installs and the epoch flip: routed ops
@@ -477,6 +481,7 @@ func (sh *Sharded) Scrub(repair bool) (ScrubReport, error) {
 // Close cleanly shuts down every shard in parallel (final checkpoints
 // included; replicated shards stop their feeds and close both stores).
 func (sh *Sharded) Close() error {
+	sh.mops.stop()
 	if sh.repl != nil {
 		return sh.forEachShard(func(i int, _ *Store) error { return sh.repl[i].Close() })
 	}
@@ -486,6 +491,7 @@ func (sh *Sharded) Close() error {
 // CloseNoCheckpoint stops every shard without final checkpoints; reopening
 // replays each shard's active log.
 func (sh *Sharded) CloseNoCheckpoint() error {
+	sh.mops.stop()
 	if sh.repl != nil {
 		return sh.forEachShard(func(i int, _ *Store) error { return sh.repl[i].CloseNoCheckpoint() })
 	}
@@ -497,6 +503,7 @@ func (sh *Sharded) CloseNoCheckpoint() error {
 // and returns per-shard configs carrying the surviving devices for
 // OpenSharded. Requires Config.TrackPersistence.
 func (sh *Sharded) Crash(seed int64) ([]Config, error) {
+	sh.mops.stop()
 	var firstErr error
 	stores := sh.stores()
 	cfgs := append([]Config(nil), sh.configs()...)
@@ -528,6 +535,9 @@ func (sh *Sharded) Stats() Stats {
 		out.Engine.RecordsReplayed += st.Engine.RecordsReplayed
 		out.Engine.ShadowBytesCloned += st.Engine.ShadowBytesCloned
 		out.Engine.RecordsRecovered += st.Engine.RecordsRecovered
+		out.Engine.GCBatches += st.Engine.GCBatches
+		out.Engine.GCRecords += st.Engine.GCRecords
+		out.Engine.GCParked += st.Engine.GCParked
 		out.CowPagesCopied += st.CowPagesCopied
 		out.CowFaultCopies += st.CowFaultCopies
 		out.TxnCommits += st.TxnCommits
